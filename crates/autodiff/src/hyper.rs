@@ -1,0 +1,463 @@
+//! Forward/backward kernels of the rowwise hyperbolic composite ops.
+//!
+//! Each function pair implements one differentiable building block of the
+//! TaxoRec computation graph with an analytically derived backward pass.
+//! Treating these as single tape nodes (instead of chains of primitive ops)
+//! keeps the tape small and lets each backward handle its own numerical
+//! guards. Every derivation is verified against central finite differences
+//! in `tests/gradcheck.rs`.
+//!
+//! Shape conventions: hyperboloid points carry `d+1` ambient columns (time
+//! coordinate first); ball/Klein/tangent vectors carry `d` columns. All ops
+//! act row by row.
+
+use crate::matrix::Matrix;
+use crate::sparse::Csr;
+use taxorec_geometry::{arcosh, arcosh_grad, vecops, EPS_DIV, EPS_SMALL, MAX_BALL_NORM};
+
+/// Numerically safe `sinh(r)/r`.
+#[inline]
+fn sinhc(r: f64) -> f64 {
+    if r < EPS_SMALL {
+        1.0 + r * r / 6.0
+    } else {
+        r.sinh() / r
+    }
+}
+
+/// Numerically safe `(cosh(r)·r − sinh(r))/r³` (→ 1/3 as r→0).
+#[inline]
+fn coshc_residual(r: f64) -> f64 {
+    if r < 1e-4 {
+        1.0 / 3.0 + r * r / 30.0
+    } else {
+        (r.cosh() * r - r.sinh()) / (r * r * r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exp_o : tangent (n×d) → hyperboloid (n×(d+1))   [paper Eq. 15]
+// ---------------------------------------------------------------------------
+
+/// Forward of the Lorentz exponential map at the origin.
+pub fn lorentz_exp_origin_fwd(z: &Matrix) -> Matrix {
+    let (n, d) = z.shape();
+    let mut out = Matrix::zeros(n, d + 1);
+    for r in 0..n {
+        let zr = z.row(r);
+        let rad = vecops::norm(zr);
+        let orow = out.row_mut(r);
+        orow[0] = rad.cosh();
+        let f = sinhc(rad);
+        for j in 0..d {
+            orow[j + 1] = f * zr[j];
+        }
+    }
+    out
+}
+
+/// Backward of [`lorentz_exp_origin_fwd`]:
+/// `z̄ += ḡ₀·sinh(r)/r·z + sinh(r)/r·ḡ_s + (z·ḡ_s)·(cosh(r)r − sinh(r))/r³ · z`.
+pub fn lorentz_exp_origin_bwd(z: &Matrix, grad_out: &Matrix, grad_z: &mut Matrix) {
+    let (n, d) = z.shape();
+    for r in 0..n {
+        let zr = z.row(r);
+        let g = grad_out.row(r);
+        let rad = vecops::norm(zr);
+        let s = sinhc(rad);
+        let c = coshc_residual(rad);
+        let g0 = g[0];
+        let gs = &g[1..];
+        let zg = vecops::dot(zr, gs);
+        let gz = grad_z.row_mut(r);
+        for j in 0..d {
+            gz[j] += g0 * s * zr[j] + s * gs[j] + zg * c * zr[j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// log_o : hyperboloid (n×(d+1)) → tangent (n×d)   [paper Eq. 12 at o]
+// ---------------------------------------------------------------------------
+
+/// Forward of the Lorentz logarithmic map at the origin:
+/// `z = arcosh(x₀)·x_s/‖x_s‖` per row.
+pub fn lorentz_log_origin_fwd(x: &Matrix) -> Matrix {
+    let (n, dc) = x.shape();
+    let d = dc - 1;
+    let mut out = Matrix::zeros(n, d);
+    for r in 0..n {
+        let xr = x.row(r);
+        let spatial = &xr[1..];
+        let nn = vecops::norm(spatial);
+        if nn < EPS_DIV {
+            continue;
+        }
+        let f = arcosh(xr[0]) / nn;
+        let orow = out.row_mut(r);
+        for j in 0..d {
+            orow[j] = f * spatial[j];
+        }
+    }
+    out
+}
+
+/// Backward of [`lorentz_log_origin_fwd`]:
+/// `x̄₀ += (ḡ·x_s/n)·arcosh'(x₀)`,
+/// `x̄_s += (a/n)·ḡ − (a/n³)(x_s·ḡ)·x_s` with `a = arcosh(x₀)`, `n = ‖x_s‖`.
+pub fn lorentz_log_origin_bwd(x: &Matrix, grad_out: &Matrix, grad_x: &mut Matrix) {
+    let (nrows, dc) = x.shape();
+    let d = dc - 1;
+    for r in 0..nrows {
+        let xr = x.row(r);
+        let spatial = &xr[1..];
+        let g = grad_out.row(r);
+        let nn = vecops::norm(spatial);
+        if nn < EPS_DIV {
+            continue;
+        }
+        let a = arcosh(xr[0]);
+        let sg = vecops::dot(spatial, g);
+        let gx = grad_x.row_mut(r);
+        gx[0] += (sg / nn) * arcosh_grad(xr[0]);
+        let f1 = a / nn;
+        let f2 = a / (nn * nn * nn) * sg;
+        for j in 0..d {
+            gx[j + 1] += f1 * g[j] - f2 * spatial[j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Squared Lorentz distance, rowwise: (n×(d+1), n×(d+1)) → (n×1) [Eq. 17]
+// ---------------------------------------------------------------------------
+
+/// Forward of the rowwise squared Lorentz distance
+/// `D_r = arcosh(−⟨x_r, y_r⟩_L)²`.
+pub fn lorentz_dist_sq_fwd(x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), y.shape());
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, 1);
+    for r in 0..n {
+        let s = -taxorec_geometry::lorentz::inner(x.row(r), y.row(r));
+        let d = arcosh(s);
+        out.set(r, 0, d * d);
+    }
+    out
+}
+
+/// Backward of [`lorentz_dist_sq_fwd`]: with `s = −⟨x,y⟩_L`,
+/// `dD/ds = 2·arcosh(s)·arcosh'(s)`; `∂s/∂x = (y₀, −y₁, …, −y_d)` and
+/// symmetrically for `y`.
+pub fn lorentz_dist_sq_bwd(
+    x: &Matrix,
+    y: &Matrix,
+    grad_out: &Matrix,
+    grad_x: &mut Matrix,
+    grad_y: &mut Matrix,
+) {
+    let (n, dc) = x.shape();
+    for r in 0..n {
+        let xr = x.row(r);
+        let yr = y.row(r);
+        let s = -taxorec_geometry::lorentz::inner(xr, yr);
+        let dd_ds = 2.0 * arcosh(s) * arcosh_grad(s) * grad_out.get(r, 0);
+        let gx = grad_x.row_mut(r);
+        gx[0] += dd_ds * yr[0];
+        for j in 1..dc {
+            gx[j] -= dd_ds * yr[j];
+        }
+        let gy = grad_y.row_mut(r);
+        gy[0] += dd_ds * xr[0];
+        for j in 1..dc {
+            gy[j] -= dd_ds * xr[j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poincaré distance, rowwise: (n×d, n×d) → (n×1)   [Eq. 8 regularizer]
+// ---------------------------------------------------------------------------
+
+/// Forward of the rowwise Poincaré distance.
+pub fn poincare_dist_fwd(x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), y.shape());
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, 1);
+    for r in 0..n {
+        out.set(r, 0, taxorec_geometry::poincare::distance(x.row(r), y.row(r)));
+    }
+    out
+}
+
+/// Backward of [`poincare_dist_fwd`] via
+/// [`taxorec_geometry::poincare::distance_grad`].
+pub fn poincare_dist_bwd(
+    x: &Matrix,
+    y: &Matrix,
+    grad_out: &Matrix,
+    grad_x: &mut Matrix,
+    grad_y: &mut Matrix,
+) {
+    let n = x.rows();
+    for r in 0..n {
+        let w = grad_out.get(r, 0);
+        if w == 0.0 {
+            continue;
+        }
+        // distance_grad accumulates, matching our += convention. grad_x and
+        // grad_y are always distinct buffers (the tape materializes per-
+        // parent contributions separately), so the borrows are disjoint.
+        let mut gx = vec![0.0; x.cols()];
+        let mut gy = vec![0.0; y.cols()];
+        taxorec_geometry::poincare::distance_grad(x.row(r), y.row(r), w, &mut gx, &mut gy);
+        for (a, b) in grad_x.row_mut(r).iter_mut().zip(&gx) {
+            *a += b;
+        }
+        for (a, b) in grad_y.row_mut(r).iter_mut().zip(&gy) {
+            *a += b;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model conversions, rowwise
+// ---------------------------------------------------------------------------
+
+/// Forward of Poincaré → Klein (paper Eq. 9): `k = 2p/(1+‖p‖²)` per row.
+pub fn poincare_to_klein_fwd(p: &Matrix) -> Matrix {
+    let (n, d) = p.shape();
+    let mut out = Matrix::zeros(n, d);
+    for r in 0..n {
+        taxorec_geometry::convert::poincare_to_klein(p.row(r), out.row_mut(r));
+    }
+    out
+}
+
+/// Backward of [`poincare_to_klein_fwd`]:
+/// `p̄ += (2/q)ḡ − (4(ḡ·p)/q²)p` with `q = 1+‖p‖²`.
+pub fn poincare_to_klein_bwd(p: &Matrix, grad_out: &Matrix, grad_p: &mut Matrix) {
+    let (n, d) = p.shape();
+    for r in 0..n {
+        let pr = p.row(r);
+        let g = grad_out.row(r);
+        let q = 1.0 + vecops::sqnorm(pr);
+        let gp = vecops::dot(g, pr);
+        let gout = grad_p.row_mut(r);
+        for j in 0..d {
+            gout[j] += 2.0 * g[j] / q - 4.0 * gp * pr[j] / (q * q);
+        }
+    }
+}
+
+/// Forward of Klein → Poincaré (inner map of paper Eq. 11):
+/// `p = k/(1+√(1−‖k‖²))` per row.
+pub fn klein_to_poincare_fwd(k: &Matrix) -> Matrix {
+    let (n, d) = k.shape();
+    let mut out = Matrix::zeros(n, d);
+    for r in 0..n {
+        taxorec_geometry::convert::klein_to_poincare(k.row(r), out.row_mut(r));
+    }
+    out
+}
+
+/// Backward of [`klein_to_poincare_fwd`]:
+/// `k̄ += ḡ/q + ((ḡ·k)/(βq²))·k` with `β = √(1−‖k‖²)`, `q = 1+β`.
+pub fn klein_to_poincare_bwd(k: &Matrix, grad_out: &Matrix, grad_k: &mut Matrix) {
+    let (n, d) = k.shape();
+    for r in 0..n {
+        let kr = k.row(r);
+        let g = grad_out.row(r);
+        let n2 = vecops::sqnorm(kr).min(MAX_BALL_NORM * MAX_BALL_NORM);
+        let beta = (1.0 - n2).sqrt().max(EPS_SMALL);
+        let q = 1.0 + beta;
+        let gk = vecops::dot(g, kr);
+        let gout = grad_k.row_mut(r);
+        for j in 0..d {
+            gout[j] += g[j] / q + gk * kr[j] / (beta * q * q);
+        }
+    }
+}
+
+/// Forward of Poincaré → Lorentz (paper Eq. 3), rowwise:
+/// `x = ((1+‖p‖²), 2p)/(1−‖p‖²)`.
+pub fn poincare_to_lorentz_fwd(p: &Matrix) -> Matrix {
+    let (n, d) = p.shape();
+    let mut out = Matrix::zeros(n, d + 1);
+    for r in 0..n {
+        taxorec_geometry::convert::poincare_to_lorentz(p.row(r), out.row_mut(r));
+    }
+    out
+}
+
+/// Backward of [`poincare_to_lorentz_fwd`]:
+/// `p̄ += ḡ₀·(4/B²)p + (2/B)ḡ_s + (4(ḡ_s·p)/B²)p` with `B = 1−‖p‖²`.
+pub fn poincare_to_lorentz_bwd(p: &Matrix, grad_out: &Matrix, grad_p: &mut Matrix) {
+    let (n, d) = p.shape();
+    for r in 0..n {
+        let pr = p.row(r);
+        let g = grad_out.row(r);
+        let b = (1.0 - vecops::sqnorm(pr)).max(EPS_DIV);
+        let g0 = g[0];
+        let gs = &g[1..];
+        let gp = vecops::dot(gs, pr);
+        let gout = grad_p.row_mut(r);
+        for j in 0..d {
+            gout[j] += g0 * 4.0 * pr[j] / (b * b) + 2.0 * gs[j] / b + 4.0 * gp * pr[j] / (b * b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Einstein midpoint aggregation: (S×d Klein tags, item–tag CSR) → (n×d)
+// [paper Eq. 10]
+// ---------------------------------------------------------------------------
+
+/// Forward of the weighted Einstein midpoint: row `v` of the output is the
+/// midpoint of the Klein tag embeddings of item `v`, weighted by the
+/// item–tag matrix `Ψ`. Items without tags map to the Klein origin.
+pub fn einstein_midpoint_fwd(tags: &Matrix, item_tag: &Csr) -> Matrix {
+    assert_eq!(item_tag.cols(), tags.rows(), "item-tag/tag-matrix mismatch");
+    let d = tags.cols();
+    let n = item_tag.rows();
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n {
+        let mut wsum = 0.0;
+        {
+            let orow = out.row_mut(v);
+            for (t, w) in item_tag.row_iter(v) {
+                let tr = tags.row(t);
+                let g = klein_gamma(tr) * w;
+                for j in 0..d {
+                    orow[j] += g * tr[j];
+                }
+                wsum += g;
+            }
+        }
+        if wsum.abs() < EPS_DIV {
+            out.row_mut(v).fill(0.0);
+        } else {
+            let orow = out.row_mut(v);
+            for o in orow.iter_mut() {
+                *o /= wsum;
+            }
+            vecops::clip_norm(orow, MAX_BALL_NORM);
+        }
+    }
+    out
+}
+
+/// Lorentz factor of a Klein point with boundary clamping.
+#[inline]
+fn klein_gamma(x: &[f64]) -> f64 {
+    let n2 = vecops::sqnorm(x).min(MAX_BALL_NORM * MAX_BALL_NORM);
+    1.0 / (1.0 - n2).sqrt()
+}
+
+/// Backward of [`einstein_midpoint_fwd`]: for each item `v` with weight
+/// `ψ_t` on tag `t`, `γ_t = 1/√(1−‖T_t‖²)`, `W = Σψγ`, `μ` the midpoint:
+///
+/// `T̄_t += ψ_t·(γ_t·μ̄ + γ_t³·(T_t·μ̄ − μ·μ̄)·T_t)/W`.
+pub fn einstein_midpoint_bwd(
+    tags: &Matrix,
+    item_tag: &Csr,
+    out: &Matrix,
+    grad_out: &Matrix,
+    grad_tags: &mut Matrix,
+) {
+    let d = tags.cols();
+    let n = item_tag.rows();
+    for v in 0..n {
+        let g = grad_out.row(v);
+        if g.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        let mu = out.row(v);
+        let mu_g = vecops::dot(mu, g);
+        let mut wsum = 0.0;
+        for (t, w) in item_tag.row_iter(v) {
+            wsum += klein_gamma(tags.row(t)) * w;
+        }
+        if wsum.abs() < EPS_DIV {
+            continue;
+        }
+        for (t, w) in item_tag.row_iter(v) {
+            let tr = tags.row(t);
+            let gamma = klein_gamma(tr);
+            let t_g = vecops::dot(tr, g);
+            let coef = w / wsum;
+            let c1 = coef * gamma;
+            let c2 = coef * gamma * gamma * gamma * (t_g - mu_g);
+            let gt = grad_tags.row_mut(t);
+            for j in 0..d {
+                gt[j] += c1 * g[j] + c2 * tr[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinhc_series_matches() {
+        assert!((sinhc(1e-8) - 1.0).abs() < 1e-12);
+        assert!((sinhc(0.5) - 0.5f64.sinh() / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coshc_residual_limit() {
+        assert!((coshc_residual(1e-6) - 1.0 / 3.0).abs() < 1e-9);
+        let r: f64 = 0.3;
+        let exact = (r.cosh() * r - r.sinh()) / (r * r * r);
+        assert!((coshc_residual(r) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_log_fwd_roundtrip() {
+        let z = Matrix::from_vec(2, 3, vec![0.4, -0.2, 0.7, 0.0, 1.5, -0.9]);
+        let x = lorentz_exp_origin_fwd(&z);
+        let back = lorentz_log_origin_fwd(&x);
+        for i in 0..6 {
+            assert!((back.data()[i] - z.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dist_sq_of_identical_rows_is_zero() {
+        let z = Matrix::from_vec(1, 2, vec![0.3, -0.4]);
+        let x = lorentz_exp_origin_fwd(&z);
+        let d = lorentz_dist_sq_fwd(&x, &x);
+        assert!(d.as_scalar() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_matches_geometry_module() {
+        // Two tags, one item with both tags, unit weights: compare against
+        // the klein::einstein_midpoint reference path.
+        let tags = Matrix::from_vec(2, 2, vec![0.5, 0.0, -0.3, 0.2]);
+        let it = Csr::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        let out = einstein_midpoint_fwd(&tags, &it);
+        let mut expect = [0.0; 2];
+        taxorec_geometry::klein::einstein_midpoint(
+            &[tags.row(0), tags.row(1)],
+            &[1.0, 1.0],
+            &mut expect,
+        );
+        assert!((out.get(0, 0) - expect[0]).abs() < 1e-12);
+        assert!((out.get(0, 1) - expect[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_untagged_item_is_origin_with_zero_grad() {
+        let tags = Matrix::from_vec(1, 2, vec![0.5, 0.1]);
+        let it = Csr::from_triplets(2, 1, &[(0, 0, 1.0)]);
+        let out = einstein_midpoint_fwd(&tags, &it);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        let go = Matrix::full(2, 2, 1.0);
+        let mut gt = Matrix::zeros(1, 2);
+        einstein_midpoint_bwd(&tags, &it, &out, &go, &mut gt);
+        assert!(gt.all_finite());
+    }
+}

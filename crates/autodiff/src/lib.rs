@@ -1,0 +1,36 @@
+//! Reverse-mode matrix automatic differentiation for TaxoRec.
+//!
+//! The paper's reference implementation relies on PyTorch; this crate is the
+//! from-scratch substrate that replaces it. It provides:
+//!
+//! * [`Matrix`] — a minimal dense row-major `f64` matrix,
+//! * [`Csr`] — compressed-sparse-row constants for graph propagation
+//!   (paper Eq. 13) and item–tag weighting (Eq. 10),
+//! * [`Tape`] / [`Var`] — an arena-based autodiff tape with elementwise,
+//!   linear-algebra, reduction, and *hyperbolic composite* ops
+//!   (Lorentz exp/log at the origin, Lorentz/Poincaré distances, model
+//!   conversions, Einstein-midpoint aggregation) whose backward passes are
+//!   hand-derived in [`hyper`] and finite-difference-verified in
+//!   `tests/gradcheck.rs`.
+//!
+//! A typical training step builds a fresh tape per iteration:
+//!
+//! ```
+//! use taxorec_autodiff::{Matrix, Tape};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_vec(1, 2, vec![0.5, -1.0]));
+//! let sq = tape.hadamard(x, x);
+//! let loss = tape.sum_all(sq);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.wrt(x).unwrap().data(), &[1.0, -2.0]);
+//! ```
+
+pub mod hyper;
+pub mod matrix;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use sparse::Csr;
+pub use tape::{Gradients, Tape, Var};

@@ -1,0 +1,249 @@
+//! Compressed sparse row (CSR) matrices for graph propagation.
+//!
+//! The GCN global-aggregation step of the paper (Eq. 13) multiplies a
+//! normalized bipartite adjacency by dense embedding matrices every forward
+//! pass; CSR × dense is the only sparse kernel required. Matrices here are
+//! *constants* of the computation graph (graph structure and item–tag
+//! weights), so no gradient flows into them — the tape only needs the
+//! transpose for back-propagating through the dense operand.
+
+use crate::matrix::Matrix;
+
+/// Immutable CSR matrix.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length = nnz.
+    indices: Vec<u32>,
+    /// Non-zero values, length = nnz.
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from unsorted `(row, col, value)` triplets.
+    /// Duplicate coordinates are summed.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+        }
+        let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            per_row[r].push((c as u32, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sum of values in row `r`.
+    pub fn row_sum(&self, r: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.values[lo..hi].iter().sum()
+    }
+
+    /// Sparse × dense product `self (n×k) · x (k×m) → (n×m)`.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.cols()`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.cols, "spmm inner dim mismatch");
+        let m = x.cols();
+        let mut out = Matrix::zeros(self.rows, m);
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let orow = out.row_mut(r);
+            for p in lo..hi {
+                let c = self.indices[p] as usize;
+                let v = self.values[p];
+                let xrow = x.row(c);
+                for j in 0..m {
+                    orow[j] += v * xrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (`CSR` of the transpose).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.indices {
+            counts[c as usize] += 1;
+        }
+        let mut indptr = vec![0usize; self.cols + 1];
+        for i in 0..self.cols {
+            indptr[i + 1] = indptr[i] + counts[i];
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = indptr.clone();
+        for r in 0..self.rows {
+            for p in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[p] as usize;
+                let slot = next[c];
+                indices[slot] = r as u32;
+                values[slot] = self.values[p];
+                next[c] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Row-normalizes in place: each row is divided by its sum (rows with a
+    /// zero sum are left untouched). Produces the `1/|N_u|` mean-aggregation
+    /// weights of paper Eq. 13.
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let s = self.row_sum(r);
+            if s.abs() < 1e-15 {
+                continue;
+            }
+            for p in self.indptr[r]..self.indptr[r + 1] {
+                self.values[p] /= s;
+            }
+        }
+    }
+
+    /// Converts to a dense matrix (tests / tiny inputs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_triplets(3, 4, &[(0, 1, 2.0), (0, 3, 1.0), (2, 0, 5.0), (1, 2, -1.0)])
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense().get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn row_iter_sorted() {
+        let m = sample();
+        let row0: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (3, 1.0)]);
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_iter(1).count(), 1);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_vec(4, 2, (1..=8).map(f64::from).collect());
+        let sparse = m.matmul(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse.data(), dense.data());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        assert_eq!(m.transpose().to_dense().data(), m.to_dense().transpose().data());
+        assert_eq!(m.transpose().rows(), 4);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let i = Csr::identity(3);
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(i.matmul(&x).data(), x.data());
+    }
+
+    #[test]
+    fn normalize_rows_makes_row_sums_one() {
+        let mut m = sample();
+        m.normalize_rows();
+        assert!((m.row_sum(0) - 1.0).abs() < 1e-12);
+        assert!((m.row_sum(1) - 1.0).abs() < 1e-12); // single −1 entry → −1/−1 = 1
+        assert!((m.row_sum(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = Csr::from_triplets(3, 3, &[(0, 0, 1.0)]);
+        assert_eq!(m.row_iter(1).count(), 0);
+        let x = Matrix::zeros(3, 2);
+        let y = m.matmul(&x);
+        assert_eq!(y.shape(), (3, 2));
+    }
+}

@@ -1,0 +1,837 @@
+//! Reverse-mode automatic differentiation over dense matrices.
+//!
+//! A [`Tape`] is an append-only arena of computation nodes. Forward ops are
+//! methods on the tape that record the op and its value; [`Tape::backward`]
+//! walks the arena in reverse, accumulating gradients.
+//!
+//! Design notes:
+//!
+//! * **Values are eager** — each op computes its result immediately, so
+//!   `tape.value(v)` is always available (used by the training loop for
+//!   inference without a second code path).
+//! * **Constants vs. parameters** — graph structure (adjacency, item–tag
+//!   weights, gather indices) enters as `Rc`-shared constants inside ops;
+//!   only dense matrices become differentiable [`Var`]s.
+//! * **Binary ops with aliased parents** (e.g. `hadamard(x, x)`) are
+//!   handled by accumulating each parent's contribution separately.
+//! * The hyperbolic composite ops delegate to [`crate::hyper`]; everything
+//!   is finite-difference-checked in `tests/gradcheck.rs`.
+
+use std::rc::Rc;
+
+use crate::hyper;
+use crate::matrix::Matrix;
+use crate::sparse::Csr;
+
+/// Handle to a tape node. Cheap to copy; only valid for the tape that
+/// created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Raw node index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded operation, with parent handles and any constant payloads.
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Neg(Var),
+    Scale(Var, f64),
+    AddScalar(Var),
+    Hadamard(Var, Var),
+    /// `(n×d) ⊙ broadcast (n×1)` column vector across columns.
+    MulColBroadcast(Var, Var),
+    MatMul(Var, Var),
+    /// `y = M·x` with constant sparse `M`; `mt` caches `Mᵀ` for backward.
+    Spmm { mt: Rc<Csr>, x: Var },
+    GatherRows { x: Var, idx: Rc<Vec<usize>> },
+    ConcatRows(Var, Var),
+    SliceRows { x: Var, start: usize },
+    SumAll(Var),
+    MeanAll(Var),
+    Relu(Var),
+    LeakyRelu(Var, f64),
+    Sigmoid(Var),
+    Softplus(Var),
+    Sqrt(Var),
+    Tanh(Var),
+    RowDot(Var, Var),
+    RowSqNorm(Var),
+    SoftmaxRows(Var),
+    LorentzExpO(Var),
+    LorentzLogO(Var),
+    LorentzDistSq(Var, Var),
+    PoincareDist(Var, Var),
+    PoincareToKlein(Var),
+    KleinToPoincare(Var),
+    PoincareToLorentz(Var),
+    EinsteinMidpoint { tags: Var, item_tag: Rc<Csr> },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradient bundle returned by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient with respect to `v`, if any gradient reached it.
+    pub fn wrt(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Takes ownership of the gradient for `v` (zeros matrix if none
+    /// reached it is *not* synthesized — returns `None`).
+    pub fn take(&mut self, v: Var) -> Option<Matrix> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+}
+
+/// Append-only autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a leaf (parameter or input) matrix.
+    pub fn leaf(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf)
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shape");
+        let mut m = self.value(a).clone();
+        m.add_assign(self.value(b));
+        self.push(m, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub shape");
+        let va = self.value(a);
+        let vb = self.value(b);
+        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x - y).collect();
+        let m = Matrix::from_vec(va.rows(), va.cols(), data);
+        self.push(m, Op::Sub(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(|x| -x);
+        self.push(m, Op::Neg(a))
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let m = self.value(a).map(|x| c * x);
+        self.push(m, Op::Scale(a, c))
+    }
+
+    /// Addition of a constant scalar to every entry.
+    pub fn add_scalar(&mut self, a: Var, c: f64) -> Var {
+        let m = self.value(a).map(|x| x + c);
+        self.push(m, Op::AddScalar(a))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "hadamard shape");
+        let va = self.value(a);
+        let vb = self.value(b);
+        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x * y).collect();
+        let m = Matrix::from_vec(va.rows(), va.cols(), data);
+        self.push(m, Op::Hadamard(a, b))
+    }
+
+    /// Broadcast-multiplies each row of `x (n×d)` by the matching entry of
+    /// the column vector `s (n×1)`.
+    pub fn mul_col_broadcast(&mut self, x: Var, s: Var) -> Var {
+        let (n, d) = self.value(x).shape();
+        assert_eq!(self.value(s).shape(), (n, 1), "broadcast column shape");
+        let mut m = self.value(x).clone();
+        for r in 0..n {
+            let c = self.value(s).get(r, 0);
+            for j in 0..d {
+                let cur = m.get(r, j);
+                m.set(r, j, cur * c);
+            }
+        }
+        self.push(m, Op::MulColBroadcast(x, s))
+    }
+
+    /// Dense matrix product `a·b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let m = self.value(a).matmul(self.value(b));
+        self.push(m, Op::MatMul(a, b))
+    }
+
+    /// Sparse-constant × dense product `M·x` (graph propagation, Eq. 13).
+    /// The transpose is computed once here and reused every backward pass.
+    pub fn spmm(&mut self, m: &Rc<Csr>, x: Var) -> Var {
+        let value = m.matmul(self.value(x));
+        let mt = Rc::new(m.transpose());
+        self.push(value, Op::Spmm { mt, x })
+    }
+
+    /// Like [`Tape::spmm`] but with a caller-precomputed transpose, avoiding
+    /// the per-call transposition when the same matrix is reused.
+    pub fn spmm_with_transpose(&mut self, m: &Rc<Csr>, mt: Rc<Csr>, x: Var) -> Var {
+        let value = m.matmul(self.value(x));
+        self.push(value, Op::Spmm { mt, x })
+    }
+
+    /// Row gather: `out[i] = x[idx[i]]`.
+    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<usize>>) -> Var {
+        let vx = self.value(x);
+        let d = vx.cols();
+        let mut m = Matrix::zeros(idx.len(), d);
+        for (i, &r) in idx.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(vx.row(r));
+        }
+        self.push(m, Op::GatherRows { x, idx })
+    }
+
+    /// Vertical concatenation (`a` on top of `b`). Column counts must match.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        assert_eq!(va.cols(), vb.cols(), "concat_rows column mismatch");
+        let mut data = Vec::with_capacity(va.data().len() + vb.data().len());
+        data.extend_from_slice(va.data());
+        data.extend_from_slice(vb.data());
+        let m = Matrix::from_vec(va.rows() + vb.rows(), va.cols(), data);
+        self.push(m, Op::ConcatRows(a, b))
+    }
+
+    /// Contiguous row slice `x[start..start+len]`.
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let vx = self.value(x);
+        assert!(start + len <= vx.rows(), "slice_rows out of range");
+        let d = vx.cols();
+        let data = vx.data()[start * d..(start + len) * d].to_vec();
+        let m = Matrix::from_vec(len, d, data);
+        self.push(m, Op::SliceRows { x, start })
+    }
+
+    /// Sum of all entries → `1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let m = Matrix::scalar(self.value(a).sum());
+        self.push(m, Op::SumAll(a))
+    }
+
+    /// Mean of all entries → `1×1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let n = (va.rows() * va.cols()) as f64;
+        let m = Matrix::scalar(va.sum() / n);
+        self.push(m, Op::MeanAll(a))
+    }
+
+    /// Elementwise `max(x, 0)` — the hinge of the LMNN loss (Eq. 18).
+    pub fn relu(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(|x| x.max(0.0));
+        self.push(m, Op::Relu(a))
+    }
+
+    /// Elementwise LeakyReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
+        let m = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(m, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(m, Op::Sigmoid(a))
+    }
+
+    /// Elementwise softplus `ln(1 + eˣ)`, computed stably as
+    /// `max(x, 0) + ln(1 + e^(−|x|))`. `-softplus(-x)` is the BPR
+    /// log-sigmoid objective.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        self.push(m, Op::Softplus(a))
+    }
+
+    /// Elementwise square root of `max(x, 0)`; the gradient is clamped
+    /// near zero (`1/(2·max(√x, 1e−6))`).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(|x| x.max(0.0).sqrt());
+        self.push(m, Op::Sqrt(a))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let m = self.value(a).map(f64::tanh);
+        self.push(m, Op::Tanh(a))
+    }
+
+    /// Rowwise dot product `(n×d, n×d) → (n×1)`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "row_dot shape");
+        let va = self.value(a);
+        let vb = self.value(b);
+        let n = va.rows();
+        let mut m = Matrix::zeros(n, 1);
+        for r in 0..n {
+            m.set(r, 0, taxorec_geometry::vecops::dot(va.row(r), vb.row(r)));
+        }
+        self.push(m, Op::RowDot(a, b))
+    }
+
+    /// Rowwise squared norm `(n×d) → (n×1)`.
+    pub fn row_sqnorm(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let n = va.rows();
+        let mut m = Matrix::zeros(n, 1);
+        for r in 0..n {
+            m.set(r, 0, taxorec_geometry::vecops::sqnorm(va.row(r)));
+        }
+        self.push(m, Op::RowSqNorm(a))
+    }
+
+    /// Rowwise softmax (max-shifted for stability).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let (n, d) = va.shape();
+        let mut m = Matrix::zeros(n, d);
+        for r in 0..n {
+            let row = va.row(r);
+            let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            let orow = m.row_mut(r);
+            for j in 0..d {
+                let e = (row[j] - mx).exp();
+                orow[j] = e;
+                z += e;
+            }
+            for o in orow.iter_mut() {
+                *o /= z;
+            }
+        }
+        self.push(m, Op::SoftmaxRows(a))
+    }
+
+    /// Lorentz exponential map at the origin (paper Eq. 15), rowwise.
+    pub fn lorentz_exp_origin(&mut self, z: Var) -> Var {
+        let m = hyper::lorentz_exp_origin_fwd(self.value(z));
+        self.push(m, Op::LorentzExpO(z))
+    }
+
+    /// Lorentz logarithmic map at the origin (paper Eq. 12), rowwise.
+    pub fn lorentz_log_origin(&mut self, x: Var) -> Var {
+        let m = hyper::lorentz_log_origin_fwd(self.value(x));
+        self.push(m, Op::LorentzLogO(x))
+    }
+
+    /// Rowwise squared Lorentz distance (paper Eq. 17 terms).
+    pub fn lorentz_dist_sq(&mut self, x: Var, y: Var) -> Var {
+        let m = hyper::lorentz_dist_sq_fwd(self.value(x), self.value(y));
+        self.push(m, Op::LorentzDistSq(x, y))
+    }
+
+    /// Rowwise Poincaré distance (paper Eq. 8 terms).
+    pub fn poincare_dist(&mut self, x: Var, y: Var) -> Var {
+        let m = hyper::poincare_dist_fwd(self.value(x), self.value(y));
+        self.push(m, Op::PoincareDist(x, y))
+    }
+
+    /// Poincaré → Klein conversion (paper Eq. 9), rowwise.
+    pub fn poincare_to_klein(&mut self, p: Var) -> Var {
+        let m = hyper::poincare_to_klein_fwd(self.value(p));
+        self.push(m, Op::PoincareToKlein(p))
+    }
+
+    /// Klein → Poincaré conversion (inner map of paper Eq. 11), rowwise.
+    pub fn klein_to_poincare(&mut self, k: Var) -> Var {
+        let m = hyper::klein_to_poincare_fwd(self.value(k));
+        self.push(m, Op::KleinToPoincare(k))
+    }
+
+    /// Poincaré → Lorentz lift (paper Eq. 3), rowwise.
+    pub fn poincare_to_lorentz(&mut self, p: Var) -> Var {
+        let m = hyper::poincare_to_lorentz_fwd(self.value(p));
+        self.push(m, Op::PoincareToLorentz(p))
+    }
+
+    /// Weighted Einstein-midpoint aggregation of Klein tag embeddings into
+    /// item embeddings (paper Eq. 10).
+    pub fn einstein_midpoint(&mut self, tags: Var, item_tag: &Rc<Csr>) -> Var {
+        let m = hyper::einstein_midpoint_fwd(self.value(tags), item_tag);
+        self.push(m, Op::EinsteinMidpoint { tags, item_tag: Rc::clone(item_tag) })
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `loss`
+    /// (seeded with gradient 1).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward from non-scalar");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            self.accumulate_parents(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    /// Adds `contribution` into the gradient slot for `v`.
+    fn add_grad(grads: &mut [Option<Matrix>], v: Var, contribution: Matrix) {
+        match &mut grads[v.0] {
+            Some(g) => g.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn accumulate_parents(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                Self::add_grad(grads, *a, g.clone());
+                Self::add_grad(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::add_grad(grads, *a, g.clone());
+                Self::add_grad(grads, *b, g.map(|x| -x));
+            }
+            Op::Neg(a) => Self::add_grad(grads, *a, g.map(|x| -x)),
+            Op::Scale(a, c) => {
+                let c = *c;
+                Self::add_grad(grads, *a, g.map(|x| c * x));
+            }
+            Op::AddScalar(a) => Self::add_grad(grads, *a, g.clone()),
+            Op::Hadamard(a, b) => {
+                let (a, b) = (*a, *b);
+                let mut ga = g.clone();
+                ga.data_mut()
+                    .iter_mut()
+                    .zip(self.value(b).data())
+                    .for_each(|(x, y)| *x *= y);
+                let mut gb = g.clone();
+                gb.data_mut()
+                    .iter_mut()
+                    .zip(self.value(a).data())
+                    .for_each(|(x, y)| *x *= y);
+                Self::add_grad(grads, a, ga);
+                Self::add_grad(grads, b, gb);
+            }
+            Op::MulColBroadcast(x, s) => {
+                let (x, s) = (*x, *s);
+                let vx = self.value(x);
+                let vs = self.value(s);
+                let (n, d) = vx.shape();
+                let mut gx = Matrix::zeros(n, d);
+                let mut gs = Matrix::zeros(n, 1);
+                for r in 0..n {
+                    let c = vs.get(r, 0);
+                    let grow = g.row(r);
+                    let xrow = vx.row(r);
+                    let gxr = gx.row_mut(r);
+                    let mut acc = 0.0;
+                    for j in 0..d {
+                        gxr[j] = grow[j] * c;
+                        acc += grow[j] * xrow[j];
+                    }
+                    gs.set(r, 0, acc);
+                }
+                Self::add_grad(grads, x, gx);
+                Self::add_grad(grads, s, gs);
+            }
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let ga = g.matmul(&self.value(b).transpose());
+                let gb = self.value(a).transpose().matmul(g);
+                Self::add_grad(grads, a, ga);
+                Self::add_grad(grads, b, gb);
+            }
+            Op::Spmm { mt, x } => {
+                let gx = mt.matmul(g);
+                Self::add_grad(grads, *x, gx);
+            }
+            Op::GatherRows { x, idx } => {
+                let vx = self.value(*x);
+                let mut gx = Matrix::zeros(vx.rows(), vx.cols());
+                for (i, &r) in idx.iter().enumerate() {
+                    let grow = g.row(i);
+                    let dst = gx.row_mut(r);
+                    for (d, s) in dst.iter_mut().zip(grow) {
+                        *d += s;
+                    }
+                }
+                Self::add_grad(grads, *x, gx);
+            }
+            Op::ConcatRows(a, b) => {
+                let (a, b) = (*a, *b);
+                let na = self.value(a).rows();
+                let d = g.cols();
+                let ga = Matrix::from_vec(na, d, g.data()[..na * d].to_vec());
+                let gb = Matrix::from_vec(g.rows() - na, d, g.data()[na * d..].to_vec());
+                Self::add_grad(grads, a, ga);
+                Self::add_grad(grads, b, gb);
+            }
+            Op::SliceRows { x, start } => {
+                let vx = self.value(*x);
+                let mut gx = Matrix::zeros(vx.rows(), vx.cols());
+                for r in 0..g.rows() {
+                    gx.row_mut(start + r).copy_from_slice(g.row(r));
+                }
+                Self::add_grad(grads, *x, gx);
+            }
+            Op::SumAll(a) => {
+                let va = self.value(*a);
+                Self::add_grad(grads, *a, Matrix::full(va.rows(), va.cols(), g.as_scalar()));
+            }
+            Op::MeanAll(a) => {
+                let va = self.value(*a);
+                let n = (va.rows() * va.cols()) as f64;
+                Self::add_grad(grads, *a, Matrix::full(va.rows(), va.cols(), g.as_scalar() / n));
+            }
+            Op::Relu(a) => {
+                let va = self.value(*a);
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(va.data())
+                    .map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 })
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::LeakyRelu(a, alpha) => {
+                let va = self.value(*a);
+                let alpha = *alpha;
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(va.data())
+                    .map(|(&gi, &xi)| if xi > 0.0 { gi } else { alpha * gi })
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::Sigmoid(a) => {
+                let out = &self.nodes[i].value;
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(out.data())
+                    .map(|(&gi, &s)| gi * s * (1.0 - s))
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::Softplus(a) => {
+                let va = self.value(*a);
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(va.data())
+                    .map(|(&gi, &x)| gi / (1.0 + (-x).exp()))
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::Sqrt(a) => {
+                let out = &self.nodes[i].value;
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(out.data())
+                    .map(|(&gi, &s)| gi / (2.0 * s.max(1e-6)))
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::Tanh(a) => {
+                let out = &self.nodes[i].value;
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(out.data())
+                    .map(|(&gi, &t)| gi * (1.0 - t * t))
+                    .collect();
+                Self::add_grad(grads, *a, Matrix::from_vec(g.rows(), g.cols(), data));
+            }
+            Op::RowDot(a, b) => {
+                let (a, b) = (*a, *b);
+                let va = self.value(a);
+                let vb = self.value(b);
+                let (n, d) = va.shape();
+                let mut ga = Matrix::zeros(n, d);
+                let mut gb = Matrix::zeros(n, d);
+                for r in 0..n {
+                    let c = g.get(r, 0);
+                    let (ar, br) = (va.row(r), vb.row(r));
+                    let gar = ga.row_mut(r);
+                    for j in 0..d {
+                        gar[j] = c * br[j];
+                    }
+                    let gbr = gb.row_mut(r);
+                    for j in 0..d {
+                        gbr[j] = c * ar[j];
+                    }
+                }
+                Self::add_grad(grads, a, ga);
+                Self::add_grad(grads, b, gb);
+            }
+            Op::RowSqNorm(a) => {
+                let va = self.value(*a);
+                let (n, d) = va.shape();
+                let mut ga = Matrix::zeros(n, d);
+                for r in 0..n {
+                    let c = 2.0 * g.get(r, 0);
+                    let ar = va.row(r);
+                    let gr = ga.row_mut(r);
+                    for j in 0..d {
+                        gr[j] = c * ar[j];
+                    }
+                }
+                Self::add_grad(grads, *a, ga);
+            }
+            Op::SoftmaxRows(a) => {
+                let out = &self.nodes[i].value;
+                let (n, d) = out.shape();
+                let mut ga = Matrix::zeros(n, d);
+                for r in 0..n {
+                    let orow = out.row(r);
+                    let grow = g.row(r);
+                    let dotv = taxorec_geometry::vecops::dot(orow, grow);
+                    let gr = ga.row_mut(r);
+                    for j in 0..d {
+                        gr[j] = orow[j] * (grow[j] - dotv);
+                    }
+                }
+                Self::add_grad(grads, *a, ga);
+            }
+            Op::LorentzExpO(z) => {
+                let vz = self.value(*z);
+                let mut gz = Matrix::zeros(vz.rows(), vz.cols());
+                hyper::lorentz_exp_origin_bwd(vz, g, &mut gz);
+                Self::add_grad(grads, *z, gz);
+            }
+            Op::LorentzLogO(x) => {
+                let vx = self.value(*x);
+                let mut gx = Matrix::zeros(vx.rows(), vx.cols());
+                hyper::lorentz_log_origin_bwd(vx, g, &mut gx);
+                Self::add_grad(grads, *x, gx);
+            }
+            Op::LorentzDistSq(x, y) => {
+                let (x, y) = (*x, *y);
+                let vx = self.value(x);
+                let vy = self.value(y);
+                let mut gx = Matrix::zeros(vx.rows(), vx.cols());
+                let mut gy = Matrix::zeros(vy.rows(), vy.cols());
+                hyper::lorentz_dist_sq_bwd(vx, vy, g, &mut gx, &mut gy);
+                Self::add_grad(grads, x, gx);
+                Self::add_grad(grads, y, gy);
+            }
+            Op::PoincareDist(x, y) => {
+                let (x, y) = (*x, *y);
+                let vx = self.value(x);
+                let vy = self.value(y);
+                let mut gx = Matrix::zeros(vx.rows(), vx.cols());
+                let mut gy = Matrix::zeros(vy.rows(), vy.cols());
+                hyper::poincare_dist_bwd(vx, vy, g, &mut gx, &mut gy);
+                Self::add_grad(grads, x, gx);
+                Self::add_grad(grads, y, gy);
+            }
+            Op::PoincareToKlein(p) => {
+                let vp = self.value(*p);
+                let mut gp = Matrix::zeros(vp.rows(), vp.cols());
+                hyper::poincare_to_klein_bwd(vp, g, &mut gp);
+                Self::add_grad(grads, *p, gp);
+            }
+            Op::KleinToPoincare(k) => {
+                let vk = self.value(*k);
+                let mut gk = Matrix::zeros(vk.rows(), vk.cols());
+                hyper::klein_to_poincare_bwd(vk, g, &mut gk);
+                Self::add_grad(grads, *k, gk);
+            }
+            Op::PoincareToLorentz(p) => {
+                let vp = self.value(*p);
+                let mut gp = Matrix::zeros(vp.rows(), vp.cols());
+                hyper::poincare_to_lorentz_bwd(vp, g, &mut gp);
+                Self::add_grad(grads, *p, gp);
+            }
+            Op::EinsteinMidpoint { tags, item_tag } => {
+                let vt = self.value(*tags);
+                let out = &self.nodes[i].value;
+                let mut gt = Matrix::zeros(vt.rows(), vt.cols());
+                hyper::einstein_midpoint_bwd(vt, item_tag, out, g, &mut gt);
+                Self::add_grad(grads, *tags, gt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // f(x) = sum(3x + 2) over a 2×2 ⇒ df/dx = 3 everywhere.
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = t.scale(x, 3.0);
+        let z = t.add_scalar(y, 2.0);
+        let loss = t.sum_all(z);
+        assert_eq!(t.value(loss).as_scalar(), 38.0);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(x).unwrap().data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn hadamard_with_aliased_parents_gives_2x() {
+        // f(x) = sum(x ⊙ x) ⇒ df/dx = 2x.
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]));
+        let sq = t.hadamard(x, x);
+        let loss = t.sum_all(sq);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(x).unwrap().data(), &[2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::scalar(1.0));
+        let y = t.leaf(Matrix::scalar(2.0));
+        let loss = t.sum_all(x);
+        let g = t.backward(loss);
+        assert!(g.wrt(y).is_none());
+        assert!(g.wrt(x).is_some());
+    }
+
+    #[test]
+    fn matmul_gradient_matches_known_formula() {
+        // loss = sum(A·B): dA = 1·Bᵀ (row sums of B broadcast), dB = Aᵀ·1.
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = t.leaf(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g.wrt(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let idx = Rc::new(vec![2usize, 0, 2]);
+        let gthr = t.gather_rows(x, idx);
+        assert_eq!(t.value(gthr).row(0), &[5.0, 6.0]);
+        let loss = t.sum_all(gthr);
+        let g = t.backward(loss);
+        // Row 2 gathered twice ⇒ gradient 2; row 1 never ⇒ 0.
+        assert_eq!(g.wrt(x).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spmm_backward_uses_transpose() {
+        let mut t = Tape::new();
+        let m = Rc::new(Csr::from_triplets(2, 3, &[(0, 0, 2.0), (1, 2, 3.0)]));
+        let x = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]));
+        let y = t.spmm(&m, x);
+        assert_eq!(t.value(y).data(), &[2.0, 3.0]);
+        let loss = t.sum_all(y);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(x).unwrap().data(), &[2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let c = t.concat_rows(a, b);
+        let back = t.slice_rows(c, 1, 2);
+        assert_eq!(t.value(back).data(), &[3.0, 4.0, 5.0, 6.0]);
+        let loss = t.sum_all(back);
+        let g = t.backward(loss);
+        assert!(g.wrt(a).unwrap().data().iter().all(|&x| x == 0.0));
+        assert!(g.wrt(b).unwrap().data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn relu_kills_negative_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]));
+        let y = t.relu(x);
+        let loss = t.sum_all(y);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(x).unwrap().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_grad_sums_to_zero() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let s = t.softmax_rows(x);
+        let total: f64 = t.value(s).data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // loss = first component of softmax: gradient rows sum to ~0.
+        let w = t.leaf(Matrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]));
+        let h = t.hadamard(s, w);
+        let loss = t.sum_all(h);
+        let g = t.backward(loss);
+        let gsum: f64 = g.wrt(x).unwrap().data().iter().sum();
+        assert!(gsum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let loss = t.mean_all(x);
+        assert_eq!(t.value(loss).as_scalar(), 2.5);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward from non-scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 2));
+        let _ = t.backward(x);
+    }
+}

@@ -1,0 +1,577 @@
+//! Central finite-difference verification of every tape op's backward pass.
+//!
+//! Strategy: build a scalar loss `L(x) = sum(w ⊙ f(x))` with a fixed random
+//! weighting `w` (so gradients of non-scalar outputs are exercised entry by
+//! entry), then compare `∂L/∂x` from the tape against `(L(x+h) − L(x−h))/2h`.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use taxorec_autodiff::{Csr, Matrix, Tape, Var};
+
+/// Central finite-difference gradient of `loss_fn` with respect to the
+/// entries of `x`.
+fn fd_grad(x: &Matrix, loss_fn: &dyn Fn(&Matrix) -> f64, h: f64) -> Matrix {
+    let mut g = Matrix::zeros(x.rows(), x.cols());
+    for i in 0..x.data().len() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += h;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= h;
+        g.data_mut()[i] = (loss_fn(&xp) - loss_fn(&xm)) / (2.0 * h);
+    }
+    g
+}
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    let data = (0..rows * cols).map(|_| (rng.random::<f64>() - 0.5) * 2.0 * scale).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A random ball matrix: every row has norm < `max_norm`.
+fn rand_ball_matrix(rng: &mut StdRng, rows: usize, cols: usize, max_norm: f64) -> Matrix {
+    let mut m = rand_matrix(rng, rows, cols, 1.0);
+    for r in 0..rows {
+        let row = m.row_mut(r);
+        let n = taxorec_geometry::vecops::norm(row);
+        let target = rng.random::<f64>() * max_norm;
+        if n > 1e-9 {
+            for v in row.iter_mut() {
+                *v *= target / n;
+            }
+        }
+    }
+    m
+}
+
+/// A random hyperboloid matrix (rows satisfy the Lorentz constraint).
+fn rand_hyperboloid_matrix(rng: &mut StdRng, rows: usize, d: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, d + 1);
+    for r in 0..rows {
+        // Keep spatial parts away from zero so log_o stays differentiable.
+        let spatial: Vec<f64> = (0..d)
+            .map(|_| {
+                let v: f64 = (rng.random::<f64>() - 0.5) * 2.0;
+                v + 0.3 * v.signum()
+            })
+            .collect();
+        let p = taxorec_geometry::lorentz::from_spatial(&spatial);
+        m.row_mut(r).copy_from_slice(&p);
+    }
+    m
+}
+
+/// Asserts that the analytic gradient of `build(tape, x_var)` matches the
+/// finite-difference gradient computed by replaying `build` on perturbed
+/// inputs.
+fn check_grad(
+    x0: &Matrix,
+    build: &dyn Fn(&mut Tape, Var) -> Var,
+    tol: f64,
+    h: f64,
+) {
+    let loss_of = |m: &Matrix| -> f64 {
+        let mut t = Tape::new();
+        let x = t.leaf(m.clone());
+        let out = build(&mut t, x);
+        t.value(out).as_scalar()
+    };
+    let mut t = Tape::new();
+    let x = t.leaf(x0.clone());
+    let out = build(&mut t, x);
+    let grads = t.backward(out);
+    let analytic = grads.wrt(x).expect("gradient must reach the input");
+    let numeric = fd_grad(x0, &loss_of, h);
+    for i in 0..analytic.data().len() {
+        let a = analytic.data()[i];
+        let n = numeric.data()[i];
+        assert!(
+            (a - n).abs() <= tol * (1.0 + n.abs()),
+            "entry {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+/// Deterministic weighting matrix used to reduce matrix outputs to scalars.
+fn weight_like(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    rand_matrix(rng, rows, cols, 1.0)
+}
+
+#[test]
+fn grad_add_sub_neg_scale() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x0 = rand_matrix(&mut rng, 3, 2, 1.0);
+    let w = weight_like(&mut rng, 3, 2);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let w = t.leaf(w.clone());
+            let a = t.scale(x, 2.5);
+            let b = t.neg(x);
+            let c = t.add(a, b);
+            let d = t.sub(c, x);
+            let e = t.hadamard(d, w);
+            t.sum_all(e)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_hadamard_aliased() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x0 = rand_matrix(&mut rng, 2, 3, 1.0);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let sq = t.hadamard(x, x);
+            let cube = t.hadamard(sq, x);
+            t.sum_all(cube)
+        },
+        1e-5,
+        1e-5,
+    );
+}
+
+#[test]
+fn grad_matmul_both_sides() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x0 = rand_matrix(&mut rng, 3, 4, 1.0);
+    let other = rand_matrix(&mut rng, 4, 2, 1.0);
+    let w = weight_like(&mut rng, 3, 2);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let o = t.leaf(other.clone());
+            let w = t.leaf(w.clone());
+            let y = t.matmul(x, o);
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-6,
+        1e-6,
+    );
+    // Right operand.
+    let y0 = rand_matrix(&mut rng, 4, 2, 1.0);
+    let left = rand_matrix(&mut rng, 3, 4, 1.0);
+    let w2 = weight_like(&mut rng, 3, 2);
+    check_grad(
+        &y0,
+        &|t, y| {
+            let l = t.leaf(left.clone());
+            let w = t.leaf(w2.clone());
+            let z = t.matmul(l, y);
+            let zw = t.hadamard(z, w);
+            t.sum_all(zw)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_spmm() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let x0 = rand_matrix(&mut rng, 4, 3, 1.0);
+    let m = Rc::new(Csr::from_triplets(
+        3,
+        4,
+        &[(0, 0, 1.5), (0, 2, -0.5), (1, 1, 2.0), (2, 3, 0.7), (2, 0, 0.1)],
+    ));
+    let w = weight_like(&mut rng, 3, 3);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.spmm(&m, x);
+            let w = t.leaf(w.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_gather_and_slice_and_concat() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x0 = rand_matrix(&mut rng, 5, 2, 1.0);
+    let idx = Rc::new(vec![4usize, 0, 4, 2]);
+    let w = weight_like(&mut rng, 4, 2);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let g = t.gather_rows(x, Rc::clone(&idx));
+            let w = t.leaf(w.clone());
+            let gw = t.hadamard(g, w);
+            t.sum_all(gw)
+        },
+        1e-6,
+        1e-6,
+    );
+    let w2 = weight_like(&mut rng, 7, 2);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let s = t.slice_rows(x, 1, 2);
+            let c = t.concat_rows(x, s);
+            let w = t.leaf(w2.clone());
+            let cw = t.hadamard(c, w);
+            t.sum_all(cw)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_activations() {
+    let mut rng = StdRng::seed_from_u64(6);
+    // Keep away from the ReLU kink.
+    let mut x0 = rand_matrix(&mut rng, 3, 3, 1.0);
+    for v in x0.data_mut() {
+        if v.abs() < 0.05 {
+            *v += 0.1;
+        }
+    }
+    let w = weight_like(&mut rng, 3, 3);
+    for op in 0..5usize {
+        check_grad(
+            &x0,
+            &|t, x| {
+                let y = match op {
+                    0 => t.relu(x),
+                    1 => t.leaky_relu(x, 0.2),
+                    2 => t.sigmoid(x),
+                    3 => t.softplus(x),
+                    _ => t.tanh(x),
+                };
+                let w = t.leaf(w.clone());
+                let yw = t.hadamard(y, w);
+                t.sum_all(yw)
+            },
+            1e-5,
+            1e-6,
+        );
+    }
+}
+
+#[test]
+fn grad_sqrt() {
+    let mut rng = StdRng::seed_from_u64(17);
+    // Strictly positive inputs away from the clamp.
+    let mut x0 = rand_matrix(&mut rng, 3, 3, 1.0);
+    for v in x0.data_mut() {
+        *v = v.abs() + 0.5;
+    }
+    let w = weight_like(&mut rng, 3, 3);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.sqrt(x);
+            let w = t.leaf(w.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-5,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_row_reductions() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x0 = rand_matrix(&mut rng, 4, 3, 1.0);
+    let other = rand_matrix(&mut rng, 4, 3, 1.0);
+    let w = weight_like(&mut rng, 4, 1);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let o = t.leaf(other.clone());
+            let d = t.row_dot(x, o);
+            let w = t.leaf(w.clone());
+            let dw = t.hadamard(d, w);
+            t.sum_all(dw)
+        },
+        1e-6,
+        1e-6,
+    );
+    check_grad(
+        &x0,
+        &|t, x| {
+            let n = t.row_sqnorm(x);
+            let w = t.leaf(w.clone());
+            let nw = t.hadamard(n, w);
+            t.sum_all(nw)
+        },
+        1e-6,
+        1e-6,
+    );
+    // Aliased row_dot(x, x) = row_sqnorm(x).
+    check_grad(
+        &x0,
+        &|t, x| {
+            let d = t.row_dot(x, x);
+            t.sum_all(d)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_mul_col_broadcast() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let x0 = rand_matrix(&mut rng, 4, 3, 1.0);
+    let s = rand_matrix(&mut rng, 4, 1, 1.0);
+    let w = weight_like(&mut rng, 4, 3);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let sv = t.leaf(s.clone());
+            let y = t.mul_col_broadcast(x, sv);
+            let w = t.leaf(w.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-6,
+        1e-6,
+    );
+    // Gradient with respect to the broadcast vector.
+    let s0 = rand_matrix(&mut rng, 4, 1, 1.0);
+    let xfix = rand_matrix(&mut rng, 4, 3, 1.0);
+    let w2 = weight_like(&mut rng, 4, 3);
+    check_grad(
+        &s0,
+        &|t, s| {
+            let xv = t.leaf(xfix.clone());
+            let y = t.mul_col_broadcast(xv, s);
+            let w = t.leaf(w2.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-6,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_softmax_rows() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let x0 = rand_matrix(&mut rng, 3, 4, 2.0);
+    let w = weight_like(&mut rng, 3, 4);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let s = t.softmax_rows(x);
+            let w = t.leaf(w.clone());
+            let sw = t.hadamard(s, w);
+            t.sum_all(sw)
+        },
+        1e-5,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_lorentz_exp_origin() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let x0 = rand_matrix(&mut rng, 4, 3, 1.5);
+    let w = weight_like(&mut rng, 4, 4);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.lorentz_exp_origin(x);
+            let w = t.leaf(w.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-5,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_lorentz_log_origin() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x0 = rand_hyperboloid_matrix(&mut rng, 4, 3);
+    let w = weight_like(&mut rng, 4, 3);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.lorentz_log_origin(x);
+            let w = t.leaf(w.clone());
+            let yw = t.hadamard(y, w);
+            t.sum_all(yw)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_lorentz_dist_sq() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let x0 = rand_hyperboloid_matrix(&mut rng, 4, 3);
+    let y0 = rand_hyperboloid_matrix(&mut rng, 4, 3);
+    let w = weight_like(&mut rng, 4, 1);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.leaf(y0.clone());
+            let d = t.lorentz_dist_sq(x, y);
+            let w = t.leaf(w.clone());
+            let dw = t.hadamard(d, w);
+            t.sum_all(dw)
+        },
+        1e-4,
+        1e-6,
+    );
+    // Second operand.
+    check_grad(
+        &y0,
+        &|t, y| {
+            let x = t.leaf(x0.clone());
+            let d = t.lorentz_dist_sq(x, y);
+            let w = t.leaf(w.clone());
+            let dw = t.hadamard(d, w);
+            t.sum_all(dw)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_poincare_dist() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let x0 = rand_ball_matrix(&mut rng, 4, 3, 0.7);
+    let y0 = rand_ball_matrix(&mut rng, 4, 3, 0.7);
+    let w = weight_like(&mut rng, 4, 1);
+    check_grad(
+        &x0,
+        &|t, x| {
+            let y = t.leaf(y0.clone());
+            let d = t.poincare_dist(x, y);
+            let w = t.leaf(w.clone());
+            let dw = t.hadamard(d, w);
+            t.sum_all(dw)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_model_conversions() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let p0 = rand_ball_matrix(&mut rng, 4, 3, 0.7);
+    let w_same = weight_like(&mut rng, 4, 3);
+    let w_plus = weight_like(&mut rng, 4, 4);
+    check_grad(
+        &p0,
+        &|t, p| {
+            let k = t.poincare_to_klein(p);
+            let w = t.leaf(w_same.clone());
+            let kw = t.hadamard(k, w);
+            t.sum_all(kw)
+        },
+        1e-5,
+        1e-6,
+    );
+    check_grad(
+        &p0,
+        &|t, k| {
+            let p = t.klein_to_poincare(k);
+            let w = t.leaf(w_same.clone());
+            let pw = t.hadamard(p, w);
+            t.sum_all(pw)
+        },
+        1e-5,
+        1e-6,
+    );
+    check_grad(
+        &p0,
+        &|t, p| {
+            let l = t.poincare_to_lorentz(p);
+            let w = t.leaf(w_plus.clone());
+            let lw = t.hadamard(l, w);
+            t.sum_all(lw)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_einstein_midpoint() {
+    let mut rng = StdRng::seed_from_u64(15);
+    // 5 tags in Klein coordinates, 3 items with varying tag sets.
+    let tags0 = rand_ball_matrix(&mut rng, 5, 3, 0.6);
+    let item_tag = Rc::new(Csr::from_triplets(
+        3,
+        5,
+        &[
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (0, 4, 2.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 3, 1.0),
+        ],
+    ));
+    let w = weight_like(&mut rng, 3, 3);
+    check_grad(
+        &tags0,
+        &|t, tags| {
+            let mu = t.einstein_midpoint(tags, &item_tag);
+            let w = t.leaf(w.clone());
+            let mw = t.hadamard(mu, w);
+            t.sum_all(mw)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_full_taxorec_like_pipeline() {
+    // End-to-end chain close to the real model: Poincaré tags → Klein →
+    // Einstein midpoint → Poincaré → Lorentz → log_o → propagation →
+    // exp_o → distance → hinge loss.
+    let mut rng = StdRng::seed_from_u64(16);
+    let tags0 = rand_ball_matrix(&mut rng, 4, 2, 0.5);
+    let item_tag = Rc::new(Csr::from_triplets(
+        3,
+        4,
+        &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (2, 0, 1.0)],
+    ));
+    let adj = Rc::new(Csr::from_triplets(
+        3,
+        3,
+        &[(0, 0, 1.0), (0, 1, 0.5), (1, 1, 1.0), (2, 2, 1.0), (2, 0, 0.3)],
+    ));
+    let anchor0 = rand_hyperboloid_matrix(&mut rng, 3, 2);
+    check_grad(
+        &tags0,
+        &|t, tags| {
+            let k = t.poincare_to_klein(tags);
+            let mu = t.einstein_midpoint(k, &item_tag);
+            let p = t.klein_to_poincare(mu);
+            let l = t.poincare_to_lorentz(p);
+            let z = t.lorentz_log_origin(l);
+            let z1 = t.spmm(&adj, z);
+            let zs = t.add(z, z1);
+            let back = t.lorentz_exp_origin(zs);
+            let anchor = t.leaf(anchor0.clone());
+            let d = t.lorentz_dist_sq(back, anchor);
+            let dm = t.add_scalar(d, -0.5);
+            let h = t.relu(dm);
+            t.mean_all(h)
+        },
+        1e-3,
+        1e-6,
+    );
+}

@@ -1,0 +1,232 @@
+//! Shared infrastructure for the 14 baseline recommenders: training
+//! options, triplet/BPR sampling, loss builders, and graph normalizations.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use taxorec_autodiff::{Csr, Matrix, Tape, Var};
+use taxorec_data::{Dataset, NegativeSampler, Split};
+
+/// Training options shared by all baselines (each model maps them onto its
+/// own parameterization).
+#[derive(Clone, Debug)]
+pub struct TrainOpts {
+    /// Embedding dimensionality (total; tag-based models may subdivide).
+    pub dim: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Triplets per minibatch.
+    pub batch: usize,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Margin for hinge-style losses.
+    pub margin: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        Self { dim: 32, lr: 0.1, epochs: 60, batch: 4096, negatives: 1, margin: 0.5, seed: 42 }
+    }
+}
+
+impl TrainOpts {
+    /// Faster settings for unit tests.
+    pub fn fast_test() -> Self {
+        Self { dim: 12, epochs: 30, lr: 0.3, ..Self::default() }
+    }
+}
+
+/// One epoch's worth of shuffled `(user, positive, negative)` triplets.
+pub fn epoch_triplets(
+    pairs: &mut [(u32, u32)],
+    sampler: &NegativeSampler,
+    negatives: usize,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    pairs.shuffle(rng);
+    let mut users = Vec::with_capacity(pairs.len() * negatives);
+    let mut pos = Vec::with_capacity(users.capacity());
+    let mut neg = Vec::with_capacity(users.capacity());
+    for &(u, v) in pairs.iter() {
+        for _ in 0..negatives.max(1) {
+            users.push(u);
+            pos.push(v);
+            neg.push(sampler.sample(u, rng));
+        }
+    }
+    (users, pos, neg)
+}
+
+/// Index vectors of a triplet batch as `Rc<Vec<usize>>` for gather ops.
+pub fn gather_indices(ids: &[u32]) -> Rc<Vec<usize>> {
+    Rc::new(ids.iter().map(|&x| x as usize).collect())
+}
+
+/// BPR loss `mean(softplus(−(score_pos − score_neg)))` (Rendle et al.).
+pub fn bpr_loss(tape: &mut Tape, score_pos: Var, score_neg: Var) -> Var {
+    let diff = tape.sub(score_pos, score_neg);
+    let ndiff = tape.neg(diff);
+    let sp = tape.softplus(ndiff);
+    tape.mean_all(sp)
+}
+
+/// Hinge loss `mean([margin + d_pos − d_neg]₊)` over *distances* (smaller
+/// is better).
+pub fn hinge_loss(tape: &mut Tape, d_pos: Var, d_neg: Var, margin: f64) -> Var {
+    let diff = tape.sub(d_pos, d_neg);
+    let m = tape.add_scalar(diff, margin);
+    let h = tape.relu(m);
+    tape.mean_all(h)
+}
+
+/// Rowwise squared Euclidean distance `‖a − b‖²` → `(n×1)`.
+pub fn euclid_dist_sq(tape: &mut Tape, a: Var, b: Var) -> Var {
+    let d = tape.sub(a, b);
+    tape.row_sqnorm(d)
+}
+
+/// Clips every row of a parameter matrix into the Euclidean unit ball —
+/// the norm constraint of CML-family models.
+pub fn unit_ball_project(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        taxorec_geometry::vecops::clip_norm(m.row_mut(r), 1.0);
+    }
+}
+
+/// Symmetrically normalized bipartite adjacency
+/// `Â = D^{-1/2} A D^{-1/2}` over the stacked `(users + items)` node set —
+/// LightGCN/NGCF propagation. No self-loops (LightGCN's design).
+pub fn sym_norm_adjacency(dataset: &Dataset, split: &Split) -> Rc<Csr> {
+    let n_users = dataset.n_users;
+    let n = n_users + dataset.n_items;
+    let mut deg = vec![0usize; n];
+    for (u, items) in split.train.iter().enumerate() {
+        deg[u] += items.len();
+        for &v in items {
+            deg[n_users + v as usize] += 1;
+        }
+    }
+    let mut triplets = Vec::new();
+    for (u, items) in split.train.iter().enumerate() {
+        for &v in items {
+            let w = 1.0 / ((deg[u] as f64).sqrt() * (deg[n_users + v as usize] as f64).sqrt());
+            triplets.push((u, n_users + v as usize, w));
+            triplets.push((n_users + v as usize, u, w));
+        }
+    }
+    Rc::new(Csr::from_triplets(n, n, &triplets))
+}
+
+/// Row-normalized item→tag matrix (`n_items × n_tags`) — the Euclidean
+/// tag-average used by the tag-based baselines.
+pub fn item_tag_mean(dataset: &Dataset) -> Rc<Csr> {
+    let mut triplets = Vec::new();
+    for (v, tags) in dataset.item_tags.iter().enumerate() {
+        for &t in tags {
+            triplets.push((v, t as usize, 1.0));
+        }
+    }
+    let mut m = Csr::from_triplets(dataset.n_items, dataset.n_tags.max(1), &triplets);
+    m.normalize_rows();
+    Rc::new(m)
+}
+
+/// User→item and item→user row-normalized adjacencies (mean neighborhood
+/// aggregation) — TransCF's context construction.
+pub fn neighbor_means(dataset: &Dataset, split: &Split) -> (Rc<Csr>, Rc<Csr>) {
+    let mut ui = Vec::new();
+    let mut iu = Vec::new();
+    for (u, items) in split.train.iter().enumerate() {
+        for &v in items {
+            ui.push((u, v as usize, 1.0));
+            iu.push((v as usize, u, 1.0));
+        }
+    }
+    let mut m_ui = Csr::from_triplets(dataset.n_users, dataset.n_items, &ui);
+    m_ui.normalize_rows();
+    let mut m_iu = Csr::from_triplets(dataset.n_items, dataset.n_users, &iu);
+    m_iu.normalize_rows();
+    (Rc::new(m_ui), Rc::new(m_iu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use taxorec_data::{generate_preset, Preset, Scale};
+
+    #[test]
+    fn triplets_have_consistent_lengths_and_no_positive_negatives() {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let s = Split::standard(&d);
+        let sampler = NegativeSampler::new(d.n_items, s.train.clone());
+        let mut pairs = s.train_pairs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (u, p, n) = epoch_triplets(&mut pairs, &sampler, 2, &mut rng);
+        assert_eq!(u.len(), pairs.len() * 2);
+        assert_eq!(u.len(), p.len());
+        assert_eq!(u.len(), n.len());
+        for i in 0..u.len() {
+            assert!(!sampler.is_positive(u[i], n[i]));
+        }
+    }
+
+    #[test]
+    fn bpr_loss_decreases_with_separation() {
+        let mut tape = Tape::new();
+        let close_p = tape.leaf(Matrix::from_vec(2, 1, vec![0.1, 0.1]));
+        let close_n = tape.leaf(Matrix::from_vec(2, 1, vec![0.0, 0.0]));
+        let far_p = tape.leaf(Matrix::from_vec(2, 1, vec![5.0, 5.0]));
+        let l_close = bpr_loss(&mut tape, close_p, close_n);
+        let l_far = bpr_loss(&mut tape, far_p, close_n);
+        assert!(tape.value(l_far).as_scalar() < tape.value(l_close).as_scalar());
+    }
+
+    #[test]
+    fn hinge_loss_zero_when_separated() {
+        let mut tape = Tape::new();
+        let d_pos = tape.leaf(Matrix::from_vec(1, 1, vec![0.1]));
+        let d_neg = tape.leaf(Matrix::from_vec(1, 1, vec![5.0]));
+        let l = hinge_loss(&mut tape, d_pos, d_neg, 0.5);
+        assert_eq!(tape.value(l).as_scalar(), 0.0);
+    }
+
+    #[test]
+    fn sym_norm_rows_bounded() {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let s = Split::standard(&d);
+        let a = sym_norm_adjacency(&d, &s);
+        assert_eq!(a.rows(), d.n_users + d.n_items);
+        // Row sums of Â are ≤ sqrt(deg) normalization bound — just check
+        // finiteness and positivity.
+        for r in 0..a.rows() {
+            for (_, w) in a.row_iter(r) {
+                assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn item_tag_mean_rows_sum_to_one_when_tagged() {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let m = item_tag_mean(&d);
+        for v in 0..d.n_items {
+            if !d.item_tags[v].is_empty() {
+                assert!((m.row_sum(v) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_ball_projection() {
+        let mut m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.1, 0.1]);
+        unit_ball_project(&mut m);
+        assert!((taxorec_geometry::vecops::norm(m.row(0)) - 1.0).abs() < 1e-9);
+        assert_eq!(m.row(1), &[0.1, 0.1]);
+    }
+}

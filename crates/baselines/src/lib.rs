@@ -1,0 +1,30 @@
+//! The 14 comparison methods of the TaxoRec evaluation (paper §V-A.3),
+//! reimplemented on the shared autodiff/geometry substrate so every model
+//! consumes identical splits, negative samples, and evaluation:
+//!
+//! | group | models | module |
+//! |---|---|---|
+//! | general | BPRMF, NMF, NeuMF | [`mf`] |
+//! | metric learning | CML, TransCF, LRML, SML | [`metric`] |
+//! | hyperbolic metric | HyperML | [`hyper`] |
+//! | graph | NGCF, LightGCN, HGCF | [`graph`] |
+//! | tag based | CMLF, AMF, AGCN | [`tag`] |
+//!
+//! [`zoo`] builds the full lineup for the Table II harness.
+
+pub mod ablation;
+pub mod common;
+pub mod graph;
+pub mod hyper;
+pub mod metric;
+pub mod mf;
+pub mod tag;
+pub mod zoo;
+
+pub use ablation::CmlAgg;
+pub use common::TrainOpts;
+pub use graph::{Hgcf, LightGcn, Ngcf};
+pub use hyper::HyperMl;
+pub use metric::MetricModel;
+pub use mf::{Bprmf, Neumf, Nmf};
+pub use tag::{Agcn, Amf, Cmlf};

@@ -1,0 +1,390 @@
+//! Matrix-factorization baselines: BPRMF, NMF, NeuMF (paper §V-A.3,
+//! "general recommendation methods").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taxorec_autodiff::{Csr, Matrix, Tape};
+use taxorec_core::{init, optim};
+use taxorec_data::{Dataset, NegativeSampler, Recommender, Split};
+
+use crate::common::{bpr_loss, epoch_triplets, gather_indices, TrainOpts};
+
+// ---------------------------------------------------------------------------
+// BPRMF — Rendle et al., UAI 2009.
+// ---------------------------------------------------------------------------
+
+/// Bayesian personalized ranking over a matrix-factorization scorer:
+/// `x̂_uv = p_u · q_v`, trained with the pairwise log-sigmoid objective.
+pub struct Bprmf {
+    opts: TrainOpts,
+    p: Matrix,
+    q: Matrix,
+}
+
+impl Bprmf {
+    /// Creates an untrained BPRMF model.
+    pub fn new(opts: TrainOpts) -> Self {
+        Self { opts, p: Matrix::zeros(0, 0), q: Matrix::zeros(0, 0) }
+    }
+}
+
+impl Recommender for Bprmf {
+    fn name(&self) -> &str {
+        "BPRMF"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        self.p = init::normal_matrix(&mut rng, dataset.n_users, self.opts.dim, 0.1);
+        self.q = init::normal_matrix(&mut rng, dataset.n_items, self.opts.dim, 0.1);
+        let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
+        let mut pairs = split.train_pairs();
+        if pairs.is_empty() {
+            return;
+        }
+        for _ in 0..self.opts.epochs {
+            let (users, pos, neg) =
+                epoch_triplets(&mut pairs, &sampler, self.opts.negatives, &mut rng);
+            for lo in (0..users.len()).step_by(self.opts.batch) {
+                let hi = (lo + self.opts.batch).min(users.len());
+                let mut tape = Tape::new();
+                let p = tape.leaf(self.p.clone());
+                let q = tape.leaf(self.q.clone());
+                let gu = tape.gather_rows(p, gather_indices(&users[lo..hi]));
+                let gp = tape.gather_rows(q, gather_indices(&pos[lo..hi]));
+                let gq = tape.gather_rows(q, gather_indices(&neg[lo..hi]));
+                let sp = tape.row_dot(gu, gp);
+                let sn = tape.row_dot(gu, gq);
+                let loss = bpr_loss(&mut tape, sp, sn);
+                let mut grads = tape.backward(loss);
+                if let Some(g) = grads.take(p) {
+                    optim::sgd(&mut self.p, &g, self.opts.lr);
+                }
+                if let Some(g) = grads.take(q) {
+                    optim::sgd(&mut self.q, &g, self.opts.lr);
+                }
+            }
+        }
+    }
+
+    fn scores_for_user(&self, user: u32) -> Vec<f64> {
+        let urow = self.p.row(user as usize);
+        (0..self.q.rows())
+            .map(|v| taxorec_geometry::vecops::dot(urow, self.q.row(v)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NMF — Lee & Seung, Nature 1999 (multiplicative updates).
+// ---------------------------------------------------------------------------
+
+/// Non-negative matrix factorization of the binary implicit matrix via the
+/// classical multiplicative update rules, `X ≈ W·H`.
+pub struct Nmf {
+    opts: TrainOpts,
+    w: Matrix,
+    h: Matrix,
+}
+
+impl Nmf {
+    /// Creates an untrained NMF model.
+    pub fn new(opts: TrainOpts) -> Self {
+        Self { opts, w: Matrix::zeros(0, 0), h: Matrix::zeros(0, 0) }
+    }
+}
+
+impl Recommender for Nmf {
+    fn name(&self) -> &str {
+        "NMF"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let d = self.opts.dim;
+        // Non-negative init in (0, 1).
+        let uniform = |rng: &mut StdRng, r: usize, c: usize| {
+            use rand::RngExt;
+            let data = (0..r * c).map(|_| rng.random::<f64>() * 0.5 + 1e-3).collect();
+            Matrix::from_vec(r, c, data)
+        };
+        self.w = uniform(&mut rng, dataset.n_users, d);
+        self.h = uniform(&mut rng, d, dataset.n_items);
+        let triplets: Vec<(usize, usize, f64)> = split
+            .train
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&v| (u, v as usize, 1.0)))
+            .collect();
+        let x = Csr::from_triplets(dataset.n_users, dataset.n_items, &triplets);
+        let xt = x.transpose();
+        const EPS: f64 = 1e-9;
+        for _ in 0..self.opts.epochs {
+            // H ← H ⊙ (Wᵀ X) / (Wᵀ W H)
+            let wt = self.w.transpose();
+            let wtx = xt.matmul(&self.w).transpose(); // (d × n_items) as (WᵀX)
+            let wtwh = wt.matmul(&self.w).matmul(&self.h);
+            for i in 0..self.h.data().len() {
+                let num = wtx.data()[i];
+                let den = wtwh.data()[i] + EPS;
+                self.h.data_mut()[i] *= num / den;
+            }
+            // W ← W ⊙ (X Hᵀ) / (W H Hᵀ)
+            let xht = x.matmul(&self.h.transpose()); // n_users × d
+            let hht = self.h.matmul(&self.h.transpose()); // d × d
+            let whht = self.w.matmul(&hht);
+            for i in 0..self.w.data().len() {
+                let num = xht.data()[i];
+                let den = whht.data()[i] + EPS;
+                self.w.data_mut()[i] *= num / den;
+            }
+        }
+    }
+
+    fn scores_for_user(&self, user: u32) -> Vec<f64> {
+        let urow = self.w.row(user as usize);
+        (0..self.h.cols())
+            .map(|v| (0..self.h.rows()).map(|k| urow[k] * self.h.get(k, v)).sum())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NeuMF — He et al., WWW 2017.
+// ---------------------------------------------------------------------------
+
+/// Neural collaborative filtering: a GMF branch (`u ⊙ v`) and an MLP branch
+/// over the pair, fused by a linear head and trained with binary
+/// cross-entropy on sampled negatives.
+pub struct Neumf {
+    opts: TrainOpts,
+    // GMF embeddings.
+    p_g: Matrix,
+    q_g: Matrix,
+    // MLP embeddings + weights ([U,V]·W1 = U·W1a + V·W1b).
+    p_m: Matrix,
+    q_m: Matrix,
+    w1a: Matrix,
+    w1b: Matrix,
+    w2: Matrix,
+    /// Fusion head over [gmf ⊙; mlp hidden] — split in two like W1.
+    h_g: Matrix,
+    h_m: Matrix,
+}
+
+impl Neumf {
+    /// Creates an untrained NeuMF model.
+    pub fn new(opts: TrainOpts) -> Self {
+        Self {
+            opts,
+            p_g: Matrix::zeros(0, 0),
+            q_g: Matrix::zeros(0, 0),
+            p_m: Matrix::zeros(0, 0),
+            q_m: Matrix::zeros(0, 0),
+            w1a: Matrix::zeros(0, 0),
+            w1b: Matrix::zeros(0, 0),
+            w2: Matrix::zeros(0, 0),
+            h_g: Matrix::zeros(0, 0),
+            h_m: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Builds the fused score for gathered user/item rows on a tape;
+    /// returns the `(batch × 1)` logit.
+    #[allow(clippy::too_many_arguments)]
+    fn score(
+        tape: &mut Tape,
+        gu_g: taxorec_autodiff::Var,
+        gv_g: taxorec_autodiff::Var,
+        gu_m: taxorec_autodiff::Var,
+        gv_m: taxorec_autodiff::Var,
+        w1a: taxorec_autodiff::Var,
+        w1b: taxorec_autodiff::Var,
+        w2: taxorec_autodiff::Var,
+        h_g: taxorec_autodiff::Var,
+        h_m: taxorec_autodiff::Var,
+    ) -> taxorec_autodiff::Var {
+        let gmf = tape.hadamard(gu_g, gv_g);
+        let ua = tape.matmul(gu_m, w1a);
+        let vb = tape.matmul(gv_m, w1b);
+        let pre1 = tape.add(ua, vb);
+        let hid1 = tape.relu(pre1);
+        let pre2 = tape.matmul(hid1, w2);
+        let hid2 = tape.relu(pre2);
+        let s_g = tape.matmul(gmf, h_g);
+        let s_m = tape.matmul(hid2, h_m);
+        tape.add(s_g, s_m)
+    }
+}
+
+impl Recommender for Neumf {
+    fn name(&self) -> &str {
+        "NeuMF"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let d = self.opts.dim / 2;
+        let d = d.max(2);
+        self.p_g = init::normal_matrix(&mut rng, dataset.n_users, d, 0.1);
+        self.q_g = init::normal_matrix(&mut rng, dataset.n_items, d, 0.1);
+        self.p_m = init::normal_matrix(&mut rng, dataset.n_users, d, 0.1);
+        self.q_m = init::normal_matrix(&mut rng, dataset.n_items, d, 0.1);
+        let scale = (1.0 / d as f64).sqrt();
+        self.w1a = init::normal_matrix(&mut rng, d, d, scale);
+        self.w1b = init::normal_matrix(&mut rng, d, d, scale);
+        self.w2 = init::normal_matrix(&mut rng, d, d, scale);
+        self.h_g = init::normal_matrix(&mut rng, d, 1, scale);
+        self.h_m = init::normal_matrix(&mut rng, d, 1, scale);
+        let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
+        let mut pairs = split.train_pairs();
+        if pairs.is_empty() {
+            return;
+        }
+        for _ in 0..self.opts.epochs {
+            let (users, pos, neg) =
+                epoch_triplets(&mut pairs, &sampler, self.opts.negatives, &mut rng);
+            for lo in (0..users.len()).step_by(self.opts.batch) {
+                let hi = (lo + self.opts.batch).min(users.len());
+                let mut tape = Tape::new();
+                let p_g = tape.leaf(self.p_g.clone());
+                let q_g = tape.leaf(self.q_g.clone());
+                let p_m = tape.leaf(self.p_m.clone());
+                let q_m = tape.leaf(self.q_m.clone());
+                let w1a = tape.leaf(self.w1a.clone());
+                let w1b = tape.leaf(self.w1b.clone());
+                let w2 = tape.leaf(self.w2.clone());
+                let h_g = tape.leaf(self.h_g.clone());
+                let h_m = tape.leaf(self.h_m.clone());
+                let ui = gather_indices(&users[lo..hi]);
+                let pi = gather_indices(&pos[lo..hi]);
+                let ni = gather_indices(&neg[lo..hi]);
+                let gu_g = tape.gather_rows(p_g, ui.clone());
+                let gu_m = tape.gather_rows(p_m, ui);
+                let gp_g = tape.gather_rows(q_g, pi.clone());
+                let gp_m = tape.gather_rows(q_m, pi);
+                let gn_g = tape.gather_rows(q_g, ni.clone());
+                let gn_m = tape.gather_rows(q_m, ni);
+                let s_pos = Self::score(&mut tape, gu_g, gp_g, gu_m, gp_m, w1a, w1b, w2, h_g, h_m);
+                let s_neg = Self::score(&mut tape, gu_g, gn_g, gu_m, gn_m, w1a, w1b, w2, h_g, h_m);
+                // BCE: positives label 1 → softplus(−s); negatives label 0
+                // → softplus(s).
+                let nsp = tape.neg(s_pos);
+                let l_pos = tape.softplus(nsp);
+                let l_neg = tape.softplus(s_neg);
+                let l_sum = tape.add(l_pos, l_neg);
+                let loss = tape.mean_all(l_sum);
+                let mut grads = tape.backward(loss);
+                for (param, var) in [
+                    (&mut self.p_g, p_g),
+                    (&mut self.q_g, q_g),
+                    (&mut self.p_m, p_m),
+                    (&mut self.q_m, q_m),
+                    (&mut self.w1a, w1a),
+                    (&mut self.w1b, w1b),
+                    (&mut self.w2, w2),
+                    (&mut self.h_g, h_g),
+                    (&mut self.h_m, h_m),
+                ] {
+                    if let Some(g) = grads.take(var) {
+                        optim::sgd(param, &g, self.opts.lr);
+                    }
+                }
+            }
+        }
+    }
+
+    fn scores_for_user(&self, user: u32) -> Vec<f64> {
+        // Rebuild the forward for one user against all items on a tape
+        // (values only; no backward).
+        let n_items = self.q_g.rows();
+        let mut tape = Tape::new();
+        let u_idx = rc_idx(vec![user as usize; n_items]);
+        let all: std::rc::Rc<Vec<usize>> = rc_idx((0..n_items).collect());
+        let p_g = tape.leaf(self.p_g.clone());
+        let q_g = tape.leaf(self.q_g.clone());
+        let p_m = tape.leaf(self.p_m.clone());
+        let q_m = tape.leaf(self.q_m.clone());
+        let w1a = tape.leaf(self.w1a.clone());
+        let w1b = tape.leaf(self.w1b.clone());
+        let w2 = tape.leaf(self.w2.clone());
+        let h_g = tape.leaf(self.h_g.clone());
+        let h_m = tape.leaf(self.h_m.clone());
+        let gu_g = tape.gather_rows(p_g, u_idx.clone());
+        let gu_m = tape.gather_rows(p_m, u_idx);
+        let gv_g = tape.gather_rows(q_g, all.clone());
+        let gv_m = tape.gather_rows(q_m, all);
+        let s = Self::score(&mut tape, gu_g, gv_g, gu_m, gv_m, w1a, w1b, w2, h_g, h_m);
+        tape.value(s).data().to_vec()
+    }
+}
+
+fn rc_idx(v: Vec<usize>) -> std::rc::Rc<Vec<usize>> {
+    std::rc::Rc::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxorec_data::{generate_preset, Preset, Scale};
+
+    fn setup() -> (Dataset, Split) {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let s = Split::standard(&d);
+        (d, s)
+    }
+
+    fn positives_beat_mean(model: &dyn Recommender, split: &Split) -> bool {
+        let mut pos = 0.0;
+        let mut np = 0usize;
+        let mut all = 0.0;
+        let mut na = 0usize;
+        for (u, items) in split.train.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let s = model.scores_for_user(u as u32);
+            for &v in items {
+                pos += s[v as usize];
+                np += 1;
+            }
+            all += s.iter().sum::<f64>();
+            na += s.len();
+        }
+        pos / np as f64 > all / na as f64
+    }
+
+    #[test]
+    fn bprmf_learns_train_preferences() {
+        let (d, s) = setup();
+        let mut m = Bprmf::new(TrainOpts::fast_test());
+        m.fit(&d, &s);
+        assert!(positives_beat_mean(&m, &s));
+        assert!(m.scores_for_user(0).iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn nmf_learns_nonnegative_factors() {
+        let (d, s) = setup();
+        let mut m = Nmf::new(TrainOpts { epochs: 30, dim: 8, ..TrainOpts::fast_test() });
+        m.fit(&d, &s);
+        assert!(m.w.data().iter().all(|&x| x >= 0.0 && x.is_finite()));
+        assert!(m.h.data().iter().all(|&x| x >= 0.0 && x.is_finite()));
+        assert!(positives_beat_mean(&m, &s));
+    }
+
+    #[test]
+    fn neumf_learns_train_preferences() {
+        let (d, s) = setup();
+        let mut m = Neumf::new(TrainOpts { epochs: 20, ..TrainOpts::fast_test() });
+        m.fit(&d, &s);
+        assert!(positives_beat_mean(&m, &s));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Bprmf::new(TrainOpts::default()).name(), "BPRMF");
+        assert_eq!(Nmf::new(TrainOpts::default()).name(), "NMF");
+        assert_eq!(Neumf::new(TrainOpts::default()).name(), "NeuMF");
+    }
+}

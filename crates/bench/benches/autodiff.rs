@@ -1,0 +1,90 @@
+//! Microbenchmarks of the autodiff substrate: forward + backward of the
+//! hyperbolic pipeline TaxoRec executes every minibatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use taxorec_autodiff::{Csr, Matrix, Tape};
+
+fn pipeline_once(
+    emb: &Matrix,
+    tags: &Matrix,
+    adj: &Rc<Csr>,
+    adj_t: &Rc<Csr>,
+    item_tag: &Rc<Csr>,
+    n_users: usize,
+) -> f64 {
+    let mut tape = Tape::new();
+    let t_p = tape.leaf(tags.clone());
+    let k = tape.poincare_to_klein(t_p);
+    let mu = tape.einstein_midpoint(k, item_tag);
+    let p = tape.klein_to_poincare(mu);
+    let v_tg = tape.poincare_to_lorentz(p);
+    let z_items = tape.lorentz_log_origin(v_tg);
+    let e = tape.leaf(emb.clone());
+    let z = tape.concat_rows(e, z_items);
+    let z1 = tape.spmm_with_transpose(adj, Rc::clone(adj_t), z);
+    let z2 = tape.spmm_with_transpose(adj, Rc::clone(adj_t), z1);
+    let zs = tape.add(z1, z2);
+    let out = tape.lorentz_exp_origin(zs);
+    let users = tape.slice_rows(out, 0, n_users);
+    let items = tape.slice_rows(out, n_users, z_items_rows(item_tag));
+    let idx: Rc<Vec<usize>> = Rc::new((0..n_users.min(64)).collect());
+    let gu = tape.gather_rows(users, Rc::clone(&idx));
+    let gv = tape.gather_rows(items, Rc::new((0..n_users.min(64)).map(|i| i % 32).collect()));
+    let d = tape.lorentz_dist_sq(gu, gv);
+    let loss = tape.mean_all(d);
+    let grads = tape.backward(loss);
+    grads.wrt(t_p).map(|g| g.max_abs()).unwrap_or(0.0)
+}
+
+fn z_items_rows(item_tag: &Rc<Csr>) -> usize {
+    item_tag.rows()
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    let n_users = 200;
+    let n_items = 300;
+    let n_tags = 60;
+    let d = 8;
+    let emb = {
+        // Users in tangent coordinates (d columns).
+        Matrix::full(n_users, d, 0.05)
+    };
+    let tags = Matrix::full(n_tags, d, 0.03);
+    let adj_triplets: Vec<(usize, usize, f64)> = (0..(n_users + n_items))
+        .flat_map(|i| {
+            [(i, i, 1.0), (i, (i * 7 + 3) % (n_users + n_items), 0.3)]
+        })
+        .collect();
+    let adj = Rc::new(Csr::from_triplets(n_users + n_items, n_users + n_items, &adj_triplets));
+    let adj_t = Rc::new(adj.transpose());
+    let it_triplets: Vec<(usize, usize, f64)> =
+        (0..n_items).flat_map(|v| [(v, v % n_tags, 1.0), (v, (v * 3 + 1) % n_tags, 1.0)]).collect();
+    let item_tag = Rc::new(Csr::from_triplets(n_items, n_tags, &it_triplets));
+
+    c.bench_function("autodiff_full_pipeline_fwd_bwd_500nodes", |b| {
+        b.iter(|| {
+            pipeline_once(
+                black_box(&emb),
+                black_box(&tags),
+                &adj,
+                &adj_t,
+                &item_tag,
+                n_users,
+            )
+        })
+    });
+
+    c.bench_function("spmm_500x500_d8", |b| {
+        let x = Matrix::full(n_users + n_items, d, 0.1);
+        b.iter(|| adj.matmul(black_box(&x)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_autodiff
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the hyperbolic geometry kernels — the inner loops of
+//! every training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taxorec_geometry::{convert, klein, lorentz, poincare};
+
+fn bench_geometry(c: &mut Criterion) {
+    let dim = 32;
+    let x: Vec<f64> = (0..dim).map(|i| 0.01 * (i as f64 + 1.0)).collect();
+    let y: Vec<f64> = (0..dim).map(|i| -0.012 * (i as f64 + 1.0)).collect();
+    let lx = lorentz::from_spatial(&x);
+    let ly = lorentz::from_spatial(&y);
+
+    c.bench_function("poincare_distance_d32", |b| {
+        b.iter(|| poincare::distance(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("lorentz_distance_d32", |b| {
+        b.iter(|| lorentz::distance(black_box(&lx), black_box(&ly)))
+    });
+    c.bench_function("lorentz_exp_map_origin_d32", |b| {
+        let mut out = vec![0.0; dim + 1];
+        b.iter(|| lorentz::exp_map_origin(black_box(&x), &mut out))
+    });
+    c.bench_function("lorentz_log_map_origin_d32", |b| {
+        let mut out = vec![0.0; dim];
+        b.iter(|| lorentz::log_map_origin(black_box(&lx), &mut out))
+    });
+    c.bench_function("mobius_add_d32", |b| {
+        let mut out = vec![0.0; dim];
+        b.iter(|| poincare::mobius_add(black_box(&x), black_box(&y), &mut out))
+    });
+    c.bench_function("poincare_to_lorentz_d32", |b| {
+        let mut out = vec![0.0; dim + 1];
+        b.iter(|| convert::poincare_to_lorentz(black_box(&x), &mut out))
+    });
+    c.bench_function("einstein_midpoint_8pts_d32", |b| {
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|k| x.iter().map(|v| v * (0.5 + 0.05 * k as f64)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let w = vec![1.0; 8];
+        let mut out = vec![0.0; dim];
+        b.iter(|| klein::einstein_midpoint(black_box(&refs), black_box(&w), &mut out))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_geometry
+}
+criterion_main!(benches);

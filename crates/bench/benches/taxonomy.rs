@@ -1,0 +1,42 @@
+//! Microbenchmarks of taxonomy construction (the paper's §V-B claims the
+//! O(S) construction cost is minor) — including the k-means seeding
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use taxorec_data::{generate_preset, Preset, Scale};
+use taxorec_taxonomy::{construct_taxonomy, poincare_kmeans, ConstructConfig, Seeding};
+
+fn bench_taxonomy(c: &mut Criterion) {
+    let dataset = generate_preset(Preset::Yelp, Scale::Tiny);
+    let n_tags = dataset.n_tags;
+    let dim = 8;
+    let mut rng = StdRng::seed_from_u64(5);
+    let emb: Vec<f64> = (0..n_tags * dim).map(|_| (rng.random::<f64>() - 0.5) * 0.8).collect();
+    let all_tags: Vec<u32> = (0..n_tags as u32).collect();
+
+    for seeding in [Seeding::PlusPlus, Seeding::Uniform] {
+        c.bench_function(&format!("poincare_kmeans_{n_tags}tags_{seeding:?}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                poincare_kmeans(black_box(&emb), dim, &all_tags, 3, seeding, 30, &mut rng)
+            })
+        });
+    }
+
+    c.bench_function(&format!("construct_taxonomy_{n_tags}tags"), |b| {
+        let cfg = ConstructConfig::default();
+        b.iter(|| {
+            construct_taxonomy(black_box(&emb), dim, n_tags, &dataset.item_tags, &cfg)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_taxonomy
+}
+criterion_main!(benches);

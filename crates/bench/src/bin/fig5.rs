@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 5** — Recall@10 of CML, HyperML, and TaxoRec as the
+//! total embedding dimensionality `D` varies, on two dataset analogues.
+//! The expected shape: all models improve with `D`; the hyperbolic models
+//! (HyperML, TaxoRec) stay strong at small `D` while CML degrades.
+
+use taxorec_bench::{dataset_and_split, make_model, BenchProfile};
+use taxorec_data::Preset;
+use taxorec_eval::{evaluate, TextTable};
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    let dims = [16usize, 32, 48, 64];
+    let models = ["CML", "HyperML", "TaxoRec"];
+    println!(
+        "Fig. 5 — Recall@10 (%) vs embedding dimension D, scale {:?}, seed {}\n",
+        profile.scale, profile.seeds[0]
+    );
+    for preset in [Preset::Ciao, Preset::AmazonCd] {
+        let (dataset, split) = dataset_and_split(preset, profile.scale);
+        let mut table = TextTable::new(&["D", "CML", "HyperML", "TaxoRec"]);
+        // Parallel across (dim × model).
+        let jobs: Vec<(usize, usize)> =
+            (0..dims.len()).flat_map(|d| (0..models.len()).map(move |m| (d, m))).collect();
+        let results: Vec<std::sync::Mutex<Option<f64>>> =
+            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let n_workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len());
+        let profile_ref = &profile;
+        let dataset_ref = &dataset;
+        let split_ref = &split;
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (di, mi) = jobs[i];
+                    let mut p = profile_ref.clone();
+                    p.dim = dims[di];
+                    // TaxoRec reserves a fixed tag budget (paper: 12 of 64).
+                    p.dim_tag = 8.min(dims[di] / 2);
+                    let mut model = make_model(models[mi], &p, p.seeds[0], &dataset_ref.name);
+                    model.fit(dataset_ref, split_ref);
+                    let e = evaluate(model.as_ref(), split_ref, &[10]);
+                    *results[i].lock().unwrap() = Some(100.0 * e.mean_recall(0));
+                });
+            }
+        });
+        for (di, &d) in dims.iter().enumerate() {
+            let mut row = vec![d.to_string()];
+            for mi in 0..models.len() {
+                let v = results[di * models.len() + mi].lock().unwrap().expect("ran");
+                row.push(format!("{v:.2}"));
+            }
+            table.row(row);
+        }
+        println!("=== {} ===", preset.name());
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,197 @@
+//! The tag-enhanced aggregation mechanism (paper §IV-D).
+//!
+//! * **Local aggregation** (Eqs. 9–11): an item's tag-relevant embedding is
+//!   the Einstein midpoint of its tags' Klein coordinates, lifted onto the
+//!   hyperboloid.
+//! * **Global aggregation** (Eqs. 12–15): users and items are projected to
+//!   the tangent space at the origin, propagated `L` steps across the
+//!   bipartite training graph with mean aggregation and residual
+//!   connections, the layer outputs summed, and the result mapped back via
+//!   the exponential map.
+//!
+//! Both are expressed as tape ops so the gradients reach the underlying
+//! parameters (including the tag embeddings `T^P`, which is how
+//! recommendation feedback refines the taxonomy).
+
+use taxorec_autodiff::{Tape, Var};
+
+use crate::graph::GraphMatrices;
+
+/// Local aggregation (Eqs. 9–11): Poincaré tag matrix → hyperboloid item
+/// matrix (`n_items × (dim_tag + 1)`).
+///
+/// `einstein = false` substitutes a naive tangent-space average of the
+/// item's tag embeddings — the ablation for the Einstein-midpoint design
+/// choice.
+pub fn local_tag_aggregation(
+    tape: &mut Tape,
+    t_p: Var,
+    graph: &GraphMatrices,
+    einstein: bool,
+) -> Var {
+    if einstein {
+        let klein = tape.poincare_to_klein(t_p); // Eq. 9
+        let mu = tape.einstein_midpoint(klein, &graph.item_tag); // Eq. 10
+        let p = tape.klein_to_poincare(mu); // Eq. 11 (inner map)
+        tape.poincare_to_lorentz(p) // Eq. 11 (p⁻¹ lift)
+    } else {
+        let lifted = tape.poincare_to_lorentz(t_p);
+        let tangent = tape.lorentz_log_origin(lifted);
+        let avg = tape.spmm_with_transpose(
+            &graph.item_tag_norm,
+            std::rc::Rc::new(graph.item_tag_norm.transpose()),
+            tangent,
+        );
+        tape.lorentz_exp_origin(avg)
+    }
+}
+
+/// Global aggregation (Eqs. 12–15) over the stacked user/item node set.
+///
+/// Input: hyperboloid user (`n_users × (d+1)`) and item (`n_items × (d+1)`)
+/// matrices. Output: the propagated hyperboloid matrices, same shapes.
+///
+/// Following Eq. 14, the output sums the *layer outputs* `z^1..z^L`
+/// (each `z^{l+1} = (I + D⁻¹A)·z^l`, Eq. 13), then applies `exp_o`
+/// (Eq. 15).
+pub fn global_aggregation(
+    tape: &mut Tape,
+    users: Var,
+    items: Var,
+    graph: &GraphMatrices,
+    layers: usize,
+) -> (Var, Var) {
+    let zu = tape.lorentz_log_origin(users); // Eq. 12
+    let zv = tape.lorentz_log_origin(items);
+    let mut z = tape.concat_rows(zu, zv);
+    let mut acc: Option<Var> = None;
+    for _ in 0..layers.max(1) {
+        z = tape.spmm_with_transpose(&graph.propagate, graph.propagate_t.clone(), z); // Eq. 13
+        acc = Some(match acc {
+            None => z,
+            Some(a) => tape.add(a, z), // Eq. 14
+        });
+    }
+    let summed = acc.expect("at least one layer");
+    let out = tape.lorentz_exp_origin(summed); // Eq. 15
+    let u_out = tape.slice_rows(out, 0, graph.n_users);
+    let v_out = tape.slice_rows(out, graph.n_users, graph.n_items);
+    (u_out, v_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphMatrices;
+    use taxorec_autodiff::Matrix;
+    use taxorec_data::{Dataset, Interaction, Split};
+    use taxorec_geometry::lorentz;
+
+    fn tiny_graph() -> GraphMatrices {
+        let d = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            n_items: 3,
+            n_tags: 2,
+            interactions: vec![
+                Interaction { user: 0, item: 0, ts: 0 },
+                Interaction { user: 1, item: 1, ts: 0 },
+                Interaction { user: 1, item: 2, ts: 1 },
+            ],
+            item_tags: vec![vec![0], vec![0, 1], vec![]],
+            tag_names: vec!["a".into(), "b".into()],
+            taxonomy_truth: None,
+        };
+        let s = Split::temporal(&d, 1.0, 0.0);
+        GraphMatrices::build(&d, &s)
+    }
+
+    #[test]
+    fn local_aggregation_outputs_hyperboloid_points() {
+        let g = tiny_graph();
+        let mut tape = Tape::new();
+        let t_p = tape.leaf(Matrix::from_vec(2, 2, vec![0.3, 0.1, -0.2, 0.4]));
+        for einstein in [true, false] {
+            let v = local_tag_aggregation(&mut tape, t_p, &g, einstein);
+            let m = tape.value(v);
+            assert_eq!(m.shape(), (3, 3));
+            for r in 0..3 {
+                assert!(
+                    lorentz::constraint_residual(m.row(r)) < 1e-7,
+                    "einstein={einstein} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn untagged_item_maps_to_origin() {
+        let g = tiny_graph();
+        let mut tape = Tape::new();
+        let t_p = tape.leaf(Matrix::from_vec(2, 2, vec![0.3, 0.1, -0.2, 0.4]));
+        let v = local_tag_aggregation(&mut tape, t_p, &g, true);
+        let m = tape.value(v);
+        // Item 2 has no tags: Klein midpoint 0 → hyperboloid origin.
+        assert!((m.get(2, 0) - 1.0).abs() < 1e-9);
+        assert!(m.get(2, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_tag_item_inherits_its_tag() {
+        let g = tiny_graph();
+        let mut tape = Tape::new();
+        let t_p = tape.leaf(Matrix::from_vec(2, 2, vec![0.3, 0.1, -0.2, 0.4]));
+        let v = local_tag_aggregation(&mut tape, t_p, &g, true);
+        // Item 0 has exactly tag 0: its Lorentz embedding must equal the
+        // direct lift of tag 0.
+        let lifted = tape.poincare_to_lorentz(t_p);
+        let expect = tape.value(lifted).row(0).to_vec();
+        let got = tape.value(v).row(0).to_vec();
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9, "{expect:?} vs {got:?}");
+        }
+    }
+
+    #[test]
+    fn global_aggregation_shapes_and_manifold() {
+        let g = tiny_graph();
+        let mut tape = Tape::new();
+        let mk = |rows: usize| {
+            let mut m = Matrix::zeros(rows, 3);
+            for r in 0..rows {
+                let p = lorentz::from_spatial(&[0.1 * (r + 1) as f64, -0.05]);
+                m.row_mut(r).copy_from_slice(&p);
+            }
+            m
+        };
+        let users = tape.leaf(mk(2));
+        let items = tape.leaf(mk(3));
+        let (uo, vo) = global_aggregation(&mut tape, users, items, &g, 3);
+        assert_eq!(tape.value(uo).shape(), (2, 3));
+        assert_eq!(tape.value(vo).shape(), (3, 3));
+        for r in 0..2 {
+            assert!(lorentz::constraint_residual(tape.value(uo).row(r)) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn propagation_mixes_neighbors() {
+        // A user's output must move toward its interacted item's embedding.
+        let g = tiny_graph();
+        let mut tape = Tape::new();
+        let mut users = Matrix::zeros(2, 3);
+        users.row_mut(0).copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
+        users.row_mut(1).copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
+        let mut items = Matrix::zeros(3, 3);
+        items.row_mut(0).copy_from_slice(&lorentz::from_spatial(&[1.0, 0.0]));
+        items.row_mut(1).copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
+        items.row_mut(2).copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
+        let u = tape.leaf(users);
+        let v = tape.leaf(items);
+        let (uo, _) = global_aggregation(&mut tape, u, v, &g, 1);
+        // User 0 interacted with item 0 (spatial +x): pulled to +x.
+        assert!(tape.value(uo).get(0, 1) > 0.1);
+        // User 1 interacted with items 1,2 (−x): pulled to −x.
+        assert!(tape.value(uo).get(1, 1) < -0.1);
+    }
+}

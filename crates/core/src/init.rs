@@ -1,0 +1,76 @@
+//! Parameter initialization helpers shared by TaxoRec and the baselines.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use taxorec_autodiff::Matrix;
+use taxorec_geometry::lorentz;
+
+/// Standard-normal sample via Box–Muller (the `rand` crate ships only
+/// uniform distributions without `rand_distr`).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `rows × cols` matrix of `N(0, std²)` entries.
+pub fn normal_matrix(rng: &mut StdRng, rows: usize, cols: usize, std: f64) -> Matrix {
+    let data = (0..rows * cols).map(|_| normal(rng) * std).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Hyperboloid parameter matrix: spatial parts `N(0, std²)`, lifted onto
+/// the manifold (ambient width = `dim + 1`). Small `std` keeps points near
+/// the origin, as in HGCF's initialization.
+pub fn lorentz_matrix(rng: &mut StdRng, rows: usize, dim: usize, std: f64) -> Matrix {
+    let mut m = Matrix::zeros(rows, dim + 1);
+    for r in 0..rows {
+        let spatial: Vec<f64> = (0..dim).map(|_| normal(rng) * std).collect();
+        m.row_mut(r).copy_from_slice(&lorentz::from_spatial(&spatial));
+    }
+    m
+}
+
+/// Poincaré-ball parameter matrix: entries uniform in `(-range, range)`
+/// (Nickel & Kiela initialize tag-style embeddings very close to the
+/// origin).
+pub fn poincare_matrix(rng: &mut StdRng, rows: usize, dim: usize, range: f64) -> Matrix {
+    let data = (0..rows * dim).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * range).collect();
+    Matrix::from_vec(rows, dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lorentz_rows_on_manifold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = lorentz_matrix(&mut rng, 10, 5, 0.1);
+        assert_eq!(m.shape(), (10, 6));
+        for r in 0..10 {
+            assert!(lorentz::constraint_residual(m.row(r)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poincare_rows_in_ball() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = poincare_matrix(&mut rng, 10, 4, 0.1);
+        for r in 0..10 {
+            assert!(taxorec_geometry::vecops::norm(m.row(r)) < 1.0);
+        }
+    }
+}

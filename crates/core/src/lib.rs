@@ -1,0 +1,18 @@
+//! The TaxoRec framework (ICDE 2022): joint automated tag-taxonomy
+//! construction and recommendation in hyperbolic space.
+//!
+//! The central type is [`TaxoRec`]; configure it with [`TaxoRecConfig`],
+//! train via the [`taxorec_data::Recommender`] trait, then rank items,
+//! inspect the constructed taxonomy, or query user–tag distances for
+//! interpretability (paper Table V).
+
+pub mod aggregation;
+pub mod config;
+pub mod graph;
+pub mod init;
+pub mod model;
+pub mod optim;
+
+pub use config::TaxoRecConfig;
+pub use graph::GraphMatrices;
+pub use model::TaxoRec;

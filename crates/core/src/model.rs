@@ -1,0 +1,593 @@
+//! The TaxoRec model: joint tag-taxonomy construction and tag-enhanced
+//! hyperbolic metric learning (paper §IV).
+//!
+//! Training interleaves two processes sharing the tag embeddings `T^P`:
+//!
+//! 1. every `taxo_rebuild_every` epochs, Algorithm 1 re-constructs the
+//!    taxonomy from the current `T^P` (Poincaré model), refreshing the
+//!    Eq. 8 regularization plan;
+//! 2. every minibatch, the tag-enhanced representations are assembled via
+//!    the local/global aggregation (Eqs. 9–15), scored with the
+//!    personalized similarity `g(u,v)` (Eqs. 16–17), and all parameters —
+//!    `u^ir`, `v^ir`, `u^tg` on the hyperboloid, `T^P` in the ball — are
+//!    updated by Riemannian SGD on the joint objective
+//!    `L_metric + λ·L_reg` (Eqs. 18–19).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use taxorec_autodiff::{Csr, Matrix, Tape, Var};
+use taxorec_data::{Dataset, NegativeSampler, Recommender, Split};
+use taxorec_geometry::{convert, lorentz};
+use taxorec_taxonomy::{construct_taxonomy, ConstructConfig, RegularizerPlan, Taxonomy};
+
+use crate::aggregation::{global_aggregation, local_tag_aggregation};
+use crate::config::TaxoRecConfig;
+use crate::graph::GraphMatrices;
+use crate::init;
+use crate::optim;
+
+/// The trained (or trainable) TaxoRec model. Create with [`TaxoRec::new`],
+/// train with [`Recommender::fit`], then rank with
+/// [`Recommender::scores_for_user`] or inspect the constructed taxonomy.
+pub struct TaxoRec {
+    config: TaxoRecConfig,
+    name: String,
+    // Parameters (populated by fit).
+    u_ir: Matrix,
+    v_ir: Matrix,
+    u_tg: Matrix,
+    t_p: Matrix,
+    // Constants of the trained instance.
+    graph: Option<GraphMatrices>,
+    alphas: Vec<f64>,
+    // Taxonomy state.
+    taxonomy: Option<Taxonomy>,
+    reg_center_csr: Option<Rc<Csr>>,
+    reg_center_csr_t: Option<Rc<Csr>>,
+    reg_term_tags: Rc<Vec<usize>>,
+    reg_term_rows: Rc<Vec<usize>>,
+    // Final (post-aggregation) embeddings for inference.
+    final_u_ir: Matrix,
+    final_v_ir: Matrix,
+    final_u_tg: Matrix,
+    final_v_tg: Matrix,
+    tags_active: bool,
+    /// Mean training loss per epoch (observability/testing).
+    pub loss_history: Vec<f64>,
+}
+
+struct Forward {
+    tape: Tape,
+    u_ir_leaf: Var,
+    v_ir_leaf: Var,
+    u_tg_leaf: Option<Var>,
+    t_p_leaf: Option<Var>,
+    u_ir: Var,
+    v_ir: Var,
+    u_tg: Option<Var>,
+    v_tg: Option<Var>,
+}
+
+impl TaxoRec {
+    /// Creates an untrained model with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: TaxoRecConfig) -> Self {
+        config.validate().expect("invalid TaxoRec configuration");
+        let name = if !config.use_aggregation {
+            "Hyper+CML".to_string()
+        } else if !config.use_tags {
+            "HGCF".to_string()
+        } else if config.lambda == 0.0 {
+            "Hyper+CML+Agg".to_string()
+        } else {
+            "TaxoRec".to_string()
+        };
+        Self {
+            config,
+            name,
+            u_ir: Matrix::zeros(0, 0),
+            v_ir: Matrix::zeros(0, 0),
+            u_tg: Matrix::zeros(0, 0),
+            t_p: Matrix::zeros(0, 0),
+            graph: None,
+            alphas: Vec::new(),
+            taxonomy: None,
+            reg_center_csr: None,
+            reg_center_csr_t: None,
+            reg_term_tags: Rc::new(Vec::new()),
+            reg_term_rows: Rc::new(Vec::new()),
+            final_u_ir: Matrix::zeros(0, 0),
+            final_v_ir: Matrix::zeros(0, 0),
+            final_u_tg: Matrix::zeros(0, 0),
+            final_v_tg: Matrix::zeros(0, 0),
+            tags_active: false,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TaxoRecConfig {
+        &self.config
+    }
+
+    /// The most recently constructed taxonomy (available after `fit` when
+    /// λ > 0 and the dataset has tags).
+    pub fn taxonomy(&self) -> Option<&Taxonomy> {
+        self.taxonomy.as_ref()
+    }
+
+    /// The learned Poincaré tag embeddings (`n_tags × dim_tag`).
+    pub fn tag_embeddings(&self) -> &Matrix {
+        &self.t_p
+    }
+
+    /// Personalized tag weights `α_u` (Eq. 16), available after `fit`.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Lorentz distances from a user's tag-relevant embedding to every
+    /// tag (lifted onto the hyperboloid) — the Table V "closest tags"
+    /// ranking. Empty when aggregation is disabled or the dataset has no
+    /// tags.
+    pub fn user_tag_distances(&self, user: u32) -> Vec<f64> {
+        if !self.tags_active {
+            return Vec::new();
+        }
+        let urow = self.final_u_tg.row(user as usize);
+        let dim = self.t_p.cols();
+        let mut lift = vec![0.0; dim + 1];
+        (0..self.t_p.rows())
+            .map(|t| {
+                convert::poincare_to_lorentz(self.t_p.row(t), &mut lift);
+                lorentz::distance(urow, &lift)
+            })
+            .collect()
+    }
+
+    /// The `k` nearest tags of a user, by [`TaxoRec::user_tag_distances`].
+    pub fn user_top_tags(&self, user: u32, k: usize) -> Vec<(u32, f64)> {
+        let d = self.user_tag_distances(user);
+        let mut idx: Vec<u32> = (0..d.len() as u32).collect();
+        idx.sort_by(|&a, &b| d[a as usize].partial_cmp(&d[b as usize]).unwrap());
+        idx.into_iter().take(k).map(|t| (t, d[t as usize])).collect()
+    }
+
+    /// Builds the full forward pass on a fresh tape.
+    fn forward(&self) -> Forward {
+        let graph = self.graph.as_ref().expect("fit() before forward()");
+        let mut tape = Tape::new();
+        let u_ir_leaf = tape.leaf(self.u_ir.clone());
+        let v_ir_leaf = tape.leaf(self.v_ir.clone());
+        if !self.config.use_aggregation {
+            return Forward {
+                tape,
+                u_ir_leaf,
+                v_ir_leaf,
+                u_tg_leaf: None,
+                t_p_leaf: None,
+                u_ir: u_ir_leaf,
+                v_ir: v_ir_leaf,
+                u_tg: None,
+                v_tg: None,
+            };
+        }
+        let (u_ir, v_ir) =
+            global_aggregation(&mut tape, u_ir_leaf, v_ir_leaf, graph, self.config.gcn_layers);
+        if !self.tags_active {
+            return Forward {
+                tape,
+                u_ir_leaf,
+                v_ir_leaf,
+                u_tg_leaf: None,
+                t_p_leaf: None,
+                u_ir,
+                v_ir,
+                u_tg: None,
+                v_tg: None,
+            };
+        }
+        let u_tg_leaf = tape.leaf(self.u_tg.clone());
+        let t_p_leaf = tape.leaf(self.t_p.clone());
+        let v_tg_local =
+            local_tag_aggregation(&mut tape, t_p_leaf, graph, self.config.einstein_local);
+        let (u_tg, v_tg) =
+            global_aggregation(&mut tape, u_tg_leaf, v_tg_local, graph, self.config.gcn_layers);
+        Forward {
+            tape,
+            u_ir_leaf,
+            v_ir_leaf,
+            u_tg_leaf: Some(u_tg_leaf),
+            t_p_leaf: Some(t_p_leaf),
+            u_ir,
+            v_ir,
+            u_tg: Some(u_tg),
+            v_tg: Some(v_tg),
+        }
+    }
+
+    /// Builds `g(u, v_p)`, `g(u, v_q)` (Eq. 17) and the joint loss
+    /// (Eqs. 18–19) for one triplet batch on the forward tape.
+    ///
+    /// Returns `(metric_loss, reg_loss)` as *separate* scalars: the tag
+    /// embeddings receive the metric gradient scaled by `lr_tag_mult`
+    /// (compensating the long aggregation chain) but the regularizer
+    /// gradient at the plain rate — the Eq. 8 pull touches `T^P` directly
+    /// and needs no compensation.
+    fn build_loss(
+        &self,
+        f: &mut Forward,
+        users: &[u32],
+        pos: &[u32],
+        neg: &[u32],
+    ) -> (Var, Option<Var>) {
+        let tape = &mut f.tape;
+        let u_idx = Rc::new(users.iter().map(|&u| u as usize).collect::<Vec<_>>());
+        let p_idx = Rc::new(pos.iter().map(|&v| v as usize).collect::<Vec<_>>());
+        let q_idx = Rc::new(neg.iter().map(|&v| v as usize).collect::<Vec<_>>());
+
+        let gu = tape.gather_rows(f.u_ir, Rc::clone(&u_idx));
+        let gp = tape.gather_rows(f.v_ir, Rc::clone(&p_idx));
+        let gq = tape.gather_rows(f.v_ir, Rc::clone(&q_idx));
+        let mut g_pos = tape.lorentz_dist_sq(gu, gp);
+        let mut g_neg = tape.lorentz_dist_sq(gu, gq);
+
+        if let (Some(u_tg), Some(v_tg)) = (f.u_tg, f.v_tg) {
+            let gu_t = tape.gather_rows(u_tg, Rc::clone(&u_idx));
+            let gp_t = tape.gather_rows(v_tg, Rc::clone(&p_idx));
+            let gq_t = tape.gather_rows(v_tg, Rc::clone(&q_idx));
+            let d_pos_t = tape.lorentz_dist_sq(gu_t, gp_t);
+            let d_neg_t = tape.lorentz_dist_sq(gu_t, gq_t);
+            let gain = self.config.tag_channel_gain;
+            let alpha = Matrix::from_vec(
+                users.len(),
+                1,
+                users.iter().map(|&u| gain * self.alphas[u as usize]).collect(),
+            );
+            let alpha = tape.leaf(alpha);
+            let a_pos = tape.mul_col_broadcast(d_pos_t, alpha);
+            let a_neg = tape.mul_col_broadcast(d_neg_t, alpha);
+            g_pos = tape.add(g_pos, a_pos);
+            g_neg = tape.add(g_neg, a_neg);
+        }
+
+        let diff = tape.sub(g_pos, g_neg);
+        let with_margin = tape.add_scalar(diff, self.config.margin);
+        let hinge = if self.config.soft_hinge {
+            tape.softplus(with_margin)
+        } else {
+            tape.relu(with_margin)
+        };
+        let metric = tape.mean_all(hinge);
+
+        // Taxonomy-aware regularization (Eq. 8), when a plan exists.
+        let mut reg_loss = None;
+        if self.config.lambda > 0.0 && !self.reg_term_tags.is_empty() {
+            if let (Some(t_p_leaf), Some(csr), Some(csr_t)) =
+                (f.t_p_leaf, &self.reg_center_csr, &self.reg_center_csr_t)
+            {
+                let centers = tape.spmm_with_transpose(csr, Rc::clone(csr_t), t_p_leaf);
+                let gt = tape.gather_rows(t_p_leaf, Rc::clone(&self.reg_term_tags));
+                let gc = tape.gather_rows(centers, Rc::clone(&self.reg_term_rows));
+                let dists = tape.poincare_dist(gt, gc);
+                let reg = tape.mean_all(dists);
+                reg_loss = Some(tape.scale(reg, self.config.lambda));
+            }
+        }
+        (metric, reg_loss)
+    }
+
+    /// Reconstructs the taxonomy from the current tag embeddings and
+    /// refreshes the Eq. 8 regularization plan.
+    fn rebuild_taxonomy(&mut self, dataset: &Dataset) {
+        let cfg = ConstructConfig {
+            k: self.config.taxo_k,
+            delta: self.config.taxo_delta,
+            min_node_size: self.config.taxo_min_node,
+            max_depth: self.config.taxo_max_depth,
+            seeding: self.config.taxo_seeding,
+            seed: self.config.seed ^ 0x7a70,
+            ..ConstructConfig::default()
+        };
+        let taxo = construct_taxonomy(
+            self.t_p.data(),
+            self.t_p.cols(),
+            dataset.n_tags,
+            &dataset.item_tags,
+            &cfg,
+        );
+        let plan = RegularizerPlan::from_taxonomy(&taxo);
+        if plan.n_centers > 0 {
+            let triplets: Vec<(usize, usize, f64)> = plan.center_weights.clone();
+            let csr = Rc::new(Csr::from_triplets(plan.n_centers, dataset.n_tags, &triplets));
+            self.reg_center_csr_t = Some(Rc::new(csr.transpose()));
+            self.reg_center_csr = Some(csr);
+            self.reg_term_tags =
+                Rc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
+            self.reg_term_rows = Rc::new(plan.terms.iter().map(|&(_, r)| r).collect());
+        } else {
+            self.reg_center_csr = None;
+            self.reg_center_csr_t = None;
+            self.reg_term_tags = Rc::new(Vec::new());
+            self.reg_term_rows = Rc::new(Vec::new());
+        }
+        self.taxonomy = Some(taxo);
+    }
+
+    /// Picks the most violating negative (smallest `g(u, v)`) among `pool`
+    /// uniform non-positive candidates, scored with the cached
+    /// previous-epoch embeddings.
+    fn mine_hard_negative(
+        &self,
+        user: u32,
+        sampler: &NegativeSampler,
+        pool: usize,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let u = user as usize;
+        let urow_ir = self.final_u_ir.row(u);
+        let alpha =
+            self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
+        let mut best = sampler.sample(user, rng);
+        let mut best_g = f64::INFINITY;
+        for i in 0..pool {
+            let v = if i == 0 { best } else { sampler.sample(user, rng) };
+            let mut g = lorentz::distance_sq(urow_ir, self.final_v_ir.row(v as usize));
+            if self.tags_active && self.final_u_tg.rows() > 0 {
+                g += alpha
+                    * lorentz::distance_sq(
+                        self.final_u_tg.row(u),
+                        self.final_v_tg.row(v as usize),
+                    );
+            }
+            if g < best_g {
+                best_g = g;
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Runs one forward pass and caches the final embeddings for
+    /// inference.
+    fn finalize(&mut self) {
+        let f = self.forward();
+        self.final_u_ir = f.tape.value(f.u_ir).clone();
+        self.final_v_ir = f.tape.value(f.v_ir).clone();
+        if let (Some(u_tg), Some(v_tg)) = (f.u_tg, f.v_tg) {
+            self.final_u_tg = f.tape.value(u_tg).clone();
+            self.final_v_tg = f.tape.value(v_tg).clone();
+        }
+    }
+}
+
+impl Recommender for TaxoRec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let cfg = self.config.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        self.tags_active = cfg.use_aggregation && cfg.use_tags && dataset.n_tags > 0;
+        self.graph = Some(GraphMatrices::build(dataset, split));
+        self.alphas = dataset.alpha_weights(&split.train);
+        self.u_ir = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_ir, 0.1);
+        self.v_ir = init::lorentz_matrix(&mut rng, dataset.n_items, cfg.dim_ir, 0.1);
+        self.u_tg = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_tag, 0.1);
+        // Tag embeddings start very close to the origin (Nickel & Kiela's
+        // Poincaré init) so that gradient-driven co-occurrence structure
+        // dominates the random initial offsets.
+        self.t_p = init::poincare_matrix(&mut rng, dataset.n_tags.max(1), cfg.dim_tag, 0.001);
+        self.loss_history.clear();
+
+        let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
+        let mut pairs = split.train_pairs();
+        if pairs.is_empty() {
+            self.finalize();
+            return;
+        }
+        for epoch in 0..cfg.epochs {
+            // Refresh the post-aggregation embeddings once per epoch for
+            // hard-negative mining (stale-but-cheap, standard practice).
+            if cfg.hard_negative_pool > 0 {
+                self.finalize();
+            }
+            let warmup = (cfg.epochs as f64 * cfg.taxo_warmup_frac) as usize;
+            if self.tags_active
+                && cfg.lambda > 0.0
+                && epoch >= warmup.max(1)
+                && (epoch - warmup).is_multiple_of(cfg.taxo_rebuild_every.max(1))
+            {
+                self.rebuild_taxonomy(dataset);
+            }
+            pairs.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut n_batches = 0usize;
+            for chunk in pairs.chunks(cfg.batch_size.max(1)) {
+                let mut users = Vec::with_capacity(chunk.len() * cfg.negatives);
+                let mut pos = Vec::with_capacity(users.capacity());
+                let mut neg = Vec::with_capacity(users.capacity());
+                for &(u, v) in chunk {
+                    for _ in 0..cfg.negatives.max(1) {
+                        users.push(u);
+                        pos.push(v);
+                        neg.push(if cfg.hard_negative_pool > 0 {
+                            self.mine_hard_negative(u, &sampler, cfg.hard_negative_pool, &mut rng)
+                        } else {
+                            sampler.sample(u, &mut rng)
+                        });
+                    }
+                }
+                let mut f = self.forward();
+                let (metric_loss, reg_loss) = self.build_loss(&mut f, &users, &pos, &neg);
+                epoch_loss += f.tape.value(metric_loss).as_scalar()
+                    + reg_loss.map(|r| f.tape.value(r).as_scalar()).unwrap_or(0.0);
+                n_batches += 1;
+                let mut grads = f.tape.backward(metric_loss);
+                if let Some(g) = grads.take(f.u_ir_leaf) {
+                    optim::rsgd_lorentz(&mut self.u_ir, &g, cfg.lr);
+                }
+                if let Some(g) = grads.take(f.v_ir_leaf) {
+                    optim::rsgd_lorentz(&mut self.v_ir, &g, cfg.lr);
+                }
+                if let Some(leaf) = f.u_tg_leaf {
+                    if let Some(g) = grads.take(leaf) {
+                        optim::rsgd_lorentz(&mut self.u_tg, &g, cfg.lr);
+                    }
+                }
+                if let Some(r) = cfg.max_radius {
+                    optim::clip_lorentz_radius(&mut self.u_ir, r);
+                    optim::clip_lorentz_radius(&mut self.v_ir, r);
+                    if self.tags_active {
+                        optim::clip_lorentz_radius(&mut self.u_tg, r);
+                    }
+                }
+                if let Some(leaf) = f.t_p_leaf {
+                    if let Some(g) = grads.take(leaf) {
+                        optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr * cfg.lr_tag_mult);
+                    }
+                    // The Eq. 8 pull acts on T^P directly: plain rate.
+                    if let Some(reg) = reg_loss {
+                        let mut reg_grads = f.tape.backward(reg);
+                        if let Some(g) = reg_grads.take(leaf) {
+                            optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr);
+                        }
+                    }
+                }
+            }
+            self.loss_history.push(epoch_loss / n_batches.max(1) as f64);
+        }
+        // Final taxonomy from the converged embeddings (for RQ4/RQ5
+        // outputs), then cache inference embeddings.
+        if self.tags_active && cfg.lambda > 0.0 {
+            self.rebuild_taxonomy(dataset);
+        }
+        self.finalize();
+    }
+
+    fn scores_for_user(&self, user: u32) -> Vec<f64> {
+        let u = user as usize;
+        let urow_ir = self.final_u_ir.row(u);
+        let alpha =
+            self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
+        let n_items = self.final_v_ir.rows();
+        let mut out = Vec::with_capacity(n_items);
+        for v in 0..n_items {
+            let mut g = lorentz::distance_sq(urow_ir, self.final_v_ir.row(v));
+            if self.tags_active {
+                g += alpha
+                    * lorentz::distance_sq(self.final_u_tg.row(u), self.final_v_tg.row(v));
+            }
+            out.push(-g);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxorec_data::{generate_preset, Preset, Scale};
+
+    fn tiny_setup() -> (Dataset, Split) {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let s = Split::standard(&d);
+        (d, s)
+    }
+
+    #[test]
+    fn fit_produces_finite_embeddings_and_decreasing_loss() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 10;
+        let mut m = TaxoRec::new(cfg);
+        m.fit(&d, &s);
+        assert!(m.final_u_ir.all_finite());
+        assert!(m.final_v_ir.all_finite());
+        assert!(m.final_u_tg.all_finite());
+        assert!(m.final_v_tg.all_finite());
+        let first = m.loss_history[0];
+        let last = *m.loss_history.last().unwrap();
+        assert!(last < first, "loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn trained_model_ranks_positives_above_random() {
+        let (d, s) = tiny_setup();
+        let mut m = TaxoRec::new(TaxoRecConfig::fast_test());
+        m.fit(&d, &s);
+        // Mean score of training positives must exceed the global mean.
+        let mut pos_total = 0.0;
+        let mut pos_n = 0usize;
+        let mut all_total = 0.0;
+        let mut all_n = 0usize;
+        for (u, items) in s.train.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let scores = m.scores_for_user(u as u32);
+            for &v in items {
+                pos_total += scores[v as usize];
+                pos_n += 1;
+            }
+            all_total += scores.iter().sum::<f64>();
+            all_n += scores.len();
+        }
+        let pos_mean = pos_total / pos_n as f64;
+        let all_mean = all_total / all_n as f64;
+        assert!(pos_mean > all_mean, "positives {pos_mean} vs mean {all_mean}");
+    }
+
+    #[test]
+    fn taxonomy_is_constructed_during_fit() {
+        let (d, s) = tiny_setup();
+        let mut m = TaxoRec::new(TaxoRecConfig::fast_test());
+        m.fit(&d, &s);
+        let taxo = m.taxonomy().expect("taxonomy built when λ>0");
+        assert!(!taxo.is_empty());
+        assert_eq!(taxo.validate(), Ok(()));
+    }
+
+    #[test]
+    fn ablation_without_aggregation_still_trains() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test().ablation_hyper_cml();
+        cfg.epochs = 5;
+        let mut m = TaxoRec::new(cfg);
+        assert_eq!(m.name(), "Hyper+CML");
+        m.fit(&d, &s);
+        assert!(m.taxonomy().is_none());
+        assert_eq!(m.scores_for_user(0).len(), d.n_items);
+    }
+
+    #[test]
+    fn user_top_tags_returns_sorted_distances() {
+        let (d, s) = tiny_setup();
+        let mut m = TaxoRec::new(TaxoRecConfig::fast_test());
+        m.fit(&d, &s);
+        let top = m.user_top_tags(0, 4);
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 3;
+        let mut a = TaxoRec::new(cfg.clone());
+        let mut b = TaxoRec::new(cfg);
+        a.fit(&d, &s);
+        b.fit(&d, &s);
+        assert_eq!(a.scores_for_user(5), b.scores_for_user(5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Riemannian SGD over whole parameter matrices (paper §IV-E).
+//!
+//! Lorentz-model parameters update via the tangent projection +
+//! exponential map of Eq. 23; Poincaré-ball parameters via the conformal
+//! rescaling + Möbius exponential map of Eq. 21. Per-row gradient-norm
+//! clipping keeps early training stable (hinge losses on random
+//! hyperbolic embeddings can produce large spikes).
+
+use taxorec_autodiff::Matrix;
+use taxorec_geometry::{lorentz, poincare, vecops};
+
+/// Maximum Euclidean norm allowed for one row's gradient before clipping.
+pub const GRAD_CLIP: f64 = 5.0;
+
+/// Maximum per-row *step length* (`‖lr·grad_R‖`) of one Riemannian update.
+/// Clipping the step rather than the raw gradient keeps large learning
+/// rates stable: steps scale linearly with `lr` until the cap.
+pub const STEP_CLIP: f64 = 0.25;
+
+/// Applies one RSGD step to every row of a Lorentz-model parameter matrix
+/// (`n × (d+1)`, rows on the hyperboloid). The effective per-row step
+/// `lr·grad` is capped at [`STEP_CLIP`].
+pub fn rsgd_lorentz(param: &mut Matrix, grad: &Matrix, lr: f64) {
+    assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+    let mut g = vec![0.0; param.cols()];
+    for r in 0..param.rows() {
+        let grow = grad.row(r);
+        if grow.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for (gi, &x) in g.iter_mut().zip(grow) {
+            *gi = lr * x;
+        }
+        vecops::clip_norm(&mut g, STEP_CLIP);
+        lorentz::rsgd_step(param.row_mut(r), &g, 1.0);
+    }
+}
+
+/// Applies one RSGD step to every row of a Poincaré-ball parameter matrix
+/// (`n × d`, rows strictly inside the unit ball). The effective per-row
+/// step is capped at [`STEP_CLIP`].
+pub fn rsgd_poincare(param: &mut Matrix, grad: &Matrix, lr: f64) {
+    assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+    let mut g = vec![0.0; param.cols()];
+    for r in 0..param.rows() {
+        let grow = grad.row(r);
+        if grow.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for (gi, &x) in g.iter_mut().zip(grow) {
+            *gi = lr * x;
+        }
+        vecops::clip_norm(&mut g, STEP_CLIP);
+        poincare::rsgd_step(param.row_mut(r), &g, 1.0);
+    }
+}
+
+/// Clips every hyperboloid row to geodesic distance ≤ `radius` from the
+/// origin (log-map, rescale, exp-map). A bounded embedding region keeps
+/// squared-distance margins meaningful — the hyperbolic analogue of CML's
+/// unit-ball constraint.
+pub fn clip_lorentz_radius(param: &mut Matrix, radius: f64) {
+    let d = param.cols() - 1;
+    let mut tangent = vec![0.0; d];
+    for r in 0..param.rows() {
+        let row = param.row_mut(r);
+        let dist = taxorec_geometry::arcosh(row[0]);
+        if dist > radius {
+            lorentz::log_map_origin(row, &mut tangent);
+            let scale = radius / dist;
+            for t in tangent.iter_mut() {
+                *t *= scale;
+            }
+            lorentz::exp_map_origin(&tangent, row);
+        }
+    }
+}
+
+/// Plain Euclidean SGD with row clipping — used by the Euclidean baselines
+/// sharing this optimizer module.
+pub fn sgd(param: &mut Matrix, grad: &Matrix, lr: f64) {
+    assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+    let mut g = vec![0.0; param.cols()];
+    for r in 0..param.rows() {
+        let grow = grad.row(r);
+        if grow.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        g.copy_from_slice(grow);
+        vecops::clip_norm(&mut g, GRAD_CLIP);
+        let prow = param.row_mut(r);
+        for (p, gi) in prow.iter_mut().zip(&g) {
+            *p -= lr * gi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorentz_rows_stay_on_hyperboloid() {
+        let mut p = Matrix::zeros(3, 4);
+        for r in 0..3 {
+            let x = lorentz::from_spatial(&[0.1 * r as f64, -0.2, 0.3]);
+            p.row_mut(r).copy_from_slice(&x);
+        }
+        let g = Matrix::full(3, 4, 0.7);
+        rsgd_lorentz(&mut p, &g, 0.1);
+        for r in 0..3 {
+            assert!(lorentz::constraint_residual(p.row(r)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poincare_rows_stay_in_ball() {
+        let mut p = Matrix::from_vec(2, 2, vec![0.9, 0.0, -0.5, 0.5]);
+        let g = Matrix::full(2, 2, -3.0);
+        for _ in 0..20 {
+            rsgd_poincare(&mut p, &g, 0.5);
+        }
+        for r in 0..2 {
+            assert!(vecops::norm(p.row(r)) < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_gradient_rows_are_untouched() {
+        let orig = lorentz::from_spatial(&[0.3, 0.4]);
+        let mut p = Matrix::from_vec(1, 3, orig.clone());
+        let g = Matrix::zeros(1, 3);
+        rsgd_lorentz(&mut p, &g, 1.0);
+        assert_eq!(p.row(0), &orig[..]);
+    }
+
+    #[test]
+    fn huge_gradients_are_clipped() {
+        let mut p = Matrix::from_vec(1, 3, lorentz::from_spatial(&[0.0, 0.0]));
+        let g = Matrix::from_vec(1, 3, vec![0.0, 1e9, 0.0]);
+        rsgd_lorentz(&mut p, &g, 100.0);
+        // Step length bounded by STEP_CLIP regardless of lr.
+        let o = lorentz::origin(3);
+        assert!(lorentz::distance(&o, p.row(0)) <= STEP_CLIP + 1e-9);
+    }
+
+    #[test]
+    fn small_steps_scale_linearly_with_lr() {
+        let g = Matrix::from_vec(1, 3, vec![0.0, 0.01, 0.0]);
+        let mut p1 = Matrix::from_vec(1, 3, lorentz::from_spatial(&[0.0, 0.0]));
+        rsgd_lorentz(&mut p1, &g, 1.0);
+        let mut p2 = Matrix::from_vec(1, 3, lorentz::from_spatial(&[0.0, 0.0]));
+        rsgd_lorentz(&mut p2, &g, 2.0);
+        let o = lorentz::origin(3);
+        let d1 = lorentz::distance(&o, p1.row(0));
+        let d2 = lorentz::distance(&o, p2.row(0));
+        assert!((d2 / d1 - 2.0).abs() < 1e-3, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let g = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        sgd(&mut p, &g, 0.5);
+        assert_eq!(p.data(), &[0.5, 2.5]);
+    }
+}

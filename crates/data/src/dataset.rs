@@ -1,0 +1,271 @@
+//! Core dataset representation: implicit-feedback interactions plus the
+//! item–tag attribute matrix (paper §III-A).
+
+use crate::truth::TagTree;
+
+/// One implicit-feedback event `(u, v)` with a timestamp used for the
+/// temporal train/validation/test split (§V-A.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// User index in `0..n_users`.
+    pub user: u32,
+    /// Item index in `0..n_items`.
+    pub item: u32,
+    /// Event time (arbitrary monotone unit).
+    pub ts: i64,
+}
+
+/// An implicit-feedback recommendation dataset with item tags.
+///
+/// Corresponds to the paper's `X` (user–item matrix, stored as an event
+/// log) and `A`/`Ψ` (item–tag matrix, stored as per-item tag lists).
+/// Synthetic datasets additionally carry the planted ground-truth taxonomy
+/// for evaluation (absent for real data).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"ciao-synth"`).
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of distinct tags.
+    pub n_tags: usize,
+    /// Full interaction log (arbitrary order).
+    pub interactions: Vec<Interaction>,
+    /// `item_tags[v]` lists the tags of item `v` (sorted, deduplicated).
+    pub item_tags: Vec<Vec<u32>>,
+    /// Display names of the tags.
+    pub tag_names: Vec<String>,
+    /// Planted ground-truth taxonomy, if this dataset is synthetic.
+    pub taxonomy_truth: Option<TagTree>,
+}
+
+/// Summary row of the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Number of interactions.
+    pub interactions: usize,
+    /// Interaction density in percent: `100·|X| / (|U|·|V|)`.
+    pub density_pct: f64,
+    /// Number of tags.
+    pub tags: usize,
+}
+
+impl Dataset {
+    /// Computes the Table I statistics row.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            users: self.n_users,
+            items: self.n_items,
+            interactions: self.interactions.len(),
+            density_pct: 100.0 * self.interactions.len() as f64
+                / (self.n_users as f64 * self.n_items as f64),
+            tags: self.n_tags,
+        }
+    }
+
+    /// Per-user interaction lists sorted by timestamp (ties broken by item
+    /// id for determinism).
+    pub fn interactions_by_user(&self) -> Vec<Vec<Interaction>> {
+        let mut by_user: Vec<Vec<Interaction>> = vec![Vec::new(); self.n_users];
+        for &i in &self.interactions {
+            by_user[i.user as usize].push(i);
+        }
+        for list in &mut by_user {
+            list.sort_by_key(|i| (i.ts, i.item));
+        }
+        by_user
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// violation found, if any. Used by loaders and tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.item_tags.len() != self.n_items {
+            return Err(format!(
+                "item_tags has {} entries but n_items is {}",
+                self.item_tags.len(),
+                self.n_items
+            ));
+        }
+        if self.tag_names.len() != self.n_tags {
+            return Err(format!(
+                "tag_names has {} entries but n_tags is {}",
+                self.tag_names.len(),
+                self.n_tags
+            ));
+        }
+        for (v, tags) in self.item_tags.iter().enumerate() {
+            for &t in tags {
+                if t as usize >= self.n_tags {
+                    return Err(format!("item {v} has out-of-range tag {t}"));
+                }
+            }
+            if tags.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("item {v} tag list is not sorted/deduplicated"));
+            }
+        }
+        for i in &self.interactions {
+            if i.user as usize >= self.n_users {
+                return Err(format!("interaction has out-of-range user {}", i.user));
+            }
+            if i.item as usize >= self.n_items {
+                return Err(format!("interaction has out-of-range item {}", i.item));
+            }
+        }
+        if let Some(tree) = &self.taxonomy_truth {
+            if tree.n_tags() != self.n_tags {
+                return Err(format!(
+                    "taxonomy truth covers {} tags, dataset has {}",
+                    tree.n_tags(),
+                    self.n_tags
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The personalized tag-weight `α_u` of paper Eq. 16:
+    ///
+    /// `α_u = Σ_{v∈V_u} |T_v| / (|V_u| · |∪_{v∈V_u} T_v|)`,
+    ///
+    /// computed on the supplied per-user item lists (normally the training
+    /// split, so no test leakage). Users without interactions or whose
+    /// items carry no tags get `α_u = 0`.
+    pub fn alpha_weights(&self, user_items: &[Vec<u32>]) -> Vec<f64> {
+        let mut alphas = vec![0.0; self.n_users];
+        let mut seen = vec![false; self.n_tags];
+        for (u, items) in user_items.iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let mut total_tags = 0usize;
+            let mut union_size = 0usize;
+            let mut touched: Vec<u32> = Vec::new();
+            for &v in items {
+                for &t in &self.item_tags[v as usize] {
+                    total_tags += 1;
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        union_size += 1;
+                        touched.push(t);
+                    }
+                }
+            }
+            for t in touched {
+                seen[t as usize] = false;
+            }
+            if union_size > 0 {
+                alphas[u] = total_tags as f64 / (items.len() as f64 * union_size as f64);
+            }
+        }
+        // α_u ∈ [0, 1] is claimed by the paper for per-item tag multisets;
+        // clamp defensively against degenerate synthetic data.
+        for a in &mut alphas {
+            *a = a.clamp(0.0, 1.0);
+        }
+        alphas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            n_users: 2,
+            n_items: 3,
+            n_tags: 2,
+            interactions: vec![
+                Interaction { user: 0, item: 0, ts: 2 },
+                Interaction { user: 0, item: 1, ts: 1 },
+                Interaction { user: 1, item: 2, ts: 0 },
+            ],
+            item_tags: vec![vec![0], vec![0, 1], vec![]],
+            tag_names: vec!["a".into(), "b".into()],
+            taxonomy_truth: None,
+        }
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = tiny().stats();
+        assert_eq!(s.users, 2);
+        assert_eq!(s.items, 3);
+        assert_eq!(s.interactions, 3);
+        assert_eq!(s.tags, 2);
+        assert!((s.density_pct - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interactions_by_user_sorted_by_time() {
+        let by_user = tiny().interactions_by_user();
+        assert_eq!(by_user[0].len(), 2);
+        assert_eq!(by_user[0][0].item, 1, "earlier timestamp first");
+        assert_eq!(by_user[1].len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_data() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_tag() {
+        let mut d = tiny();
+        d.item_tags[0] = vec![9];
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_tags() {
+        let mut d = tiny();
+        d.item_tags[1] = vec![1, 0];
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_interaction() {
+        let mut d = tiny();
+        d.interactions.push(Interaction { user: 5, item: 0, ts: 0 });
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn alpha_weight_matches_eq16_by_hand() {
+        // User 0 interacts with items 0 (tags {0}) and 1 (tags {0,1}):
+        // Σ|T_v| = 3, |V_u| = 2, |∪T_v| = 2 ⇒ α = 3/4.
+        let d = tiny();
+        let user_items = vec![vec![0u32, 1], vec![2u32]];
+        let a = d.alpha_weights(&user_items);
+        assert!((a[0] - 0.75).abs() < 1e-12);
+        // Item 2 has no tags ⇒ α_1 = 0.
+        assert_eq!(a[1], 0.0);
+    }
+
+    #[test]
+    fn alpha_weight_repeated_tags_increase_alpha() {
+        // Identical tag sets across items ⇒ high α (consistent preference).
+        let d = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            n_items: 4,
+            n_tags: 2,
+            interactions: vec![],
+            item_tags: vec![vec![0], vec![0], vec![0], vec![1]],
+            tag_names: vec!["a".into(), "b".into()],
+            taxonomy_truth: None,
+        };
+        let consistent = d.alpha_weights(&[vec![0, 1, 2], vec![]])[0];
+        let diverse = d.alpha_weights(&[vec![0, 3], vec![]])[0];
+        assert!(consistent > diverse);
+        assert!((consistent - 1.0).abs() < 1e-12);
+        assert!((diverse - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Negative sampling for the triplet losses (paper Eq. 18 samples
+//! `(u, v_p) ∈ I` against `(u, v_q) ∉ I`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Uniform negative sampler over items, excluding each user's training
+/// positives.
+pub struct NegativeSampler {
+    n_items: usize,
+    /// Per-user *sorted* positive lists.
+    positives: Vec<Vec<u32>>,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler from per-user positive item lists (need not be
+    /// sorted; they are sorted internally).
+    pub fn new(n_items: usize, positives: Vec<Vec<u32>>) -> Self {
+        let mut positives = positives;
+        for list in &mut positives {
+            list.sort_unstable();
+        }
+        Self { n_items, positives }
+    }
+
+    /// True when `item` is a recorded positive for `user`.
+    pub fn is_positive(&self, user: u32, item: u32) -> bool {
+        self.positives[user as usize].binary_search(&item).is_ok()
+    }
+
+    /// Samples one item uniformly from the user's non-positive items.
+    ///
+    /// Falls back to a uniform item after 100 rejections (only reachable
+    /// when a user has interacted with almost the whole catalogue).
+    pub fn sample(&self, user: u32, rng: &mut StdRng) -> u32 {
+        for _ in 0..100 {
+            let v = rng.random_range(0..self.n_items) as u32;
+            if !self.is_positive(user, v) {
+                return v;
+            }
+        }
+        rng.random_range(0..self.n_items) as u32
+    }
+
+    /// Samples `k` negatives for a user (with replacement across draws).
+    pub fn sample_many(&self, user: u32, k: usize, rng: &mut StdRng) -> Vec<u32> {
+        (0..k).map(|_| self.sample(user, rng)).collect()
+    }
+
+    /// Number of items in the catalogue.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_returns_a_positive_when_possible() {
+        let s = NegativeSampler::new(10, vec![vec![9, 1, 5]]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = s.sample(0, &mut rng);
+            assert!(![1u32, 5, 9].contains(&v));
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn is_positive_uses_sorted_search() {
+        let s = NegativeSampler::new(5, vec![vec![3, 0]]);
+        assert!(s.is_positive(0, 0));
+        assert!(s.is_positive(0, 3));
+        assert!(!s.is_positive(0, 2));
+    }
+
+    #[test]
+    fn saturated_user_falls_back() {
+        // User has every item: the sampler must still terminate.
+        let s = NegativeSampler::new(3, vec![vec![0, 1, 2]]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = s.sample(0, &mut rng);
+        assert!(v < 3);
+    }
+
+    #[test]
+    fn sample_many_length() {
+        let s = NegativeSampler::new(100, vec![vec![]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(s.sample_many(0, 17, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = NegativeSampler::new(50, vec![vec![1, 2, 3]]);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(s.sample_many(0, 20, &mut a), s.sample_many(0, 20, &mut b));
+    }
+}

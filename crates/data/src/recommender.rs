@@ -1,0 +1,83 @@
+//! The common interface every recommender in this workspace implements —
+//! TaxoRec itself and all 14 baselines — so the evaluation harness can
+//! treat them uniformly.
+
+use crate::dataset::Dataset;
+use crate::split::Split;
+
+/// A trainable top-N recommender.
+pub trait Recommender {
+    /// Display name used in result tables (e.g. `"TaxoRec"`, `"BPRMF"`).
+    fn name(&self) -> &str;
+
+    /// Trains on the training partition of `split`. Implementations must
+    /// not look at validation or test items.
+    fn fit(&mut self, dataset: &Dataset, split: &Split);
+
+    /// Preference scores of `user` for every item (index = item id);
+    /// **higher means better**. Metric-learning models return negated
+    /// distances. Only valid after [`Recommender::fit`].
+    fn scores_for_user(&self, user: u32) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial popularity recommender, doubling as a trait smoke test
+    /// and a sanity-floor baseline for integration tests.
+    pub struct Popularity {
+        counts: Vec<f64>,
+    }
+
+    impl Popularity {
+        pub fn new() -> Self {
+            Self { counts: Vec::new() }
+        }
+    }
+
+    impl Recommender for Popularity {
+        fn name(&self) -> &str {
+            "Popularity"
+        }
+
+        fn fit(&mut self, dataset: &Dataset, split: &Split) {
+            self.counts = vec![0.0; dataset.n_items];
+            for items in &split.train {
+                for &v in items {
+                    self.counts[v as usize] += 1.0;
+                }
+            }
+        }
+
+        fn scores_for_user(&self, _user: u32) -> Vec<f64> {
+            self.counts.clone()
+        }
+    }
+
+    #[test]
+    fn popularity_scores_track_train_counts() {
+        use crate::dataset::Interaction;
+        let d = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            n_items: 3,
+            n_tags: 0,
+            interactions: vec![
+                Interaction { user: 0, item: 0, ts: 0 },
+                Interaction { user: 1, item: 0, ts: 0 },
+                Interaction { user: 1, item: 1, ts: 1 },
+            ],
+            item_tags: vec![vec![]; 3],
+            tag_names: vec![],
+            taxonomy_truth: None,
+        };
+        let s = Split::temporal(&d, 1.0, 0.0);
+        let mut p = Popularity::new();
+        p.fit(&d, &s);
+        let scores = p.scores_for_user(0);
+        assert!(scores[0] > scores[1]);
+        assert!(scores[1] > scores[2]);
+        assert_eq!(p.name(), "Popularity");
+    }
+}

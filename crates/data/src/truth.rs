@@ -1,0 +1,174 @@
+//! Ground-truth tag taxonomy for synthetic datasets.
+//!
+//! The synthetic generator plants a rooted tree over tags; the taxonomy-
+//! recovery metrics (RQ4) compare a constructed taxonomy's ancestor pairs
+//! against this tree.
+
+/// A rooted tree over tag ids `0..n_tags`.
+///
+/// The root is virtual (it is *not* a tag); top-level tags have
+/// `parent = None`. Every tag appears exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagTree {
+    /// `parent[t]` is the parent tag of `t`, or `None` for top-level tags.
+    parent: Vec<Option<u32>>,
+}
+
+impl TagTree {
+    /// Builds from a parent array.
+    ///
+    /// # Panics
+    /// Panics if a parent index is out of range, self-referential, or the
+    /// structure contains a cycle.
+    pub fn from_parents(parent: Vec<Option<u32>>) -> Self {
+        let n = parent.len();
+        for (t, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!((*p as usize) < n, "parent {p} out of range");
+                assert!(*p as usize != t, "tag {t} is its own parent");
+            }
+        }
+        let tree = Self { parent };
+        // Cycle check: walking up from any node must terminate.
+        for t in 0..n {
+            let mut steps = 0;
+            let mut cur = Some(t as u32);
+            while let Some(c) = cur {
+                cur = tree.parent[c as usize];
+                steps += 1;
+                assert!(steps <= n, "cycle detected at tag {t}");
+            }
+        }
+        tree
+    }
+
+    /// Number of tags covered.
+    pub fn n_tags(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of tag `t` (`None` for a top-level tag).
+    pub fn parent(&self, t: u32) -> Option<u32> {
+        self.parent[t as usize]
+    }
+
+    /// Depth of tag `t` (top-level tags have depth 0).
+    pub fn depth(&self, t: u32) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent(t);
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent(p);
+        }
+        d
+    }
+
+    /// All strict ancestors of `t`, nearest first.
+    pub fn ancestors(&self, t: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(t);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// True when `a` is a strict ancestor of `d`.
+    pub fn is_ancestor(&self, a: u32, d: u32) -> bool {
+        let mut cur = self.parent(d);
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// The set of all `(ancestor, descendant)` pairs, used by the taxonomy
+    /// recovery metrics.
+    pub fn ancestor_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for t in 0..self.parent.len() as u32 {
+            for a in self.ancestors(t) {
+                pairs.push((a, t));
+            }
+        }
+        pairs
+    }
+
+    /// Children lists, index = tag id.
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (t, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p as usize].push(t as u32);
+            }
+        }
+        ch
+    }
+
+    /// Maximum depth over all tags.
+    pub fn max_depth(&self) -> usize {
+        (0..self.parent.len() as u32).map(|t| self.depth(t)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 and 1 top-level; 2,3 under 0; 4 under 2.
+    fn sample() -> TagTree {
+        TagTree::from_parents(vec![None, None, Some(0), Some(0), Some(2)])
+    }
+
+    #[test]
+    fn depths_and_ancestors() {
+        let t = sample();
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(2), 1);
+        assert_eq!(t.depth(4), 2);
+        assert_eq!(t.ancestors(4), vec![2, 0]);
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let t = sample();
+        assert!(t.is_ancestor(0, 4));
+        assert!(t.is_ancestor(2, 4));
+        assert!(!t.is_ancestor(4, 2));
+        assert!(!t.is_ancestor(1, 4));
+    }
+
+    #[test]
+    fn ancestor_pairs_complete() {
+        let t = sample();
+        let mut pairs = t.ancestor_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (0, 3), (0, 4), (2, 4)]);
+    }
+
+    #[test]
+    fn children_lists() {
+        let t = sample();
+        let ch = t.children();
+        assert_eq!(ch[0], vec![2, 3]);
+        assert_eq!(ch[2], vec![4]);
+        assert!(ch[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle detected")]
+    fn rejects_cycles() {
+        let _ = TagTree::from_parents(vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "its own parent")]
+    fn rejects_self_parent() {
+        let _ = TagTree::from_parents(vec![Some(0)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text TSV persistence so real datasets can be dropped in.
+//!
+//! Two files describe a dataset:
+//!
+//! * `<name>.inter` — one `user \t item \t timestamp` line per event;
+//! * `<name>.tags` — one `item \t tag_name[,tag_name...]` line per tagged
+//!   item (items may be absent → no tags).
+//!
+//! Tag ids are assigned in order of first appearance.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::{Dataset, Interaction};
+
+/// Loads a dataset from `<stem>.inter` and `<stem>.tags`.
+///
+/// # Errors
+/// Returns a descriptive error for missing files or malformed lines.
+pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
+    let inter_path = stem.with_extension("inter");
+    let tags_path = stem.with_extension("tags");
+    let inter_file = std::fs::File::open(&inter_path)
+        .map_err(|e| format!("open {}: {e}", inter_path.display()))?;
+    let mut interactions = Vec::new();
+    let mut n_users = 0usize;
+    let mut n_items = 0usize;
+    for (lineno, line) in std::io::BufReader::new(inter_file).lines().enumerate() {
+        let line = line.map_err(|e| format!("read {}: {e}", inter_path.display()))?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let parse = |s: Option<&str>, what: &str| -> Result<i64, String> {
+            s.ok_or_else(|| format!("{}:{}: missing {what}", inter_path.display(), lineno + 1))?
+                .trim()
+                .parse::<i64>()
+                .map_err(|e| format!("{}:{}: bad {what}: {e}", inter_path.display(), lineno + 1))
+        };
+        let id = |v: i64, what: &str| -> Result<u32, String> {
+            u32::try_from(v).map_err(|_| {
+                format!("{}:{}: {what} {v} out of range", inter_path.display(), lineno + 1)
+            })
+        };
+        let user = id(parse(parts.next(), "user")?, "user")?;
+        let item = id(parse(parts.next(), "item")?, "item")?;
+        let ts = parse(parts.next(), "timestamp")?;
+        n_users = n_users.max(user as usize + 1);
+        n_items = n_items.max(item as usize + 1);
+        interactions.push(Interaction { user, item, ts });
+    }
+
+    let mut item_tags: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+    let mut tag_ids: HashMap<String, u32> = HashMap::new();
+    let mut tag_names: Vec<String> = Vec::new();
+    if let Ok(tags_file) = std::fs::File::open(&tags_path) {
+        for (lineno, line) in std::io::BufReader::new(tags_file).lines().enumerate() {
+            let line = line.map_err(|e| format!("read {}: {e}", tags_path.display()))?;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (item_s, tags_s) = line.split_once('\t').ok_or_else(|| {
+                format!("{}:{}: expected item<TAB>tags", tags_path.display(), lineno + 1)
+            })?;
+            let item: usize = item_s.trim().parse().map_err(|e| {
+                format!("{}:{}: bad item: {e}", tags_path.display(), lineno + 1)
+            })?;
+            if item >= n_items {
+                // Tagged item never interacted with: extend the catalogue.
+                item_tags.resize(item + 1, Vec::new());
+                n_items = item + 1;
+            }
+            for tag in tags_s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                let id = *tag_ids.entry(tag.to_string()).or_insert_with(|| {
+                    tag_names.push(tag.to_string());
+                    (tag_names.len() - 1) as u32
+                });
+                item_tags[item].push(id);
+            }
+        }
+    }
+    for tags in &mut item_tags {
+        tags.sort_unstable();
+        tags.dedup();
+    }
+    let dataset = Dataset {
+        name: name.to_string(),
+        n_users,
+        n_items,
+        n_tags: tag_names.len(),
+        interactions,
+        item_tags,
+        tag_names,
+        taxonomy_truth: None,
+    };
+    dataset.validate()?;
+    Ok(dataset)
+}
+
+/// Saves a dataset as `<stem>.inter` + `<stem>.tags`.
+///
+/// # Errors
+/// Returns an error string on I/O failure.
+pub fn save(dataset: &Dataset, stem: &Path) -> Result<(), String> {
+    let inter_path = stem.with_extension("inter");
+    let mut w = BufWriter::new(
+        std::fs::File::create(&inter_path)
+            .map_err(|e| format!("create {}: {e}", inter_path.display()))?,
+    );
+    for i in &dataset.interactions {
+        writeln!(w, "{}\t{}\t{}", i.user, i.item, i.ts).map_err(|e| e.to_string())?;
+    }
+    let tags_path = stem.with_extension("tags");
+    let mut w = BufWriter::new(
+        std::fs::File::create(&tags_path)
+            .map_err(|e| format!("create {}: {e}", tags_path.display()))?,
+    );
+    for (v, tags) in dataset.item_tags.iter().enumerate() {
+        if tags.is_empty() {
+            continue;
+        }
+        let names: Vec<&str> =
+            tags.iter().map(|&t| dataset.tag_names[t as usize].as_str()).collect();
+        writeln!(w, "{v}\t{}", names.join(",")).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_preset, Preset, Scale};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let dir = std::env::temp_dir().join("taxorec-tsv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("ciao");
+        save(&d, &stem).unwrap();
+        let loaded = load(&stem, "ciao").unwrap();
+        assert_eq!(loaded.n_users, d.n_users);
+        assert_eq!(loaded.interactions.len(), d.interactions.len());
+        // Tags that no item carries are not persisted, so the loaded tag
+        // universe may be smaller.
+        assert!(loaded.n_tags <= d.n_tags);
+        // Tag ids may be renumbered, but per-item tag *names* must match.
+        for v in 0..d.n_items {
+            let mut orig: Vec<&str> =
+                d.item_tags[v].iter().map(|&t| d.tag_names[t as usize].as_str()).collect();
+            let mut back: Vec<&str> = loaded.item_tags[v]
+                .iter()
+                .map(|&t| loaded.tag_names[t as usize].as_str())
+                .collect();
+            orig.sort_unstable();
+            back.sort_unstable();
+            assert_eq!(orig, back, "item {v}");
+        }
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load(Path::new("/nonexistent/xyz"), "x").unwrap_err();
+        assert!(err.contains("open"));
+    }
+
+    #[test]
+    fn load_rejects_malformed_line() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("bad");
+        std::fs::write(stem.with_extension("inter"), "1\tnot-a-number\t3\n").unwrap();
+        let err = load(&stem, "bad").unwrap_err();
+        assert!(err.contains("bad item"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_negative_ids() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-neg");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("neg");
+        std::fs::write(stem.with_extension("inter"), "-1\t0\t3\n").unwrap();
+        let err = load(&stem, "neg").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-comments");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("c");
+        std::fs::write(stem.with_extension("inter"), "# header\n\n0\t0\t1\n").unwrap();
+        let d = load(&stem, "c").unwrap();
+        assert_eq!(d.interactions.len(), 1);
+    }
+}

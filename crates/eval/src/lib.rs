@@ -1,0 +1,14 @@
+//! Evaluation harness for TaxoRec and its baselines: unsampled Recall@K /
+//! NDCG@K (paper §V-A.2), the Wilcoxon signed-rank significance test
+//! behind Table II's stars, a multi-seed experiment runner, and plain-text
+//! table rendering.
+
+pub mod metrics;
+pub mod runner;
+pub mod table;
+pub mod wilcoxon;
+
+pub use metrics::{evaluate, evaluate_valid, top_k_indices, Evaluation};
+pub use runner::{run_cell, CellStats};
+pub use table::{mark_best, TextTable};
+pub use wilcoxon::{std_normal_cdf, wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,272 @@
+//! Full-ranking evaluation: Recall@K and NDCG@K (paper §V-A.2).
+//!
+//! The paper explicitly evaluates with *unsampled* metrics (following
+//! Krichene & Rendle, KDD 2020): every non-training item is a candidate.
+//! Training and validation items are masked out of the candidate set when
+//! scoring the test partition.
+
+use taxorec_data::{Recommender, Split};
+
+/// Per-user metric values for one evaluation run, aligned with the `ks`
+/// passed to [`evaluate`]. Only users with a non-empty target set appear.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Cutoffs the metrics were computed at.
+    pub ks: Vec<usize>,
+    /// `recall[i][j]` = Recall@ks[j] of the i-th evaluated user.
+    pub recall: Vec<Vec<f64>>,
+    /// `ndcg[i][j]` = NDCG@ks[j] of the i-th evaluated user.
+    pub ndcg: Vec<Vec<f64>>,
+    /// The evaluated user ids (parallel to `recall`/`ndcg`).
+    pub users: Vec<u32>,
+}
+
+impl Evaluation {
+    /// Mean Recall@ks[k_idx] over evaluated users.
+    pub fn mean_recall(&self, k_idx: usize) -> f64 {
+        mean(self.recall.iter().map(|r| r[k_idx]))
+    }
+
+    /// Mean NDCG@ks[k_idx] over evaluated users.
+    pub fn mean_ndcg(&self, k_idx: usize) -> f64 {
+        mean(self.ndcg.iter().map(|r| r[k_idx]))
+    }
+
+    /// Per-user Recall@ks[k_idx] values (for significance testing).
+    pub fn user_recall(&self, k_idx: usize) -> Vec<f64> {
+        self.recall.iter().map(|r| r[k_idx]).collect()
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for v in it {
+        total += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Evaluates a fitted model on the test partition of `split` at the given
+/// cutoffs, masking train and validation items from the candidates.
+pub fn evaluate(model: &dyn Recommender, split: &Split, ks: &[usize]) -> Evaluation {
+    evaluate_on(model, split, &split.test, ks)
+}
+
+/// Evaluates against the validation partition (hyperparameter tuning),
+/// masking only training items.
+pub fn evaluate_valid(model: &dyn Recommender, split: &Split, ks: &[usize]) -> Evaluation {
+    let mut eval = Evaluation {
+        ks: ks.to_vec(),
+        recall: Vec::new(),
+        ndcg: Vec::new(),
+        users: Vec::new(),
+    };
+    for (u, targets) in split.valid.iter().enumerate() {
+        if targets.is_empty() {
+            continue;
+        }
+        let mut scores = model.scores_for_user(u as u32);
+        for &v in &split.train[u] {
+            scores[v as usize] = f64::NEG_INFINITY;
+        }
+        push_user(&mut eval, u as u32, &scores, targets, ks);
+    }
+    eval
+}
+
+fn evaluate_on(
+    model: &dyn Recommender,
+    split: &Split,
+    targets_by_user: &[Vec<u32>],
+    ks: &[usize],
+) -> Evaluation {
+    let mut eval = Evaluation {
+        ks: ks.to_vec(),
+        recall: Vec::new(),
+        ndcg: Vec::new(),
+        users: Vec::new(),
+    };
+    for (u, targets) in targets_by_user.iter().enumerate() {
+        if targets.is_empty() {
+            continue;
+        }
+        let mut scores = model.scores_for_user(u as u32);
+        for &v in &split.train[u] {
+            scores[v as usize] = f64::NEG_INFINITY;
+        }
+        for &v in &split.valid[u] {
+            scores[v as usize] = f64::NEG_INFINITY;
+        }
+        push_user(&mut eval, u as u32, &scores, targets, ks);
+    }
+    eval
+}
+
+fn push_user(eval: &mut Evaluation, user: u32, scores: &[f64], targets: &[u32], ks: &[usize]) {
+    let kmax = ks.iter().copied().max().unwrap_or(0);
+    let top = top_k_indices(scores, kmax);
+    let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
+    let mut recall_row = Vec::with_capacity(ks.len());
+    let mut ndcg_row = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let hits: Vec<usize> = top
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|&(_, &item)| target_set.contains(&(item as u32)))
+            .map(|(rank, _)| rank)
+            .collect();
+        let recall = hits.len() as f64 / targets.len() as f64;
+        let dcg: f64 = hits.iter().map(|&rank| 1.0 / ((rank + 2) as f64).log2()).sum();
+        let ideal: f64 =
+            (0..k.min(targets.len())).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+        let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
+        recall_row.push(recall);
+        ndcg_row.push(ndcg);
+    }
+    eval.recall.push(recall_row);
+    eval.ndcg.push(ndcg_row);
+    eval.users.push(user);
+}
+
+/// Indices of the `k` largest scores, descending (deterministic
+/// tie-breaking by index).
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    if scores.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let k = k.min(scores.len());
+    idx.select_nth_unstable_by(k.saturating_sub(1).min(scores.len() - 1), |&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxorec_data::{Dataset, Interaction};
+
+    /// Oracle scorer: prefers items in a fixed list.
+    struct Fixed {
+        ranking: Vec<u32>,
+        n_items: usize,
+    }
+
+    impl Recommender for Fixed {
+        fn name(&self) -> &str {
+            "Fixed"
+        }
+        fn fit(&mut self, _: &Dataset, _: &Split) {}
+        fn scores_for_user(&self, _: u32) -> Vec<f64> {
+            let mut s = vec![0.0; self.n_items];
+            for (i, &v) in self.ranking.iter().enumerate() {
+                s[v as usize] = 1000.0 - i as f64;
+            }
+            s
+        }
+    }
+
+    fn split_with(train: Vec<Vec<u32>>, valid: Vec<Vec<u32>>, test: Vec<Vec<u32>>) -> Split {
+        Split { train, valid, test }
+    }
+
+    #[test]
+    fn top_k_indices_empty_and_zero_k() {
+        assert!(top_k_indices(&[], 5).is_empty());
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_indices_orders_descending() {
+        let scores = [1.0, 9.0, 3.0, 7.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, 10), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let model = Fixed { ranking: vec![3, 4], n_items: 10 };
+        let split = split_with(vec![vec![0]], vec![vec![]], vec![vec![3, 4]]);
+        let e = evaluate(&model, &split, &[2, 5]);
+        assert_eq!(e.users, vec![0]);
+        assert_eq!(e.mean_recall(0), 1.0);
+        assert!((e.mean_ndcg(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_scores_zero() {
+        let model = Fixed { ranking: vec![1, 2], n_items: 10 };
+        let split = split_with(vec![vec![0]], vec![vec![]], vec![vec![9]]);
+        let e = evaluate(&model, &split, &[2]);
+        assert_eq!(e.mean_recall(0), 0.0);
+        assert_eq!(e.mean_ndcg(0), 0.0);
+    }
+
+    #[test]
+    fn partial_hit_recall_fraction() {
+        // Test set {5, 6}; top-2 hits only 5 ⇒ recall 0.5.
+        let model = Fixed { ranking: vec![5, 1], n_items: 10 };
+        let split = split_with(vec![vec![]], vec![vec![]], vec![vec![5, 6]]);
+        let e = evaluate(&model, &split, &[2]);
+        assert!((e.mean_recall(0) - 0.5).abs() < 1e-12);
+        // DCG = 1/log2(2) = 1, IDCG = 1 + 1/log2(3).
+        let expected = 1.0 / (1.0 + 1.0 / 3f64.log2());
+        assert!((e.mean_ndcg(0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_and_valid_items_are_masked() {
+        // Item 5 would top the list but is in train; 6 in valid; so the
+        // effective ranking starts at 7.
+        let model = Fixed { ranking: vec![5, 6, 7], n_items: 10 };
+        let split = split_with(vec![vec![5]], vec![vec![6]], vec![vec![7]]);
+        let e = evaluate(&model, &split, &[1]);
+        assert_eq!(e.mean_recall(0), 1.0);
+    }
+
+    #[test]
+    fn users_without_test_items_are_skipped() {
+        let model = Fixed { ranking: vec![1], n_items: 5 };
+        let split = split_with(vec![vec![], vec![]], vec![vec![], vec![]], vec![vec![], vec![1]]);
+        let e = evaluate(&model, &split, &[1]);
+        assert_eq!(e.users, vec![1]);
+    }
+
+    #[test]
+    fn ndcg_position_sensitivity() {
+        // Hit at rank 1 beats hit at rank 3.
+        let first = Fixed { ranking: vec![9, 1, 2], n_items: 10 };
+        let third = Fixed { ranking: vec![1, 2, 9], n_items: 10 };
+        let split = split_with(vec![vec![]], vec![vec![]], vec![vec![9]]);
+        let e1 = evaluate(&first, &split, &[3]);
+        let e3 = evaluate(&third, &split, &[3]);
+        assert!(e1.mean_ndcg(0) > e3.mean_ndcg(0));
+        assert_eq!(e1.mean_recall(0), e3.mean_recall(0));
+    }
+
+    #[test]
+    fn validation_evaluation_masks_only_train() {
+        let model = Fixed { ranking: vec![5, 6], n_items: 10 };
+        let split = split_with(vec![vec![5]], vec![vec![6]], vec![vec![]]);
+        let e = evaluate_valid(&model, &split, &[1]);
+        assert_eq!(e.mean_recall(0), 1.0);
+    }
+
+    #[test]
+    fn interaction_struct_is_reexported() {
+        // Keeps the test module honest about the data dependency.
+        let _ = Interaction { user: 0, item: 0, ts: 0 };
+    }
+}

@@ -1,0 +1,146 @@
+//! Wilcoxon signed-rank test — the significance test behind the stars in
+//! the paper's Table II ("significant according to the Wilcoxon
+//! signed-rank test on 5% confidence level").
+//!
+//! Normal approximation with tie correction; adequate for the dozens-to-
+//! thousands of paired per-user metric samples produced by the harness.
+
+/// Result of a two-sided Wilcoxon signed-rank test on paired samples.
+#[derive(Clone, Copy, Debug)]
+pub struct WilcoxonResult {
+    /// Signed-rank statistic `W⁺` (sum of ranks of positive differences).
+    pub w_plus: f64,
+    /// Number of non-zero paired differences actually used.
+    pub n_used: usize,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+    /// Standardized statistic.
+    pub z: f64,
+}
+
+impl WilcoxonResult {
+    /// True when the difference is significant at the given level.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.n_used >= 6 && self.p_value < alpha
+    }
+}
+
+/// Two-sided Wilcoxon signed-rank test of `a` vs `b` (paired).
+///
+/// Zero differences are dropped (the standard Wilcoxon treatment); tied
+/// absolute differences receive average ranks with the variance tie
+/// correction.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let mut diffs: Vec<f64> =
+        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| d.abs() > 1e-15).collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult { w_plus: 0.0, n_used: 0, p_value: 1.0, z: 0.0 };
+    }
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+    // Average ranks over ties; accumulate the tie correction term Σ(t³−t).
+    let mut ranks = vec![0.0; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (diffs[j + 1].abs() - diffs[i].abs()).abs() < 1e-15 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 =
+        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if var <= 0.0 {
+        return WilcoxonResult { w_plus, n_used: n, p_value: 1.0, z: 0.0 };
+    }
+    // Continuity correction.
+    let z = (w_plus - mean - 0.5 * (w_plus - mean).signum()) / var.sqrt();
+    let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
+    WilcoxonResult { w_plus, n_used: n, p_value: p.clamp(0.0, 1.0), z }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ≈ 1.5e−7 — ample for significance thresholds).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n_used, 0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_better_sample_is_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..50).map(|i| 0.5 + i as f64 * 0.01).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.significant(0.05), "p = {}", r.p_value);
+        assert!(r.z > 0.0);
+    }
+
+    #[test]
+    fn symmetric_noise_is_not_significant() {
+        // Alternating ±δ differences cancel.
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let b: Vec<f64> =
+            (0..40).map(|i| i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(!r.significant(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn erf_matches_reference_points() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_heavy_ties() {
+        let a = vec![1.0; 30];
+        let b: Vec<f64> = (0..30).map(|i| if i < 25 { 0.5 } else { 1.5 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value.is_finite());
+        assert!(r.significant(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the evaluation machinery: ranking-metric
+//! bounds and monotonicity, top-k correctness, and Wilcoxon sanity.
+
+use proptest::prelude::*;
+use taxorec_eval::{std_normal_cdf, top_k_indices, wilcoxon_signed_rank};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn top_k_returns_the_k_largest(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        k in 1usize..60,
+    ) {
+        let top = top_k_indices(&scores, k);
+        let k_eff = k.min(scores.len());
+        prop_assert_eq!(top.len(), k_eff);
+        // Sorted descending.
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0]] >= scores[w[1]]);
+        }
+        // Every excluded score ≤ the smallest included one.
+        let floor = scores[*top.last().unwrap()];
+        for (i, &s) in scores.iter().enumerate() {
+            if !top.contains(&i) {
+                prop_assert!(s <= floor);
+            }
+        }
+        // No duplicates.
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k_eff);
+    }
+
+    #[test]
+    fn wilcoxon_p_value_in_unit_interval(
+        a in proptest::collection::vec(-10.0f64..10.0, 2..40),
+        noise in proptest::collection::vec(-1.0f64..1.0, 40),
+    ) {
+        let b: Vec<f64> = a.iter().zip(&noise).map(|(x, n)| x + n).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.w_plus >= 0.0);
+        prop_assert!(r.n_used <= a.len());
+    }
+
+    #[test]
+    fn wilcoxon_is_antisymmetric(
+        a in proptest::collection::vec(-10.0f64..10.0, 6..30),
+        shift in 0.1f64..3.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let ab = wilcoxon_signed_rank(&a, &b);
+        let ba = wilcoxon_signed_rank(&b, &a);
+        // Same p-value, opposite z sign.
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!(ab.z <= 0.0 && ba.z >= 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_bounded(x in -6.0f64..6.0, dx in 0.001f64..2.0) {
+        let c1 = std_normal_cdf(x);
+        let c2 = std_normal_cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 >= c1 - 1e-7);
+        // Symmetry.
+        prop_assert!((std_normal_cdf(x) + std_normal_cdf(-x) - 1.0).abs() < 1e-6);
+    }
+}

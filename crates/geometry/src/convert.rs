@@ -1,0 +1,166 @@
+//! Diffeomorphisms between the Poincaré, Lorentz, and Klein models.
+//!
+//! The paper's framework leans on the equivalence of the models (§III-B):
+//! tag embeddings live in the Poincaré ball, are mapped to Klein coordinates
+//! for the Einstein-midpoint aggregation (Eq. 9), and the aggregate is
+//! lifted onto the hyperboloid for metric learning (Eq. 11 with Eq. 3).
+//!
+//! | map | paper eq. | function |
+//! |---|---|---|
+//! | Lorentz → Poincaré | Eq. 2 | [`lorentz_to_poincare`] |
+//! | Poincaré → Lorentz | Eq. 3 | [`poincare_to_lorentz`] |
+//! | Poincaré → Klein | Eq. 9 | [`poincare_to_klein`] |
+//! | Klein → Poincaré | inside Eq. 11 | [`klein_to_poincare`] |
+
+use crate::vecops::{clip_norm, sqnorm};
+use crate::{EPS_DIV, MAX_BALL_NORM};
+
+/// Lorentz → Poincaré (paper Eq. 2): `p(x₀, x_s) = x_s / (x₀ + 1)`.
+///
+/// `x` has `d+1` ambient coordinates, `out` has `d`.
+pub fn lorentz_to_poincare(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len() + 1);
+    let denom = (x[0] + 1.0).max(EPS_DIV);
+    for (o, &v) in out.iter_mut().zip(&x[1..]) {
+        *o = v / denom;
+    }
+    clip_norm(out, MAX_BALL_NORM);
+}
+
+/// Poincaré → Lorentz (paper Eq. 3):
+/// `p⁻¹(x) = ((1 + ‖x‖²), 2x) / (1 − ‖x‖²)`.
+///
+/// `x` has `d` coordinates, `out` has `d+1`.
+pub fn poincare_to_lorentz(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len() + 1, out.len());
+    let n2 = sqnorm(x).min(MAX_BALL_NORM * MAX_BALL_NORM);
+    let denom = (1.0 - n2).max(EPS_DIV);
+    out[0] = (1.0 + n2) / denom;
+    for (o, &v) in out[1..].iter_mut().zip(x) {
+        *o = 2.0 * v / denom;
+    }
+    crate::lorentz::project_to_hyperboloid(out);
+}
+
+/// Poincaré → Klein (paper Eq. 9): `f(x) = 2x / (1 + ‖x‖²)`.
+pub fn poincare_to_klein(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    let denom = 1.0 + sqnorm(x);
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = 2.0 * v / denom;
+    }
+    clip_norm(out, MAX_BALL_NORM);
+}
+
+/// Klein → Poincaré (the inner map of paper Eq. 11):
+/// `x ↦ x / (1 + √(1 − ‖x‖²))`.
+pub fn klein_to_poincare(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    let n2 = sqnorm(x).min(MAX_BALL_NORM * MAX_BALL_NORM);
+    let denom = 1.0 + (1.0 - n2).sqrt();
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = v / denom;
+    }
+    clip_norm(out, MAX_BALL_NORM);
+}
+
+/// Klein → Lorentz composite (paper Eq. 11): maps an Einstein-midpoint
+/// result straight onto the hyperboloid. `x` has `d` coordinates, `out` has
+/// `d+1`.
+pub fn klein_to_lorentz(x: &[f64], out: &mut [f64]) {
+    let mut p = vec![0.0; x.len()];
+    klein_to_poincare(x, &mut p);
+    poincare_to_lorentz(&p, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lorentz;
+    use crate::poincare;
+    use crate::vecops::norm;
+
+    #[test]
+    fn poincare_lorentz_roundtrip() {
+        let p = [0.3, -0.2, 0.55];
+        let mut l = vec![0.0; 4];
+        poincare_to_lorentz(&p, &mut l);
+        assert!(lorentz::constraint_residual(&l) < 1e-9);
+        let mut back = [0.0; 3];
+        lorentz_to_poincare(&l, &mut back);
+        for i in 0..3 {
+            assert!((back[i] - p[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lorentz_poincare_roundtrip() {
+        let l = lorentz::from_spatial(&[1.2, -0.7]);
+        let mut p = [0.0; 2];
+        lorentz_to_poincare(&l, &mut p);
+        assert!(norm(&p) < 1.0);
+        let mut back = vec![0.0; 3];
+        poincare_to_lorentz(&p, &mut back);
+        for i in 0..3 {
+            assert!((back[i] - l[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poincare_klein_roundtrip() {
+        let p = [0.45, 0.1, -0.3];
+        let mut k = [0.0; 3];
+        poincare_to_klein(&p, &mut k);
+        assert!(norm(&k) < 1.0);
+        let mut back = [0.0; 3];
+        klein_to_poincare(&k, &mut back);
+        for i in 0..3 {
+            assert!((back[i] - p[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distances_are_preserved_across_models() {
+        // d_P(x, y) must equal d_H(p⁻¹(x), p⁻¹(y)) — the models are
+        // isometric.
+        let x = [0.2, 0.5];
+        let y = [-0.3, -0.1];
+        let dp = poincare::distance(&x, &y);
+        let mut lx = vec![0.0; 3];
+        let mut ly = vec![0.0; 3];
+        poincare_to_lorentz(&x, &mut lx);
+        poincare_to_lorentz(&y, &mut ly);
+        let dl = lorentz::distance(&lx, &ly);
+        assert!((dp - dl).abs() < 1e-7, "dp={dp} dl={dl}");
+    }
+
+    #[test]
+    fn origin_maps_to_origin_everywhere() {
+        let p = [0.0, 0.0];
+        let mut l = vec![0.0; 3];
+        poincare_to_lorentz(&p, &mut l);
+        assert!((l[0] - 1.0).abs() < 1e-12 && l[1].abs() < 1e-12);
+        let mut k = [0.0; 2];
+        poincare_to_klein(&p, &mut k);
+        assert_eq!(k, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn klein_to_lorentz_lands_on_hyperboloid() {
+        let k = [0.6, -0.35];
+        let mut l = vec![0.0; 3];
+        klein_to_lorentz(&k, &mut l);
+        assert!(lorentz::constraint_residual(&l) < 1e-9);
+    }
+
+    #[test]
+    fn boundary_points_stay_finite() {
+        let p = [0.999999, 0.0];
+        let mut l = vec![0.0; 3];
+        poincare_to_lorentz(&p, &mut l);
+        assert!(l.iter().all(|v| v.is_finite()));
+        let mut k = [0.0; 2];
+        poincare_to_klein(&p, &mut k);
+        assert!(k.iter().all(|v| v.is_finite()));
+    }
+}

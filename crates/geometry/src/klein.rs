@@ -1,0 +1,105 @@
+//! The Klein (Beltrami–Klein) model `K^d = {x ∈ R^d : ‖x‖ < 1}`.
+//!
+//! The paper routes tag embeddings through the Klein model only to compute
+//! the **Einstein midpoint** (Eq. 1 / Eq. 10) — the hyperbolic analogue of a
+//! weighted average — because in Klein coordinates the midpoint has the
+//! simple closed form
+//!
+//! `HypAve(x₁,…,x_N) = Σ γᵢ wᵢ xᵢ / Σ γᵢ wᵢ`, with Lorentz factor
+//! `γᵢ = 1/√(1 − ‖xᵢ‖²)`.
+
+use crate::vecops::{clip_norm, sqnorm};
+use crate::{EPS_DIV, MAX_BALL_NORM};
+
+/// Lorentz factor `γ(x) = 1/√(1 − ‖x‖²)` of a Klein point.
+///
+/// The norm is clamped to [`MAX_BALL_NORM`] so γ stays finite for
+/// boundary-grazing points.
+#[inline]
+pub fn lorentz_factor(x: &[f64]) -> f64 {
+    let n2 = sqnorm(x).min(MAX_BALL_NORM * MAX_BALL_NORM);
+    1.0 / (1.0 - n2).sqrt()
+}
+
+/// Weighted Einstein midpoint of Klein points (paper Eqs. 1 and 10).
+///
+/// `points` supplies each point as a slice; `weights` the per-point weights
+/// `ψᵢ` (e.g. the rows of the item–tag matrix). Zero total weight yields the
+/// origin. The result is clipped into the disk.
+pub fn einstein_midpoint(points: &[&[f64]], weights: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(points.len(), weights.len());
+    out.fill(0.0);
+    let mut wsum = 0.0;
+    for (p, &w) in points.iter().zip(weights) {
+        if w == 0.0 {
+            continue;
+        }
+        let g = lorentz_factor(p) * w;
+        for (o, &v) in out.iter_mut().zip(*p) {
+            *o += g * v;
+        }
+        wsum += g;
+    }
+    if wsum.abs() < EPS_DIV {
+        out.fill(0.0);
+        return;
+    }
+    for o in out.iter_mut() {
+        *o /= wsum;
+    }
+    clip_norm(out, MAX_BALL_NORM);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::norm;
+
+    #[test]
+    fn lorentz_factor_at_origin_is_one() {
+        assert_eq!(lorentz_factor(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn lorentz_factor_grows_toward_boundary() {
+        assert!(lorentz_factor(&[0.9, 0.0]) > lorentz_factor(&[0.5, 0.0]));
+        assert!(lorentz_factor(&[0.999999, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn midpoint_of_identical_points_is_the_point() {
+        let p = [0.4, -0.2];
+        let mut out = [0.0; 2];
+        einstein_midpoint(&[&p, &p, &p], &[1.0, 2.0, 0.5], &mut out);
+        assert!((out[0] - p[0]).abs() < 1e-12);
+        assert!((out[1] - p[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_respects_weights() {
+        let a = [0.5, 0.0];
+        let b = [-0.5, 0.0];
+        let mut mid = [0.0; 2];
+        einstein_midpoint(&[&a, &b], &[1.0, 1.0], &mut mid);
+        assert!(norm(&mid) < 1e-12, "equal weights, symmetric points → origin");
+        einstein_midpoint(&[&a, &b], &[10.0, 1.0], &mut mid);
+        assert!(mid[0] > 0.0, "heavier weight pulls the midpoint toward a");
+    }
+
+    #[test]
+    fn midpoint_zero_weights_is_origin() {
+        let a = [0.5, 0.1];
+        let mut out = [9.0; 2];
+        einstein_midpoint(&[&a], &[0.0], &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn midpoint_stays_in_disk() {
+        let a = [0.99, 0.0];
+        let b = [0.0, 0.99];
+        let mut out = [0.0; 2];
+        einstein_midpoint(&[&a, &b], &[1.0, 1.0], &mut out);
+        assert!(norm(&out) < 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Small dense-vector helpers shared by every geometry module.
+//!
+//! These operate on plain `&[f64]` slices so that embedding matrices can be
+//! stored flat (row-major) and individual rows passed in without copying.
+//! All functions are `#[inline]`-small; the hot loops of the training code
+//! compile down to straight-line vector code.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn sqnorm(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    sqnorm(a).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn sqdist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Writes `a + b` into `out`.
+#[inline]
+pub fn add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// Writes `a − b` into `out`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Writes `c·a` into `out`.
+#[inline]
+pub fn scale(a: &[f64], c: f64, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, x) in out.iter_mut().zip(a) {
+        *o = c * x;
+    }
+}
+
+/// In-place `a += c·b` (axpy).
+#[inline]
+pub fn axpy(a: &mut [f64], c: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += c * y;
+    }
+}
+
+/// In-place scaling `a *= c`.
+#[inline]
+pub fn scale_in_place(a: &mut [f64], c: f64) {
+    for x in a {
+        *x *= c;
+    }
+}
+
+/// Clips `a` in place so that `‖a‖ ≤ max_norm`, preserving direction.
+///
+/// Returns `true` if clipping was applied. Used to keep Poincaré-ball and
+/// Klein points strictly inside the unit ball.
+#[inline]
+pub fn clip_norm(a: &mut [f64], max_norm: f64) -> bool {
+    let n = norm(a);
+    if n > max_norm {
+        let f = max_norm / n;
+        scale_in_place(a, f);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(sqnorm(&a), 25.0);
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(sqdist(&a, &[0.0, 0.0]), 25.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let mut out = [0.0; 2];
+        add(&a, &b, &mut out);
+        assert_eq!(out, [11.0, 22.0]);
+        sub(&b, &a, &mut out);
+        assert_eq!(out, [9.0, 18.0]);
+        scale(&a, 2.0, &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+        let mut c = [1.0, 1.0];
+        axpy(&mut c, 3.0, &a);
+        assert_eq!(c, [4.0, 7.0]);
+    }
+
+    #[test]
+    fn clip_norm_only_when_needed() {
+        let mut a = [0.3, 0.4]; // norm 0.5
+        assert!(!clip_norm(&mut a, 1.0));
+        assert_eq!(a, [0.3, 0.4]);
+        let mut b = [3.0, 4.0]; // norm 5
+        assert!(clip_norm(&mut b, 1.0));
+        assert!((norm(&b) - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((b[0] / b[1] - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Poincaré k-means (Algorithm 1, line 3).
+//!
+//! Clusters tag embeddings living in the Poincaré ball: assignment uses the
+//! Poincaré distance; centroid updates use the Einstein midpoint (the
+//! practical surrogate for the Fréchet mean — see
+//! [`taxorec_geometry::poincare::einstein_centroid`]). Seeding is
+//! k-means++ (with Poincaré distances), which the ablation benches compare
+//! against uniform seeding.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use taxorec_geometry::poincare;
+
+/// Seeding strategy for [`poincare_kmeans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Seeding {
+    /// k-means++: spread initial centroids by D² sampling (default).
+    PlusPlus,
+    /// Uniformly random distinct points (ablation baseline).
+    Uniform,
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KmeansResult {
+    /// `assignment[i]` = cluster of point `i` (`0..k`).
+    pub assignment: Vec<usize>,
+    /// Flattened centroids (`k × dim`).
+    pub centroids: Vec<f64>,
+    /// Number of full Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's algorithm with Poincaré distances over the embeddings of
+/// the listed points.
+///
+/// * `emb`/`dim` — flat row-major embedding matrix (all tags),
+/// * `points` — the tag ids to cluster (a node's tag set),
+/// * `k` — number of clusters (reduced to `points.len()` if larger).
+///
+/// Empty clusters are re-seeded to the point currently farthest from its
+/// centroid. Deterministic for a fixed RNG state.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn poincare_kmeans(
+    emb: &[f64],
+    dim: usize,
+    points: &[u32],
+    k: usize,
+    seeding: Seeding,
+    max_iters: usize,
+    rng: &mut StdRng,
+) -> KmeansResult {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(points.len());
+    let row = |t: u32| -> &[f64] { &emb[t as usize * dim..(t as usize + 1) * dim] };
+
+    let mut centroids = seed(emb, dim, points, k, seeding, rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        let mut dists = vec![0.0f64; points.len()];
+        for (i, &t) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = poincare::distance(row(t), &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            dists[i] = best_d;
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Re-seed empty clusters to the farthest point.
+        for c in 0..k {
+            if !assignment.contains(&c) {
+                let far = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                assignment[far] = c;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update step: Einstein centroid per cluster.
+        for c in 0..k {
+            let members: Vec<&[f64]> = points
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| assignment[i] == c)
+                .map(|(_, &t)| row(t))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let weights = vec![1.0; members.len()];
+            let mut out = vec![0.0; dim];
+            poincare::einstein_centroid(&members, &weights, &mut out);
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&out);
+        }
+    }
+    KmeansResult { assignment, centroids, iterations }
+}
+
+fn seed(
+    emb: &[f64],
+    dim: usize,
+    points: &[u32],
+    k: usize,
+    seeding: Seeding,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let row = |t: u32| -> &[f64] { &emb[t as usize * dim..(t as usize + 1) * dim] };
+    let mut centroids = Vec::with_capacity(k * dim);
+    match seeding {
+        Seeding::Uniform => {
+            // Sample k distinct indices (points.len() ≥ k is guaranteed).
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < k {
+                let i = rng.random_range(0..points.len());
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+            for i in chosen {
+                centroids.extend_from_slice(row(points[i]));
+            }
+        }
+        Seeding::PlusPlus => {
+            let first = rng.random_range(0..points.len());
+            centroids.extend_from_slice(row(points[first]));
+            let mut d2 = vec![0.0f64; points.len()];
+            while centroids.len() < k * dim {
+                let n_cent = centroids.len() / dim;
+                let mut total = 0.0;
+                for (i, &t) in points.iter().enumerate() {
+                    let mut best = f64::INFINITY;
+                    for c in 0..n_cent {
+                        let d = poincare::distance(row(t), &centroids[c * dim..(c + 1) * dim]);
+                        best = best.min(d);
+                    }
+                    d2[i] = best * best;
+                    total += d2[i];
+                }
+                let next = if total <= 1e-15 {
+                    rng.random_range(0..points.len())
+                } else {
+                    let mut target = rng.random::<f64>() * total;
+                    let mut pick = points.len() - 1;
+                    for (i, &w) in d2.iter().enumerate() {
+                        if target < w {
+                            pick = i;
+                            break;
+                        }
+                        target -= w;
+                    }
+                    pick
+                };
+                centroids.extend_from_slice(row(points[next]));
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Two tight groups of ball points around (±0.5, 0).
+    fn two_blobs() -> (Vec<f64>, usize, Vec<u32>) {
+        let mut emb = Vec::new();
+        for i in 0..6 {
+            let side = if i < 3 { 0.5 } else { -0.5 };
+            emb.extend_from_slice(&[side + 0.02 * i as f64, 0.01 * i as f64]);
+        }
+        (emb, 2, (0..6).collect())
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (emb, dim, pts) = two_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = poincare_kmeans(&emb, dim, &pts, 2, Seeding::PlusPlus, 50, &mut rng);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    fn uniform_seeding_also_converges() {
+        let (emb, dim, pts) = two_blobs();
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = poincare_kmeans(&emb, dim, &pts, 2, Seeding::Uniform, 50, &mut rng);
+        assert_ne!(r.assignment[0], r.assignment[5]);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let emb = vec![0.1, 0.0, -0.1, 0.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = poincare_kmeans(&emb, 2, &[0, 1], 5, Seeding::PlusPlus, 10, &mut rng);
+        assert!(r.assignment.iter().all(|&a| a < 2));
+        assert_eq!(r.centroids.len(), 2 * 2);
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let emb = vec![0.3, -0.2];
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = poincare_kmeans(&emb, 2, &[0], 1, Seeding::PlusPlus, 10, &mut rng);
+        assert_eq!(r.assignment, vec![0]);
+        assert!((r.centroids[0] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_points_fill_all_clusters() {
+        // Degenerate: every point identical; empty-cluster reseeding must
+        // keep the algorithm finite and assignments valid.
+        let emb = vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.2];
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = poincare_kmeans(&emb, 2, &[0, 1, 2], 2, Seeding::PlusPlus, 20, &mut rng);
+        assert!(r.assignment.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (emb, dim, pts) = two_blobs();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = poincare_kmeans(&emb, dim, &pts, 2, Seeding::PlusPlus, 50, &mut r1);
+        let b = poincare_kmeans(&emb, dim, &pts, 2, Seeding::PlusPlus, 50, &mut r2);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

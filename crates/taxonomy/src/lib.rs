@@ -1,0 +1,23 @@
+//! Automated tag taxonomy construction (paper §IV-C).
+//!
+//! Implements the representation-aware scoring function (Eqs. 4–7), the
+//! Poincaré k-means / adaptive clustering of Algorithm 1, the resulting
+//! [`Taxonomy`] tree over tag sets, the Eq. 8 regularization plan consumed
+//! by the training loop, and quality metrics against a planted ground
+//! truth.
+
+pub mod construct;
+pub mod kmeans;
+pub mod metrics;
+pub mod regularizer;
+pub mod scoring;
+pub mod tree;
+
+pub use construct::{adaptive_split, construct_taxonomy, ConstructConfig, SplitResult};
+pub use kmeans::{poincare_kmeans, KmeansResult, Seeding};
+pub use metrics::{
+    ancestor_scores, random_coherence_baseline, random_pair_precision, sibling_coherence,
+    AncestorScores,
+};
+pub use regularizer::RegularizerPlan;
+pub use tree::{TaxoNode, Taxonomy};

@@ -1,0 +1,186 @@
+//! Taxonomy quality metrics against a planted ground truth (RQ4).
+//!
+//! The constructed taxonomy organizes *sets* of tags; the planted
+//! [`TagTree`] relates individual tags. We bridge the two with the
+//! *residence* of a tag (the deepest node whose scope contains it): the
+//! construction predicts `a → d` (ancestor) whenever `a` resides at a
+//! strict ancestor node of `d`'s residence. Precision/recall/F1 are then
+//! computed over predicted vs. true ancestor pairs. A sibling-coherence
+//! score additionally measures whether tags grouped together share a true
+//! top-level ancestor.
+
+use crate::tree::Taxonomy;
+use taxorec_data::TagTree;
+
+/// Ancestor-pair precision/recall/F1 of a constructed taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AncestorScores {
+    /// Fraction of predicted ancestor pairs that are true.
+    pub precision: f64,
+    /// Fraction of true ancestor pairs that are predicted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of predicted pairs.
+    pub n_predicted: usize,
+    /// Number of true pairs.
+    pub n_true: usize,
+}
+
+/// Computes ancestor precision/recall/F1 of `taxo` against `truth`.
+pub fn ancestor_scores(taxo: &Taxonomy, truth: &TagTree) -> AncestorScores {
+    let n_tags = truth.n_tags();
+    let residence: Vec<usize> = (0..n_tags as u32).map(|t| taxo.residence(t)).collect();
+    let mut predicted: Vec<(u32, u32)> = Vec::new();
+    for a in 0..n_tags as u32 {
+        for d in 0..n_tags as u32 {
+            if a != d && taxo.node_is_ancestor(residence[a as usize], residence[d as usize]) {
+                predicted.push((a, d));
+            }
+        }
+    }
+    let truth_pairs: std::collections::HashSet<(u32, u32)> =
+        truth.ancestor_pairs().into_iter().collect();
+    let tp = predicted.iter().filter(|p| truth_pairs.contains(p)).count();
+    let precision = if predicted.is_empty() { 0.0 } else { tp as f64 / predicted.len() as f64 };
+    let recall = if truth_pairs.is_empty() { 0.0 } else { tp as f64 / truth_pairs.len() as f64 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    AncestorScores { precision, recall, f1, n_predicted: predicted.len(), n_true: truth_pairs.len() }
+}
+
+/// Mean sibling coherence: for every non-root node with ≥ 2 tags, the
+/// fraction of member tags whose true top-level ancestor equals the node's
+/// majority top-level ancestor. 1.0 = every node is pure.
+pub fn sibling_coherence(taxo: &Taxonomy, truth: &TagTree) -> f64 {
+    let top = |t: u32| -> u32 {
+        let mut cur = t;
+        while let Some(p) = truth.parent(cur) {
+            cur = p;
+        }
+        cur
+    };
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for node in taxo.nodes().iter().skip(1) {
+        if node.tags.len() < 2 {
+            continue;
+        }
+        let mut histogram: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for &t in &node.tags {
+            *histogram.entry(top(t)).or_insert(0) += 1;
+        }
+        let max = histogram.values().copied().max().unwrap_or(0);
+        total += max as f64 / node.tags.len() as f64;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Expected ancestor precision of a *random* taxonomy with the same node
+/// structure — a baseline for interpreting [`ancestor_scores`]: the
+/// density of true ancestor pairs among all ordered tag pairs.
+pub fn random_pair_precision(truth: &TagTree) -> f64 {
+    let n = truth.n_tags();
+    if n < 2 {
+        return 0.0;
+    }
+    truth.ancestor_pairs().len() as f64 / (n * (n - 1)) as f64
+}
+
+/// Baseline for [`sibling_coherence`]: the coherence a random grouping
+/// converges to, i.e. the share of the largest top-level subtree.
+pub fn random_coherence_baseline(truth: &TagTree) -> f64 {
+    let n = truth.n_tags();
+    if n == 0 {
+        return 0.0;
+    }
+    let top = |t: u32| -> u32 {
+        let mut cur = t;
+        while let Some(p) = truth.parent(cur) {
+            cur = p;
+        }
+        cur
+    };
+    let mut histogram: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for t in 0..n as u32 {
+        *histogram.entry(top(t)).or_insert(0) += 1;
+    }
+    histogram.values().copied().max().unwrap_or(0) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Taxonomy;
+
+    /// Truth: 0,1 top; 2,3 children of 0; 4 child of 2.
+    fn truth() -> TagTree {
+        TagTree::from_parents(vec![None, None, Some(0), Some(0), Some(2)])
+    }
+
+    /// Perfect-ish construction: root keeps {0,1}; child under root holds
+    /// {2,3,4}; its child holds {4}.
+    fn good_taxo() -> Taxonomy {
+        let mut t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        let a = t.add_child(0, vec![2, 3, 4], vec![0.9, 0.9, 0.9]);
+        t.node_mut(0).retained = vec![0, 1];
+        t.add_child(a, vec![4], vec![1.0]);
+        t.node_mut(a).retained = vec![2, 3];
+        t
+    }
+
+    #[test]
+    fn good_taxonomy_scores_high() {
+        let s = ancestor_scores(&good_taxo(), &truth());
+        // Predicted: 0→{2,3,4}, 1→{2,3,4}, 2→4, 3→4.
+        // True: (0,2),(0,3),(0,4),(2,4) ⇒ tp = 4 of 8 predicted, 4 of 4 true.
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0).abs() < 1e-12);
+        assert!(s.f1 > 0.6);
+    }
+
+    #[test]
+    fn flat_taxonomy_scores_zero() {
+        let t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        let s = ancestor_scores(&t, &truth());
+        assert_eq!(s.n_predicted, 0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn coherence_of_pure_node_is_one() {
+        let mut t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        t.add_child(0, vec![2, 3], vec![1.0, 1.0]); // both under top tag 0
+        t.node_mut(0).retained = vec![0, 1, 4];
+        assert!((sibling_coherence(&t, &truth()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_of_mixed_node_is_fractional() {
+        let mut t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        t.add_child(0, vec![1, 2], vec![1.0, 1.0]); // tops {1, 0} — mixed
+        t.node_mut(0).retained = vec![0, 3, 4];
+        assert!((sibling_coherence(&t, &truth()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_baseline_is_small() {
+        let p = random_pair_precision(&truth());
+        assert!((p - 4.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_baseline_is_largest_subtree_share() {
+        // Truth: top tag 0 covers {0,2,3,4} (4 of 5); top tag 1 covers {1}.
+        let b = random_coherence_baseline(&truth());
+        assert!((b - 0.8).abs() < 1e-12);
+    }
+}

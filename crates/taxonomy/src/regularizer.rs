@@ -1,0 +1,142 @@
+//! Taxonomy-aware regularization targets (paper Eq. 8).
+//!
+//! For every node `G_k` of the constructed taxonomy, each member tag is
+//! pulled toward the node's score-weighted center:
+//!
+//! `L_reg = Σ_{G_k} Σ_{t_i ∈ G_k} d_P(T_i, Σ_j s(t_j,G_k)·T_j / Σ_l s(t_l,G_k))`.
+//!
+//! This module flattens the taxonomy into `(tag, node)` pull terms plus a
+//! sparse weight matrix that maps tag embeddings to node centers, so the
+//! training loop can evaluate Eq. 8 with two tape ops (a weighted-average
+//! `spmm` + a rowwise Poincaré distance). General tags appear in few
+//! nodes, fine-grained tags in many — reproducing the paper's intended
+//! depth-proportional regularization strength.
+
+use crate::tree::Taxonomy;
+
+/// Flattened Eq. 8: `terms[i] = (tag, node_row)` means tag `tag` is pulled
+/// toward center row `node_row` of `center_weights · T^P`.
+#[derive(Clone, Debug)]
+pub struct RegularizerPlan {
+    /// One `(tag, center_row)` pull per node membership.
+    pub terms: Vec<(u32, usize)>,
+    /// Sparse center map as triplets `(center_row, tag, weight)`; row
+    /// weights sum to 1.
+    pub center_weights: Vec<(usize, usize, f64)>,
+    /// Number of center rows (= number of regularized nodes).
+    pub n_centers: usize,
+}
+
+impl RegularizerPlan {
+    /// Builds the plan from a taxonomy. The root is skipped: its scope is
+    /// the whole tag universe and its scores are undefined (no siblings).
+    /// Nodes with a zero score mass fall back to uniform weights.
+    pub fn from_taxonomy(taxo: &Taxonomy) -> Self {
+        let mut terms = Vec::new();
+        let mut center_weights = Vec::new();
+        let mut n_centers = 0usize;
+        for node in taxo.nodes().iter().skip(1) {
+            if node.tags.len() < 2 {
+                continue;
+            }
+            let row = n_centers;
+            n_centers += 1;
+            let mass: f64 = node.scores.iter().sum();
+            for (i, &t) in node.tags.iter().enumerate() {
+                let w = if mass > 1e-12 {
+                    node.scores[i] / mass
+                } else {
+                    1.0 / node.tags.len() as f64
+                };
+                center_weights.push((row, t as usize, w));
+                terms.push((t, row));
+            }
+        }
+        Self { terms, center_weights, n_centers }
+    }
+
+    /// Number of pull terms (`Σ_k |G_k|` over regularized nodes).
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Per-tag membership counts — how many nodes regularize each tag.
+    /// Fine-grained tags should have larger counts than general ones.
+    pub fn membership_counts(&self, n_tags: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_tags];
+        for &(t, _) in &self.terms {
+            counts[t as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Taxonomy;
+
+    fn sample() -> Taxonomy {
+        // root{0..4} → a{0,1} (retained {0}, child c{1}), b{2,3}; root keeps 4.
+        let mut t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        let a = t.add_child(0, vec![0, 1], vec![0.9, 0.8]);
+        t.add_child(0, vec![2, 3], vec![0.5, 0.5]);
+        t.node_mut(0).retained = vec![4];
+        t.add_child(a, vec![1], vec![1.0]);
+        t.node_mut(a).retained = vec![0];
+        t
+    }
+
+    #[test]
+    fn root_and_singletons_are_skipped() {
+        let plan = RegularizerPlan::from_taxonomy(&sample());
+        // Nodes: a{0,1}, b{2,3} regularized; singleton c{1} skipped.
+        assert_eq!(plan.n_centers, 2);
+        assert_eq!(plan.n_terms(), 4);
+    }
+
+    #[test]
+    fn center_weights_normalized() {
+        let plan = RegularizerPlan::from_taxonomy(&sample());
+        let mut rowsum = vec![0.0; plan.n_centers];
+        for &(r, _, w) in &plan.center_weights {
+            rowsum[r] += w;
+        }
+        for s in rowsum {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn score_weighting_respected() {
+        let plan = RegularizerPlan::from_taxonomy(&sample());
+        // Node a: scores 0.9 / 0.8 ⇒ weights 9/17, 8/17.
+        let w0 = plan
+            .center_weights
+            .iter()
+            .find(|&&(r, t, _)| r == 0 && t == 0)
+            .map(|&(_, _, w)| w)
+            .unwrap();
+        assert!((w0 - 0.9 / 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fine_tags_are_regularized_more() {
+        let plan = RegularizerPlan::from_taxonomy(&sample());
+        let counts = plan.membership_counts(5);
+        // Tag 1 appears in node a (tag 4 only at root, never regularized).
+        assert_eq!(counts[4], 0);
+        assert!(counts[1] >= 1);
+    }
+
+    #[test]
+    fn zero_scores_fall_back_to_uniform() {
+        let mut t = Taxonomy::new_root(vec![0, 1]);
+        t.add_child(0, vec![0, 1], vec![0.0, 0.0]);
+        t.node_mut(0).retained = vec![];
+        let plan = RegularizerPlan::from_taxonomy(&t);
+        for &(_, _, w) in &plan.center_weights {
+            assert!((w - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The constructed tag taxonomy: a tree of tag-set nodes.
+//!
+//! Unlike the planted [`taxorec_data::TagTree`] (a tree over individual
+//! tags), the constructed taxonomy follows the paper exactly: each node is
+//! a *set of tags* (`G_k ∈ Taxo`, Eq. 8); splitting a node partitions a
+//! subset of its tags into children while "general" tags stay behind at
+//! the parent.
+
+/// One node of the constructed taxonomy.
+#[derive(Clone, Debug)]
+pub struct TaxoNode {
+    /// All tags in this node's scope (the `G_k` handed to Algorithm 1).
+    pub tags: Vec<u32>,
+    /// Tags that stayed at this node after its split (general tags), or
+    /// all of `tags` for leaves.
+    pub retained: Vec<u32>,
+    /// Representation-aware scores `s(t, G_k)` aligned with `tags`
+    /// (all 1.0 for the root, whose score is undefined — no siblings).
+    pub scores: Vec<f64>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Depth (root = 0).
+    pub level: usize,
+}
+
+/// The constructed taxonomy. Node 0 is always the root (scope = all tags).
+#[derive(Clone, Debug)]
+pub struct Taxonomy {
+    nodes: Vec<TaxoNode>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy holding just a root over `tags`.
+    pub fn new_root(tags: Vec<u32>) -> Self {
+        let n = tags.len();
+        Self {
+            nodes: vec![TaxoNode {
+                retained: tags.clone(),
+                tags,
+                scores: vec![1.0; n],
+                children: Vec::new(),
+                parent: None,
+                level: 0,
+            }],
+        }
+    }
+
+    /// Appends a child node under `parent`; returns its index.
+    pub fn add_child(&mut self, parent: usize, tags: Vec<u32>, scores: Vec<f64>) -> usize {
+        assert_eq!(tags.len(), scores.len(), "tags/scores length mismatch");
+        let level = self.nodes[parent].level + 1;
+        let idx = self.nodes.len();
+        self.nodes.push(TaxoNode {
+            retained: tags.clone(),
+            tags,
+            scores,
+            children: Vec::new(),
+            parent: Some(parent),
+            level,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// All nodes (index 0 = root).
+    pub fn nodes(&self) -> &[TaxoNode] {
+        &self.nodes
+    }
+
+    /// Mutable node access (used by the builder to record retained sets).
+    pub fn node_mut(&mut self, idx: usize) -> &mut TaxoNode {
+        &mut self.nodes[idx]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false (a taxonomy has at least a root).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum node level.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// The deepest node whose scope contains `t` — where the tag "resides".
+    pub fn residence(&self, t: u32) -> usize {
+        let mut best = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.tags.contains(&t) && n.level >= self.nodes[best].level {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// True when node `a` is a strict ancestor of node `d`.
+    pub fn node_is_ancestor(&self, a: usize, d: usize) -> bool {
+        let mut cur = self.nodes[d].parent;
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+
+    /// Pretty-prints the tree with tag names (used by the Fig. 6 harness).
+    pub fn render(&self, tag_names: &[String], max_tags_per_node: usize) -> String {
+        let mut out = String::new();
+        self.render_node(0, tag_names, max_tags_per_node, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        idx: usize,
+        tag_names: &[String],
+        max_tags: usize,
+        out: &mut String,
+    ) {
+        let node = &self.nodes[idx];
+        let indent = "  ".repeat(node.level);
+        let shown: Vec<&str> = node
+            .retained
+            .iter()
+            .take(max_tags)
+            .map(|&t| tag_names[t as usize].as_str())
+            .collect();
+        let suffix = if node.retained.len() > max_tags {
+            format!(", ... ({} total)", node.retained.len())
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{indent}level-{} [{}{}]\n",
+            node.level,
+            shown.iter().map(|s| format!("<{s}>")).collect::<Vec<_>>().join(", "),
+            suffix
+        ));
+        for &c in &node.children {
+            self.render_node(c, tag_names, max_tags, out);
+        }
+    }
+
+    /// Validates structural invariants (children partition a subset of the
+    /// parent scope; levels increase; retained ∪ children-scopes = scope).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut child_tags: Vec<u32> = Vec::new();
+            for &c in &n.children {
+                let ch = &self.nodes[c];
+                if ch.parent != Some(i) {
+                    return Err(format!("node {c} parent link broken"));
+                }
+                if ch.level != n.level + 1 {
+                    return Err(format!("node {c} level is not parent+1"));
+                }
+                for &t in &ch.tags {
+                    if !n.tags.contains(&t) {
+                        return Err(format!("child {c} holds tag {t} outside parent {i} scope"));
+                    }
+                    child_tags.push(t);
+                }
+            }
+            child_tags.sort_unstable();
+            if child_tags.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("node {i}: children overlap"));
+            }
+            // retained = scope − child scopes.
+            let mut expect: Vec<u32> =
+                n.tags.iter().copied().filter(|t| child_tags.binary_search(t).is_err()).collect();
+            expect.sort_unstable();
+            let mut got = n.retained.clone();
+            got.sort_unstable();
+            if expect != got {
+                return Err(format!("node {i}: retained set inconsistent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Taxonomy {
+        let mut t = Taxonomy::new_root(vec![0, 1, 2, 3, 4]);
+        let a = t.add_child(0, vec![0, 1], vec![0.9, 0.8]);
+        let _b = t.add_child(0, vec![2, 3], vec![0.7, 0.6]);
+        t.node_mut(0).retained = vec![4];
+        let _c = t.add_child(a, vec![1], vec![0.95]);
+        t.node_mut(a).retained = vec![0];
+        t
+    }
+
+    #[test]
+    fn structure_is_valid() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn depth_and_levels() {
+        let t = sample();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.nodes()[0].level, 0);
+        assert_eq!(t.nodes()[3].level, 2);
+    }
+
+    #[test]
+    fn residence_is_deepest_scope() {
+        let t = sample();
+        assert_eq!(t.residence(4), 0, "general tag stays at root");
+        assert_eq!(t.residence(0), 1);
+        assert_eq!(t.residence(1), 3, "fine tag resides in the leaf");
+    }
+
+    #[test]
+    fn node_ancestry() {
+        let t = sample();
+        assert!(t.node_is_ancestor(0, 3));
+        assert!(t.node_is_ancestor(1, 3));
+        assert!(!t.node_is_ancestor(2, 3));
+        assert!(!t.node_is_ancestor(3, 0));
+    }
+
+    #[test]
+    fn render_contains_tag_names() {
+        let t = sample();
+        let names: Vec<String> = (0..5).map(|i| format!("tag{i}")).collect();
+        let s = t.render(&names, 10);
+        assert!(s.contains("<tag4>"));
+        assert!(s.contains("level-2"));
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let mut t = Taxonomy::new_root(vec![0, 1]);
+        t.add_child(0, vec![0], vec![1.0]);
+        t.add_child(0, vec![0], vec![1.0]);
+        t.node_mut(0).retained = vec![1];
+        assert!(t.validate().is_err());
+    }
+}

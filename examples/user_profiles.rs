@@ -1,0 +1,60 @@
+//! Interpretable user profiles (paper Table V / RQ5): for sample users,
+//! show the nearest tags in the learned metric space, the personalized
+//! tag weight α, and tag-consistent recommendations.
+//!
+//! ```text
+//! cargo run --release --example user_profiles
+//! ```
+
+use taxorec::core::{TaxoRec, TaxoRecConfig};
+use taxorec::data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec::eval::top_k_indices;
+
+fn main() {
+    let dataset = generate_preset(Preset::AmazonBook, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut model = TaxoRec::new(TaxoRecConfig { epochs: 40, ..TaxoRecConfig::fast_test() });
+    model.fit(&dataset, &split);
+
+    // Users sorted by α (Eq. 16): high α = consistent tag-driven taste,
+    // exactly the users whose profiles tags explain well.
+    let mut users: Vec<u32> = (0..dataset.n_users as u32)
+        .filter(|&u| split.train[u as usize].len() >= 3)
+        .collect();
+    users.sort_by(|&a, &b| {
+        model.alphas()[b as usize].partial_cmp(&model.alphas()[a as usize]).unwrap()
+    });
+
+    println!("tag-based profiles of the 3 most tag-consistent users of {}:\n", dataset.name);
+    for &u in users.iter().take(3) {
+        let alpha = model.alphas()[u as usize];
+        let top_tags = model.user_top_tags(u, 4);
+        println!("User {u} (alpha = {alpha:.2})");
+        println!(
+            "  nearest tags : {}",
+            top_tags
+                .iter()
+                .map(|&(t, d)| format!("<{}> ({d:.2})", dataset.tag_names[t as usize]))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        let mut scores = model.scores_for_user(u);
+        for &v in &split.train[u as usize] {
+            scores[v as usize] = f64::NEG_INFINITY;
+        }
+        let recs: Vec<String> = top_k_indices(&scores, 4)
+            .into_iter()
+            .map(|v| {
+                let tags: Vec<&str> = dataset.item_tags[v]
+                    .iter()
+                    .take(2)
+                    .map(|&t| dataset.tag_names[t as usize].as_str())
+                    .collect();
+                format!("item#{v} [{}]", tags.join(", "))
+            })
+            .collect();
+        println!("  recommended  : {}\n", recs.join("; "));
+    }
+    println!("Higher-α users get recommendations dominated by their nearest tags;");
+    println!("Eq. 17 weights the tag-relevant distance by α per user.");
+}

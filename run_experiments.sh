@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure; outputs land in results_*.txt.
+set -u
+cd "$(dirname "$0")"
+export TAXOREC_SEEDS=${TAXOREC_SEEDS:-1}
+for bin in table1 table2 table3 fig6 table5 fig3 fig5 table4; do
+  echo "=== running $bin ==="
+  ./target/release/$bin > results_$bin.txt 2>&1
+  echo "=== $bin done (exit $?) ==="
+done

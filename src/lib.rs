@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the TaxoRec workspace public API.
+pub use taxorec_autodiff as autodiff;
+pub use taxorec_baselines as baselines;
+pub use taxorec_core as core;
+pub use taxorec_data as data;
+pub use taxorec_eval as eval;
+pub use taxorec_geometry as geometry;
+pub use taxorec_taxonomy as taxonomy;

@@ -1,0 +1,70 @@
+//! Cross-crate consistency: the autodiff tape's hyperbolic ops must agree
+//! with the geometry crate's reference implementations, and persisted
+//! datasets must train identically to in-memory ones.
+
+use taxorec::autodiff::{Matrix, Tape};
+use taxorec::core::{TaxoRec, TaxoRecConfig};
+use taxorec::data::{generate_preset, tsv, Preset, Recommender, Scale, Split};
+use taxorec::eval::evaluate;
+use taxorec::geometry::{convert, lorentz, poincare};
+
+#[test]
+fn tape_conversions_match_geometry_reference() {
+    let points = [[0.3, -0.2, 0.1], [0.55, 0.1, -0.4], [0.0, 0.0, 0.0]];
+    let mut tape = Tape::new();
+    let flat: Vec<f64> = points.iter().flatten().copied().collect();
+    let p = tape.leaf(Matrix::from_vec(3, 3, flat));
+    let l = tape.poincare_to_lorentz(p);
+    let k = tape.poincare_to_klein(p);
+    for (r, point) in points.iter().enumerate() {
+        let mut l_ref = vec![0.0; 4];
+        convert::poincare_to_lorentz(point, &mut l_ref);
+        for (a, b) in tape.value(l).row(r).iter().zip(&l_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let mut k_ref = vec![0.0; 3];
+        convert::poincare_to_klein(point, &mut k_ref);
+        for (a, b) in tape.value(k).row(r).iter().zip(&k_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn tape_distances_match_geometry_reference() {
+    let a = lorentz::from_spatial(&[0.4, -0.3]);
+    let b = lorentz::from_spatial(&[-0.2, 0.8]);
+    let mut tape = Tape::new();
+    let x = tape.leaf(Matrix::from_vec(1, 3, a.clone()));
+    let y = tape.leaf(Matrix::from_vec(1, 3, b.clone()));
+    let d = tape.lorentz_dist_sq(x, y);
+    let reference = lorentz::distance(&a, &b).powi(2);
+    assert!((tape.value(d).as_scalar() - reference).abs() < 1e-10);
+
+    let pa = [0.2, 0.3];
+    let pb = [-0.4, 0.1];
+    let px = tape.leaf(Matrix::from_vec(1, 2, pa.to_vec()));
+    let py = tape.leaf(Matrix::from_vec(1, 2, pb.to_vec()));
+    let pd = tape.poincare_dist(px, py);
+    assert!((tape.value(pd).as_scalar() - poincare::distance(&pa, &pb)).abs() < 1e-10);
+}
+
+#[test]
+fn training_after_tsv_roundtrip_matches_in_memory() {
+    let d = generate_preset(Preset::Ciao, Scale::Tiny);
+    let dir = std::env::temp_dir().join("taxorec-consistency");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("roundtrip");
+    tsv::save(&d, &stem).unwrap();
+    let d2 = tsv::load(&stem, &d.name).unwrap();
+    // Tag ids may be renumbered, but the interaction structure is
+    // identical, so a tag-free model must train to identical scores.
+    let cfg = TaxoRecConfig { epochs: 6, ..TaxoRecConfig::fast_test() }.hgcf();
+    let mut m1 = TaxoRec::new(cfg.clone());
+    m1.fit(&d, &Split::standard(&d));
+    let mut m2 = TaxoRec::new(cfg);
+    m2.fit(&d2, &Split::standard(&d2));
+    let s1 = evaluate(&m1, &Split::standard(&d), &[10]).mean_recall(0);
+    let s2 = evaluate(&m2, &Split::standard(&d2), &[10]).mean_recall(0);
+    assert!((s1 - s2).abs() < 1e-12, "{s1} vs {s2}");
+}
