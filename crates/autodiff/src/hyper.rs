@@ -185,7 +185,11 @@ pub fn poincare_dist_fwd(x: &Matrix, y: &Matrix) -> Matrix {
     let n = x.rows();
     let mut out = Matrix::zeros(n, 1);
     for r in 0..n {
-        out.set(r, 0, taxorec_geometry::poincare::distance(x.row(r), y.row(r)));
+        out.set(
+            r,
+            0,
+            taxorec_geometry::poincare::distance(x.row(r), y.row(r)),
+        );
     }
     out
 }

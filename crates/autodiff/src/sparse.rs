@@ -30,7 +30,10 @@ impl Csr {
     /// Panics if any coordinate is out of bounds.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds {rows}x{cols}"
+            );
         }
         let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
         for &(r, c, v) in triplets {
@@ -57,7 +60,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -152,7 +161,13 @@ impl Csr {
                 next[c] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Row-normalizes in place: each row is divided by its sum (rows with a
@@ -218,7 +233,10 @@ mod tests {
     #[test]
     fn transpose_matches_dense() {
         let m = sample();
-        assert_eq!(m.transpose().to_dense().data(), m.to_dense().transpose().data());
+        assert_eq!(
+            m.transpose().to_dense().data(),
+            m.to_dense().transpose().data()
+        );
         assert_eq!(m.transpose().rows(), 4);
     }
 

@@ -48,10 +48,19 @@ enum Op {
     MulColBroadcast(Var, Var),
     MatMul(Var, Var),
     /// `y = M·x` with constant sparse `M`; `mt` caches `Mᵀ` for backward.
-    Spmm { mt: Rc<Csr>, x: Var },
-    GatherRows { x: Var, idx: Rc<Vec<usize>> },
+    Spmm {
+        mt: Rc<Csr>,
+        x: Var,
+    },
+    GatherRows {
+        x: Var,
+        idx: Rc<Vec<usize>>,
+    },
     ConcatRows(Var, Var),
-    SliceRows { x: Var, start: usize },
+    SliceRows {
+        x: Var,
+        start: usize,
+    },
     SumAll(Var),
     MeanAll(Var),
     Relu(Var),
@@ -70,7 +79,10 @@ enum Op {
     PoincareToKlein(Var),
     KleinToPoincare(Var),
     PoincareToLorentz(Var),
-    EinsteinMidpoint { tags: Var, item_tag: Rc<Csr> },
+    EinsteinMidpoint {
+        tags: Var,
+        item_tag: Rc<Csr>,
+    },
 }
 
 struct Node {
@@ -146,7 +158,12 @@ impl Tape {
         assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub shape");
         let va = self.value(a);
         let vb = self.value(b);
-        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x - y).collect();
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x - y)
+            .collect();
         let m = Matrix::from_vec(va.rows(), va.cols(), data);
         self.push(m, Op::Sub(a, b))
     }
@@ -171,10 +188,19 @@ impl Tape {
 
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "hadamard shape");
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "hadamard shape"
+        );
         let va = self.value(a);
         let vb = self.value(b);
-        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x * y).collect();
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let m = Matrix::from_vec(va.rows(), va.cols(), data);
         self.push(m, Op::Hadamard(a, b))
     }
@@ -304,7 +330,11 @@ impl Tape {
 
     /// Rowwise dot product `(n×d, n×d) → (n×1)`.
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "row_dot shape");
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "row_dot shape"
+        );
         let va = self.value(a);
         let vb = self.value(b);
         let n = va.rows();
@@ -394,7 +424,13 @@ impl Tape {
     /// item embeddings (paper Eq. 10).
     pub fn einstein_midpoint(&mut self, tags: Var, item_tag: &Rc<Csr>) -> Var {
         let m = hyper::einstein_midpoint_fwd(self.value(tags), item_tag);
-        self.push(m, Op::EinsteinMidpoint { tags, item_tag: Rc::clone(item_tag) })
+        self.push(
+            m,
+            Op::EinsteinMidpoint {
+                tags,
+                item_tag: Rc::clone(item_tag),
+            },
+        )
     }
 
     /// Runs reverse-mode accumulation from the scalar node `loss`
@@ -525,7 +561,11 @@ impl Tape {
             Op::MeanAll(a) => {
                 let va = self.value(*a);
                 let n = (va.rows() * va.cols()) as f64;
-                Self::add_grad(grads, *a, Matrix::full(va.rows(), va.cols(), g.as_scalar() / n));
+                Self::add_grad(
+                    grads,
+                    *a,
+                    Matrix::full(va.rows(), va.cols(), g.as_scalar() / n),
+                );
             }
             Op::Relu(a) => {
                 let va = self.value(*a);

@@ -25,7 +25,9 @@ fn fd_grad(x: &Matrix, loss_fn: &dyn Fn(&Matrix) -> f64, h: f64) -> Matrix {
 }
 
 fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
-    let data = (0..rows * cols).map(|_| (rng.random::<f64>() - 0.5) * 2.0 * scale).collect();
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * scale)
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -65,12 +67,7 @@ fn rand_hyperboloid_matrix(rng: &mut StdRng, rows: usize, d: usize) -> Matrix {
 /// Asserts that the analytic gradient of `build(tape, x_var)` matches the
 /// finite-difference gradient computed by replaying `build` on perturbed
 /// inputs.
-fn check_grad(
-    x0: &Matrix,
-    build: &dyn Fn(&mut Tape, Var) -> Var,
-    tol: f64,
-    h: f64,
-) {
+fn check_grad(x0: &Matrix, build: &dyn Fn(&mut Tape, Var) -> Var, tol: f64, h: f64) {
     let loss_of = |m: &Matrix| -> f64 {
         let mut t = Tape::new();
         let x = t.leaf(m.clone());
@@ -178,7 +175,13 @@ fn grad_spmm() {
     let m = Rc::new(Csr::from_triplets(
         3,
         4,
-        &[(0, 0, 1.5), (0, 2, -0.5), (1, 1, 2.0), (2, 3, 0.7), (2, 0, 0.1)],
+        &[
+            (0, 0, 1.5),
+            (0, 2, -0.5),
+            (1, 1, 2.0),
+            (2, 3, 0.7),
+            (2, 0, 0.1),
+        ],
     ));
     let w = weight_like(&mut rng, 3, 3);
     check_grad(
@@ -546,12 +549,24 @@ fn grad_full_taxorec_like_pipeline() {
     let item_tag = Rc::new(Csr::from_triplets(
         3,
         4,
-        &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (2, 0, 1.0)],
+        &[
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (2, 0, 1.0),
+        ],
     ));
     let adj = Rc::new(Csr::from_triplets(
         3,
         3,
-        &[(0, 0, 1.0), (0, 1, 0.5), (1, 1, 1.0), (2, 2, 1.0), (2, 0, 0.3)],
+        &[
+            (0, 0, 1.0),
+            (0, 1, 0.5),
+            (1, 1, 1.0),
+            (2, 2, 1.0),
+            (2, 0, 0.3),
+        ],
     ));
     let anchor0 = rand_hyperboloid_matrix(&mut rng, 3, 2);
     check_grad(

@@ -104,10 +104,14 @@ impl Recommender for CmlAgg {
                     dataset.n_items,
                 );
                 let u_idx: Vec<usize> = users[lo..hi].iter().map(|&u| u as usize).collect();
-                let p_idx: Vec<usize> =
-                    pos[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
-                let n_idx: Vec<usize> =
-                    neg[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
+                let p_idx: Vec<usize> = pos[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
+                let n_idx: Vec<usize> = neg[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
                 let gu = tape.gather_rows(e, Rc::new(u_idx));
                 let gp = tape.gather_rows(e, Rc::new(p_idx));
                 let gq = tape.gather_rows(e, Rc::new(n_idx));
@@ -126,7 +130,14 @@ impl Recommender for CmlAgg {
         let mut tape = Tape::new();
         let e0 = tape.leaf(self.emb.clone());
         let t_leaf = tape.leaf(self.tags.clone());
-        let e = self.propagate(&mut tape, e0, t_leaf, &adj, dataset.n_users, dataset.n_items);
+        let e = self.propagate(
+            &mut tape,
+            e0,
+            t_leaf,
+            &adj,
+            dataset.n_users,
+            dataset.n_items,
+        );
         self.final_emb = tape.value(e).clone();
     }
 
@@ -148,7 +159,13 @@ mod tests {
     fn cml_agg_learns() {
         let d = generate_preset(Preset::Ciao, Scale::Tiny);
         let s = Split::standard(&d);
-        let mut m = CmlAgg::new(TrainOpts { lr: 0.5, ..TrainOpts::fast_test() }, 2);
+        let mut m = CmlAgg::new(
+            TrainOpts {
+                lr: 0.5,
+                ..TrainOpts::fast_test()
+            },
+            2,
+        );
         m.fit(&d, &s);
         let mut pos = 0.0;
         let mut np = 0usize;

@@ -30,14 +30,27 @@ pub struct TrainOpts {
 
 impl Default for TrainOpts {
     fn default() -> Self {
-        Self { dim: 32, lr: 0.1, epochs: 60, batch: 4096, negatives: 1, margin: 0.5, seed: 42 }
+        Self {
+            dim: 32,
+            lr: 0.1,
+            epochs: 60,
+            batch: 4096,
+            negatives: 1,
+            margin: 0.5,
+            seed: 42,
+        }
     }
 }
 
 impl TrainOpts {
     /// Faster settings for unit tests.
     pub fn fast_test() -> Self {
-        Self { dim: 12, epochs: 30, lr: 0.3, ..Self::default() }
+        Self {
+            dim: 12,
+            epochs: 30,
+            lr: 0.3,
+            ..Self::default()
+        }
     }
 }
 

@@ -76,10 +76,14 @@ impl Recommender for LightGcn {
                 let e0 = tape.leaf(self.emb.clone());
                 let e = self.propagate(&mut tape, e0, &adj);
                 let u_idx: Vec<usize> = users[lo..hi].iter().map(|&u| u as usize).collect();
-                let p_idx: Vec<usize> =
-                    pos[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
-                let n_idx: Vec<usize> =
-                    neg[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
+                let p_idx: Vec<usize> = pos[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
+                let n_idx: Vec<usize> = neg[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
                 let gu = tape.gather_rows(e, Rc::new(u_idx));
                 let gp = tape.gather_rows(e, Rc::new(p_idx));
                 let gq = tape.gather_rows(e, Rc::new(n_idx));
@@ -174,8 +178,12 @@ impl Recommender for Ngcf {
         let d = self.opts.dim;
         self.emb = init::normal_matrix(&mut rng, n, d, 0.1);
         let scale = (1.0 / d as f64).sqrt();
-        self.w1 = (0..self.layers).map(|_| init::normal_matrix(&mut rng, d, d, scale)).collect();
-        self.w2 = (0..self.layers).map(|_| init::normal_matrix(&mut rng, d, d, scale)).collect();
+        self.w1 = (0..self.layers)
+            .map(|_| init::normal_matrix(&mut rng, d, d, scale))
+            .collect();
+        self.w2 = (0..self.layers)
+            .map(|_| init::normal_matrix(&mut rng, d, d, scale))
+            .collect();
         let adj = sym_norm_adjacency(dataset, split);
         let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
         let mut pairs = split.train_pairs();
@@ -194,10 +202,14 @@ impl Recommender for Ngcf {
                 let w2: Vec<Var> = self.w2.iter().map(|w| tape.leaf(w.clone())).collect();
                 let e = self.propagate(&mut tape, e0, &w1, &w2, &adj);
                 let u_idx: Vec<usize> = users[lo..hi].iter().map(|&u| u as usize).collect();
-                let p_idx: Vec<usize> =
-                    pos[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
-                let n_idx: Vec<usize> =
-                    neg[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
+                let p_idx: Vec<usize> = pos[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
+                let n_idx: Vec<usize> = neg[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
                 let gu = tape.gather_rows(e, Rc::new(u_idx));
                 let gp = tape.gather_rows(e, Rc::new(p_idx));
                 let gq = tape.gather_rows(e, Rc::new(n_idx));
@@ -273,7 +285,9 @@ impl Hgcf {
             ..TaxoRecConfig::default()
         }
         .hgcf();
-        Self { inner: TaxoRec::new(cfg) }
+        Self {
+            inner: TaxoRec::new(cfg),
+        }
     }
 }
 
@@ -333,7 +347,14 @@ mod tests {
     #[test]
     fn ngcf_learns() {
         let (d, s) = setup();
-        let mut m = Ngcf::new(TrainOpts { epochs: 30, lr: 0.2, ..TrainOpts::fast_test() }, 2);
+        let mut m = Ngcf::new(
+            TrainOpts {
+                epochs: 30,
+                lr: 0.2,
+                ..TrainOpts::fast_test()
+            },
+            2,
+        );
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }
@@ -341,7 +362,13 @@ mod tests {
     #[test]
     fn hgcf_learns() {
         let (d, s) = setup();
-        let mut m = Hgcf::new(TrainOpts { epochs: 10, ..TrainOpts::fast_test() }, 2);
+        let mut m = Hgcf::new(
+            TrainOpts {
+                epochs: 10,
+                ..TrainOpts::fast_test()
+            },
+            2,
+        );
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
         assert_eq!(m.name(), "HGCF");

@@ -27,7 +27,11 @@ pub struct HyperMl {
 impl HyperMl {
     /// Creates an untrained HyperML model.
     pub fn new(opts: TrainOpts) -> Self {
-        Self { opts, u: Matrix::zeros(0, 0), v: Matrix::zeros(0, 0) }
+        Self {
+            opts,
+            u: Matrix::zeros(0, 0),
+            v: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -89,7 +93,9 @@ impl Recommender for HyperMl {
 
     fn scores_for_user(&self, user: u32) -> Vec<f64> {
         let urow = self.u.row(user as usize);
-        (0..self.v.rows()).map(|v| -lorentz::distance_sq(urow, self.v.row(v))).collect()
+        (0..self.v.rows())
+            .map(|v| -lorentz::distance_sq(urow, self.v.row(v)))
+            .collect()
     }
 }
 
@@ -102,7 +108,10 @@ mod tests {
     fn hyperml_learns_and_stays_on_manifold() {
         let d = generate_preset(Preset::Ciao, Scale::Tiny);
         let s = Split::standard(&d);
-        let mut m = HyperMl::new(TrainOpts { lr: 0.3, ..TrainOpts::fast_test() });
+        let mut m = HyperMl::new(TrainOpts {
+            lr: 0.3,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         for r in 0..m.u.rows() {
             assert!(lorentz::constraint_residual(m.u.row(r)) < 1e-7);

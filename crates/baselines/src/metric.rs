@@ -11,8 +11,8 @@ use taxorec_data::{Dataset, NegativeSampler, Recommender, Split};
 use taxorec_geometry::vecops;
 
 use crate::common::{
-    epoch_triplets, euclid_dist_sq, gather_indices, hinge_loss, neighbor_means,
-    unit_ball_project, TrainOpts,
+    epoch_triplets, euclid_dist_sq, gather_indices, hinge_loss, neighbor_means, unit_ball_project,
+    TrainOpts,
 };
 
 /// Which translation mechanism a [`MetricModel`] uses — the four baselines
@@ -23,7 +23,12 @@ enum Relation {
     None,
     /// TransCF (Park et al., ICDM 2018): `r = p_u ⊙ q_v` from neighborhood
     /// context embeddings, distance `‖u + r − v‖²`.
-    Neighborhood { user_ctx: Matrix, item_ctx: Matrix, ui: Rc<Csr>, iu: Rc<Csr> },
+    Neighborhood {
+        user_ctx: Matrix,
+        item_ctx: Matrix,
+        ui: Rc<Csr>,
+        iu: Rc<Csr>,
+    },
     /// LRML (Tay et al., WWW 2018): `r = softmax((u⊙v)Kᵀ)·M` from a latent
     /// relational memory.
     Memory { keys: Matrix, memory: Matrix },
@@ -70,13 +75,23 @@ impl MetricModel {
         Self::build(
             opts,
             "LRML",
-            Relation::Memory { keys: Matrix::zeros(0, 0), memory: Matrix::zeros(0, 0) },
+            Relation::Memory {
+                keys: Matrix::zeros(0, 0),
+                memory: Matrix::zeros(0, 0),
+            },
         )
     }
 
     /// Symmetric metric learning with adaptive margins (SML).
     pub fn sml(opts: TrainOpts) -> Self {
-        Self::build(opts, "SML", Relation::Symmetric { margin_u: 0.5, margin_v: 0.25 })
+        Self::build(
+            opts,
+            "SML",
+            Relation::Symmetric {
+                margin_u: 0.5,
+                margin_v: 0.25,
+            },
+        )
     }
 
     fn build(opts: TrainOpts, name: &'static str, relation: Relation) -> Self {
@@ -138,7 +153,13 @@ impl Recommender for MetricModel {
         let d = self.opts.dim;
         self.u = init::normal_matrix(&mut rng, dataset.n_users, d, 0.1);
         self.v = init::normal_matrix(&mut rng, dataset.n_items, d, 0.1);
-        if let Relation::Neighborhood { user_ctx, item_ctx, ui, iu } = &mut self.relation {
+        if let Relation::Neighborhood {
+            user_ctx,
+            item_ctx,
+            ui,
+            iu,
+        } = &mut self.relation
+        {
             *user_ctx = init::normal_matrix(&mut rng, dataset.n_users, d, 0.1);
             *item_ctx = init::normal_matrix(&mut rng, dataset.n_items, d, 0.1);
             let (m_ui, m_iu) = neighbor_means(dataset, split);
@@ -175,7 +196,13 @@ impl Recommender for MetricModel {
                 let mut pu = None;
                 let mut qp = None;
                 let mut qn = None;
-                if let Relation::Neighborhood { user_ctx, item_ctx, ui, iu } = &self.relation {
+                if let Relation::Neighborhood {
+                    user_ctx,
+                    item_ctx,
+                    ui,
+                    iu,
+                } = &self.relation
+                {
                     let uc = tape.leaf(user_ctx.clone());
                     let ic = tape.leaf(item_ctx.clone());
                     let p_full = tape.spmm(ui, ic);
@@ -246,7 +273,9 @@ impl Recommender for MetricModel {
                 if let Some((uc, ic)) = ctx_leaves {
                     let gu_ctx = grads.take(uc);
                     let gi_ctx = grads.take(ic);
-                    if let Relation::Neighborhood { user_ctx, item_ctx, .. } = &mut self.relation
+                    if let Relation::Neighborhood {
+                        user_ctx, item_ctx, ..
+                    } = &mut self.relation
                     {
                         if let Some(g) = gu_ctx {
                             optim::sgd(user_ctx, &g, self.opts.lr);
@@ -274,7 +303,13 @@ impl Recommender for MetricModel {
             }
         }
         // Materialize TransCF contexts for inference.
-        if let Relation::Neighborhood { user_ctx, item_ctx, ui, iu } = &self.relation {
+        if let Relation::Neighborhood {
+            user_ctx,
+            item_ctx,
+            ui,
+            iu,
+        } = &self.relation
+        {
             self.p_ctx = ui.matmul(item_ctx);
             self.q_ctx = iu.matmul(user_ctx);
         }
@@ -371,7 +406,10 @@ mod tests {
     #[test]
     fn cml_learns_and_respects_norm_constraint() {
         let (d, s) = setup();
-        let mut m = MetricModel::cml(TrainOpts { lr: 0.5, ..TrainOpts::fast_test() });
+        let mut m = MetricModel::cml(TrainOpts {
+            lr: 0.5,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
         for r in 0..m.u.rows() {
@@ -382,7 +420,10 @@ mod tests {
     #[test]
     fn transcf_learns() {
         let (d, s) = setup();
-        let mut m = MetricModel::transcf(TrainOpts { lr: 0.5, ..TrainOpts::fast_test() });
+        let mut m = MetricModel::transcf(TrainOpts {
+            lr: 0.5,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }
@@ -390,7 +431,10 @@ mod tests {
     #[test]
     fn lrml_learns() {
         let (d, s) = setup();
-        let mut m = MetricModel::lrml(TrainOpts { lr: 0.5, ..TrainOpts::fast_test() });
+        let mut m = MetricModel::lrml(TrainOpts {
+            lr: 0.5,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }
@@ -398,7 +442,10 @@ mod tests {
     #[test]
     fn sml_learns() {
         let (d, s) = setup();
-        let mut m = MetricModel::sml(TrainOpts { lr: 0.5, ..TrainOpts::fast_test() });
+        let mut m = MetricModel::sml(TrainOpts {
+            lr: 0.5,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }

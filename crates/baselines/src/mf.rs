@@ -24,7 +24,11 @@ pub struct Bprmf {
 impl Bprmf {
     /// Creates an untrained BPRMF model.
     pub fn new(opts: TrainOpts) -> Self {
-        Self { opts, p: Matrix::zeros(0, 0), q: Matrix::zeros(0, 0) }
+        Self {
+            opts,
+            p: Matrix::zeros(0, 0),
+            q: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -90,7 +94,11 @@ pub struct Nmf {
 impl Nmf {
     /// Creates an untrained NMF model.
     pub fn new(opts: TrainOpts) -> Self {
-        Self { opts, w: Matrix::zeros(0, 0), h: Matrix::zeros(0, 0) }
+        Self {
+            opts,
+            w: Matrix::zeros(0, 0),
+            h: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -105,7 +113,9 @@ impl Recommender for Nmf {
         // Non-negative init in (0, 1).
         let uniform = |rng: &mut StdRng, r: usize, c: usize| {
             use rand::RngExt;
-            let data = (0..r * c).map(|_| rng.random::<f64>() * 0.5 + 1e-3).collect();
+            let data = (0..r * c)
+                .map(|_| rng.random::<f64>() * 0.5 + 1e-3)
+                .collect();
             Matrix::from_vec(r, c, data)
         };
         self.w = uniform(&mut rng, dataset.n_users, d);
@@ -366,7 +376,11 @@ mod tests {
     #[test]
     fn nmf_learns_nonnegative_factors() {
         let (d, s) = setup();
-        let mut m = Nmf::new(TrainOpts { epochs: 30, dim: 8, ..TrainOpts::fast_test() });
+        let mut m = Nmf::new(TrainOpts {
+            epochs: 30,
+            dim: 8,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(m.w.data().iter().all(|&x| x >= 0.0 && x.is_finite()));
         assert!(m.h.data().iter().all(|&x| x >= 0.0 && x.is_finite()));
@@ -376,7 +390,10 @@ mod tests {
     #[test]
     fn neumf_learns_train_preferences() {
         let (d, s) = setup();
-        let mut m = Neumf::new(TrainOpts { epochs: 20, ..TrainOpts::fast_test() });
+        let mut m = Neumf::new(TrainOpts {
+            epochs: 20,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }

@@ -301,10 +301,14 @@ impl Recommender for Agcn {
                     dataset.n_items,
                 );
                 let u_idx: Vec<usize> = users[lo..hi].iter().map(|&u| u as usize).collect();
-                let p_idx: Vec<usize> =
-                    pos[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
-                let n_idx: Vec<usize> =
-                    neg[lo..hi].iter().map(|&v| self.n_users + v as usize).collect();
+                let p_idx: Vec<usize> = pos[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
+                let n_idx: Vec<usize> = neg[lo..hi]
+                    .iter()
+                    .map(|&v| self.n_users + v as usize)
+                    .collect();
                 let gu = tape.gather_rows(e, Rc::new(u_idx));
                 let gp = tape.gather_rows(e, Rc::new(p_idx));
                 let gq = tape.gather_rows(e, Rc::new(n_idx));
@@ -336,7 +340,14 @@ impl Recommender for Agcn {
         let mut tape = Tape::new();
         let e0 = tape.leaf(self.emb.clone());
         let t_leaf = tape.leaf(self.t.clone());
-        let e = self.propagate(&mut tape, e0, t_leaf, &adj, dataset.n_users, dataset.n_items);
+        let e = self.propagate(
+            &mut tape,
+            e0,
+            t_leaf,
+            &adj,
+            dataset.n_users,
+            dataset.n_items,
+        );
         self.final_emb = tape.value(e).clone();
     }
 
@@ -399,7 +410,13 @@ mod tests {
     #[test]
     fn agcn_learns() {
         let (d, s) = setup();
-        let mut m = Agcn::new(TrainOpts { epochs: 10, ..TrainOpts::fast_test() }, 2);
+        let mut m = Agcn::new(
+            TrainOpts {
+                epochs: 10,
+                ..TrainOpts::fast_test()
+            },
+            2,
+        );
         m.fit(&d, &s);
         assert!(positives_beat_mean(&m, &s));
     }
@@ -413,7 +430,10 @@ mod tests {
         d.tag_names.clear();
         d.taxonomy_truth = None;
         let s = Split::standard(&d);
-        let mut m = Cmlf::new(TrainOpts { epochs: 3, ..TrainOpts::fast_test() });
+        let mut m = Cmlf::new(TrainOpts {
+            epochs: 3,
+            ..TrainOpts::fast_test()
+        });
         m.fit(&d, &s);
         assert!(m.scores_for_user(0).iter().all(|x| x.is_finite()));
     }

@@ -14,13 +14,20 @@ use crate::tag::{Agcn, Amf, Cmlf};
 /// HyperML's Riemannian steps run at roughly 1/8 of the Euclidean rate
 /// with a wider margin (validation-selected; see EXPERIMENTS.md).
 fn hyper_opts(opts: &TrainOpts) -> TrainOpts {
-    TrainOpts { lr: (opts.lr / 8.0).max(0.3), margin: 2.0, ..opts.clone() }
+    TrainOpts {
+        lr: (opts.lr / 8.0).max(0.3),
+        margin: 2.0,
+        ..opts.clone()
+    }
 }
 
 /// Euclidean metric-learning models need larger steps than the MF family
 /// (mean-normalized hinge gradients are small).
 fn metric_opts(opts: &TrainOpts) -> TrainOpts {
-    TrainOpts { lr: opts.lr.max(0.5), ..opts.clone() }
+    TrainOpts {
+        lr: opts.lr.max(0.5),
+        ..opts.clone()
+    }
 }
 
 /// Builds one model by its Table II name.

@@ -31,7 +31,10 @@ fn pipeline_once(
     let items = tape.slice_rows(out, n_users, z_items_rows(item_tag));
     let idx: Rc<Vec<usize>> = Rc::new((0..n_users.min(64)).collect());
     let gu = tape.gather_rows(users, Rc::clone(&idx));
-    let gv = tape.gather_rows(items, Rc::new((0..n_users.min(64)).map(|i| i % 32).collect()));
+    let gv = tape.gather_rows(
+        items,
+        Rc::new((0..n_users.min(64)).map(|i| i % 32).collect()),
+    );
     let d = tape.lorentz_dist_sq(gu, gv);
     let loss = tape.mean_all(d);
     let grads = tape.backward(loss);
@@ -53,14 +56,17 @@ fn bench_autodiff(c: &mut Criterion) {
     };
     let tags = Matrix::full(n_tags, d, 0.03);
     let adj_triplets: Vec<(usize, usize, f64)> = (0..(n_users + n_items))
-        .flat_map(|i| {
-            [(i, i, 1.0), (i, (i * 7 + 3) % (n_users + n_items), 0.3)]
-        })
+        .flat_map(|i| [(i, i, 1.0), (i, (i * 7 + 3) % (n_users + n_items), 0.3)])
         .collect();
-    let adj = Rc::new(Csr::from_triplets(n_users + n_items, n_users + n_items, &adj_triplets));
+    let adj = Rc::new(Csr::from_triplets(
+        n_users + n_items,
+        n_users + n_items,
+        &adj_triplets,
+    ));
     let adj_t = Rc::new(adj.transpose());
-    let it_triplets: Vec<(usize, usize, f64)> =
-        (0..n_items).flat_map(|v| [(v, v % n_tags, 1.0), (v, (v * 3 + 1) % n_tags, 1.0)]).collect();
+    let it_triplets: Vec<(usize, usize, f64)> = (0..n_items)
+        .flat_map(|v| [(v, v % n_tags, 1.0), (v, (v * 3 + 1) % n_tags, 1.0)])
+        .collect();
     let item_tag = Rc::new(Csr::from_triplets(n_items, n_tags, &it_triplets));
 
     c.bench_function("autodiff_full_pipeline_fwd_bwd_500nodes", |b| {

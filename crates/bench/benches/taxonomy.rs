@@ -14,7 +14,9 @@ fn bench_taxonomy(c: &mut Criterion) {
     let n_tags = dataset.n_tags;
     let dim = 8;
     let mut rng = StdRng::seed_from_u64(5);
-    let emb: Vec<f64> = (0..n_tags * dim).map(|_| (rng.random::<f64>() - 0.5) * 0.8).collect();
+    let emb: Vec<f64> = (0..n_tags * dim)
+        .map(|_| (rng.random::<f64>() - 0.5) * 0.8)
+        .collect();
     let all_tags: Vec<u32> = (0..n_tags as u32).collect();
 
     for seeding in [Seeding::PlusPlus, Seeding::Uniform] {
@@ -28,9 +30,7 @@ fn bench_taxonomy(c: &mut Criterion) {
 
     c.bench_function(&format!("construct_taxonomy_{n_tags}tags"), |b| {
         let cfg = ConstructConfig::default();
-        b.iter(|| {
-            construct_taxonomy(black_box(&emb), dim, n_tags, &dataset.item_tags, &cfg)
-        })
+        b.iter(|| construct_taxonomy(black_box(&emb), dim, n_tags, &dataset.item_tags, &cfg))
     });
 }
 

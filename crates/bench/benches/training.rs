@@ -36,8 +36,9 @@ fn bench_training(c: &mut Criterion) {
     // Taxonomy construction alone on the same data — the §V-B overhead.
     let dim = profile.dim_tag;
     let mut rng = StdRng::seed_from_u64(2);
-    let emb: Vec<f64> =
-        (0..dataset.n_tags * dim).map(|_| (rng.random::<f64>() - 0.5) * 0.6).collect();
+    let emb: Vec<f64> = (0..dataset.n_tags * dim)
+        .map(|_| (rng.random::<f64>() - 0.5) * 0.6)
+        .collect();
     c.bench_function("taxonomy_construction_alone_ciao_tiny", |b| {
         let cfg = ConstructConfig::default();
         b.iter(|| construct_taxonomy(&emb, dim, dataset.n_tags, &dataset.item_tags, &cfg))

@@ -11,7 +11,7 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use taxorec_autodiff::{Matrix, Tape};
-use taxorec_bench::BenchProfile;
+use taxorec_bench::{write_bench_telemetry, BenchProfile};
 use taxorec_core::optim;
 use taxorec_data::{generate_preset, Preset, TagTree};
 use taxorec_geometry::{poincare, vecops};
@@ -135,13 +135,19 @@ fn main() {
     let profile = BenchProfile::from_env();
     println!("Fig. 3 — Euclidean vs hyperbolic arrangement of the planted Yelp taxonomy (2-D)\n");
     let d = generate_preset(Preset::Yelp, profile.scale);
-    let tree = d.taxonomy_truth.as_ref().expect("synthetic dataset carries the tree");
+    let tree = d
+        .taxonomy_truth
+        .as_ref()
+        .expect("synthetic dataset carries the tree");
     let epochs = 1500;
     // Edge length 1: leaves must sit ~2 apart while the deepest level
     // lives at radius ~4 — realizable in hyperbolic 2-space (circumference
     // grows as sinh r) but crowded in the Euclidean plane.
     let scale = 1.0;
-    println!("{:<12} {:>16} {:>28}", "space", "mean rel. stress", "parent-farther-than-child %");
+    println!(
+        "{:<12} {:>16} {:>28}",
+        "space", "mean rel. stress", "parent-farther-than-child %"
+    );
     for (label, hyperbolic) in [("Euclidean", false), ("Poincare", true)] {
         let mut stress = 0.0;
         let mut viol = 0.0;
@@ -155,4 +161,5 @@ fn main() {
     }
     println!("\nExpected shape (paper Fig. 3): hyperbolic space yields lower distortion and");
     println!("fewer hierarchy violations than Euclidean space at the same dimensionality.");
+    write_bench_telemetry("fig3");
 }

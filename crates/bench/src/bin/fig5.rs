@@ -3,7 +3,9 @@
 //! The expected shape: all models improve with `D`; the hyperbolic models
 //! (HyperML, TaxoRec) stay strong at small `D` while CML degrades.
 
-use taxorec_bench::{dataset_and_split, make_model, BenchProfile};
+use taxorec_bench::{
+    dataset_and_split, make_model, run_parallel, write_bench_telemetry, BenchProfile,
+};
 use taxorec_data::Preset;
 use taxorec_eval::{evaluate, TextTable};
 
@@ -18,45 +20,30 @@ fn main() {
     for preset in [Preset::Ciao, Preset::AmazonCd] {
         let (dataset, split) = dataset_and_split(preset, profile.scale);
         let mut table = TextTable::new(&["D", "CML", "HyperML", "TaxoRec"]);
-        // Parallel across (dim × model).
-        let jobs: Vec<(usize, usize)> =
-            (0..dims.len()).flat_map(|d| (0..models.len()).map(move |m| (d, m))).collect();
-        let results: Vec<std::sync::Mutex<Option<f64>>> =
-            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let n_workers =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len());
-        let profile_ref = &profile;
-        let dataset_ref = &dataset;
-        let split_ref = &split;
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (di, mi) = jobs[i];
-                    let mut p = profile_ref.clone();
-                    p.dim = dims[di];
-                    // TaxoRec reserves a fixed tag budget (paper: 12 of 64).
-                    p.dim_tag = 8.min(dims[di] / 2);
-                    let mut model = make_model(models[mi], &p, p.seeds[0], &dataset_ref.name);
-                    model.fit(dataset_ref, split_ref);
-                    let e = evaluate(model.as_ref(), split_ref, &[10]);
-                    *results[i].lock().unwrap() = Some(100.0 * e.mean_recall(0));
-                });
-            }
+        // Parallel across (dim × model) on the shared worker pool.
+        let jobs: Vec<(usize, usize)> = (0..dims.len())
+            .flat_map(|d| (0..models.len()).map(move |m| (d, m)))
+            .collect();
+        let results = run_parallel("fig5", jobs.len(), |i| {
+            let (di, mi) = jobs[i];
+            let mut p = profile.clone();
+            p.dim = dims[di];
+            // TaxoRec reserves a fixed tag budget (paper: 12 of 64).
+            p.dim_tag = 8.min(dims[di] / 2);
+            let mut model = make_model(models[mi], &p, p.seeds[0], &dataset.name);
+            model.fit(&dataset, &split);
+            let e = evaluate(model.as_ref(), &split, &[10]);
+            100.0 * e.mean_recall(0)
         });
         for (di, &d) in dims.iter().enumerate() {
             let mut row = vec![d.to_string()];
             for mi in 0..models.len() {
-                let v = results[di * models.len() + mi].lock().unwrap().expect("ran");
-                row.push(format!("{v:.2}"));
+                row.push(format!("{:.2}", results[di * models.len() + mi]));
             }
             table.row(row);
         }
         println!("=== {} ===", preset.name());
         println!("{}", table.render());
     }
+    write_bench_telemetry("fig5");
 }

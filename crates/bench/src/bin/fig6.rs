@@ -3,7 +3,7 @@
 //! quantitative recovery scores against the planted ground truth that the
 //! synthetic substitution makes possible.
 
-use taxorec_bench::{dataset_and_split, BenchProfile};
+use taxorec_bench::{dataset_and_split, write_bench_telemetry, BenchProfile};
 use taxorec_core::TaxoRec;
 use taxorec_data::{Preset, Recommender};
 use taxorec_taxonomy::{
@@ -21,7 +21,12 @@ fn main() {
         let mut model = TaxoRec::new(profile.taxorec_config_for(&dataset.name, profile.seeds[0]));
         model.fit(&dataset, &split);
         let taxo = model.taxonomy().expect("taxonomy constructed");
-        println!("=== {} (constructed {} nodes, depth {}) ===", preset.name(), taxo.len(), taxo.depth());
+        println!(
+            "=== {} (constructed {} nodes, depth {}) ===",
+            preset.name(),
+            taxo.len(),
+            taxo.depth()
+        );
         print!("{}", taxo.render(&dataset.tag_names, 5));
         if let Some(truth) = &dataset.taxonomy_truth {
             let s = ancestor_scores(taxo, truth);
@@ -31,11 +36,17 @@ fn main() {
                 "\nrecovery vs planted tree: ancestor P={:.3} R={:.3} F1={:.3} \
                  (random-pairing precision baseline {:.3}); sibling coherence {:.3} \
                  (random-grouping baseline {:.3})",
-                s.precision, s.recall, s.f1, rnd, coh, random_coherence_baseline(truth)
+                s.precision,
+                s.recall,
+                s.f1,
+                rnd,
+                coh,
+                random_coherence_baseline(truth)
             );
         }
         println!();
     }
     println!("Read: sibling tag sets should be semantically coherent (same top-level");
     println!("theme) and ancestor precision should sit far above the random baseline.");
+    write_bench_telemetry("fig6");
 }

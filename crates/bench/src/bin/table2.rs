@@ -4,7 +4,7 @@
 //! signed-rank significance star for TaxoRec vs. the best baseline.
 
 use taxorec_baselines::zoo::TABLE2_ORDER;
-use taxorec_bench::{dataset_and_split, run_jobs, BenchProfile, Job};
+use taxorec_bench::{dataset_and_split, run_jobs, write_bench_telemetry, BenchProfile, Job};
 use taxorec_data::Preset;
 use taxorec_eval::{mark_best, wilcoxon_signed_rank, TextTable};
 
@@ -17,22 +17,21 @@ fn main() {
         profile.seeds.len(),
         profile.epochs
     );
-    let datasets: Vec<_> =
-        Preset::ALL.iter().map(|&p| dataset_and_split(p, profile.scale)).collect();
+    let datasets: Vec<_> = Preset::ALL
+        .iter()
+        .map(|&p| dataset_and_split(p, profile.scale))
+        .collect();
     for (di, preset) in Preset::ALL.iter().enumerate() {
         let jobs: Vec<Job> = TABLE2_ORDER
             .iter()
-            .map(|&m| Job { model: m.to_string(), dataset_idx: di })
+            .map(|&m| Job {
+                model: m.to_string(),
+                dataset_idx: di,
+            })
             .collect();
         let results = run_jobs(&jobs, &datasets, &profile, &ks);
         // Column-wise best/second markers.
-        let mut table = TextTable::new(&[
-            "Method",
-            "Recall@10",
-            "Recall@20",
-            "NDCG@10",
-            "NDCG@20",
-        ]);
+        let mut table = TextTable::new(&["Method", "Recall@10", "Recall@20", "NDCG@10", "NDCG@20"]);
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
         let mut cells: Vec<Vec<String>> = vec![Vec::new(); 4];
         for r in &results {
@@ -45,8 +44,11 @@ fn main() {
             cells[2].push(r.ndcg_cell(0));
             cells[3].push(r.ndcg_cell(1));
         }
-        let marked: Vec<Vec<String>> =
-            columns.iter().zip(&cells).map(|(v, c)| mark_best(v, c)).collect();
+        let marked: Vec<Vec<String>> = columns
+            .iter()
+            .zip(&cells)
+            .map(|(v, c)| mark_best(v, c))
+            .collect();
         // Wilcoxon: TaxoRec (last row) vs. the best *baseline* per-user
         // Recall@10 of the first seed.
         let taxo = results.last().expect("TaxoRec present");
@@ -78,4 +80,5 @@ fn main() {
             if w.significant(0.05) { "" } else { "not " }
         );
     }
+    write_bench_telemetry("table2");
 }

@@ -1,7 +1,7 @@
 //! Regenerates **Table III** — the ablation study: CML, CML+Agg,
 //! Hyper+CML, Hyper+CML+Agg, TaxoRec on the four dataset analogues.
 
-use taxorec_bench::{dataset_and_split, run_jobs, BenchProfile, Job};
+use taxorec_bench::{dataset_and_split, run_jobs, write_bench_telemetry, BenchProfile, Job};
 use taxorec_data::Preset;
 use taxorec_eval::TextTable;
 
@@ -16,11 +16,18 @@ fn main() {
         profile.seeds.len(),
         profile.epochs
     );
-    let datasets: Vec<_> =
-        Preset::ALL.iter().map(|&p| dataset_and_split(p, profile.scale)).collect();
+    let datasets: Vec<_> = Preset::ALL
+        .iter()
+        .map(|&p| dataset_and_split(p, profile.scale))
+        .collect();
     for (di, preset) in Preset::ALL.iter().enumerate() {
-        let jobs: Vec<Job> =
-            ROWS.iter().map(|&m| Job { model: m.to_string(), dataset_idx: di }).collect();
+        let jobs: Vec<Job> = ROWS
+            .iter()
+            .map(|&m| Job {
+                model: m.to_string(),
+                dataset_idx: di,
+            })
+            .collect();
         let results = run_jobs(&jobs, &datasets, &profile, &ks);
         let mut table =
             TextTable::new(&["Variant", "Recall@10", "Recall@20", "NDCG@10", "NDCG@20"]);
@@ -44,6 +51,7 @@ fn main() {
             check(r10[4] > r10[3]),
         );
     }
+    write_bench_telemetry("table3");
 }
 
 fn check(ok: bool) -> &'static str {

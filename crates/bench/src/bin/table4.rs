@@ -2,7 +2,7 @@
 //! Amazon-Book and Yelp analogues: K ∈ {2,3,4}, δ ∈ {0.25,0.5,0.75},
 //! L ∈ {1..4}, m ∈ {0.1..0.4}, λ ∈ {0, 0.01, 0.1, 1.0}.
 
-use taxorec_bench::{dataset_and_split, BenchProfile};
+use taxorec_bench::{dataset_and_split, run_parallel, write_bench_telemetry, BenchProfile};
 use taxorec_core::{TaxoRec, TaxoRecConfig};
 use taxorec_data::{Preset, Recommender};
 use taxorec_eval::{evaluate, TextTable};
@@ -58,38 +58,26 @@ fn main() {
         profile.scale, profile.seeds[0], profile.epochs
     );
     let presets = [Preset::AmazonBook, Preset::Yelp];
-    let datasets: Vec<_> = presets.iter().map(|&p| dataset_and_split(p, profile.scale)).collect();
+    let datasets: Vec<_> = presets
+        .iter()
+        .map(|&p| dataset_and_split(p, profile.scale))
+        .collect();
     let all = settings();
-    // Parallel over (setting × dataset) with a simple worker pool.
-    let jobs: Vec<(usize, usize)> =
-        (0..all.len()).flat_map(|s| (0..presets.len()).map(move |d| (s, d))).collect();
-    let results: Vec<std::sync::Mutex<Option<(f64, f64)>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers.min(jobs.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (si, di) = jobs[i];
-                let (dataset, split) = &datasets[di];
-                let mut cfg = profile.taxorec_config_for(&dataset.name, profile.seeds[0]);
-                (all[si].patch)(&mut cfg);
-                let mut model = TaxoRec::new(cfg);
-                model.fit(dataset, split);
-                let e = evaluate(&model, split, &ks);
-                *results[i].lock().unwrap() =
-                    Some((100.0 * e.mean_recall(0), 100.0 * e.mean_ndcg(0)));
-            });
-        }
+    // Parallel over (setting × dataset) on the shared worker pool.
+    let jobs: Vec<(usize, usize)> = (0..all.len())
+        .flat_map(|s| (0..presets.len()).map(move |d| (s, d)))
+        .collect();
+    let results = run_parallel("table4", jobs.len(), |i| {
+        let (si, di) = jobs[i];
+        let (dataset, split) = &datasets[di];
+        let mut cfg = profile.taxorec_config_for(&dataset.name, profile.seeds[0]);
+        (all[si].patch)(&mut cfg);
+        let mut model = TaxoRec::new(cfg);
+        model.fit(dataset, split);
+        let e = evaluate(&model, split, &ks);
+        (100.0 * e.mean_recall(0), 100.0 * e.mean_ndcg(0))
     });
-    let cell = |si: usize, di: usize| -> (f64, f64) {
-        let idx = si * presets.len() + di;
-        results[idx].lock().unwrap().expect("job ran")
-    };
+    let cell = |si: usize, di: usize| -> (f64, f64) { results[si * presets.len() + di] };
     let mut table = TextTable::new(&[
         "Param.",
         "Recall@10 (Book)",
@@ -110,5 +98,8 @@ fn main() {
     }
     println!("{}", table.render());
     println!("Paper optima: K=3, delta=0.5, L=3, m in [0.1,0.2], lambda in [0.1,1.0].");
-    println!("(delta and m operate on reproduction-scale score/distance ranges; see EXPERIMENTS.md.)");
+    println!(
+        "(delta and m operate on reproduction-scale score/distance ranges; see EXPERIMENTS.md.)"
+    );
+    write_bench_telemetry("table4");
 }

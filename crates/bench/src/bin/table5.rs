@@ -2,7 +2,7 @@
 //! of the Amazon-Book and Yelp analogues, the 4 nearest tags in the
 //! learned metric space and the top recommended items (RQ5).
 
-use taxorec_bench::{dataset_and_split, BenchProfile};
+use taxorec_bench::{dataset_and_split, write_bench_telemetry, BenchProfile};
 use taxorec_core::TaxoRec;
 use taxorec_data::{Preset, Recommender};
 use taxorec_eval::top_k_indices;
@@ -25,7 +25,9 @@ fn main() {
             .filter(|&u| !split.test[u as usize].is_empty())
             .collect();
         candidates.sort_by(|&a, &b| {
-            model.alphas()[b as usize].partial_cmp(&model.alphas()[a as usize]).unwrap()
+            model.alphas()[b as usize]
+                .partial_cmp(&model.alphas()[a as usize])
+                .unwrap()
         });
         for &u in candidates.iter().take(2) {
             let tags = model.user_top_tags(u, 4);
@@ -57,4 +59,5 @@ fn main() {
     }
     println!("Read: the nearest tags of a user should be coherent (shared ancestors in");
     println!("the constructed taxonomy) and the recommended items should carry those tags.");
+    write_bench_telemetry("table5");
 }

@@ -36,7 +36,14 @@ pub struct BenchProfile {
 
 impl Default for BenchProfile {
     fn default() -> Self {
-        Self { scale: Scale::Bench, seeds: vec![11, 22, 33], epochs: 60, dim: 32, dim_tag: 8, gcn_layers: 3 }
+        Self {
+            scale: Scale::Bench,
+            seeds: vec![11, 22, 33],
+            epochs: 60,
+            dim: 32,
+            dim_tag: 8,
+            gcn_layers: 3,
+        }
     }
 }
 
@@ -124,7 +131,10 @@ pub fn make_model(
     let cfg = profile.taxorec_config_for(dataset_name, seed);
     match name {
         "CML+Agg" => Box::new(CmlAgg::new(
-            TrainOpts { lr: opts.lr.max(0.5), ..opts },
+            TrainOpts {
+                lr: opts.lr.max(0.5),
+                ..opts
+            },
             profile.gcn_layers,
         )),
         "Hyper+CML" => Box::new(TaxoRec::new(cfg.ablation_hyper_cml())),
@@ -143,41 +153,111 @@ pub struct Job {
     pub dataset_idx: usize,
 }
 
-/// Runs every job across `std::thread` workers; each worker constructs and
-/// trains its models locally (model internals are not `Send`). Results
-/// come back in job order.
+/// Runs `n_jobs` independent work items (indices `0..n_jobs`) across a
+/// `std::thread` worker pool and returns the results in item order. Work
+/// items must be independent; the worker count is capped by
+/// `available_parallelism`.
+///
+/// Instrumented: each item's wall time lands in the `bench.job.duration`
+/// histogram, completed items count into `bench.jobs`, and the pool's
+/// overall utilization (busy time / workers × wall time) is published to
+/// the `bench.worker.utilization` gauge when the pool drains.
+pub fn run_parallel<T: Send>(label: &str, n_jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let job_hist = taxorec_telemetry::histogram("bench.job.duration");
+    let job_count = taxorec_telemetry::counter("bench.jobs");
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_jobs.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n_jobs).map(|_| std::sync::Mutex::new(None)).collect();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let t0 = std::time::Instant::now();
+                let out = f(i);
+                let dt = t0.elapsed();
+                job_hist.observe(dt.as_secs_f64());
+                job_count.inc(1);
+                busy_ns.fetch_add(dt.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let utilization = if wall > 0.0 {
+        busy_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9 / (wall * n_workers as f64)
+    } else {
+        0.0
+    };
+    taxorec_telemetry::gauge("bench.worker.utilization").set(utilization);
+    taxorec_telemetry::sink::info(&format!(
+        "{label}: {n_jobs} jobs on {n_workers} workers in {wall:.2}s \
+         (utilization {:.0}%)",
+        utilization * 100.0
+    ));
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job completed"))
+        .collect()
+}
+
+/// Runs every job across the shared [`run_parallel`] pool; each worker
+/// constructs and trains its models locally (model internals are not
+/// `Send`). Results come back in job order.
 pub fn run_jobs(
     jobs: &[Job],
     datasets: &[(Dataset, Split)],
     profile: &BenchProfile,
     ks: &[usize],
 ) -> Vec<CellStats> {
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<CellStats>>> =
-        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                let (dataset, split) = &datasets[job.dataset_idx];
-                let stats = run_cell(
-                    &job.model,
-                    &|seed| make_model(&job.model, profile, seed, &dataset.name),
-                    dataset,
-                    split,
-                    ks,
-                    &profile.seeds,
-                );
-                *results[i].lock().unwrap() = Some(stats);
-            });
+    run_parallel("bench.run_jobs", jobs.len(), |i| {
+        let job = &jobs[i];
+        let (dataset, split) = &datasets[job.dataset_idx];
+        run_cell(
+            &job.model,
+            &|seed| make_model(&job.model, profile, seed, &dataset.name),
+            dataset,
+            split,
+            ks,
+            &profile.seeds,
+        )
+    })
+}
+
+/// Appends this process's full metric snapshot as one JSON line to
+/// `BENCH_telemetry.json` in the working directory, labelled with the
+/// producing binary: `{"bin":…,"generated_unix_ms":…,"telemetry":…}`.
+/// Every bench binary calls this on exit so a full reproduction run leaves
+/// a machine-readable record of training health and runtime next to its
+/// tables.
+pub fn write_bench_telemetry(bin: &str) {
+    let mut line = String::with_capacity(2048);
+    line.push_str("{\"bin\":");
+    taxorec_telemetry::json::push_str_escaped(&mut line, bin);
+    line.push_str(",\"generated_unix_ms\":");
+    line.push_str(&taxorec_telemetry::sink::unix_ms().to_string());
+    line.push_str(",\"telemetry\":");
+    line.push_str(&taxorec_telemetry::snapshot());
+    line.push('}');
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_telemetry.json")
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
         }
-    });
-    results.into_iter().map(|m| m.into_inner().unwrap().expect("job completed")).collect()
+        Err(e) => eprintln!("[taxorec:warn] cannot write BENCH_telemetry.json: {e}"),
+    }
 }
 
 /// Wall-clock helper for the runtime claims.
@@ -220,8 +300,14 @@ mod tests {
         let p = tiny_profile();
         let datasets = vec![dataset_and_split(Preset::Ciao, Scale::Tiny)];
         let jobs = vec![
-            Job { model: "BPRMF".into(), dataset_idx: 0 },
-            Job { model: "CML".into(), dataset_idx: 0 },
+            Job {
+                model: "BPRMF".into(),
+                dataset_idx: 0,
+            },
+            Job {
+                model: "CML".into(),
+                dataset_idx: 0,
+            },
         ];
         let results = run_jobs(&jobs, &datasets, &p, &[10]);
         assert_eq!(results.len(), 2);

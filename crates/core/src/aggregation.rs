@@ -29,6 +29,7 @@ pub fn local_tag_aggregation(
     graph: &GraphMatrices,
     einstein: bool,
 ) -> Var {
+    let _span = taxorec_telemetry::span!("train.agg.local");
     if einstein {
         let klein = tape.poincare_to_klein(t_p); // Eq. 9
         let mu = tape.einstein_midpoint(klein, &graph.item_tag); // Eq. 10
@@ -61,6 +62,7 @@ pub fn global_aggregation(
     graph: &GraphMatrices,
     layers: usize,
 ) -> (Var, Var) {
+    let _span = taxorec_telemetry::span!("train.agg.global");
     let zu = tape.lorentz_log_origin(users); // Eq. 12
     let zv = tape.lorentz_log_origin(items);
     let mut z = tape.concat_rows(zu, zv);
@@ -94,9 +96,21 @@ mod tests {
             n_items: 3,
             n_tags: 2,
             interactions: vec![
-                Interaction { user: 0, item: 0, ts: 0 },
-                Interaction { user: 1, item: 1, ts: 0 },
-                Interaction { user: 1, item: 2, ts: 1 },
+                Interaction {
+                    user: 0,
+                    item: 0,
+                    ts: 0,
+                },
+                Interaction {
+                    user: 1,
+                    item: 1,
+                    ts: 0,
+                },
+                Interaction {
+                    user: 1,
+                    item: 2,
+                    ts: 1,
+                },
             ],
             item_tags: vec![vec![0], vec![0, 1], vec![]],
             tag_names: vec!["a".into(), "b".into()],
@@ -180,12 +194,22 @@ mod tests {
         let g = tiny_graph();
         let mut tape = Tape::new();
         let mut users = Matrix::zeros(2, 3);
-        users.row_mut(0).copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
-        users.row_mut(1).copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
+        users
+            .row_mut(0)
+            .copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
+        users
+            .row_mut(1)
+            .copy_from_slice(&lorentz::from_spatial(&[0.0, 0.0]));
         let mut items = Matrix::zeros(3, 3);
-        items.row_mut(0).copy_from_slice(&lorentz::from_spatial(&[1.0, 0.0]));
-        items.row_mut(1).copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
-        items.row_mut(2).copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
+        items
+            .row_mut(0)
+            .copy_from_slice(&lorentz::from_spatial(&[1.0, 0.0]));
+        items
+            .row_mut(1)
+            .copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
+        items
+            .row_mut(2)
+            .copy_from_slice(&lorentz::from_spatial(&[-1.0, 0.0]));
         let u = tape.leaf(users);
         let v = tape.leaf(items);
         let (uo, _) = global_aggregation(&mut tape, u, v, &g, 1);

@@ -147,19 +147,33 @@ impl TaxoRecConfig {
     /// The Hyper+CML ablation of Table III: hyperbolic metric learning
     /// without tags, aggregation, or taxonomy.
     pub fn ablation_hyper_cml(self) -> Self {
-        Self { use_aggregation: false, lambda: 0.0, ..self }
+        Self {
+            use_aggregation: false,
+            lambda: 0.0,
+            ..self
+        }
     }
 
     /// The Hyper+CML+Agg ablation of Table III: aggregation on, taxonomy
     /// regularization off.
     pub fn ablation_hyper_cml_agg(self) -> Self {
-        Self { use_aggregation: true, use_tags: true, lambda: 0.0, ..self }
+        Self {
+            use_aggregation: true,
+            use_tags: true,
+            lambda: 0.0,
+            ..self
+        }
     }
 
     /// The HGCF baseline (hyperbolic GCN collaborative filtering):
     /// aggregation on, no tags, no taxonomy.
     pub fn hgcf(self) -> Self {
-        Self { use_aggregation: true, use_tags: false, lambda: 0.0, ..self }
+        Self {
+            use_aggregation: true,
+            use_tags: false,
+            lambda: 0.0,
+            ..self
+        }
     }
 
     /// Validates ranges; returns the first problem found.
@@ -209,14 +223,22 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = TaxoRecConfig::default();
-        c.taxo_k = 1;
-        assert!(c.validate().is_err());
-        let mut c = TaxoRecConfig::default();
-        c.lr = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = TaxoRecConfig::default();
-        c.lambda = -1.0;
-        assert!(c.validate().is_err());
+        let bad = [
+            TaxoRecConfig {
+                taxo_k: 1,
+                ..TaxoRecConfig::default()
+            },
+            TaxoRecConfig {
+                lr: 0.0,
+                ..TaxoRecConfig::default()
+            },
+            TaxoRecConfig {
+                lambda: -1.0,
+                ..TaxoRecConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 }

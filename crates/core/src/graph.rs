@@ -66,11 +66,22 @@ impl GraphMatrices {
                 tag_triplets.push((v, t as usize, 1.0));
             }
         }
-        let item_tag = Rc::new(Csr::from_triplets(n_items, dataset.n_tags.max(1), &tag_triplets));
+        let item_tag = Rc::new(Csr::from_triplets(
+            n_items,
+            dataset.n_tags.max(1),
+            &tag_triplets,
+        ));
         let mut norm = (*item_tag).clone();
         norm.normalize_rows();
         let item_tag_norm = Rc::new(norm);
-        Self { propagate, propagate_t, item_tag, item_tag_norm, n_users, n_items }
+        Self {
+            propagate,
+            propagate_t,
+            item_tag,
+            item_tag_norm,
+            n_users,
+            n_items,
+        }
     }
 }
 
@@ -86,9 +97,21 @@ mod tests {
             n_items: 2,
             n_tags: 2,
             interactions: vec![
-                Interaction { user: 0, item: 0, ts: 0 },
-                Interaction { user: 0, item: 1, ts: 1 },
-                Interaction { user: 1, item: 1, ts: 0 },
+                Interaction {
+                    user: 0,
+                    item: 0,
+                    ts: 0,
+                },
+                Interaction {
+                    user: 0,
+                    item: 1,
+                    ts: 1,
+                },
+                Interaction {
+                    user: 1,
+                    item: 1,
+                    ts: 0,
+                },
             ],
             item_tags: vec![vec![0], vec![0, 1]],
             tag_names: vec!["a".into(), "b".into()],

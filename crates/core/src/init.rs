@@ -26,7 +26,8 @@ pub fn lorentz_matrix(rng: &mut StdRng, rows: usize, dim: usize, std: f64) -> Ma
     let mut m = Matrix::zeros(rows, dim + 1);
     for r in 0..rows {
         let spatial: Vec<f64> = (0..dim).map(|_| normal(rng) * std).collect();
-        m.row_mut(r).copy_from_slice(&lorentz::from_spatial(&spatial));
+        m.row_mut(r)
+            .copy_from_slice(&lorentz::from_spatial(&spatial));
     }
     m
 }
@@ -35,7 +36,9 @@ pub fn lorentz_matrix(rng: &mut StdRng, rows: usize, dim: usize, std: f64) -> Ma
 /// (Nickel & Kiela initialize tag-style embeddings very close to the
 /// origin).
 pub fn poincare_matrix(rng: &mut StdRng, rows: usize, dim: usize, range: f64) -> Matrix {
-    let data = (0..rows * dim).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * range).collect();
+    let data = (0..rows * dim)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * range)
+        .collect();
     Matrix::from_vec(rows, dim, data)
 }
 

@@ -23,6 +23,7 @@ use taxorec_autodiff::{Csr, Matrix, Tape, Var};
 use taxorec_data::{Dataset, NegativeSampler, Recommender, Split};
 use taxorec_geometry::{convert, lorentz};
 use taxorec_taxonomy::{construct_taxonomy, ConstructConfig, RegularizerPlan, Taxonomy};
+use taxorec_telemetry::{span, EpochRecord, RebuildStats, TrainingMonitor};
 
 use crate::aggregation::{global_aggregation, local_tag_aggregation};
 use crate::config::TaxoRecConfig;
@@ -58,6 +59,35 @@ pub struct TaxoRec {
     tags_active: bool,
     /// Mean training loss per epoch (observability/testing).
     pub loss_history: Vec<f64>,
+    /// Per-epoch health records from the last `fit` (loss, gradient norm,
+    /// boundary proximity, skipped batches, rebuild stats).
+    pub epoch_records: Vec<EpochRecord>,
+}
+
+/// FNV-1a signature of each tag's residence group, identified by the
+/// *composition* of the retained set it belongs to (node indices are not
+/// stable across rebuilds). Tags absent from the taxonomy keep signature 0.
+fn tag_group_signatures(taxo: &Taxonomy, n_tags: usize) -> Vec<u64> {
+    let mut sig = vec![0u64; n_tags];
+    for node in taxo.nodes() {
+        let mut members = node.retained.clone();
+        members.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &t in &members {
+            h ^= u64::from(t) + 1;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &t in &node.retained {
+            if (t as usize) < n_tags {
+                sig[t as usize] = h;
+            }
+        }
+    }
+    sig
+}
+
+fn grad_sq_sum(g: &Matrix) -> f64 {
+    g.data().iter().map(|x| x * x).sum()
 }
 
 struct Forward {
@@ -108,6 +138,7 @@ impl TaxoRec {
             final_v_tg: Matrix::zeros(0, 0),
             tags_active: false,
             loss_history: Vec::new(),
+            epoch_records: Vec::new(),
         }
     }
 
@@ -156,7 +187,10 @@ impl TaxoRec {
         let d = self.user_tag_distances(user);
         let mut idx: Vec<u32> = (0..d.len() as u32).collect();
         idx.sort_by(|&a, &b| d[a as usize].partial_cmp(&d[b as usize]).unwrap());
-        idx.into_iter().take(k).map(|t| (t, d[t as usize])).collect()
+        idx.into_iter()
+            .take(k)
+            .map(|t| (t, d[t as usize]))
+            .collect()
     }
 
     /// Builds the full forward pass on a fresh tape.
@@ -178,8 +212,13 @@ impl TaxoRec {
                 v_tg: None,
             };
         }
-        let (u_ir, v_ir) =
-            global_aggregation(&mut tape, u_ir_leaf, v_ir_leaf, graph, self.config.gcn_layers);
+        let (u_ir, v_ir) = global_aggregation(
+            &mut tape,
+            u_ir_leaf,
+            v_ir_leaf,
+            graph,
+            self.config.gcn_layers,
+        );
         if !self.tags_active {
             return Forward {
                 tape,
@@ -197,8 +236,13 @@ impl TaxoRec {
         let t_p_leaf = tape.leaf(self.t_p.clone());
         let v_tg_local =
             local_tag_aggregation(&mut tape, t_p_leaf, graph, self.config.einstein_local);
-        let (u_tg, v_tg) =
-            global_aggregation(&mut tape, u_tg_leaf, v_tg_local, graph, self.config.gcn_layers);
+        let (u_tg, v_tg) = global_aggregation(
+            &mut tape,
+            u_tg_leaf,
+            v_tg_local,
+            graph,
+            self.config.gcn_layers,
+        );
         Forward {
             tape,
             u_ir_leaf,
@@ -248,7 +292,10 @@ impl TaxoRec {
             let alpha = Matrix::from_vec(
                 users.len(),
                 1,
-                users.iter().map(|&u| gain * self.alphas[u as usize]).collect(),
+                users
+                    .iter()
+                    .map(|&u| gain * self.alphas[u as usize])
+                    .collect(),
             );
             let alpha = tape.leaf(alpha);
             let a_pos = tape.mul_col_broadcast(d_pos_t, alpha);
@@ -284,8 +331,15 @@ impl TaxoRec {
     }
 
     /// Reconstructs the taxonomy from the current tag embeddings and
-    /// refreshes the Eq. 8 regularization plan.
-    fn rebuild_taxonomy(&mut self, dataset: &Dataset) {
+    /// refreshes the Eq. 8 regularization plan. Returns rebuild statistics
+    /// (node count, depth, fraction of tags whose group changed, wall time)
+    /// for the training monitor.
+    fn rebuild_taxonomy(&mut self, dataset: &Dataset) -> RebuildStats {
+        let started = std::time::Instant::now();
+        let prev_sig = self
+            .taxonomy
+            .as_ref()
+            .map(|t| tag_group_signatures(t, dataset.n_tags));
         let cfg = ConstructConfig {
             k: self.config.taxo_k,
             delta: self.config.taxo_delta,
@@ -305,11 +359,14 @@ impl TaxoRec {
         let plan = RegularizerPlan::from_taxonomy(&taxo);
         if plan.n_centers > 0 {
             let triplets: Vec<(usize, usize, f64)> = plan.center_weights.clone();
-            let csr = Rc::new(Csr::from_triplets(plan.n_centers, dataset.n_tags, &triplets));
+            let csr = Rc::new(Csr::from_triplets(
+                plan.n_centers,
+                dataset.n_tags,
+                &triplets,
+            ));
             self.reg_center_csr_t = Some(Rc::new(csr.transpose()));
             self.reg_center_csr = Some(csr);
-            self.reg_term_tags =
-                Rc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
+            self.reg_term_tags = Rc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
             self.reg_term_rows = Rc::new(plan.terms.iter().map(|&(_, r)| r).collect());
         } else {
             self.reg_center_csr = None;
@@ -317,7 +374,23 @@ impl TaxoRec {
             self.reg_term_tags = Rc::new(Vec::new());
             self.reg_term_rows = Rc::new(Vec::new());
         }
+        let moved_frac = match prev_sig {
+            Some(prev) => {
+                let new_sig = tag_group_signatures(&taxo, dataset.n_tags);
+                let moved = prev.iter().zip(&new_sig).filter(|(a, b)| a != b).count();
+                moved as f64 / dataset.n_tags.max(1) as f64
+            }
+            None => 1.0,
+        };
+        taxorec_telemetry::gauge("taxo.rebuild.moved_frac").set(moved_frac);
+        let stats = RebuildStats {
+            nodes: taxo.len(),
+            depth: taxo.depth(),
+            moved_frac,
+            duration_secs: started.elapsed().as_secs_f64(),
+        };
         self.taxonomy = Some(taxo);
+        stats
     }
 
     /// Picks the most violating negative (smallest `g(u, v)`) among `pool`
@@ -332,19 +405,19 @@ impl TaxoRec {
     ) -> u32 {
         let u = user as usize;
         let urow_ir = self.final_u_ir.row(u);
-        let alpha =
-            self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
+        let alpha = self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
         let mut best = sampler.sample(user, rng);
         let mut best_g = f64::INFINITY;
         for i in 0..pool {
-            let v = if i == 0 { best } else { sampler.sample(user, rng) };
+            let v = if i == 0 {
+                best
+            } else {
+                sampler.sample(user, rng)
+            };
             let mut g = lorentz::distance_sq(urow_ir, self.final_v_ir.row(v as usize));
             if self.tags_active && self.final_u_tg.rows() > 0 {
                 g += alpha
-                    * lorentz::distance_sq(
-                        self.final_u_tg.row(u),
-                        self.final_v_tg.row(v as usize),
-                    );
+                    * lorentz::distance_sq(self.final_u_tg.row(u), self.final_v_tg.row(v as usize));
             }
             if g < best_g {
                 best_g = g;
@@ -373,7 +446,9 @@ impl Recommender for TaxoRec {
     }
 
     fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        let _fit_span = span!("train.fit");
         let cfg = self.config.clone();
+        let mut monitor = TrainingMonitor::new(&self.name);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         self.tags_active = cfg.use_aggregation && cfg.use_tags && dataset.n_tags > 0;
         self.graph = Some(GraphMatrices::build(dataset, split));
@@ -386,6 +461,7 @@ impl Recommender for TaxoRec {
         // dominates the random initial offsets.
         self.t_p = init::poincare_matrix(&mut rng, dataset.n_tags.max(1), cfg.dim_tag, 0.001);
         self.loss_history.clear();
+        self.epoch_records.clear();
 
         let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
         let mut pairs = split.train_pairs();
@@ -394,6 +470,7 @@ impl Recommender for TaxoRec {
             return;
         }
         for epoch in 0..cfg.epochs {
+            monitor.begin_epoch(epoch);
             // Refresh the post-aggregation embeddings once per epoch for
             // hard-negative mining (stale-but-cheap, standard practice).
             if cfg.hard_negative_pool > 0 {
@@ -405,7 +482,8 @@ impl Recommender for TaxoRec {
                 && epoch >= warmup.max(1)
                 && (epoch - warmup).is_multiple_of(cfg.taxo_rebuild_every.max(1))
             {
-                self.rebuild_taxonomy(dataset);
+                let stats = self.rebuild_taxonomy(dataset);
+                monitor.observe_rebuild(stats);
             }
             pairs.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
@@ -427,20 +505,42 @@ impl Recommender for TaxoRec {
                 }
                 let mut f = self.forward();
                 let (metric_loss, reg_loss) = self.build_loss(&mut f, &users, &pos, &neg);
-                epoch_loss += f.tape.value(metric_loss).as_scalar()
+                let batch_loss = f.tape.value(metric_loss).as_scalar()
                     + reg_loss.map(|r| f.tape.value(r).as_scalar()).unwrap_or(0.0);
-                n_batches += 1;
+                if !batch_loss.is_finite() {
+                    // A non-finite loss would poison both the parameters
+                    // (through backward) and the epoch mean: skip the
+                    // update, counted and warned through the monitor.
+                    monitor.observe_batch(batch_loss, 0.0);
+                    continue;
+                }
                 let mut grads = f.tape.backward(metric_loss);
-                if let Some(g) = grads.take(f.u_ir_leaf) {
+                let g_u_ir = grads.take(f.u_ir_leaf);
+                let g_v_ir = grads.take(f.v_ir_leaf);
+                let g_u_tg = f.u_tg_leaf.and_then(|leaf| grads.take(leaf));
+                let g_t_p = f.t_p_leaf.and_then(|leaf| grads.take(leaf));
+                let g_t_p_reg = match (f.t_p_leaf, reg_loss) {
+                    (Some(leaf), Some(reg)) => f.tape.backward(reg).take(leaf),
+                    _ => None,
+                };
+                let grad_norm = [&g_u_ir, &g_v_ir, &g_u_tg, &g_t_p, &g_t_p_reg]
+                    .into_iter()
+                    .filter_map(|g| g.as_ref().map(grad_sq_sum))
+                    .sum::<f64>()
+                    .sqrt();
+                if !monitor.observe_batch(batch_loss, grad_norm) {
+                    continue;
+                }
+                epoch_loss += batch_loss;
+                n_batches += 1;
+                if let Some(g) = g_u_ir {
                     optim::rsgd_lorentz(&mut self.u_ir, &g, cfg.lr);
                 }
-                if let Some(g) = grads.take(f.v_ir_leaf) {
+                if let Some(g) = g_v_ir {
                     optim::rsgd_lorentz(&mut self.v_ir, &g, cfg.lr);
                 }
-                if let Some(leaf) = f.u_tg_leaf {
-                    if let Some(g) = grads.take(leaf) {
-                        optim::rsgd_lorentz(&mut self.u_tg, &g, cfg.lr);
-                    }
+                if let Some(g) = g_u_tg {
+                    optim::rsgd_lorentz(&mut self.u_tg, &g, cfg.lr);
                 }
                 if let Some(r) = cfg.max_radius {
                     optim::clip_lorentz_radius(&mut self.u_ir, r);
@@ -449,19 +549,24 @@ impl Recommender for TaxoRec {
                         optim::clip_lorentz_radius(&mut self.u_tg, r);
                     }
                 }
-                if let Some(leaf) = f.t_p_leaf {
-                    if let Some(g) = grads.take(leaf) {
-                        optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr * cfg.lr_tag_mult);
-                    }
-                    // The Eq. 8 pull acts on T^P directly: plain rate.
-                    if let Some(reg) = reg_loss {
-                        let mut reg_grads = f.tape.backward(reg);
-                        if let Some(g) = reg_grads.take(leaf) {
-                            optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr);
-                        }
-                    }
+                if let Some(g) = g_t_p {
+                    optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr * cfg.lr_tag_mult);
+                }
+                // The Eq. 8 pull acts on T^P directly: plain rate.
+                if let Some(g) = g_t_p_reg {
+                    optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr);
                 }
             }
+            // Boundary proximity: the Poincaré tag embeddings degrade
+            // numerically as ‖t‖ → 1, so the max row norm is the early
+            // warning for an exploding tag channel.
+            let mut max_norm = 0.0f64;
+            for r in 0..self.t_p.rows() {
+                let sq: f64 = self.t_p.row(r).iter().map(|x| x * x).sum();
+                max_norm = max_norm.max(sq.sqrt());
+            }
+            monitor.observe_boundary(max_norm);
+            monitor.end_epoch();
             self.loss_history.push(epoch_loss / n_batches.max(1) as f64);
         }
         // Final taxonomy from the converged embeddings (for RQ4/RQ5
@@ -469,21 +574,20 @@ impl Recommender for TaxoRec {
         if self.tags_active && cfg.lambda > 0.0 {
             self.rebuild_taxonomy(dataset);
         }
+        self.epoch_records = monitor.records().to_vec();
         self.finalize();
     }
 
     fn scores_for_user(&self, user: u32) -> Vec<f64> {
         let u = user as usize;
         let urow_ir = self.final_u_ir.row(u);
-        let alpha =
-            self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
+        let alpha = self.config.tag_channel_gain * self.alphas.get(u).copied().unwrap_or(0.0);
         let n_items = self.final_v_ir.rows();
         let mut out = Vec::with_capacity(n_items);
         for v in 0..n_items {
             let mut g = lorentz::distance_sq(urow_ir, self.final_v_ir.row(v));
             if self.tags_active {
-                g += alpha
-                    * lorentz::distance_sq(self.final_u_tg.row(u), self.final_v_tg.row(v));
+                g += alpha * lorentz::distance_sq(self.final_u_tg.row(u), self.final_v_tg.row(v));
             }
             out.push(-g);
         }
@@ -542,7 +646,10 @@ mod tests {
         }
         let pos_mean = pos_total / pos_n as f64;
         let all_mean = all_total / all_n as f64;
-        assert!(pos_mean > all_mean, "positives {pos_mean} vs mean {all_mean}");
+        assert!(
+            pos_mean > all_mean,
+            "positives {pos_mean} vs mean {all_mean}"
+        );
     }
 
     #[test]
@@ -576,6 +683,33 @@ mod tests {
         assert_eq!(top.len(), 4);
         for w in top.windows(2) {
             assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn monitor_records_every_epoch() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 3;
+        let mut m = TaxoRec::new(cfg);
+        m.fit(&d, &s);
+        assert_eq!(m.epoch_records.len(), 3);
+        for (i, r) in m.epoch_records.iter().enumerate() {
+            assert_eq!(r.epoch, i);
+            assert!(r.mean_loss.is_finite());
+            assert!(r.mean_grad_norm > 0.0, "gradient flowed in epoch {i}");
+            assert!(
+                r.boundary_max_norm > 0.0 && r.boundary_max_norm < 1.0,
+                "tag embeddings stay inside the ball: {}",
+                r.boundary_max_norm
+            );
+            assert!(r.n_batches > 0);
+            assert_eq!(r.nan_batches, 0, "healthy run skips nothing");
+            assert!(r.duration_secs >= 0.0);
+        }
+        // loss_history and the monitor agree on the per-epoch means.
+        for (h, r) in m.loss_history.iter().zip(&m.epoch_records) {
+            assert!((h - r.mean_loss).abs() < 1e-12);
         }
     }
 

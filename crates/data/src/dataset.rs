@@ -183,9 +183,21 @@ mod tests {
             n_items: 3,
             n_tags: 2,
             interactions: vec![
-                Interaction { user: 0, item: 0, ts: 2 },
-                Interaction { user: 0, item: 1, ts: 1 },
-                Interaction { user: 1, item: 2, ts: 0 },
+                Interaction {
+                    user: 0,
+                    item: 0,
+                    ts: 2,
+                },
+                Interaction {
+                    user: 0,
+                    item: 1,
+                    ts: 1,
+                },
+                Interaction {
+                    user: 1,
+                    item: 2,
+                    ts: 0,
+                },
             ],
             item_tags: vec![vec![0], vec![0, 1], vec![]],
             tag_names: vec!["a".into(), "b".into()],
@@ -233,7 +245,11 @@ mod tests {
     #[test]
     fn validate_rejects_bad_interaction() {
         let mut d = tiny();
-        d.interactions.push(Interaction { user: 5, item: 0, ts: 0 });
+        d.interactions.push(Interaction {
+            user: 5,
+            item: 0,
+            ts: 0,
+        });
         assert!(d.validate().is_err());
     }
 

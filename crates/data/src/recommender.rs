@@ -64,9 +64,21 @@ mod tests {
             n_items: 3,
             n_tags: 0,
             interactions: vec![
-                Interaction { user: 0, item: 0, ts: 0 },
-                Interaction { user: 1, item: 0, ts: 0 },
-                Interaction { user: 1, item: 1, ts: 1 },
+                Interaction {
+                    user: 0,
+                    item: 0,
+                    ts: 0,
+                },
+                Interaction {
+                    user: 1,
+                    item: 0,
+                    ts: 0,
+                },
+                Interaction {
+                    user: 1,
+                    item: 1,
+                    ts: 1,
+                },
             ],
             item_tags: vec![vec![]; 3],
             tag_names: vec![],

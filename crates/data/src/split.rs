@@ -27,8 +27,14 @@ impl Split {
     /// # Panics
     /// Panics if the fractions are out of `[0, 1]` or sum above 1.
     pub fn temporal(dataset: &Dataset, train_frac: f64, valid_frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&train_frac), "train fraction out of range");
-        assert!((0.0..=1.0).contains(&valid_frac), "valid fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&train_frac),
+            "train fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&valid_frac),
+            "valid fraction out of range"
+        );
         assert!(train_frac + valid_frac <= 1.0, "fractions sum above 1");
         let by_user = dataset.interactions_by_user();
         let mut train = Vec::with_capacity(dataset.n_users);
@@ -96,7 +102,11 @@ mod tests {
         let mut max_item = 0;
         for (u, evs) in per_user.iter().enumerate() {
             for &(item, ts) in *evs {
-                interactions.push(Interaction { user: u as u32, item, ts });
+                interactions.push(Interaction {
+                    user: u as u32,
+                    item,
+                    ts,
+                });
                 max_item = max_item.max(item);
             }
         }

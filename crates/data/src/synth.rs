@@ -39,7 +39,12 @@ pub enum Preset {
 
 impl Preset {
     /// All four presets in the paper's Table I order.
-    pub const ALL: [Preset; 4] = [Preset::Ciao, Preset::AmazonCd, Preset::AmazonBook, Preset::Yelp];
+    pub const ALL: [Preset; 4] = [
+        Preset::Ciao,
+        Preset::AmazonCd,
+        Preset::AmazonBook,
+        Preset::Yelp,
+    ];
 
     /// Dataset display name.
     pub fn name(self) -> &'static str {
@@ -163,7 +168,9 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     let (tree, names) = build_tree(&config.branching);
     let n_tags = tree.n_tags();
     let children = tree.children();
-    let leaves: Vec<u32> = (0..n_tags as u32).filter(|&t| children[t as usize].is_empty()).collect();
+    let leaves: Vec<u32> = (0..n_tags as u32)
+        .filter(|&t| children[t as usize].is_empty())
+        .collect();
     assert!(!leaves.is_empty(), "taxonomy must have leaves");
 
     // --- Items: a leaf, its tag path (with dropout), popularity ------------
@@ -197,7 +204,9 @@ pub fn generate(config: &SynthConfig) -> Dataset {
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     };
     let latent = |rng: &mut StdRng, n: usize, d: usize| -> Vec<Vec<f64>> {
-        (0..n).map(|_| (0..d).map(|_| gauss(rng) * 0.7).collect()).collect()
+        (0..n)
+            .map(|_| (0..d).map(|_| gauss(rng) * 0.7).collect())
+            .collect()
     };
     let user_latent = latent(&mut rng, config.n_users, config.latent_dim);
     let item_latent = latent(&mut rng, config.n_items, config.latent_dim);
@@ -230,8 +239,7 @@ pub fn generate(config: &SynthConfig) -> Dataset {
         };
         let pool1 = pool_of(home1);
         let pool2 = pool_of(home2);
-        let n_u = sample_interaction_count(config.mean_interactions, &mut rng)
-            .min(config.n_items);
+        let n_u = sample_interaction_count(config.mean_interactions, &mut rng).min(config.n_items);
         let mut chosen: Vec<u32> = Vec::with_capacity(n_u);
         let mut tries = 0usize;
         while chosen.len() < n_u && tries < 200 * n_u {
@@ -260,7 +268,11 @@ pub fn generate(config: &SynthConfig) -> Dataset {
             chosen.swap(i, j);
         }
         for (pos, &v) in chosen.iter().enumerate() {
-            interactions.push(Interaction { user: u as u32, item: v, ts: pos as i64 });
+            interactions.push(Interaction {
+                user: u as u32,
+                item: v,
+                ts: pos as i64,
+            });
         }
     }
 
@@ -304,15 +316,47 @@ fn sample_interaction_count(mean: f64, rng: &mut StdRng) -> usize {
 
 /// Themed vocabulary for readable tag names (used by the interpretability
 /// case studies, Table V / Fig. 6).
-const TOP_NAMES: [&str; 8] =
-    ["Food", "Books", "Health", "Music", "Beauty & Spas", "Technology", "Sports", "Home Services"];
+const TOP_NAMES: [&str; 8] = [
+    "Food",
+    "Books",
+    "Health",
+    "Music",
+    "Beauty & Spas",
+    "Technology",
+    "Sports",
+    "Home Services",
+];
 const MID_NAMES: [&str; 12] = [
-    "Asian", "Classical", "Fitness", "Jazz", "Salons", "Software", "Outdoor", "Repair", "Modern",
-    "Vintage", "Wellness", "Craft",
+    "Asian",
+    "Classical",
+    "Fitness",
+    "Jazz",
+    "Salons",
+    "Software",
+    "Outdoor",
+    "Repair",
+    "Modern",
+    "Vintage",
+    "Wellness",
+    "Craft",
 ];
 const LEAF_NAMES: [&str; 16] = [
-    "Sushi", "Poetry", "Yoga", "Guitar", "Makeup", "Web Development", "Climbing", "Plumbing",
-    "Ramen", "Essays", "Pilates", "Violin", "Skincare", "Databases", "Cycling", "Roofing",
+    "Sushi",
+    "Poetry",
+    "Yoga",
+    "Guitar",
+    "Makeup",
+    "Web Development",
+    "Climbing",
+    "Plumbing",
+    "Ramen",
+    "Essays",
+    "Pilates",
+    "Violin",
+    "Skincare",
+    "Databases",
+    "Cycling",
+    "Roofing",
 ];
 
 /// Builds the planted tree level by level and assigns readable names.
@@ -326,7 +370,10 @@ fn build_tree(branching: &[usize]) -> (TagTree, Vec<String>) {
         let parents: Vec<Option<u32>> = if depth == 0 {
             vec![None; b]
         } else {
-            prev_level.iter().flat_map(|&p| std::iter::repeat_n(Some(p), b)).collect()
+            prev_level
+                .iter()
+                .flat_map(|&p| std::iter::repeat_n(Some(p), b))
+                .collect()
         };
         for (i, p) in parents.into_iter().enumerate() {
             let id = parent.len() as u32;
@@ -359,9 +406,18 @@ mod tests {
     #[test]
     fn preset_tag_counts_match_branching() {
         assert_eq!(SynthConfig::preset(Preset::Ciao, Scale::Bench).n_tags(), 28);
-        assert_eq!(SynthConfig::preset(Preset::AmazonCd, Scale::Bench).n_tags(), 60);
-        assert_eq!(SynthConfig::preset(Preset::AmazonBook, Scale::Bench).n_tags(), 85);
-        assert_eq!(SynthConfig::preset(Preset::Yelp, Scale::Bench).n_tags(), 124);
+        assert_eq!(
+            SynthConfig::preset(Preset::AmazonCd, Scale::Bench).n_tags(),
+            60
+        );
+        assert_eq!(
+            SynthConfig::preset(Preset::AmazonBook, Scale::Bench).n_tags(),
+            85
+        );
+        assert_eq!(
+            SynthConfig::preset(Preset::Yelp, Scale::Bench).n_tags(),
+            124
+        );
     }
 
     #[test]
@@ -397,7 +453,10 @@ mod tests {
         // Most items should carry more than one tag (a path), and the tags
         // of an item should mostly be ancestor-related.
         let multi = d.item_tags.iter().filter(|t| t.len() >= 2).count();
-        assert!(multi * 2 > d.n_items, "at least half the items have tag paths");
+        assert!(
+            multi * 2 > d.n_items,
+            "at least half the items have tag paths"
+        );
         let mut related = 0usize;
         let mut pairs = 0usize;
         for tags in &d.item_tags {
@@ -413,7 +472,10 @@ mod tests {
                 }
             }
         }
-        assert!(related as f64 > 0.5 * pairs as f64, "tag co-occurrences are mostly hierarchical");
+        assert!(
+            related as f64 > 0.5 * pairs as f64,
+            "tag co-occurrences are mostly hierarchical"
+        );
     }
 
     #[test]
@@ -423,7 +485,10 @@ mod tests {
             .map(|&p| generate_preset(p, Scale::Tiny).stats().density_pct)
             .collect();
         // Ciao densest; Yelp sparsest; Book denser than CD.
-        assert!(d[0] > d[2] && d[2] > d[1] && d[1] > d[3], "densities: {d:?}");
+        assert!(
+            d[0] > d[2] && d[2] > d[1] && d[1] > d[3],
+            "densities: {d:?}"
+        );
     }
 
     #[test]
@@ -456,6 +521,9 @@ mod tests {
             total_roots += roots.len() as f64;
         }
         let mean_roots = total_roots / by_user.len() as f64;
-        assert!(mean_roots < 3.5, "users concentrate on few subtrees, got {mean_roots}");
+        assert!(
+            mean_roots < 3.5,
+            "users concentrate on few subtrees, got {mean_roots}"
+        );
     }
 }

@@ -111,7 +111,10 @@ impl TagTree {
 
     /// Maximum depth over all tags.
     pub fn max_depth(&self) -> usize {
-        (0..self.parent.len() as u32).map(|t| self.depth(t)).max().unwrap_or(0)
+        (0..self.parent.len() as u32)
+            .map(|t| self.depth(t))
+            .max()
+            .unwrap_or(0)
     }
 }
 

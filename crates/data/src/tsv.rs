@@ -40,7 +40,11 @@ pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
         };
         let id = |v: i64, what: &str| -> Result<u32, String> {
             u32::try_from(v).map_err(|_| {
-                format!("{}:{}: {what} {v} out of range", inter_path.display(), lineno + 1)
+                format!(
+                    "{}:{}: {what} {v} out of range",
+                    inter_path.display(),
+                    lineno + 1
+                )
             })
         };
         let user = id(parse(parts.next(), "user")?, "user")?;
@@ -61,11 +65,16 @@ pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
                 continue;
             }
             let (item_s, tags_s) = line.split_once('\t').ok_or_else(|| {
-                format!("{}:{}: expected item<TAB>tags", tags_path.display(), lineno + 1)
+                format!(
+                    "{}:{}: expected item<TAB>tags",
+                    tags_path.display(),
+                    lineno + 1
+                )
             })?;
-            let item: usize = item_s.trim().parse().map_err(|e| {
-                format!("{}:{}: bad item: {e}", tags_path.display(), lineno + 1)
-            })?;
+            let item: usize = item_s
+                .trim()
+                .parse()
+                .map_err(|e| format!("{}:{}: bad item: {e}", tags_path.display(), lineno + 1))?;
             if item >= n_items {
                 // Tagged item never interacted with: extend the catalogue.
                 item_tags.resize(item + 1, Vec::new());
@@ -120,8 +129,10 @@ pub fn save(dataset: &Dataset, stem: &Path) -> Result<(), String> {
         if tags.is_empty() {
             continue;
         }
-        let names: Vec<&str> =
-            tags.iter().map(|&t| dataset.tag_names[t as usize].as_str()).collect();
+        let names: Vec<&str> = tags
+            .iter()
+            .map(|&t| dataset.tag_names[t as usize].as_str())
+            .collect();
         writeln!(w, "{v}\t{}", names.join(",")).map_err(|e| e.to_string())?;
     }
     Ok(())
@@ -147,8 +158,10 @@ mod tests {
         assert!(loaded.n_tags <= d.n_tags);
         // Tag ids may be renumbered, but per-item tag *names* must match.
         for v in 0..d.n_items {
-            let mut orig: Vec<&str> =
-                d.item_tags[v].iter().map(|&t| d.tag_names[t as usize].as_str()).collect();
+            let mut orig: Vec<&str> = d.item_tags[v]
+                .iter()
+                .map(|&t| d.tag_names[t as usize].as_str())
+                .collect();
             let mut back: Vec<&str> = loaded.item_tags[v]
                 .iter()
                 .map(|&t| loaded.tag_names[t as usize].as_str())

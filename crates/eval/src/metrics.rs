@@ -123,9 +123,13 @@ fn push_user(eval: &mut Evaluation, user: u32, scores: &[f64], targets: &[u32], 
             .map(|(rank, _)| rank)
             .collect();
         let recall = hits.len() as f64 / targets.len() as f64;
-        let dcg: f64 = hits.iter().map(|&rank| 1.0 / ((rank + 2) as f64).log2()).sum();
-        let ideal: f64 =
-            (0..k.min(targets.len())).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+        let dcg: f64 = hits
+            .iter()
+            .map(|&rank| 1.0 / ((rank + 2) as f64).log2())
+            .sum();
+        let ideal: f64 = (0..k.min(targets.len()))
+            .map(|i| 1.0 / ((i + 2) as f64).log2())
+            .sum();
         let ndcg = if ideal > 0.0 { dcg / ideal } else { 0.0 };
         recall_row.push(recall);
         ndcg_row.push(ndcg);
@@ -144,11 +148,17 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     let k = k.min(scores.len());
     idx.select_nth_unstable_by(k.saturating_sub(1).min(scores.len() - 1), |&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx.truncate(k);
     idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx
 }
@@ -197,7 +207,10 @@ mod tests {
 
     #[test]
     fn perfect_ranking_scores_one() {
-        let model = Fixed { ranking: vec![3, 4], n_items: 10 };
+        let model = Fixed {
+            ranking: vec![3, 4],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![0]], vec![vec![]], vec![vec![3, 4]]);
         let e = evaluate(&model, &split, &[2, 5]);
         assert_eq!(e.users, vec![0]);
@@ -207,7 +220,10 @@ mod tests {
 
     #[test]
     fn miss_scores_zero() {
-        let model = Fixed { ranking: vec![1, 2], n_items: 10 };
+        let model = Fixed {
+            ranking: vec![1, 2],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![0]], vec![vec![]], vec![vec![9]]);
         let e = evaluate(&model, &split, &[2]);
         assert_eq!(e.mean_recall(0), 0.0);
@@ -217,7 +233,10 @@ mod tests {
     #[test]
     fn partial_hit_recall_fraction() {
         // Test set {5, 6}; top-2 hits only 5 ⇒ recall 0.5.
-        let model = Fixed { ranking: vec![5, 1], n_items: 10 };
+        let model = Fixed {
+            ranking: vec![5, 1],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![]], vec![vec![]], vec![vec![5, 6]]);
         let e = evaluate(&model, &split, &[2]);
         assert!((e.mean_recall(0) - 0.5).abs() < 1e-12);
@@ -230,7 +249,10 @@ mod tests {
     fn train_and_valid_items_are_masked() {
         // Item 5 would top the list but is in train; 6 in valid; so the
         // effective ranking starts at 7.
-        let model = Fixed { ranking: vec![5, 6, 7], n_items: 10 };
+        let model = Fixed {
+            ranking: vec![5, 6, 7],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![5]], vec![vec![6]], vec![vec![7]]);
         let e = evaluate(&model, &split, &[1]);
         assert_eq!(e.mean_recall(0), 1.0);
@@ -238,8 +260,15 @@ mod tests {
 
     #[test]
     fn users_without_test_items_are_skipped() {
-        let model = Fixed { ranking: vec![1], n_items: 5 };
-        let split = split_with(vec![vec![], vec![]], vec![vec![], vec![]], vec![vec![], vec![1]]);
+        let model = Fixed {
+            ranking: vec![1],
+            n_items: 5,
+        };
+        let split = split_with(
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+            vec![vec![], vec![1]],
+        );
         let e = evaluate(&model, &split, &[1]);
         assert_eq!(e.users, vec![1]);
     }
@@ -247,8 +276,14 @@ mod tests {
     #[test]
     fn ndcg_position_sensitivity() {
         // Hit at rank 1 beats hit at rank 3.
-        let first = Fixed { ranking: vec![9, 1, 2], n_items: 10 };
-        let third = Fixed { ranking: vec![1, 2, 9], n_items: 10 };
+        let first = Fixed {
+            ranking: vec![9, 1, 2],
+            n_items: 10,
+        };
+        let third = Fixed {
+            ranking: vec![1, 2, 9],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![]], vec![vec![]], vec![vec![9]]);
         let e1 = evaluate(&first, &split, &[3]);
         let e3 = evaluate(&third, &split, &[3]);
@@ -258,7 +293,10 @@ mod tests {
 
     #[test]
     fn validation_evaluation_masks_only_train() {
-        let model = Fixed { ranking: vec![5, 6], n_items: 10 };
+        let model = Fixed {
+            ranking: vec![5, 6],
+            n_items: 10,
+        };
         let split = split_with(vec![vec![5]], vec![vec![6]], vec![vec![]]);
         let e = evaluate_valid(&model, &split, &[1]);
         assert_eq!(e.mean_recall(0), 1.0);
@@ -267,6 +305,10 @@ mod tests {
     #[test]
     fn interaction_struct_is_reexported() {
         // Keeps the test module honest about the data dependency.
-        let _ = Interaction { user: 0, item: 0, ts: 0 };
+        let _ = Interaction {
+            user: 0,
+            item: 0,
+            ts: 0,
+        };
     }
 }

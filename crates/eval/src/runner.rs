@@ -23,6 +23,10 @@ pub struct CellStats {
     pub ndcg_std: Vec<f64>,
     /// Per-user evaluation of the *first* seed (for significance tests).
     pub first_eval: Evaluation,
+    /// Mean `fit` wall time per seed, seconds.
+    pub fit_secs_mean: f64,
+    /// Mean evaluation wall time per seed, seconds.
+    pub eval_secs_mean: f64,
 }
 
 impl CellStats {
@@ -48,13 +52,29 @@ pub fn run_cell(
     seeds: &[u64],
 ) -> CellStats {
     assert!(!seeds.is_empty(), "need at least one seed");
+    let fit_hist = taxorec_telemetry::histogram("eval.fit.duration");
+    let eval_hist = taxorec_telemetry::histogram("eval.eval.duration");
     let mut recall_runs: Vec<Vec<f64>> = Vec::new();
     let mut ndcg_runs: Vec<Vec<f64>> = Vec::new();
     let mut first_eval = None;
+    let mut fit_secs = 0.0;
+    let mut eval_secs = 0.0;
     for &seed in seeds {
         let mut model = factory(seed);
+        let t0 = std::time::Instant::now();
         model.fit(dataset, split);
+        let fit_t = t0.elapsed().as_secs_f64();
+        fit_hist.observe(fit_t);
+        fit_secs += fit_t;
+        let t1 = std::time::Instant::now();
         let eval = evaluate(model.as_ref(), split, ks);
+        let eval_t = t1.elapsed().as_secs_f64();
+        eval_hist.observe(eval_t);
+        eval_secs += eval_t;
+        taxorec_telemetry::sink::info(&format!(
+            "{model_name} on {} seed {seed}: fit {fit_t:.2}s eval {eval_t:.2}s",
+            dataset.name
+        ));
         recall_runs.push((0..ks.len()).map(|i| 100.0 * eval.mean_recall(i)).collect());
         ndcg_runs.push((0..ks.len()).map(|i| 100.0 * eval.mean_ndcg(i)).collect());
         if first_eval.is_none() {
@@ -63,7 +83,7 @@ pub fn run_cell(
     }
     let (recall_mean, recall_std) = mean_std(&recall_runs, ks.len());
     let (ndcg_mean, ndcg_std) = mean_std(&ndcg_runs, ks.len());
-    CellStats {
+    let stats = CellStats {
         model: model_name.to_string(),
         ks: ks.to_vec(),
         recall_mean,
@@ -71,7 +91,53 @@ pub fn run_cell(
         ndcg_mean,
         ndcg_std,
         first_eval: first_eval.expect("at least one seed ran"),
+        fit_secs_mean: fit_secs / seeds.len() as f64,
+        eval_secs_mean: eval_secs / seeds.len() as f64,
+    };
+    emit_cell_summary(&stats, &dataset.name, seeds.len());
+    stats
+}
+
+/// One JSONL line summarizing the whole cell (all seeds): model, dataset,
+/// metric means, and wall time — the machine-readable counterpart of a
+/// Table II cell.
+fn emit_cell_summary(stats: &CellStats, dataset: &str, n_seeds: usize) {
+    let mut line = String::with_capacity(192);
+    line.push_str("{\"kind\":\"summary\",\"name\":\"eval.cell\",\"ts_ms\":");
+    line.push_str(&taxorec_telemetry::sink::unix_ms().to_string());
+    line.push_str(",\"model\":");
+    taxorec_telemetry::json::push_str_escaped(&mut line, &stats.model);
+    line.push_str(",\"dataset\":");
+    taxorec_telemetry::json::push_str_escaped(&mut line, dataset);
+    line.push_str(",\"n_seeds\":");
+    line.push_str(&n_seeds.to_string());
+    line.push_str(",\"ks\":[");
+    for (i, k) in stats.ks.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&k.to_string());
     }
+    line.push_str("],\"recall_mean\":[");
+    for (i, v) in stats.recall_mean.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        taxorec_telemetry::json::push_f64(&mut line, *v);
+    }
+    line.push_str("],\"ndcg_mean\":[");
+    for (i, v) in stats.ndcg_mean.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        taxorec_telemetry::json::push_f64(&mut line, *v);
+    }
+    line.push_str("],\"fit_secs_mean\":");
+    taxorec_telemetry::json::push_f64(&mut line, stats.fit_secs_mean);
+    line.push_str(",\"eval_secs_mean\":");
+    taxorec_telemetry::json::push_f64(&mut line, stats.eval_secs_mean);
+    line.push('}');
+    taxorec_telemetry::sink::emit_json_line(&line);
 }
 
 fn mean_std(runs: &[Vec<f64>], width: usize) -> (Vec<f64>, Vec<f64>) {
@@ -140,8 +206,11 @@ mod tests {
         let stats = run_cell(
             "SeedToy",
             &|seed| {
-                Box::new(SeedToy { seed, n_items: 0, split_test: Vec::new() })
-                    as Box<dyn Recommender>
+                Box::new(SeedToy {
+                    seed,
+                    n_items: 0,
+                    split_test: Vec::new(),
+                }) as Box<dyn Recommender>
             },
             &d,
             &split,
@@ -164,8 +233,11 @@ mod tests {
         let stats = run_cell(
             "SeedToy",
             &|seed| {
-                Box::new(SeedToy { seed, n_items: 0, split_test: Vec::new() })
-                    as Box<dyn Recommender>
+                Box::new(SeedToy {
+                    seed,
+                    n_items: 0,
+                    split_test: Vec::new(),
+                }) as Box<dyn Recommender>
             },
             &d,
             &split,

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given header cells.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row. Shorter rows are padded with empty cells.
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn mark_best_frames_top_two() {
         let values = [1.0, 5.0, 3.0];
-        let cells: Vec<String> = ["1.0", "5.0", "3.0"].iter().map(|s| s.to_string()).collect();
+        let cells: Vec<String> = ["1.0", "5.0", "3.0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let marked = mark_best(&values, &cells);
         assert_eq!(marked[1], "*5.0*");
         assert_eq!(marked[2], "_3.0_");

@@ -35,11 +35,20 @@ impl WilcoxonResult {
 /// Panics if the slices have different lengths.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     assert_eq!(a.len(), b.len(), "paired samples must have equal length");
-    let mut diffs: Vec<f64> =
-        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| d.abs() > 1e-15).collect();
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| d.abs() > 1e-15)
+        .collect();
     let n = diffs.len();
     if n == 0 {
-        return WilcoxonResult { w_plus: 0.0, n_used: 0, p_value: 1.0, z: 0.0 };
+        return WilcoxonResult {
+            w_plus: 0.0,
+            n_used: 0,
+            p_value: 1.0,
+            z: 0.0,
+        };
     }
     diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
     // Average ranks over ties; accumulate the tie correction term Σ(t³−t).
@@ -61,18 +70,32 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
         }
         i = j + 1;
     }
-    let w_plus: f64 =
-        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
     let nf = n as f64;
     let mean = nf * (nf + 1.0) / 4.0;
     let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
     if var <= 0.0 {
-        return WilcoxonResult { w_plus, n_used: n, p_value: 1.0, z: 0.0 };
+        return WilcoxonResult {
+            w_plus,
+            n_used: n,
+            p_value: 1.0,
+            z: 0.0,
+        };
     }
     // Continuity correction.
     let z = (w_plus - mean - 0.5 * (w_plus - mean).signum()) / var.sqrt();
     let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
-    WilcoxonResult { w_plus, n_used: n, p_value: p.clamp(0.0, 1.0), z }
+    WilcoxonResult {
+        w_plus,
+        n_used: n,
+        p_value: p.clamp(0.0, 1.0),
+        z,
+    }
 }
 
 /// Standard normal CDF via the Abramowitz–Stegun erf approximation
@@ -86,7 +109,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -116,8 +140,9 @@ mod tests {
     fn symmetric_noise_is_not_significant() {
         // Alternating ±δ differences cancel.
         let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let b: Vec<f64> =
-            (0..40).map(|i| i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b);
         assert!(!r.significant(0.05), "p = {}", r.p_value);
     }

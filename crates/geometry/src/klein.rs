@@ -81,7 +81,10 @@ mod tests {
         let b = [-0.5, 0.0];
         let mut mid = [0.0; 2];
         einstein_midpoint(&[&a, &b], &[1.0, 1.0], &mut mid);
-        assert!(norm(&mid) < 1e-12, "equal weights, symmetric points → origin");
+        assert!(
+            norm(&mid) < 1e-12,
+            "equal weights, symmetric points → origin"
+        );
         einstein_midpoint(&[&a, &b], &[10.0, 1.0], &mut mid);
         assert!(mid[0] > 0.0, "heavier weight pulls the midpoint toward a");
     }

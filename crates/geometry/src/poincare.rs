@@ -252,8 +252,18 @@ mod tests {
         distance_grad(&x, &y, 1.0, &mut gx, &mut gy);
         let (fx, fy) = fd_distance_grad(&x, &y);
         for i in 0..3 {
-            assert!((gx[i] - fx[i]).abs() < 1e-5, "gx[{i}]: {} vs {}", gx[i], fx[i]);
-            assert!((gy[i] - fy[i]).abs() < 1e-5, "gy[{i}]: {} vs {}", gy[i], fy[i]);
+            assert!(
+                (gx[i] - fx[i]).abs() < 1e-5,
+                "gx[{i}]: {} vs {}",
+                gx[i],
+                fx[i]
+            );
+            assert!(
+                (gy[i] - fy[i]).abs() < 1e-5,
+                "gy[{i}]: {} vs {}",
+                gy[i],
+                fy[i]
+            );
         }
     }
 

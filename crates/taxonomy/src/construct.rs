@@ -83,7 +83,11 @@ pub fn adaptive_split(
     let mut groups: Vec<Vec<u32>> = Vec::new();
     for _ in 0..config.refine_iters {
         if t_sub.len() < 2 {
-            groups = if t_sub.is_empty() { Vec::new() } else { vec![t_sub.clone()] };
+            groups = if t_sub.is_empty() {
+                Vec::new()
+            } else {
+                vec![t_sub.clone()]
+            };
             break;
         }
         // Line 3: Poincaré k-means over the current subset.
@@ -104,12 +108,17 @@ pub fn adaptive_split(
         candidate.retain(|g| !g.is_empty());
         // Lines 4–8: score every tag against its siblings; drop general
         // tags (score < δ).
-        let stats: Vec<GroupStats> =
-            candidate.iter().map(|g| GroupStats::compute(g, item_tags, n_tags)).collect();
+        let stats: Vec<GroupStats> = candidate
+            .iter()
+            .map(|g| GroupStats::compute(g, item_tags, n_tags))
+            .collect();
         let mut refined: Vec<Vec<u32>> = Vec::with_capacity(candidate.len());
         for (gi, g) in candidate.iter().enumerate() {
-            let kept: Vec<u32> =
-                g.iter().copied().filter(|&t| score(t, gi, &stats) >= config.delta).collect();
+            let kept: Vec<u32> = g
+                .iter()
+                .copied()
+                .filter(|&t| score(t, gi, &stats) >= config.delta)
+                .collect();
             refined.push(kept);
         }
         refined.retain(|g| !g.is_empty());
@@ -129,8 +138,10 @@ pub fn adaptive_split(
         }
     }
     // Score the final groups once more for the regularizer weights.
-    let stats: Vec<GroupStats> =
-        groups.iter().map(|g| GroupStats::compute(g, item_tags, n_tags)).collect();
+    let stats: Vec<GroupStats> = groups
+        .iter()
+        .map(|g| GroupStats::compute(g, item_tags, n_tags))
+        .collect();
     let scored: Vec<(Vec<u32>, Vec<f64>)> = groups
         .iter()
         .enumerate()
@@ -141,8 +152,15 @@ pub fn adaptive_split(
         .collect();
     let in_groups: std::collections::HashSet<u32> =
         scored.iter().flat_map(|(g, _)| g.iter().copied()).collect();
-    let general: Vec<u32> = tags.iter().copied().filter(|t| !in_groups.contains(t)).collect();
-    SplitResult { groups: scored, general }
+    let general: Vec<u32> = tags
+        .iter()
+        .copied()
+        .filter(|t| !in_groups.contains(t))
+        .collect();
+    SplitResult {
+        groups: scored,
+        general,
+    }
 }
 
 /// Builds the full taxonomy by applying [`adaptive_split`] top-down from
@@ -155,6 +173,7 @@ pub fn construct_taxonomy(
     item_tags: &[Vec<u32>],
     config: &ConstructConfig,
 ) -> Taxonomy {
+    let _span = taxorec_telemetry::span!("taxo.rebuild");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let all: Vec<u32> = (0..n_tags as u32).collect();
     let mut taxo = Taxonomy::new_root(all);
@@ -179,6 +198,9 @@ pub fn construct_taxonomy(
         }
         taxo.node_mut(node_idx).retained = split.general;
     }
+    taxorec_telemetry::counter("taxo.rebuild.count").inc(1);
+    taxorec_telemetry::gauge("taxo.rebuild.nodes").set(taxo.len() as f64);
+    taxorec_telemetry::gauge("taxo.rebuild.depth").set(taxo.depth() as f64);
     debug_assert_eq!(taxo.validate(), Ok(()));
     taxo
 }
@@ -245,14 +267,22 @@ mod tests {
             "general tag must score below concentrated ({s_general} vs {s_concentrated})"
         );
         let delta = 0.5 * (s_general + s_concentrated);
-        let cfg = ConstructConfig { k: 2, delta, ..Default::default() };
+        let cfg = ConstructConfig {
+            k: 2,
+            delta,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let r = adaptive_split(&emb, 2, &[0, 1, 2, 3, 4], &item_tags, 5, &cfg, &mut rng);
         assert!(r.general.contains(&4), "general tag pushed up: {r:?}");
         // The refinement converged on non-empty fine-grained groups of
         // concentrated tags only.
         assert!(!r.groups.is_empty());
-        let grouped: Vec<u32> = r.groups.iter().flat_map(|(g, _)| g.iter().copied()).collect();
+        let grouped: Vec<u32> = r
+            .groups
+            .iter()
+            .flat_map(|(g, _)| g.iter().copied())
+            .collect();
         assert!(!grouped.contains(&4));
         assert!(!grouped.is_empty());
     }
@@ -273,7 +303,12 @@ mod tests {
     fn construct_builds_multi_level_tree_with_oracle_embeddings() {
         let d = generate_preset(Preset::Ciao, Scale::Tiny);
         let emb = oracle_embedding(&d, 2);
-        let cfg = ConstructConfig { k: 4, delta: 0.2, min_node_size: 3, ..Default::default() };
+        let cfg = ConstructConfig {
+            k: 4,
+            delta: 0.2,
+            min_node_size: 3,
+            ..Default::default()
+        };
         let taxo = construct_taxonomy(&emb, 2, d.n_tags, &d.item_tags, &cfg);
         assert!(taxo.depth() >= 1, "should split at least once");
         assert_eq!(taxo.validate(), Ok(()));
@@ -287,7 +322,11 @@ mod tests {
     fn construct_respects_max_depth() {
         let d = generate_preset(Preset::Yelp, Scale::Tiny);
         let emb = oracle_embedding(&d, 2);
-        let cfg = ConstructConfig { max_depth: 1, delta: 0.2, ..Default::default() };
+        let cfg = ConstructConfig {
+            max_depth: 1,
+            delta: 0.2,
+            ..Default::default()
+        };
         let taxo = construct_taxonomy(&emb, 2, d.n_tags, &d.item_tags, &cfg);
         assert!(taxo.depth() <= 1);
     }

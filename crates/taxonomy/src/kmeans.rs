@@ -60,6 +60,7 @@ pub fn poincare_kmeans(
     let mut centroids = seed(emb, dim, points, k, seeding, rng);
     let mut assignment = vec![0usize; points.len()];
     let mut iterations = 0;
+    let mut total_moves = 0u64;
     for _ in 0..max_iters {
         iterations += 1;
         // Assignment step.
@@ -79,6 +80,7 @@ pub fn poincare_kmeans(
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;
+                total_moves += 1;
             }
         }
         // Re-seed empty clusters to the farthest point.
@@ -114,7 +116,16 @@ pub fn poincare_kmeans(
             centroids[c * dim..(c + 1) * dim].copy_from_slice(&out);
         }
     }
-    KmeansResult { assignment, centroids, iterations }
+    taxorec_telemetry::histogram("taxo.kmeans.iters").observe(iterations as f64);
+    // Churn: mean assignment flips per point over the whole run — high
+    // values flag unstable clusterings (near-boundary embeddings).
+    taxorec_telemetry::histogram("taxo.kmeans.churn")
+        .observe(total_moves as f64 / points.len() as f64);
+    KmeansResult {
+        assignment,
+        centroids,
+        iterations,
+    }
 }
 
 fn seed(

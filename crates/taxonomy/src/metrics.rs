@@ -42,14 +42,28 @@ pub fn ancestor_scores(taxo: &Taxonomy, truth: &TagTree) -> AncestorScores {
     let truth_pairs: std::collections::HashSet<(u32, u32)> =
         truth.ancestor_pairs().into_iter().collect();
     let tp = predicted.iter().filter(|p| truth_pairs.contains(p)).count();
-    let precision = if predicted.is_empty() { 0.0 } else { tp as f64 / predicted.len() as f64 };
-    let recall = if truth_pairs.is_empty() { 0.0 } else { tp as f64 / truth_pairs.len() as f64 };
+    let precision = if predicted.is_empty() {
+        0.0
+    } else {
+        tp as f64 / predicted.len() as f64
+    };
+    let recall = if truth_pairs.is_empty() {
+        0.0
+    } else {
+        tp as f64 / truth_pairs.len() as f64
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    AncestorScores { precision, recall, f1, n_predicted: predicted.len(), n_true: truth_pairs.len() }
+    AncestorScores {
+        precision,
+        recall,
+        f1,
+        n_predicted: predicted.len(),
+        n_true: truth_pairs.len(),
+    }
 }
 
 /// Mean sibling coherence: for every non-root node with ≥ 2 tags, the

@@ -52,7 +52,11 @@ impl RegularizerPlan {
                 terms.push((t, row));
             }
         }
-        Self { terms, center_weights, n_centers }
+        Self {
+            terms,
+            center_weights,
+            n_centers,
+        }
     }
 
     /// Number of pull terms (`Σ_k |G_k|` over regularized nodes).

@@ -54,8 +54,17 @@ impl GroupStats {
                 }
             }
         }
-        let avgdl = if n_items == 0 { 0.0 } else { total_tf / n_items as f64 };
-        Self { tf, total_tf, n_items, avgdl }
+        let avgdl = if n_items == 0 {
+            0.0
+        } else {
+            total_tf / n_items as f64
+        };
+        Self {
+            tf,
+            total_tf,
+            n_items,
+            avgdl,
+        }
     }
 
     /// Context factor `con(t, G_k)` (paper Eq. 4):
@@ -168,7 +177,10 @@ mod tests {
         ];
         for t in 0..4u32 {
             let total: f64 = (0..2).map(|k| structure(t, k, &groups)).sum();
-            assert!(total < 1.0, "softmax with +1 in the denominator stays below 1");
+            assert!(
+                total < 1.0,
+                "softmax with +1 in the denominator stays below 1"
+            );
         }
     }
 
@@ -188,8 +200,10 @@ mod tests {
     fn general_tag_scores_low_everywhere() {
         // Tag 9 present on every item (a general tag), tags 0/1 split.
         let items = vec![vec![0u32, 9], vec![0, 9], vec![1, 9], vec![1, 9]];
-        let groups =
-            vec![GroupStats::compute(&[0], &items, 10), GroupStats::compute(&[1], &items, 10)];
+        let groups = vec![
+            GroupStats::compute(&[0], &items, 10),
+            GroupStats::compute(&[1], &items, 10),
+        ];
         // The general tag's structure factor is split across children while
         // a concentrated tag keeps its mass in one child.
         let g9 = structure(9, 0, &groups).max(structure(9, 1, &groups));

@@ -119,13 +119,7 @@ impl Taxonomy {
         out
     }
 
-    fn render_node(
-        &self,
-        idx: usize,
-        tag_names: &[String],
-        max_tags: usize,
-        out: &mut String,
-    ) {
+    fn render_node(&self, idx: usize, tag_names: &[String], max_tags: usize, out: &mut String) {
         let node = &self.nodes[idx];
         let indent = "  ".repeat(node.level);
         let shown: Vec<&str> = node
@@ -142,7 +136,11 @@ impl Taxonomy {
         out.push_str(&format!(
             "{indent}level-{} [{}{}]\n",
             node.level,
-            shown.iter().map(|s| format!("<{s}>")).collect::<Vec<_>>().join(", "),
+            shown
+                .iter()
+                .map(|s| format!("<{s}>"))
+                .collect::<Vec<_>>()
+                .join(", "),
             suffix
         ));
         for &c in &node.children {
@@ -175,8 +173,12 @@ impl Taxonomy {
                 return Err(format!("node {i}: children overlap"));
             }
             // retained = scope − child scopes.
-            let mut expect: Vec<u32> =
-                n.tags.iter().copied().filter(|t| child_tags.binary_search(t).is_err()).collect();
+            let mut expect: Vec<u32> = n
+                .tags
+                .iter()
+                .copied()
+                .filter(|t| child_tags.binary_search(t).is_err())
+                .collect();
             expect.sort_unstable();
             let mut got = n.retained.clone();
             got.sort_unstable();

@@ -1,0 +1,265 @@
+//! Serde-free JSON emission and a minimal validity checker.
+//!
+//! The telemetry crate must not pull external dependencies (the build
+//! container is offline), so JSON is assembled by hand through these
+//! helpers and checked in tests with a small recursive-descent parser.
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values (not representable in
+/// JSON) are encoded as strings: `"NaN"`, `"inf"`, `"-inf"` — keeping the
+/// document parseable while preserving the signal that a value went bad.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "\"inf\"" } else { "\"-inf\"" });
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Validates that `s` is one complete JSON value (object, array, string,
+/// number, or literal). Used by tests to assert emitted lines are valid
+/// JSON without a parsing dependency.
+pub fn is_valid_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    if !parse_value(b, &mut pos) {
+        return false;
+    }
+    skip_ws(b, &mut pos);
+    pos == b.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_validator() {
+        let mut out = String::from("{");
+        push_str_escaped(&mut out, "key\"with\\weird\nchars\u{1}");
+        out.push(':');
+        push_f64(&mut out, 1.25);
+        out.push('}');
+        assert!(is_valid_json(&out), "{out}");
+    }
+
+    #[test]
+    fn numbers_format_compactly() {
+        let mut s = String::new();
+        push_f64(&mut s, 3.0);
+        assert_eq!(s, "3");
+        s.clear();
+        push_f64(&mut s, 0.5);
+        assert_eq!(s, "0.5");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "\"NaN\"");
+        s.clear();
+        push_f64(&mut s, f64::NEG_INFINITY);
+        assert_eq!(s, "\"-inf\"");
+    }
+
+    #[test]
+    fn validator_accepts_typical_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "{\"a\": [1, 2.5, -3e-2], \"b\": {\"c\": null}, \"d\": \"x\\ny\"}",
+            "  {\"nested\": [{\"deep\": true}]} ",
+            "-0.25",
+            "\"plain\"",
+        ] {
+            assert!(is_valid_json(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "01x",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "{'single':1}",
+        ] {
+            assert!(!is_valid_json(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # taxorec-telemetry
+//!
+//! Zero-dependency observability for the TaxoRec workspace: a global
+//! metric registry, lightweight RAII spans, env-controlled sinks, and a
+//! training-health monitor for the epoch loop.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use taxorec_telemetry::{registry, span, TrainingMonitor};
+//!
+//! // Counters / gauges / histograms — lock-free after registration.
+//! let c = registry::counter("train.nan_batches");
+//! c.inc(1);
+//!
+//! // RAII span feeding the `taxo.rebuild.duration` histogram.
+//! {
+//!     let _guard = span!("taxo.rebuild");
+//!     // ... work ...
+//! }
+//!
+//! // Epoch-loop health monitoring.
+//! taxorec_telemetry::sink::disable_metrics(); // keep doctest silent
+//! let mut monitor = TrainingMonitor::new("taxorec").with_fail_fast(false);
+//! monitor.begin_epoch(0);
+//! if monitor.observe_batch(0.7, 0.1) {
+//!     // apply the parameter update
+//! }
+//! monitor.end_epoch();
+//! assert_eq!(monitor.records().len(), 1);
+//! ```
+//!
+//! ## Environment variables
+//!
+//! | Variable          | Values                              | Effect |
+//! |-------------------|-------------------------------------|--------|
+//! | `TAXOREC_LOG`     | `off` (default) `warn` `info` `debug` | human-readable diagnostics on stderr |
+//! | `TAXOREC_METRICS` | unset/`off` (default), `json`/`jsonl`/`stderr`/`1`, or a file path | metric events as JSON Lines |
+//! | `TAXOREC_FAIL_FAST` | `1`/`true`                        | abort training on the first NaN/Inf batch |
+//!
+//! With both variables unset the crate is completely silent — `cargo
+//! test -q` output is byte-identical to a build without instrumentation.
+//!
+//! ## Metric naming
+//!
+//! Dotted, lowercase, grouped by subsystem: `train.*` (epoch loop),
+//! `taxo.*` (taxonomy construction / k-means), `eval.*` (evaluation
+//! runner), `bench.*` (benchmark harness). Span histograms are always
+//! `<span name>.duration` in seconds.
+
+pub mod json;
+pub mod monitor;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use monitor::{EpochRecord, RebuildStats, TrainingMonitor};
+pub use registry::{counter, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram};
+pub use sink::{
+    disable_metrics, install_file_sink, install_memory_sink, metrics_enabled, set_log_level,
+    LogLevel,
+};
+pub use span::Span;
+
+/// Serializes tests that mutate process-global state (the registry's
+/// values via `reset()`, the metrics sink). Lock poisoning is ignored —
+/// a panicking test (e.g. `#[should_panic]`) must not wedge the rest.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

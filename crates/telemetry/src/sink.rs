@@ -1,0 +1,275 @@
+//! Env-controlled output sinks.
+//!
+//! * `TAXOREC_LOG` — human-readable diagnostics on stderr: `off`
+//!   (default), `warn`, `info`, or `debug`. With the variable unset the
+//!   library is silent, so `cargo test -q` output is unchanged.
+//! * `TAXOREC_METRICS` — machine-readable metric events as JSON Lines:
+//!   unset/`off` (default, disabled), `json`/`jsonl`/`stderr` (one JSON
+//!   object per line on stderr), or any other value (treated as a file
+//!   path, appended to).
+//!
+//! Tests and harnesses can bypass the environment with
+//! [`install_memory_sink`] / [`install_file_sink`] / [`disable_metrics`].
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+
+/// Verbosity of the human-readable stderr log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Silent (the default).
+    Off = 0,
+    /// Anomalies only (NaN batches, failed invariants).
+    Warn = 1,
+    /// Per-epoch / per-run progress lines.
+    Info = 2,
+    /// Per-span timing chatter.
+    Debug = 3,
+}
+
+const LEVEL_UNRESOLVED: u8 = u8::MAX;
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNRESOLVED);
+
+/// The active log level (resolved once from `TAXOREC_LOG`).
+pub fn log_level() -> LogLevel {
+    let raw = LOG_LEVEL.load(Ordering::Relaxed);
+    if raw != LEVEL_UNRESOLVED {
+        return decode_level(raw);
+    }
+    let level = match std::env::var("TAXOREC_LOG").as_deref() {
+        Ok("warn") | Ok("WARN") => LogLevel::Warn,
+        Ok("info") | Ok("INFO") => LogLevel::Info,
+        Ok("debug") | Ok("DEBUG") => LogLevel::Debug,
+        _ => LogLevel::Off,
+    };
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+/// Overrides the log level (tests / embedding harnesses).
+pub fn set_log_level(level: LogLevel) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+fn decode_level(raw: u8) -> LogLevel {
+    match raw {
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        3 => LogLevel::Debug,
+        _ => LogLevel::Off,
+    }
+}
+
+/// True when messages at `level` are emitted.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level <= log_level() && log_level() != LogLevel::Off
+}
+
+/// Writes a warn-level line (`[taxorec:warn] …`) when enabled.
+pub fn warn(msg: &str) {
+    if log_enabled(LogLevel::Warn) {
+        eprintln!("[taxorec:warn] {msg}");
+    }
+}
+
+/// Writes an info-level line when enabled.
+pub fn info(msg: &str) {
+    if log_enabled(LogLevel::Info) {
+        eprintln!("[taxorec:info] {msg}");
+    }
+}
+
+/// Writes a debug-level line when enabled.
+pub fn debug(msg: &str) {
+    if log_enabled(LogLevel::Debug) {
+        eprintln!("[taxorec:debug] {msg}");
+    }
+}
+
+/// Where metric events go.
+enum MetricsSink {
+    Stderr,
+    File(Mutex<std::fs::File>),
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+enum SinkState {
+    Unresolved,
+    Off,
+    On(MetricsSink),
+}
+
+static SINK: Mutex<SinkState> = Mutex::new(SinkState::Unresolved);
+
+fn resolve_from_env(state: &mut SinkState) {
+    if !matches!(state, SinkState::Unresolved) {
+        return;
+    }
+    *state = match std::env::var("TAXOREC_METRICS") {
+        Ok(v)
+            if v.eq_ignore_ascii_case("json")
+                || v.eq_ignore_ascii_case("jsonl")
+                || v.eq_ignore_ascii_case("stderr")
+                || v == "1" =>
+        {
+            SinkState::On(MetricsSink::Stderr)
+        }
+        Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("off") && v != "0" => {
+            match OpenOptions::new().create(true).append(true).open(&v) {
+                Ok(f) => SinkState::On(MetricsSink::File(Mutex::new(f))),
+                Err(e) => {
+                    eprintln!("[taxorec:warn] cannot open TAXOREC_METRICS file {v}: {e}");
+                    SinkState::Off
+                }
+            }
+        }
+        _ => SinkState::Off,
+    };
+}
+
+/// True when metric events are being emitted anywhere.
+pub fn metrics_enabled() -> bool {
+    let mut state = SINK.lock().unwrap();
+    resolve_from_env(&mut state);
+    matches!(*state, SinkState::On(_))
+}
+
+/// Routes metric events into an in-memory buffer and returns it — the
+/// test hook for asserting on emitted JSONL.
+pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock().unwrap() = SinkState::On(MetricsSink::Memory(Arc::clone(&buf)));
+    buf
+}
+
+/// Routes metric events to `path` (append), regardless of the environment.
+pub fn install_file_sink(path: &str) -> std::io::Result<()> {
+    let f = OpenOptions::new().create(true).append(true).open(path)?;
+    *SINK.lock().unwrap() = SinkState::On(MetricsSink::File(Mutex::new(f)));
+    Ok(())
+}
+
+/// Turns metric emission off, regardless of the environment.
+pub fn disable_metrics() {
+    *SINK.lock().unwrap() = SinkState::Off;
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is unavailable).
+pub fn unix_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// A typed attribute attached to a metric event.
+pub enum Attr {
+    /// Float attribute.
+    F(f64),
+    /// Integer attribute.
+    I(i64),
+    /// String attribute.
+    S(String),
+}
+
+/// Emits one metric event as a JSONL record:
+/// `{"ts_ms":…,"kind":…,"name":…,"value":…}` plus any attributes.
+pub fn emit_metric(kind: &str, name: &str, value: f64, attrs: &[(&str, Attr)]) {
+    let mut state = SINK.lock().unwrap();
+    resolve_from_env(&mut state);
+    let sink = match &*state {
+        SinkState::On(s) => s,
+        _ => return,
+    };
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ts_ms\":");
+    line.push_str(&unix_ms().to_string());
+    line.push_str(",\"kind\":");
+    json::push_str_escaped(&mut line, kind);
+    line.push_str(",\"name\":");
+    json::push_str_escaped(&mut line, name);
+    line.push_str(",\"value\":");
+    json::push_f64(&mut line, value);
+    for (k, v) in attrs {
+        line.push(',');
+        json::push_str_escaped(&mut line, k);
+        line.push(':');
+        match v {
+            Attr::F(x) => json::push_f64(&mut line, *x),
+            Attr::I(x) => line.push_str(&x.to_string()),
+            Attr::S(x) => json::push_str_escaped(&mut line, x),
+        }
+    }
+    line.push('}');
+    write_line(sink, &line);
+}
+
+/// Emits a pre-assembled JSON object as one JSONL record (used for run
+/// summaries that do not fit the name/value shape).
+pub fn emit_json_line(line: &str) {
+    debug_assert!(
+        json::is_valid_json(line),
+        "emit_json_line got invalid JSON: {line}"
+    );
+    let mut state = SINK.lock().unwrap();
+    resolve_from_env(&mut state);
+    if let SinkState::On(sink) = &*state {
+        write_line(sink, line);
+    }
+}
+
+fn write_line(sink: &MetricsSink, line: &str) {
+    match sink {
+        MetricsSink::Stderr => eprintln!("{line}"),
+        MetricsSink::File(f) => {
+            let mut f = f.lock().unwrap();
+            let _ = writeln!(f, "{line}");
+        }
+        MetricsSink::Memory(buf) => buf.lock().unwrap().push(line.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_valid_json() {
+        let _g = crate::test_lock();
+        let buf = install_memory_sink();
+        emit_metric(
+            "gauge",
+            "test.value",
+            1.5,
+            &[
+                ("run", Attr::S("a\"b".into())),
+                ("epoch", Attr::I(3)),
+                ("f", Attr::F(0.25)),
+            ],
+        );
+        emit_json_line("{\"model\":\"X\",\"recall\":[1,2]}");
+        let lines = buf.lock().unwrap().clone();
+        disable_metrics();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(crate::json::is_valid_json(l), "{l}");
+        }
+        assert!(lines[0].contains("\"name\":\"test.value\""));
+        assert!(lines[0].contains("\"epoch\":3"));
+    }
+
+    #[test]
+    fn disabled_sink_swallows_events() {
+        let _g = crate::test_lock();
+        disable_metrics();
+        // Must not panic or print.
+        emit_metric("counter", "x", 1.0, &[]);
+        assert!(!metrics_enabled());
+    }
+}

@@ -1,0 +1,125 @@
+//! Lightweight RAII spans: `let _s = span!("taxo.rebuild");` times the
+//! enclosing scope and feeds the latency histogram
+//! `taxo.rebuild.duration` (seconds). The macro caches the histogram
+//! handle in a per-call-site static, so steady-state cost is two clock
+//! reads plus a few relaxed atomics — safe to leave in hot loops.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+use crate::sink;
+
+/// An in-flight span; records its duration on drop.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    hist: Arc<Histogram>,
+}
+
+impl Span {
+    /// Starts a span feeding `hist` (use the [`crate::span!`] macro, which
+    /// resolves and caches the histogram).
+    pub fn with_histogram(name: &'static str, hist: Arc<Histogram>) -> Self {
+        Self {
+            name,
+            start: Instant::now(),
+            hist,
+        }
+    }
+
+    /// Starts a span by histogram lookup (non-macro call sites).
+    pub fn enter(name: &'static str) -> Self {
+        let hist = crate::registry::histogram(&format!("{name}.duration"));
+        Self::with_histogram(name, hist)
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.hist.observe(secs);
+        if sink::log_enabled(sink::LogLevel::Debug) {
+            sink::debug(&format!("span {} {:.3}ms", self.name, secs * 1e3));
+        }
+    }
+}
+
+/// Opens a span for the enclosing scope: `let _guard = span!("train.epoch");`
+/// The duration lands in the histogram `<name>.duration` when the guard
+/// drops. The histogram handle is cached per call site.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __SPAN_HIST: ::std::sync::OnceLock<::std::sync::Arc<$crate::registry::Histogram>> =
+            ::std::sync::OnceLock::new();
+        let hist =
+            __SPAN_HIST.get_or_init(|| $crate::registry::histogram(concat!($name, ".duration")));
+        $crate::span::Span::with_histogram($name, ::std::sync::Arc::clone(hist))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_monotone_nonnegative_durations() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        let h = crate::registry::histogram("test.span.duration");
+        let before = h.count();
+        {
+            let s = Span::with_histogram("test.span", Arc::clone(&h));
+            std::thread::sleep(Duration::from_millis(2));
+            let mid = s.elapsed_secs();
+            std::thread::sleep(Duration::from_millis(2));
+            let later = s.elapsed_secs();
+            assert!(mid >= 0.002, "elapsed at least the sleep: {mid}");
+            assert!(later >= mid, "elapsed is monotone: {mid} -> {later}");
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(
+            h.max() >= 0.004,
+            "recorded duration covers both sleeps: {}",
+            h.max()
+        );
+    }
+
+    #[test]
+    fn span_macro_caches_and_feeds_named_histogram() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        let h = crate::registry::histogram("test.macro_span.duration");
+        let before = h.count();
+        for _ in 0..3 {
+            let _g = crate::span!("test.macro_span");
+        }
+        assert_eq!(h.count(), before + 3);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        let outer = crate::registry::histogram("test.outer.duration");
+        let inner = crate::registry::histogram("test.inner.duration");
+        let (o0, i0) = (outer.count(), inner.count());
+        {
+            let _o = crate::span!("test.outer");
+            {
+                let _i = crate::span!("test.inner");
+            }
+        }
+        assert_eq!(outer.count(), o0 + 1);
+        assert_eq!(inner.count(), i0 + 1);
+        // Inner cannot have taken longer than outer on the same pass.
+        assert!(inner.max() <= outer.max() + 1e-3);
+    }
+}

@@ -15,8 +15,17 @@ fn main() {
     let split = Split::standard(&dataset);
     println!("{} — {:?}\n", dataset.name, dataset.stats());
 
-    let opts = TrainOpts { dim: 24, epochs: 40, ..TrainOpts::default() };
-    let cfg = TaxoRecConfig { dim_ir: 18, dim_tag: 6, epochs: 40, ..TaxoRecConfig::fast_test() };
+    let opts = TrainOpts {
+        dim: 24,
+        epochs: 40,
+        ..TrainOpts::default()
+    };
+    let cfg = TaxoRecConfig {
+        dim_ir: 18,
+        dim_tag: 6,
+        epochs: 40,
+        ..TaxoRecConfig::fast_test()
+    };
     let mut table = TextTable::new(&["Method", "Recall@10", "NDCG@10"]);
     for name in ["BPRMF", "CML", "LightGCN", "HGCF", "TaxoRec"] {
         let mut model = zoo::by_name(name, &opts, &cfg, 3).expect("known model");

@@ -12,13 +12,25 @@ use taxorec::eval::top_k_indices;
 fn main() {
     // Tags: the Fig. 1 hierarchy — <Asian food> ⊃ <Japanese food> ⊃ <Sushi>,
     // plus <Italian food> and <Pizza>.
-    let tag_names: Vec<String> = ["Asian food", "Japanese food", "Sushi", "Italian food", "Pizza"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let tag_names: Vec<String> = [
+        "Asian food",
+        "Japanese food",
+        "Sushi",
+        "Italian food",
+        "Pizza",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     // Items: 0 Hand Roll, 1 Salmon Sashimi, 2 Cheese Pizza, 3 Margherita,
     // 4 Tuna Nigiri (the held-out sushi we hope to recommend).
-    let item_names = ["Hand Roll", "Salmon Sashimi", "Cheese Pizza", "Margherita", "Tuna Nigiri"];
+    let item_names = [
+        "Hand Roll",
+        "Salmon Sashimi",
+        "Cheese Pizza",
+        "Margherita",
+        "Tuna Nigiri",
+    ];
     let item_tags = vec![
         vec![0, 1, 2],
         vec![0, 1],
@@ -42,10 +54,18 @@ fn main() {
         .iter()
         .enumerate()
         {
-            interactions.push(Interaction { user: u, item: v, ts: i as i64 });
+            interactions.push(Interaction {
+                user: u,
+                item: v,
+                ts: i as i64,
+            });
         }
         // A couple of users who already found the Tuna Nigiri.
-        interactions.push(Interaction { user: lisa, item: 4, ts: 10 });
+        interactions.push(Interaction {
+            user: lisa,
+            item: 4,
+            ts: 10,
+        });
     }
     let dataset = Dataset {
         name: "fig1-restaurants".into(),
@@ -57,7 +77,9 @@ fn main() {
         tag_names,
         taxonomy_truth: None,
     };
-    dataset.validate().expect("hand-built dataset is consistent");
+    dataset
+        .validate()
+        .expect("hand-built dataset is consistent");
 
     // Persist and reload through the TSV format (drop-in for real data).
     let dir = std::env::temp_dir().join("taxorec-example");
@@ -65,7 +87,11 @@ fn main() {
     let stem = dir.join("restaurants");
     tsv::save(&dataset, &stem).unwrap();
     let reloaded = tsv::load(&stem, "fig1-restaurants").unwrap();
-    println!("TSV round trip: {} interactions, {} tags\n", reloaded.interactions.len(), reloaded.n_tags);
+    println!(
+        "TSV round trip: {} interactions, {} tags\n",
+        reloaded.interactions.len(),
+        reloaded.n_tags
+    );
 
     // Train on everything (demo) and ask what Jack should try next.
     let split = Split::temporal(&dataset, 1.0, 0.0);

@@ -17,7 +17,10 @@ fn main() {
     println!("dataset: {} — {:?}", dataset.name, dataset.stats());
 
     // 2. Model: TaxoRec with light settings for a fast demo.
-    let config = TaxoRecConfig { epochs: 40, ..TaxoRecConfig::fast_test() };
+    let config = TaxoRecConfig {
+        epochs: 40,
+        ..TaxoRecConfig::fast_test()
+    };
     let mut model = TaxoRec::new(config);
     model.fit(&dataset, &split);
     println!(
@@ -56,6 +59,10 @@ fn main() {
 
     // 5. The jointly constructed taxonomy is available too.
     if let Some(taxo) = model.taxonomy() {
-        println!("\nconstructed taxonomy: {} nodes, depth {}", taxo.len(), taxo.depth());
+        println!(
+            "\nconstructed taxonomy: {} nodes, depth {}",
+            taxo.len(),
+            taxo.depth()
+        );
     }
 }

@@ -20,11 +20,18 @@ fn main() {
     );
 
     // Joint training refines the tag embeddings the construction runs on.
-    let mut model = TaxoRec::new(TaxoRecConfig { epochs: 40, ..TaxoRecConfig::fast_test() });
+    let mut model = TaxoRec::new(TaxoRecConfig {
+        epochs: 40,
+        ..TaxoRecConfig::fast_test()
+    });
     model.fit(&dataset, &split);
     let taxo = model.taxonomy().expect("λ > 0 constructs a taxonomy");
 
-    println!("constructed taxonomy ({} nodes, depth {}):", taxo.len(), taxo.depth());
+    println!(
+        "constructed taxonomy ({} nodes, depth {}):",
+        taxo.len(),
+        taxo.depth()
+    );
     print!("{}", taxo.render(&dataset.tag_names, 4));
 
     let truth = dataset.taxonomy_truth.as_ref().unwrap();
@@ -37,5 +44,8 @@ fn main() {
         "random-pairing precision baseline: {:.3}",
         random_pair_precision(truth)
     );
-    println!("sibling coherence: {:.3} (1.0 = every node thematically pure)", sibling_coherence(taxo, truth));
+    println!(
+        "sibling coherence: {:.3} (1.0 = every node thematically pure)",
+        sibling_coherence(taxo, truth)
+    );
 }

@@ -13,7 +13,10 @@ use taxorec::eval::top_k_indices;
 fn main() {
     let dataset = generate_preset(Preset::AmazonBook, Scale::Tiny);
     let split = Split::standard(&dataset);
-    let mut model = TaxoRec::new(TaxoRecConfig { epochs: 40, ..TaxoRecConfig::fast_test() });
+    let mut model = TaxoRec::new(TaxoRecConfig {
+        epochs: 40,
+        ..TaxoRecConfig::fast_test()
+    });
     model.fit(&dataset, &split);
 
     // Users sorted by α (Eq. 16): high α = consistent tag-driven taste,
@@ -22,10 +25,15 @@ fn main() {
         .filter(|&u| split.train[u as usize].len() >= 3)
         .collect();
     users.sort_by(|&a, &b| {
-        model.alphas()[b as usize].partial_cmp(&model.alphas()[a as usize]).unwrap()
+        model.alphas()[b as usize]
+            .partial_cmp(&model.alphas()[a as usize])
+            .unwrap()
     });
 
-    println!("tag-based profiles of the 3 most tag-consistent users of {}:\n", dataset.name);
+    println!(
+        "tag-based profiles of the 3 most tag-consistent users of {}:\n",
+        dataset.name
+    );
     for &u in users.iter().take(3) {
         let alpha = model.alphas()[u as usize];
         let top_tags = model.user_top_tags(u, 4);

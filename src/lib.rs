@@ -6,3 +6,4 @@ pub use taxorec_data as data;
 pub use taxorec_eval as eval;
 pub use taxorec_geometry as geometry;
 pub use taxorec_taxonomy as taxonomy;
+pub use taxorec_telemetry as telemetry;

@@ -45,7 +45,10 @@ fn taxorec_beats_popularity_on_tag_driven_data() {
     let s = Split::standard(&d);
     let mut pop = Popularity { counts: Vec::new() };
     let pop_recall = fit_and_eval(&mut pop, &d, &s);
-    let mut taxo = TaxoRec::new(TaxoRecConfig { epochs: 40, ..TaxoRecConfig::fast_test() });
+    let mut taxo = TaxoRec::new(TaxoRecConfig {
+        epochs: 40,
+        ..TaxoRecConfig::fast_test()
+    });
     let taxo_recall = fit_and_eval(&mut taxo, &d, &s);
     assert!(
         taxo_recall > pop_recall,
@@ -57,11 +60,17 @@ fn taxorec_beats_popularity_on_tag_driven_data() {
 fn full_lineup_produces_finite_scores() {
     let d = generate_preset(Preset::AmazonCd, Scale::Tiny);
     let s = Split::standard(&d);
-    let mut bpr = Bprmf::new(TrainOpts { epochs: 10, ..TrainOpts::fast_test() });
+    let mut bpr = Bprmf::new(TrainOpts {
+        epochs: 10,
+        ..TrainOpts::fast_test()
+    });
     bpr.fit(&d, &s);
     let e = evaluate(&bpr, &s, &[10, 20]);
     assert!(!e.users.is_empty());
-    assert!(e.mean_recall(0) <= e.mean_recall(1) + 1e-12, "Recall@10 <= Recall@20");
+    assert!(
+        e.mean_recall(0) <= e.mean_recall(1) + 1e-12,
+        "Recall@10 <= Recall@20"
+    );
     for u in 0..d.n_users as u32 {
         assert!(bpr.scores_for_user(u).iter().all(|x| x.is_finite()));
     }
@@ -71,7 +80,10 @@ fn full_lineup_produces_finite_scores() {
 fn taxonomy_joint_training_builds_valid_tree_tied_to_data() {
     let d = generate_preset(Preset::Yelp, Scale::Tiny);
     let s = Split::standard(&d);
-    let mut m = TaxoRec::new(TaxoRecConfig { epochs: 30, ..TaxoRecConfig::fast_test() });
+    let mut m = TaxoRec::new(TaxoRecConfig {
+        epochs: 30,
+        ..TaxoRecConfig::fast_test()
+    });
     m.fit(&d, &s);
     let taxo = m.taxonomy().expect("taxonomy constructed during fit");
     assert_eq!(taxo.validate(), Ok(()));
@@ -84,7 +96,10 @@ fn evaluation_is_deterministic_across_identical_runs() {
     let d = generate_preset(Preset::Ciao, Scale::Tiny);
     let s = Split::standard(&d);
     let run = || {
-        let mut m = TaxoRec::new(TaxoRecConfig { epochs: 8, ..TaxoRecConfig::fast_test() });
+        let mut m = TaxoRec::new(TaxoRecConfig {
+            epochs: 8,
+            ..TaxoRecConfig::fast_test()
+        });
         m.fit(&d, &s);
         evaluate(&m, &s, &[10]).mean_recall(0)
     };

@@ -59,7 +59,11 @@ fn training_after_tsv_roundtrip_matches_in_memory() {
     let d2 = tsv::load(&stem, &d.name).unwrap();
     // Tag ids may be renumbered, but the interaction structure is
     // identical, so a tag-free model must train to identical scores.
-    let cfg = TaxoRecConfig { epochs: 6, ..TaxoRecConfig::fast_test() }.hgcf();
+    let cfg = TaxoRecConfig {
+        epochs: 6,
+        ..TaxoRecConfig::fast_test()
+    }
+    .hgcf();
     let mut m1 = TaxoRec::new(cfg.clone());
     m1.fit(&d, &Split::standard(&d));
     let mut m2 = TaxoRec::new(cfg);

@@ -1,0 +1,245 @@
+//! Offline drop-in for the subset of the `criterion` API this workspace
+//! uses. Two modes, chosen from the CLI arguments cargo passes:
+//!
+//! * **bench mode** (`cargo bench` passes `--bench`): warm up, run the
+//!   configured number of timed samples, print mean ± spread per benchmark;
+//! * **test mode** (`cargo test` runs bench binaries without `--bench`):
+//!   execute each benchmark body once, silently — keeping `cargo test -q`
+//!   output clean while still compile- and run-checking every bench.
+//!
+//! No statistical machinery, HTML reports, or plotting: the container
+//! cannot reach crates.io, so this crate trades fidelity for zero
+//! dependencies while keeping the workspace's bench sources unchanged.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches here import the
+/// std version directly; the re-export keeps the full criterion path
+/// working too).
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            mode: Mode::Test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark in bench mode.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Resolves bench-vs-test mode from the process arguments (cargo
+    /// passes `--bench` to bench binaries under `cargo bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        let bench = std::env::args().any(|a| a == "--bench");
+        self.mode = if bench { Mode::Bench } else { Mode::Test };
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        match self.mode {
+            Mode::Test => {
+                let mut b = Bencher {
+                    mode: Mode::Test,
+                    samples: Vec::new(),
+                };
+                f(&mut b);
+            }
+            Mode::Bench => {
+                // Warm-up: run the body until the warm-up budget elapses.
+                let warm_start = Instant::now();
+                while warm_start.elapsed() < self.warm_up_time {
+                    let mut b = Bencher {
+                        mode: Mode::Test,
+                        samples: Vec::new(),
+                    };
+                    f(&mut b);
+                }
+                let mut b = Bencher {
+                    mode: Mode::Bench,
+                    samples: Vec::with_capacity(self.sample_size),
+                };
+                let budget_per_sample = self.measurement_time / self.sample_size as u32;
+                let start = Instant::now();
+                for _ in 0..self.sample_size {
+                    f(&mut b);
+                    if start.elapsed() > self.measurement_time {
+                        break;
+                    }
+                }
+                let _ = budget_per_sample;
+                report(name, &b.samples);
+            }
+        }
+        self
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<48} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`. In test mode runs it exactly once; in bench mode records
+    /// one sample (mean ns/iteration over an adaptive batch).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Test => {
+                black_box(f());
+            }
+            Mode::Bench => {
+                // Calibrate a batch so one sample takes ≳200µs.
+                let probe = Instant::now();
+                black_box(f());
+                let once = probe.elapsed().as_nanos().max(1) as f64;
+                let batch = (200_000.0 / once).clamp(1.0, 1e6) as u64;
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+                self.samples.push(per_iter);
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        c.mode = Mode::Bench;
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0] >= 0.0);
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = sample_bench
+        }
+        benches();
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline drop-in for the subset of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro, range / tuple / collection strategies,
+//! `prop_map`, and the `prop_assert*` family.
+//!
+//! Each generated test runs `ProptestConfig::cases` random cases from a
+//! seed derived from the test name, so failures are reproducible. There is
+//! **no shrinking**: a failing case reports its inputs via the panic
+//! message instead of minimizing them. That trade keeps the vendored crate
+//! dependency-free (the container cannot reach crates.io).
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u64, u32, i64, i32, isize, f64);
+
+    impl Strategy for core::ops::RangeInclusive<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Constant strategy (`Just(v)` always yields clones of `v`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+    );
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and the RNG used by generated cases.
+
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Fails the current case (recorded, then reported via panic) when `cond`
+/// is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return Err(format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "prop_assert_eq failed: {} == {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counted as passing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::test_runner::SeedableRng as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Deterministic per-test seed from the test name.
+            let mut seed: u64 = 0xcbf29ce484222325;
+            for b in stringify!($name).bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                    seed.wrapping_add((case as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(msg) = result {
+                    panic!("proptest case {case}/{} failed: {msg}\n  inputs: {inputs}", config.cases);
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(-1.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn prop_map_applies(
+            y in (0.0f64..1.0, 1.0f64..2.0).prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!((1.0..3.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn assume_skips_without_failing(k in 0usize..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assert failed")]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn inner(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        inner();
+    }
+}
