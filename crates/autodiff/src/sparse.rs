@@ -9,6 +9,10 @@
 
 use crate::matrix::Matrix;
 
+/// Rows per parallel spmm job. Large enough to amortize job claiming,
+/// small enough that skewed row lengths still load-balance.
+const SPMM_ROW_BLOCK: usize = 64;
+
 /// Immutable CSR matrix.
 #[derive(Clone, Debug)]
 pub struct Csr {
@@ -119,21 +123,45 @@ impl Csr {
     ///
     /// # Panics
     /// Panics if `x.rows() != self.cols()`.
+    ///
+    /// Output rows are independent, so large products are computed across
+    /// the [`taxorec_parallel`] pool in contiguous row blocks; each row's
+    /// accumulation order is unchanged, so the result is bit-identical to
+    /// the sequential loop for any `TAXOREC_THREADS`.
     pub fn matmul(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.rows(), self.cols, "spmm inner dim mismatch");
         let m = x.cols();
         let mut out = Matrix::zeros(self.rows, m);
-        for r in 0..self.rows {
+        let fill_row = |r: usize, orow: &mut [f64]| {
             let lo = self.indptr[r];
             let hi = self.indptr[r + 1];
-            let orow = out.row_mut(r);
             for p in lo..hi {
                 let c = self.indices[p] as usize;
                 let v = self.values[p];
                 let xrow = x.row(c);
-                for j in 0..m {
-                    orow[j] += v * xrow[j];
+                for (o, xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
                 }
+            }
+        };
+        // Pool spin-up only pays off for substantial products; the cutoff
+        // affects scheduling, never values.
+        let flops = self.nnz().saturating_mul(m);
+        if self.rows >= 2 * SPMM_ROW_BLOCK && flops >= 1 << 15 {
+            taxorec_parallel::par_chunks(
+                "autodiff.spmm",
+                out.data_mut(),
+                SPMM_ROW_BLOCK * m,
+                |offset, block| {
+                    let r0 = offset / m;
+                    for (i, orow) in block.chunks_mut(m).enumerate() {
+                        fill_row(r0 + i, orow);
+                    }
+                },
+            );
+        } else {
+            for r in 0..self.rows {
+                fill_row(r, out.row_mut(r));
             }
         }
         out

@@ -10,14 +10,14 @@
 //!   `tape.value(v)` is always available (used by the training loop for
 //!   inference without a second code path).
 //! * **Constants vs. parameters** — graph structure (adjacency, item–tag
-//!   weights, gather indices) enters as `Rc`-shared constants inside ops;
+//!   weights, gather indices) enters as `Arc`-shared constants inside ops;
 //!   only dense matrices become differentiable [`Var`]s.
 //! * **Binary ops with aliased parents** (e.g. `hadamard(x, x)`) are
 //!   handled by accumulating each parent's contribution separately.
 //! * The hyperbolic composite ops delegate to [`crate::hyper`]; everything
 //!   is finite-difference-checked in `tests/gradcheck.rs`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::hyper;
 use crate::matrix::Matrix;
@@ -49,12 +49,12 @@ enum Op {
     MatMul(Var, Var),
     /// `y = M·x` with constant sparse `M`; `mt` caches `Mᵀ` for backward.
     Spmm {
-        mt: Rc<Csr>,
+        mt: Arc<Csr>,
         x: Var,
     },
     GatherRows {
         x: Var,
-        idx: Rc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
     },
     ConcatRows(Var, Var),
     SliceRows {
@@ -81,7 +81,7 @@ enum Op {
     PoincareToLorentz(Var),
     EinsteinMidpoint {
         tags: Var,
-        item_tag: Rc<Csr>,
+        item_tag: Arc<Csr>,
     },
 }
 
@@ -229,21 +229,21 @@ impl Tape {
 
     /// Sparse-constant × dense product `M·x` (graph propagation, Eq. 13).
     /// The transpose is computed once here and reused every backward pass.
-    pub fn spmm(&mut self, m: &Rc<Csr>, x: Var) -> Var {
+    pub fn spmm(&mut self, m: &Arc<Csr>, x: Var) -> Var {
         let value = m.matmul(self.value(x));
-        let mt = Rc::new(m.transpose());
+        let mt = Arc::new(m.transpose());
         self.push(value, Op::Spmm { mt, x })
     }
 
     /// Like [`Tape::spmm`] but with a caller-precomputed transpose, avoiding
     /// the per-call transposition when the same matrix is reused.
-    pub fn spmm_with_transpose(&mut self, m: &Rc<Csr>, mt: Rc<Csr>, x: Var) -> Var {
+    pub fn spmm_with_transpose(&mut self, m: &Arc<Csr>, mt: Arc<Csr>, x: Var) -> Var {
         let value = m.matmul(self.value(x));
         self.push(value, Op::Spmm { mt, x })
     }
 
     /// Row gather: `out[i] = x[idx[i]]`.
-    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<usize>>) -> Var {
         let vx = self.value(x);
         let d = vx.cols();
         let mut m = Matrix::zeros(idx.len(), d);
@@ -422,13 +422,13 @@ impl Tape {
 
     /// Weighted Einstein-midpoint aggregation of Klein tag embeddings into
     /// item embeddings (paper Eq. 10).
-    pub fn einstein_midpoint(&mut self, tags: Var, item_tag: &Rc<Csr>) -> Var {
+    pub fn einstein_midpoint(&mut self, tags: Var, item_tag: &Arc<Csr>) -> Var {
         let m = hyper::einstein_midpoint_fwd(self.value(tags), item_tag);
         self.push(
             m,
             Op::EinsteinMidpoint {
                 tags,
-                item_tag: Rc::clone(item_tag),
+                item_tag: Arc::clone(item_tag),
             },
         )
     }
@@ -796,7 +796,7 @@ mod tests {
     fn gather_scatter_roundtrip() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
-        let idx = Rc::new(vec![2usize, 0, 2]);
+        let idx = Arc::new(vec![2usize, 0, 2]);
         let gthr = t.gather_rows(x, idx);
         assert_eq!(t.value(gthr).row(0), &[5.0, 6.0]);
         let loss = t.sum_all(gthr);
@@ -808,7 +808,7 @@ mod tests {
     #[test]
     fn spmm_backward_uses_transpose() {
         let mut t = Tape::new();
-        let m = Rc::new(Csr::from_triplets(2, 3, &[(0, 0, 2.0), (1, 2, 3.0)]));
+        let m = Arc::new(Csr::from_triplets(2, 3, &[(0, 0, 2.0), (1, 2, 3.0)]));
         let x = t.leaf(Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]));
         let y = t.spmm(&m, x);
         assert_eq!(t.value(y).data(), &[2.0, 3.0]);

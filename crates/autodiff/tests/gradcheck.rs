@@ -4,7 +4,7 @@
 //! weighting `w` (so gradients of non-scalar outputs are exercised entry by
 //! entry), then compare `∂L/∂x` from the tape against `(L(x+h) − L(x−h))/2h`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -172,7 +172,7 @@ fn grad_matmul_both_sides() {
 fn grad_spmm() {
     let mut rng = StdRng::seed_from_u64(4);
     let x0 = rand_matrix(&mut rng, 4, 3, 1.0);
-    let m = Rc::new(Csr::from_triplets(
+    let m = Arc::new(Csr::from_triplets(
         3,
         4,
         &[
@@ -201,12 +201,12 @@ fn grad_spmm() {
 fn grad_gather_and_slice_and_concat() {
     let mut rng = StdRng::seed_from_u64(5);
     let x0 = rand_matrix(&mut rng, 5, 2, 1.0);
-    let idx = Rc::new(vec![4usize, 0, 4, 2]);
+    let idx = Arc::new(vec![4usize, 0, 4, 2]);
     let w = weight_like(&mut rng, 4, 2);
     check_grad(
         &x0,
         &|t, x| {
-            let g = t.gather_rows(x, Rc::clone(&idx));
+            let g = t.gather_rows(x, Arc::clone(&idx));
             let w = t.leaf(w.clone());
             let gw = t.hadamard(g, w);
             t.sum_all(gw)
@@ -513,7 +513,7 @@ fn grad_einstein_midpoint() {
     let mut rng = StdRng::seed_from_u64(15);
     // 5 tags in Klein coordinates, 3 items with varying tag sets.
     let tags0 = rand_ball_matrix(&mut rng, 5, 3, 0.6);
-    let item_tag = Rc::new(Csr::from_triplets(
+    let item_tag = Arc::new(Csr::from_triplets(
         3,
         5,
         &[
@@ -540,13 +540,111 @@ fn grad_einstein_midpoint() {
 }
 
 #[test]
+fn grad_taxonomy_regularizer_path() {
+    // The exact Eq. 8 tape chain of the model: cluster centers as a
+    // row-normalized sparse average of tag embeddings
+    // (`spmm_with_transpose`), then Poincaré distance between each tag and
+    // its center, mean, and λ-scaling — checked with respect to the tag
+    // embedding table `t_p`.
+    let mut rng = StdRng::seed_from_u64(18);
+    let t_p0 = rand_ball_matrix(&mut rng, 5, 3, 0.6);
+    // Two taxonomy nodes averaging tags {0,1,4} and {2,3}; rows are
+    // normalized, so centers are convex combinations and stay in the ball.
+    let node_tags = Arc::new(Csr::from_triplets(
+        2,
+        5,
+        &[
+            (0, 0, 0.5),
+            (0, 1, 0.25),
+            (0, 4, 0.25),
+            (1, 2, 0.6),
+            (1, 3, 0.4),
+        ],
+    ));
+    let node_tags_t = Arc::new(node_tags.transpose());
+    // (tag, node) membership pairs of the regularizer sum.
+    let term_tags = Arc::new(vec![0usize, 1, 4, 2, 3]);
+    let term_rows = Arc::new(vec![0usize, 0, 0, 1, 1]);
+    let lambda = 0.1;
+    check_grad(
+        &t_p0,
+        &|t, t_p| {
+            let centers = t.spmm_with_transpose(&node_tags, Arc::clone(&node_tags_t), t_p);
+            let gt = t.gather_rows(t_p, Arc::clone(&term_tags));
+            let gc = t.gather_rows(centers, Arc::clone(&term_rows));
+            let dists = t.poincare_dist(gt, gc);
+            let reg = t.mean_all(dists);
+            t.scale(reg, lambda)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
+fn grad_personalized_tag_weight_path() {
+    // The Eq. 16 chain: tag-space Lorentz distances per (u, pos, neg)
+    // triple, scaled per-row by the personalized weight α_u
+    // (`mul_col_broadcast`), added to the interaction-space margin and
+    // pushed through the hinge. Checked both with respect to the user tag
+    // embeddings and with respect to α itself.
+    let mut rng = StdRng::seed_from_u64(19);
+    let n_triples = 4;
+    let u_tg0 = rand_hyperboloid_matrix(&mut rng, 3, 2);
+    let v_tg0 = rand_hyperboloid_matrix(&mut rng, 5, 2);
+    let u_idx = Arc::new(vec![0usize, 1, 2, 0]);
+    let p_idx = Arc::new(vec![0usize, 2, 4, 1]);
+    let q_idx = Arc::new(vec![3usize, 1, 0, 4]);
+    let alpha0 = Matrix::from_vec(n_triples, 1, vec![0.3, 0.8, 0.1, 0.55]);
+    let base0 = rand_matrix(&mut rng, n_triples, 1, 0.5);
+    let build = |t: &mut Tape, u_tg: Var, v_tg: Var, alpha: Var, base: Var| -> Var {
+        let gu_t = t.gather_rows(u_tg, Arc::clone(&u_idx));
+        let gp_t = t.gather_rows(v_tg, Arc::clone(&p_idx));
+        let gq_t = t.gather_rows(v_tg, Arc::clone(&q_idx));
+        let d_pos = t.lorentz_dist_sq(gu_t, gp_t);
+        let d_neg = t.lorentz_dist_sq(gu_t, gq_t);
+        let a_pos = t.mul_col_broadcast(d_pos, alpha);
+        let a_neg = t.mul_col_broadcast(d_neg, alpha);
+        let g_pos = t.add(base, a_pos);
+        let margin = t.sub(g_pos, a_neg);
+        let shifted = t.add_scalar(margin, 0.2);
+        let hinge = t.relu(shifted);
+        t.mean_all(hinge)
+    };
+    // With respect to the user tag embeddings.
+    check_grad(
+        &u_tg0,
+        &|t, u_tg| {
+            let v_tg = t.leaf(v_tg0.clone());
+            let alpha = t.leaf(alpha0.clone());
+            let base = t.leaf(base0.clone());
+            build(t, u_tg, v_tg, alpha, base)
+        },
+        1e-4,
+        1e-6,
+    );
+    // With respect to α itself.
+    check_grad(
+        &alpha0,
+        &|t, alpha| {
+            let u_tg = t.leaf(u_tg0.clone());
+            let v_tg = t.leaf(v_tg0.clone());
+            let base = t.leaf(base0.clone());
+            build(t, u_tg, v_tg, alpha, base)
+        },
+        1e-4,
+        1e-6,
+    );
+}
+
+#[test]
 fn grad_full_taxorec_like_pipeline() {
     // End-to-end chain close to the real model: Poincaré tags → Klein →
     // Einstein midpoint → Poincaré → Lorentz → log_o → propagation →
     // exp_o → distance → hinge loss.
     let mut rng = StdRng::seed_from_u64(16);
     let tags0 = rand_ball_matrix(&mut rng, 4, 2, 0.5);
-    let item_tag = Rc::new(Csr::from_triplets(
+    let item_tag = Arc::new(Csr::from_triplets(
         3,
         4,
         &[
@@ -557,7 +655,7 @@ fn grad_full_taxorec_like_pipeline() {
             (2, 0, 1.0),
         ],
     ));
-    let adj = Rc::new(Csr::from_triplets(
+    let adj = Arc::new(Csr::from_triplets(
         3,
         3,
         &[

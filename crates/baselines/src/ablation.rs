@@ -5,7 +5,7 @@
 //! stacked user/item embeddings are propagated over the bipartite graph
 //! (global aggregation).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,7 +24,7 @@ pub struct CmlAgg {
     layers: usize,
     emb: Matrix,
     tags: Matrix,
-    item_tag: Rc<taxorec_autodiff::Csr>,
+    item_tag: Arc<taxorec_autodiff::Csr>,
     final_emb: Matrix,
     n_users: usize,
 }
@@ -37,7 +37,7 @@ impl CmlAgg {
             layers,
             emb: Matrix::zeros(0, 0),
             tags: Matrix::zeros(0, 0),
-            item_tag: Rc::new(taxorec_autodiff::Csr::identity(1)),
+            item_tag: Arc::new(taxorec_autodiff::Csr::identity(1)),
             final_emb: Matrix::zeros(0, 0),
             n_users: 0,
         }
@@ -48,7 +48,7 @@ impl CmlAgg {
         tape: &mut Tape,
         e0: Var,
         t_leaf: Var,
-        adj: &Rc<taxorec_autodiff::Csr>,
+        adj: &Arc<taxorec_autodiff::Csr>,
         n_users: usize,
         n_items: usize,
     ) -> Var {
@@ -112,9 +112,9 @@ impl Recommender for CmlAgg {
                     .iter()
                     .map(|&v| self.n_users + v as usize)
                     .collect();
-                let gu = tape.gather_rows(e, Rc::new(u_idx));
-                let gp = tape.gather_rows(e, Rc::new(p_idx));
-                let gq = tape.gather_rows(e, Rc::new(n_idx));
+                let gu = tape.gather_rows(e, Arc::new(u_idx));
+                let gp = tape.gather_rows(e, Arc::new(p_idx));
+                let gq = tape.gather_rows(e, Arc::new(n_idx));
                 let d_pos = euclid_dist_sq(&mut tape, gu, gp);
                 let d_neg = euclid_dist_sq(&mut tape, gu, gq);
                 let loss = hinge_loss(&mut tape, d_pos, d_neg, self.opts.margin);

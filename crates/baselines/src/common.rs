@@ -1,7 +1,7 @@
 //! Shared infrastructure for the 14 baseline recommenders: training
 //! options, triplet/BPR sampling, loss builders, and graph normalizations.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -75,9 +75,9 @@ pub fn epoch_triplets(
     (users, pos, neg)
 }
 
-/// Index vectors of a triplet batch as `Rc<Vec<usize>>` for gather ops.
-pub fn gather_indices(ids: &[u32]) -> Rc<Vec<usize>> {
-    Rc::new(ids.iter().map(|&x| x as usize).collect())
+/// Index vectors of a triplet batch as `Arc<Vec<usize>>` for gather ops.
+pub fn gather_indices(ids: &[u32]) -> Arc<Vec<usize>> {
+    Arc::new(ids.iter().map(|&x| x as usize).collect())
 }
 
 /// BPR loss `mean(softplus(−(score_pos − score_neg)))` (Rendle et al.).
@@ -114,7 +114,7 @@ pub fn unit_ball_project(m: &mut Matrix) {
 /// Symmetrically normalized bipartite adjacency
 /// `Â = D^{-1/2} A D^{-1/2}` over the stacked `(users + items)` node set —
 /// LightGCN/NGCF propagation. No self-loops (LightGCN's design).
-pub fn sym_norm_adjacency(dataset: &Dataset, split: &Split) -> Rc<Csr> {
+pub fn sym_norm_adjacency(dataset: &Dataset, split: &Split) -> Arc<Csr> {
     let n_users = dataset.n_users;
     let n = n_users + dataset.n_items;
     let mut deg = vec![0usize; n];
@@ -132,12 +132,12 @@ pub fn sym_norm_adjacency(dataset: &Dataset, split: &Split) -> Rc<Csr> {
             triplets.push((n_users + v as usize, u, w));
         }
     }
-    Rc::new(Csr::from_triplets(n, n, &triplets))
+    Arc::new(Csr::from_triplets(n, n, &triplets))
 }
 
 /// Row-normalized item→tag matrix (`n_items × n_tags`) — the Euclidean
 /// tag-average used by the tag-based baselines.
-pub fn item_tag_mean(dataset: &Dataset) -> Rc<Csr> {
+pub fn item_tag_mean(dataset: &Dataset) -> Arc<Csr> {
     let mut triplets = Vec::new();
     for (v, tags) in dataset.item_tags.iter().enumerate() {
         for &t in tags {
@@ -146,12 +146,12 @@ pub fn item_tag_mean(dataset: &Dataset) -> Rc<Csr> {
     }
     let mut m = Csr::from_triplets(dataset.n_items, dataset.n_tags.max(1), &triplets);
     m.normalize_rows();
-    Rc::new(m)
+    Arc::new(m)
 }
 
 /// User→item and item→user row-normalized adjacencies (mean neighborhood
 /// aggregation) — TransCF's context construction.
-pub fn neighbor_means(dataset: &Dataset, split: &Split) -> (Rc<Csr>, Rc<Csr>) {
+pub fn neighbor_means(dataset: &Dataset, split: &Split) -> (Arc<Csr>, Arc<Csr>) {
     let mut ui = Vec::new();
     let mut iu = Vec::new();
     for (u, items) in split.train.iter().enumerate() {
@@ -164,7 +164,7 @@ pub fn neighbor_means(dataset: &Dataset, split: &Split) -> (Rc<Csr>, Rc<Csr>) {
     m_ui.normalize_rows();
     let mut m_iu = Csr::from_triplets(dataset.n_items, dataset.n_users, &iu);
     m_iu.normalize_rows();
-    (Rc::new(m_ui), Rc::new(m_iu))
+    (Arc::new(m_ui), Arc::new(m_iu))
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Graph-based baselines: NGCF, LightGCN, HGCF (paper §V-A.3,
 //! "graph based methods").
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +39,7 @@ impl LightGcn {
         }
     }
 
-    fn propagate(&self, tape: &mut Tape, e0: Var, adj: &Rc<taxorec_autodiff::Csr>) -> Var {
+    fn propagate(&self, tape: &mut Tape, e0: Var, adj: &Arc<taxorec_autodiff::Csr>) -> Var {
         let mut acc = e0;
         let mut z = e0;
         for _ in 0..self.layers {
@@ -84,9 +84,9 @@ impl Recommender for LightGcn {
                     .iter()
                     .map(|&v| self.n_users + v as usize)
                     .collect();
-                let gu = tape.gather_rows(e, Rc::new(u_idx));
-                let gp = tape.gather_rows(e, Rc::new(p_idx));
-                let gq = tape.gather_rows(e, Rc::new(n_idx));
+                let gu = tape.gather_rows(e, Arc::new(u_idx));
+                let gp = tape.gather_rows(e, Arc::new(p_idx));
+                let gq = tape.gather_rows(e, Arc::new(n_idx));
                 let sp = tape.row_dot(gu, gp);
                 let sn = tape.row_dot(gu, gq);
                 let loss = bpr_loss(&mut tape, sp, sn);
@@ -149,7 +149,7 @@ impl Ngcf {
         e0: Var,
         w1: &[Var],
         w2: &[Var],
-        adj: &Rc<taxorec_autodiff::Csr>,
+        adj: &Arc<taxorec_autodiff::Csr>,
     ) -> Var {
         let mut e = e0;
         let mut acc = e0;
@@ -210,9 +210,9 @@ impl Recommender for Ngcf {
                     .iter()
                     .map(|&v| self.n_users + v as usize)
                     .collect();
-                let gu = tape.gather_rows(e, Rc::new(u_idx));
-                let gp = tape.gather_rows(e, Rc::new(p_idx));
-                let gq = tape.gather_rows(e, Rc::new(n_idx));
+                let gu = tape.gather_rows(e, Arc::new(u_idx));
+                let gp = tape.gather_rows(e, Arc::new(p_idx));
+                let gq = tape.gather_rows(e, Arc::new(n_idx));
                 let sp = tape.row_dot(gu, gp);
                 let sn = tape.row_dot(gu, gq);
                 let loss = bpr_loss(&mut tape, sp, sn);

@@ -1,7 +1,7 @@
 //! Euclidean metric-learning baselines: CML, TransCF, LRML, SML
 //! (paper §V-A.3, "metric learning methods").
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,8 +26,8 @@ enum Relation {
     Neighborhood {
         user_ctx: Matrix,
         item_ctx: Matrix,
-        ui: Rc<Csr>,
-        iu: Rc<Csr>,
+        ui: Arc<Csr>,
+        iu: Arc<Csr>,
     },
     /// LRML (Tay et al., WWW 2018): `r = softmax((u⊙v)Kᵀ)·M` from a latent
     /// relational memory.
@@ -64,8 +64,8 @@ impl MetricModel {
             Relation::Neighborhood {
                 user_ctx: Matrix::zeros(0, 0),
                 item_ctx: Matrix::zeros(0, 0),
-                ui: Rc::new(Csr::identity(1)),
-                iu: Rc::new(Csr::identity(1)),
+                ui: Arc::new(Csr::identity(1)),
+                iu: Arc::new(Csr::identity(1)),
             },
         )
     }

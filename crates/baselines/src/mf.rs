@@ -310,7 +310,7 @@ impl Recommender for Neumf {
         let n_items = self.q_g.rows();
         let mut tape = Tape::new();
         let u_idx = rc_idx(vec![user as usize; n_items]);
-        let all: std::rc::Rc<Vec<usize>> = rc_idx((0..n_items).collect());
+        let all: std::sync::Arc<Vec<usize>> = rc_idx((0..n_items).collect());
         let p_g = tape.leaf(self.p_g.clone());
         let q_g = tape.leaf(self.q_g.clone());
         let p_m = tape.leaf(self.p_m.clone());
@@ -329,8 +329,8 @@ impl Recommender for Neumf {
     }
 }
 
-fn rc_idx(v: Vec<usize>) -> std::rc::Rc<Vec<usize>> {
-    std::rc::Rc::new(v)
+fn rc_idx(v: Vec<usize>) -> std::sync::Arc<Vec<usize>> {
+    std::sync::Arc::new(v)
 }
 
 #[cfg(test)]

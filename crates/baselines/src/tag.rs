@@ -2,7 +2,7 @@
 //! methods"). All three consume item tags *flat* — no hierarchy — which is
 //! exactly the gap TaxoRec targets.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +27,7 @@ pub struct Cmlf {
     u: Matrix,
     v: Matrix,
     t: Matrix,
-    item_tag: Rc<taxorec_autodiff::Csr>,
+    item_tag: Arc<taxorec_autodiff::Csr>,
     final_items: Matrix,
 }
 
@@ -39,7 +39,7 @@ impl Cmlf {
             u: Matrix::zeros(0, 0),
             v: Matrix::zeros(0, 0),
             t: Matrix::zeros(0, 0),
-            item_tag: Rc::new(taxorec_autodiff::Csr::identity(1)),
+            item_tag: Arc::new(taxorec_autodiff::Csr::identity(1)),
             final_items: Matrix::zeros(0, 0),
         }
     }
@@ -119,7 +119,7 @@ pub struct Amf {
     p: Matrix,
     q: Matrix,
     t: Matrix,
-    item_tag: Rc<taxorec_autodiff::Csr>,
+    item_tag: Arc<taxorec_autodiff::Csr>,
     final_items: Matrix,
 }
 
@@ -131,7 +131,7 @@ impl Amf {
             p: Matrix::zeros(0, 0),
             q: Matrix::zeros(0, 0),
             t: Matrix::zeros(0, 0),
-            item_tag: Rc::new(taxorec_autodiff::Csr::identity(1)),
+            item_tag: Arc::new(taxorec_autodiff::Csr::identity(1)),
             final_items: Matrix::zeros(0, 0),
         }
     }
@@ -211,7 +211,7 @@ pub struct Agcn {
     attr_weight: f64,
     emb: Matrix,
     t: Matrix,
-    item_tag: Rc<taxorec_autodiff::Csr>,
+    item_tag: Arc<taxorec_autodiff::Csr>,
     final_emb: Matrix,
     n_users: usize,
 }
@@ -225,7 +225,7 @@ impl Agcn {
             attr_weight: 0.3,
             emb: Matrix::zeros(0, 0),
             t: Matrix::zeros(0, 0),
-            item_tag: Rc::new(taxorec_autodiff::Csr::identity(1)),
+            item_tag: Arc::new(taxorec_autodiff::Csr::identity(1)),
             final_emb: Matrix::zeros(0, 0),
             n_users: 0,
         }
@@ -237,7 +237,7 @@ impl Agcn {
         tape: &mut Tape,
         e0: Var,
         t_leaf: Var,
-        adj: &Rc<taxorec_autodiff::Csr>,
+        adj: &Arc<taxorec_autodiff::Csr>,
         n_users: usize,
         n_items: usize,
     ) -> Var {
@@ -309,9 +309,9 @@ impl Recommender for Agcn {
                     .iter()
                     .map(|&v| self.n_users + v as usize)
                     .collect();
-                let gu = tape.gather_rows(e, Rc::new(u_idx));
-                let gp = tape.gather_rows(e, Rc::new(p_idx));
-                let gq = tape.gather_rows(e, Rc::new(n_idx));
+                let gu = tape.gather_rows(e, Arc::new(u_idx));
+                let gp = tape.gather_rows(e, Arc::new(p_idx));
+                let gq = tape.gather_rows(e, Arc::new(n_idx));
                 let sp = tape.row_dot(gu, gp);
                 let sn = tape.row_dot(gu, gq);
                 let l_bpr = bpr_loss(&mut tape, sp, sn);

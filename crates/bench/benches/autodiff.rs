@@ -3,15 +3,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use taxorec_autodiff::{Csr, Matrix, Tape};
 
 fn pipeline_once(
     emb: &Matrix,
     tags: &Matrix,
-    adj: &Rc<Csr>,
-    adj_t: &Rc<Csr>,
-    item_tag: &Rc<Csr>,
+    adj: &Arc<Csr>,
+    adj_t: &Arc<Csr>,
+    item_tag: &Arc<Csr>,
     n_users: usize,
 ) -> f64 {
     let mut tape = Tape::new();
@@ -23,17 +23,17 @@ fn pipeline_once(
     let z_items = tape.lorentz_log_origin(v_tg);
     let e = tape.leaf(emb.clone());
     let z = tape.concat_rows(e, z_items);
-    let z1 = tape.spmm_with_transpose(adj, Rc::clone(adj_t), z);
-    let z2 = tape.spmm_with_transpose(adj, Rc::clone(adj_t), z1);
+    let z1 = tape.spmm_with_transpose(adj, Arc::clone(adj_t), z);
+    let z2 = tape.spmm_with_transpose(adj, Arc::clone(adj_t), z1);
     let zs = tape.add(z1, z2);
     let out = tape.lorentz_exp_origin(zs);
     let users = tape.slice_rows(out, 0, n_users);
     let items = tape.slice_rows(out, n_users, z_items_rows(item_tag));
-    let idx: Rc<Vec<usize>> = Rc::new((0..n_users.min(64)).collect());
-    let gu = tape.gather_rows(users, Rc::clone(&idx));
+    let idx: Arc<Vec<usize>> = Arc::new((0..n_users.min(64)).collect());
+    let gu = tape.gather_rows(users, Arc::clone(&idx));
     let gv = tape.gather_rows(
         items,
-        Rc::new((0..n_users.min(64)).map(|i| i % 32).collect()),
+        Arc::new((0..n_users.min(64)).map(|i| i % 32).collect()),
     );
     let d = tape.lorentz_dist_sq(gu, gv);
     let loss = tape.mean_all(d);
@@ -41,7 +41,7 @@ fn pipeline_once(
     grads.wrt(t_p).map(|g| g.max_abs()).unwrap_or(0.0)
 }
 
-fn z_items_rows(item_tag: &Rc<Csr>) -> usize {
+fn z_items_rows(item_tag: &Arc<Csr>) -> usize {
     item_tag.rows()
 }
 
@@ -58,16 +58,16 @@ fn bench_autodiff(c: &mut Criterion) {
     let adj_triplets: Vec<(usize, usize, f64)> = (0..(n_users + n_items))
         .flat_map(|i| [(i, i, 1.0), (i, (i * 7 + 3) % (n_users + n_items), 0.3)])
         .collect();
-    let adj = Rc::new(Csr::from_triplets(
+    let adj = Arc::new(Csr::from_triplets(
         n_users + n_items,
         n_users + n_items,
         &adj_triplets,
     ));
-    let adj_t = Rc::new(adj.transpose());
+    let adj_t = Arc::new(adj.transpose());
     let it_triplets: Vec<(usize, usize, f64)> = (0..n_items)
         .flat_map(|v| [(v, v % n_tags, 1.0), (v, (v * 3 + 1) % n_tags, 1.0)])
         .collect();
-    let item_tag = Rc::new(Csr::from_triplets(n_items, n_tags, &it_triplets));
+    let item_tag = Arc::new(Csr::from_triplets(n_items, n_tags, &it_triplets));
 
     c.bench_function("autodiff_full_pipeline_fwd_bwd_500nodes", |b| {
         b.iter(|| {

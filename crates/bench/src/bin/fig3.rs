@@ -6,7 +6,7 @@
 //! lands closer to the origin than its parent (the "wrong hierarchy
 //! arrangement" the paper's Fig. 3(a) depicts for Euclidean space).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -62,8 +62,8 @@ fn embed(tree: &TagTree, hyperbolic: bool, scale: f64, epochs: usize, seed: u64)
             target.push(scale * tree_distance(tree, a, b));
         }
     }
-    let pa = Rc::new(pa);
-    let pb = Rc::new(pb);
+    let pa = Arc::new(pa);
+    let pb = Arc::new(pb);
     let t_mat = Matrix::from_vec(target.len(), 1, target.clone());
     // The Poincaré conformal factor shrinks effective steps away from the
     // origin; a larger nominal rate gives both geometries a comparable
@@ -72,8 +72,8 @@ fn embed(tree: &TagTree, hyperbolic: bool, scale: f64, epochs: usize, seed: u64)
     for _ in 0..epochs {
         let mut tape = Tape::new();
         let e = tape.leaf(emb.clone());
-        let ga = tape.gather_rows(e, Rc::clone(&pa));
-        let gb = tape.gather_rows(e, Rc::clone(&pb));
+        let ga = tape.gather_rows(e, Arc::clone(&pa));
+        let gb = tape.gather_rows(e, Arc::clone(&pb));
         let d = if hyperbolic {
             tape.poincare_dist(ga, gb)
         } else {

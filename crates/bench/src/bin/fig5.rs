@@ -3,11 +3,10 @@
 //! The expected shape: all models improve with `D`; the hyperbolic models
 //! (HyperML, TaxoRec) stay strong at small `D` while CML degrades.
 
-use taxorec_bench::{
-    dataset_and_split, make_model, run_parallel, write_bench_telemetry, BenchProfile,
-};
+use taxorec_bench::{dataset_and_split, make_model, write_bench_telemetry, BenchProfile};
 use taxorec_data::Preset;
 use taxorec_eval::{evaluate, TextTable};
+use taxorec_parallel::par_map;
 
 fn main() {
     let profile = BenchProfile::from_env();
@@ -24,7 +23,7 @@ fn main() {
         let jobs: Vec<(usize, usize)> = (0..dims.len())
             .flat_map(|d| (0..models.len()).map(move |m| (d, m)))
             .collect();
-        let results = run_parallel("fig5", jobs.len(), |i| {
+        let results = par_map("fig5", jobs.len(), |i| {
             let (di, mi) = jobs[i];
             let mut p = profile.clone();
             p.dim = dims[di];

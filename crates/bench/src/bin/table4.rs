@@ -2,10 +2,11 @@
 //! Amazon-Book and Yelp analogues: K ∈ {2,3,4}, δ ∈ {0.25,0.5,0.75},
 //! L ∈ {1..4}, m ∈ {0.1..0.4}, λ ∈ {0, 0.01, 0.1, 1.0}.
 
-use taxorec_bench::{dataset_and_split, run_parallel, write_bench_telemetry, BenchProfile};
+use taxorec_bench::{dataset_and_split, write_bench_telemetry, BenchProfile};
 use taxorec_core::{TaxoRec, TaxoRecConfig};
 use taxorec_data::{Preset, Recommender};
 use taxorec_eval::{evaluate, TextTable};
+use taxorec_parallel::par_map;
 
 struct Setting {
     label: String,
@@ -67,7 +68,7 @@ fn main() {
     let jobs: Vec<(usize, usize)> = (0..all.len())
         .flat_map(|s| (0..presets.len()).map(move |d| (s, d)))
         .collect();
-    let results = run_parallel("table4", jobs.len(), |i| {
+    let results = par_map("table4", jobs.len(), |i| {
         let (si, di) = jobs[i];
         let (dataset, split) = &datasets[di];
         let mut cfg = profile.taxorec_config_for(&dataset.name, profile.seeds[0]);

@@ -153,72 +153,17 @@ pub struct Job {
     pub dataset_idx: usize,
 }
 
-/// Runs `n_jobs` independent work items (indices `0..n_jobs`) across a
-/// `std::thread` worker pool and returns the results in item order. Work
-/// items must be independent; the worker count is capped by
-/// `available_parallelism`.
-///
-/// Instrumented: each item's wall time lands in the `bench.job.duration`
-/// histogram, completed items count into `bench.jobs`, and the pool's
-/// overall utilization (busy time / workers × wall time) is published to
-/// the `bench.worker.utilization` gauge when the pool drains.
-pub fn run_parallel<T: Send>(label: &str, n_jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let job_hist = taxorec_telemetry::histogram("bench.job.duration");
-    let job_count = taxorec_telemetry::counter("bench.jobs");
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(n_jobs.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let busy_ns = std::sync::atomic::AtomicU64::new(0);
-    let results: Vec<std::sync::Mutex<Option<T>>> =
-        (0..n_jobs).map(|_| std::sync::Mutex::new(None)).collect();
-    let started = std::time::Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_jobs {
-                    break;
-                }
-                let t0 = std::time::Instant::now();
-                let out = f(i);
-                let dt = t0.elapsed();
-                job_hist.observe(dt.as_secs_f64());
-                job_count.inc(1);
-                busy_ns.fetch_add(dt.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
-                *results[i].lock().unwrap() = Some(out);
-            });
-        }
-    });
-    let wall = started.elapsed().as_secs_f64();
-    let utilization = if wall > 0.0 {
-        busy_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9 / (wall * n_workers as f64)
-    } else {
-        0.0
-    };
-    taxorec_telemetry::gauge("bench.worker.utilization").set(utilization);
-    taxorec_telemetry::sink::info(&format!(
-        "{label}: {n_jobs} jobs on {n_workers} workers in {wall:.2}s \
-         (utilization {:.0}%)",
-        utilization * 100.0
-    ));
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("job completed"))
-        .collect()
-}
-
-/// Runs every job across the shared [`run_parallel`] pool; each worker
-/// constructs and trains its models locally (model internals are not
-/// `Send`). Results come back in job order.
+/// Runs every job across the shared [`taxorec_parallel`] pool (the
+/// generalized successor of the worker pool that used to live here); each
+/// worker constructs and trains its models locally. Results come back in
+/// job order. Pool metrics land under the `parallel.*` telemetry names.
 pub fn run_jobs(
     jobs: &[Job],
     datasets: &[(Dataset, Split)],
     profile: &BenchProfile,
     ks: &[usize],
 ) -> Vec<CellStats> {
-    run_parallel("bench.run_jobs", jobs.len(), |i| {
+    taxorec_parallel::par_map("bench.run_jobs", jobs.len(), |i| {
         let job = &jobs[i];
         let (dataset, split) = &datasets[job.dataset_idx];
         run_cell(

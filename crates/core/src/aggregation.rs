@@ -40,7 +40,7 @@ pub fn local_tag_aggregation(
         let tangent = tape.lorentz_log_origin(lifted);
         let avg = tape.spmm_with_transpose(
             &graph.item_tag_norm,
-            std::rc::Rc::new(graph.item_tag_norm.transpose()),
+            std::sync::Arc::new(graph.item_tag_norm.transpose()),
             tangent,
         );
         tape.lorentz_exp_origin(avg)

@@ -2,7 +2,7 @@
 //! propagation matrix of the global aggregation (paper Eq. 13) and the
 //! item–tag matrix `Ψ` of the local aggregation (Eq. 10).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use taxorec_autodiff::Csr;
 use taxorec_data::{Dataset, Split};
@@ -13,14 +13,14 @@ pub struct GraphMatrices {
     /// `M = I + D⁻¹·A` over the stacked user/item node set, where `A` is
     /// the (symmetric) bipartite training adjacency — one application
     /// computes paper Eq. 13 for both sides at once.
-    pub propagate: Rc<Csr>,
+    pub propagate: Arc<Csr>,
     /// Cached transpose of [`GraphMatrices::propagate`] for backward.
-    pub propagate_t: Rc<Csr>,
+    pub propagate_t: Arc<Csr>,
     /// Item–tag weights `Ψ` (`n_items × n_tags`, binary).
-    pub item_tag: Rc<Csr>,
+    pub item_tag: Arc<Csr>,
     /// Row-normalized `Ψ` (rows sum to 1) — used by the naive
     /// tangent-average ablation of the local aggregation.
-    pub item_tag_norm: Rc<Csr>,
+    pub item_tag_norm: Arc<Csr>,
     /// Number of users (rows `0..n_users` of the stacked node set).
     pub n_users: usize,
     /// Number of items (rows `n_users..n_users+n_items`).
@@ -57,8 +57,8 @@ impl GraphMatrices {
         for i in 0..n {
             triplets.push((i, i, 1.0));
         }
-        let propagate = Rc::new(Csr::from_triplets(n, n, &triplets));
-        let propagate_t = Rc::new(propagate.transpose());
+        let propagate = Arc::new(Csr::from_triplets(n, n, &triplets));
+        let propagate_t = Arc::new(propagate.transpose());
 
         let mut tag_triplets = Vec::new();
         for (v, tags) in dataset.item_tags.iter().enumerate() {
@@ -66,14 +66,14 @@ impl GraphMatrices {
                 tag_triplets.push((v, t as usize, 1.0));
             }
         }
-        let item_tag = Rc::new(Csr::from_triplets(
+        let item_tag = Arc::new(Csr::from_triplets(
             n_items,
             dataset.n_tags.max(1),
             &tag_triplets,
         ));
         let mut norm = (*item_tag).clone();
         norm.normalize_rows();
-        let item_tag_norm = Rc::new(norm);
+        let item_tag_norm = Arc::new(norm);
         Self {
             propagate,
             propagate_t,

@@ -13,7 +13,7 @@
 //!    updated by Riemannian SGD on the joint objective
 //!    `L_metric + λ·L_reg` (Eqs. 18–19).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -47,10 +47,10 @@ pub struct TaxoRec {
     alphas: Vec<f64>,
     // Taxonomy state.
     taxonomy: Option<Taxonomy>,
-    reg_center_csr: Option<Rc<Csr>>,
-    reg_center_csr_t: Option<Rc<Csr>>,
-    reg_term_tags: Rc<Vec<usize>>,
-    reg_term_rows: Rc<Vec<usize>>,
+    reg_center_csr: Option<Arc<Csr>>,
+    reg_center_csr_t: Option<Arc<Csr>>,
+    reg_term_tags: Arc<Vec<usize>>,
+    reg_term_rows: Arc<Vec<usize>>,
     // Final (post-aggregation) embeddings for inference.
     final_u_ir: Matrix,
     final_v_ir: Matrix,
@@ -130,8 +130,8 @@ impl TaxoRec {
             taxonomy: None,
             reg_center_csr: None,
             reg_center_csr_t: None,
-            reg_term_tags: Rc::new(Vec::new()),
-            reg_term_rows: Rc::new(Vec::new()),
+            reg_term_tags: Arc::new(Vec::new()),
+            reg_term_rows: Arc::new(Vec::new()),
             final_u_ir: Matrix::zeros(0, 0),
             final_v_ir: Matrix::zeros(0, 0),
             final_u_tg: Matrix::zeros(0, 0),
@@ -272,20 +272,20 @@ impl TaxoRec {
         neg: &[u32],
     ) -> (Var, Option<Var>) {
         let tape = &mut f.tape;
-        let u_idx = Rc::new(users.iter().map(|&u| u as usize).collect::<Vec<_>>());
-        let p_idx = Rc::new(pos.iter().map(|&v| v as usize).collect::<Vec<_>>());
-        let q_idx = Rc::new(neg.iter().map(|&v| v as usize).collect::<Vec<_>>());
+        let u_idx = Arc::new(users.iter().map(|&u| u as usize).collect::<Vec<_>>());
+        let p_idx = Arc::new(pos.iter().map(|&v| v as usize).collect::<Vec<_>>());
+        let q_idx = Arc::new(neg.iter().map(|&v| v as usize).collect::<Vec<_>>());
 
-        let gu = tape.gather_rows(f.u_ir, Rc::clone(&u_idx));
-        let gp = tape.gather_rows(f.v_ir, Rc::clone(&p_idx));
-        let gq = tape.gather_rows(f.v_ir, Rc::clone(&q_idx));
+        let gu = tape.gather_rows(f.u_ir, Arc::clone(&u_idx));
+        let gp = tape.gather_rows(f.v_ir, Arc::clone(&p_idx));
+        let gq = tape.gather_rows(f.v_ir, Arc::clone(&q_idx));
         let mut g_pos = tape.lorentz_dist_sq(gu, gp);
         let mut g_neg = tape.lorentz_dist_sq(gu, gq);
 
         if let (Some(u_tg), Some(v_tg)) = (f.u_tg, f.v_tg) {
-            let gu_t = tape.gather_rows(u_tg, Rc::clone(&u_idx));
-            let gp_t = tape.gather_rows(v_tg, Rc::clone(&p_idx));
-            let gq_t = tape.gather_rows(v_tg, Rc::clone(&q_idx));
+            let gu_t = tape.gather_rows(u_tg, Arc::clone(&u_idx));
+            let gp_t = tape.gather_rows(v_tg, Arc::clone(&p_idx));
+            let gq_t = tape.gather_rows(v_tg, Arc::clone(&q_idx));
             let d_pos_t = tape.lorentz_dist_sq(gu_t, gp_t);
             let d_neg_t = tape.lorentz_dist_sq(gu_t, gq_t);
             let gain = self.config.tag_channel_gain;
@@ -319,9 +319,9 @@ impl TaxoRec {
             if let (Some(t_p_leaf), Some(csr), Some(csr_t)) =
                 (f.t_p_leaf, &self.reg_center_csr, &self.reg_center_csr_t)
             {
-                let centers = tape.spmm_with_transpose(csr, Rc::clone(csr_t), t_p_leaf);
-                let gt = tape.gather_rows(t_p_leaf, Rc::clone(&self.reg_term_tags));
-                let gc = tape.gather_rows(centers, Rc::clone(&self.reg_term_rows));
+                let centers = tape.spmm_with_transpose(csr, Arc::clone(csr_t), t_p_leaf);
+                let gt = tape.gather_rows(t_p_leaf, Arc::clone(&self.reg_term_tags));
+                let gc = tape.gather_rows(centers, Arc::clone(&self.reg_term_rows));
                 let dists = tape.poincare_dist(gt, gc);
                 let reg = tape.mean_all(dists);
                 reg_loss = Some(tape.scale(reg, self.config.lambda));
@@ -359,20 +359,20 @@ impl TaxoRec {
         let plan = RegularizerPlan::from_taxonomy(&taxo);
         if plan.n_centers > 0 {
             let triplets: Vec<(usize, usize, f64)> = plan.center_weights.clone();
-            let csr = Rc::new(Csr::from_triplets(
+            let csr = Arc::new(Csr::from_triplets(
                 plan.n_centers,
                 dataset.n_tags,
                 &triplets,
             ));
-            self.reg_center_csr_t = Some(Rc::new(csr.transpose()));
+            self.reg_center_csr_t = Some(Arc::new(csr.transpose()));
             self.reg_center_csr = Some(csr);
-            self.reg_term_tags = Rc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
-            self.reg_term_rows = Rc::new(plan.terms.iter().map(|&(_, r)| r).collect());
+            self.reg_term_tags = Arc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
+            self.reg_term_rows = Arc::new(plan.terms.iter().map(|&(_, r)| r).collect());
         } else {
             self.reg_center_csr = None;
             self.reg_center_csr_t = None;
-            self.reg_term_tags = Rc::new(Vec::new());
-            self.reg_term_rows = Rc::new(Vec::new());
+            self.reg_term_tags = Arc::new(Vec::new());
+            self.reg_term_rows = Arc::new(Vec::new());
         }
         let moved_frac = match prev_sig {
             Some(prev) => {

@@ -6,7 +6,10 @@ use crate::dataset::Dataset;
 use crate::split::Split;
 
 /// A trainable top-N recommender.
-pub trait Recommender {
+///
+/// `Sync` is a supertrait so the evaluation harness can score users in
+/// parallel against a shared `&dyn Recommender`; scoring is read-only.
+pub trait Recommender: Sync {
     /// Display name used in result tables (e.g. `"TaxoRec"`, `"BPRMF"`).
     fn name(&self) -> &str;
 

@@ -61,23 +61,7 @@ pub fn evaluate(model: &dyn Recommender, split: &Split, ks: &[usize]) -> Evaluat
 /// Evaluates against the validation partition (hyperparameter tuning),
 /// masking only training items.
 pub fn evaluate_valid(model: &dyn Recommender, split: &Split, ks: &[usize]) -> Evaluation {
-    let mut eval = Evaluation {
-        ks: ks.to_vec(),
-        recall: Vec::new(),
-        ndcg: Vec::new(),
-        users: Vec::new(),
-    };
-    for (u, targets) in split.valid.iter().enumerate() {
-        if targets.is_empty() {
-            continue;
-        }
-        let mut scores = model.scores_for_user(u as u32);
-        for &v in &split.train[u] {
-            scores[v as usize] = f64::NEG_INFINITY;
-        }
-        push_user(&mut eval, u as u32, &scores, targets, ks);
-    }
-    eval
+    evaluate_users(model, split, &split.valid, ks, false)
 }
 
 fn evaluate_on(
@@ -86,29 +70,60 @@ fn evaluate_on(
     targets_by_user: &[Vec<u32>],
     ks: &[usize],
 ) -> Evaluation {
-    let mut eval = Evaluation {
-        ks: ks.to_vec(),
-        recall: Vec::new(),
-        ndcg: Vec::new(),
-        users: Vec::new(),
-    };
-    for (u, targets) in targets_by_user.iter().enumerate() {
-        if targets.is_empty() {
-            continue;
-        }
+    evaluate_users(model, split, targets_by_user, ks, true)
+}
+
+/// Users per parallel evaluation job: each job scores and ranks a block of
+/// users, so per-job overhead is negligible next to full-ranking cost.
+const EVAL_USER_CHUNK: usize = 8;
+
+/// Shared worker behind [`evaluate`] and [`evaluate_valid`]: scores each
+/// user with a non-empty target set, masks seen items (`mask_valid` adds
+/// the validation partition to the mask), and ranks the rest. Users are
+/// independent, so the loop fans out across the [`taxorec_parallel`] pool
+/// and collects results in user order — bit-identical to the sequential
+/// loop for any `TAXOREC_THREADS`.
+fn evaluate_users(
+    model: &dyn Recommender,
+    split: &Split,
+    targets_by_user: &[Vec<u32>],
+    ks: &[usize],
+    mask_valid: bool,
+) -> Evaluation {
+    let users: Vec<u32> = targets_by_user
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(u, _)| u as u32)
+        .collect();
+    let rows = taxorec_parallel::par_map_chunked("eval.users", users.len(), EVAL_USER_CHUNK, |i| {
+        let u = users[i] as usize;
         let mut scores = model.scores_for_user(u as u32);
         for &v in &split.train[u] {
             scores[v as usize] = f64::NEG_INFINITY;
         }
-        for &v in &split.valid[u] {
-            scores[v as usize] = f64::NEG_INFINITY;
+        if mask_valid {
+            for &v in &split.valid[u] {
+                scores[v as usize] = f64::NEG_INFINITY;
+            }
         }
-        push_user(&mut eval, u as u32, &scores, targets, ks);
+        user_metrics(&scores, &targets_by_user[u], ks)
+    });
+    let mut eval = Evaluation {
+        ks: ks.to_vec(),
+        recall: Vec::with_capacity(rows.len()),
+        ndcg: Vec::with_capacity(rows.len()),
+        users,
+    };
+    for (recall_row, ndcg_row) in rows {
+        eval.recall.push(recall_row);
+        eval.ndcg.push(ndcg_row);
     }
     eval
 }
 
-fn push_user(eval: &mut Evaluation, user: u32, scores: &[f64], targets: &[u32], ks: &[usize]) {
+/// Recall@k / NDCG@k rows of one user from their masked score vector.
+fn user_metrics(scores: &[f64], targets: &[u32], ks: &[usize]) -> (Vec<f64>, Vec<f64>) {
     let kmax = ks.iter().copied().max().unwrap_or(0);
     let top = top_k_indices(scores, kmax);
     let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
@@ -134,9 +149,7 @@ fn push_user(eval: &mut Evaluation, user: u32, scores: &[f64], targets: &[u32], 
         recall_row.push(recall);
         ndcg_row.push(ndcg);
     }
-    eval.recall.push(recall_row);
-    eval.ndcg.push(ndcg_row);
-    eval.users.push(user);
+    (recall_row, ndcg_row)
 }
 
 /// Indices of the `k` largest scores, descending (deterministic

@@ -1,0 +1,166 @@
+//! Property tests for the three hyperbolic model charts and their
+//! conversions: random points of the Poincaré ball must survive
+//! Poincaré ↔ Lorentz ↔ Klein round-trips (both the points themselves and
+//! their pairwise distances, to 1e-9), Möbius addition must satisfy its
+//! identity and left-cancellation laws, and the Einstein midpoint must
+//! stay inside the Klein ball.
+//!
+//! Radii are capped at 0.9 so the generated points stay clear of the
+//! `MAX_BALL_NORM` projection boundary — these laws are exact in the open
+//! ball; clipping would silently repair violations.
+
+use proptest::prelude::*;
+use taxorec_geometry::{convert, klein, lorentz, poincare};
+
+const DIM: usize = 3;
+const TOL: f64 = 1e-9;
+
+/// A point of the Poincaré ball with norm ≤ `max_radius`: a raw direction
+/// from the cube is rescaled onto a sampled radius (degenerate directions
+/// collapse to the origin, which every law must also satisfy).
+fn ball_point(max_radius: f64) -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, DIM..(DIM + 1)),
+        0.0f64..max_radius,
+    )
+        .prop_map(|(raw, radius)| {
+            let norm = raw.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm < 1e-9 {
+                vec![0.0; DIM]
+            } else {
+                raw.iter().map(|v| v / norm * radius).collect()
+            }
+        })
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn poincare_lorentz_round_trip_preserves_points(p in ball_point(0.9)) {
+        let mut up = vec![0.0; DIM + 1];
+        convert::poincare_to_lorentz(&p, &mut up);
+        let mut back = vec![0.0; DIM];
+        convert::lorentz_to_poincare(&up, &mut back);
+        prop_assert!(
+            max_abs_diff(&p, &back) < TOL,
+            "poincare->lorentz->poincare drifted: {p:?} vs {back:?}"
+        );
+    }
+
+    #[test]
+    fn poincare_klein_round_trip_preserves_points(p in ball_point(0.9)) {
+        let mut k = vec![0.0; DIM];
+        convert::poincare_to_klein(&p, &mut k);
+        let mut back = vec![0.0; DIM];
+        convert::klein_to_poincare(&k, &mut back);
+        prop_assert!(
+            max_abs_diff(&p, &back) < TOL,
+            "poincare->klein->poincare drifted: {p:?} vs {back:?}"
+        );
+    }
+
+    #[test]
+    fn full_chart_cycle_preserves_points(p in ball_point(0.9)) {
+        // Poincaré → Lorentz → Klein (via the hyperboloid) → Poincaré.
+        let mut up = vec![0.0; DIM + 1];
+        convert::poincare_to_lorentz(&p, &mut up);
+        let mut pk = vec![0.0; DIM];
+        convert::lorentz_to_poincare(&up, &mut pk);
+        let mut k = vec![0.0; DIM];
+        convert::poincare_to_klein(&pk, &mut k);
+        let mut up2 = vec![0.0; DIM + 1];
+        convert::klein_to_lorentz(&k, &mut up2);
+        let mut back = vec![0.0; DIM];
+        convert::lorentz_to_poincare(&up2, &mut back);
+        prop_assert!(
+            max_abs_diff(&p, &back) < TOL,
+            "full chart cycle drifted: {p:?} vs {back:?}"
+        );
+    }
+
+    #[test]
+    fn lorentz_distance_matches_poincare_distance(
+        p in ball_point(0.9),
+        q in ball_point(0.9),
+    ) {
+        let dp = poincare::distance(&p, &q);
+        let mut up = vec![0.0; DIM + 1];
+        let mut uq = vec![0.0; DIM + 1];
+        convert::poincare_to_lorentz(&p, &mut up);
+        convert::poincare_to_lorentz(&q, &mut uq);
+        let dl = lorentz::distance(&up, &uq);
+        prop_assert!(
+            (dp - dl).abs() < TOL,
+            "d_P = {dp} but d_L = {dl} after conversion"
+        );
+    }
+
+    #[test]
+    fn mobius_identity(p in ball_point(0.9)) {
+        let zero = vec![0.0; DIM];
+        let mut left = vec![0.0; DIM];
+        let mut right = vec![0.0; DIM];
+        poincare::mobius_add(&zero, &p, &mut left);
+        poincare::mobius_add(&p, &zero, &mut right);
+        prop_assert!(max_abs_diff(&left, &p) < TOL, "0 + p != p: {left:?}");
+        prop_assert!(max_abs_diff(&right, &p) < TOL, "p + 0 != p: {right:?}");
+    }
+
+    #[test]
+    fn mobius_left_cancellation(p in ball_point(0.65), q in ball_point(0.65)) {
+        // (−p) ⊕ (p ⊕ q) = q — the gyrogroup left-cancellation law.
+        let mut pq = vec![0.0; DIM];
+        poincare::mobius_add(&p, &q, &mut pq);
+        let neg_p: Vec<f64> = p.iter().map(|v| -v).collect();
+        let mut back = vec![0.0; DIM];
+        poincare::mobius_add(&neg_p, &pq, &mut back);
+        prop_assert!(
+            max_abs_diff(&back, &q) < TOL,
+            "(-p) + (p + q) = {back:?} != q = {q:?}"
+        );
+    }
+
+    #[test]
+    fn mobius_inverse_is_zero(p in ball_point(0.9)) {
+        let neg_p: Vec<f64> = p.iter().map(|v| -v).collect();
+        let mut out = vec![0.0; DIM];
+        poincare::mobius_add(&p, &neg_p, &mut out);
+        prop_assert!(norm(&out) < TOL, "p + (-p) = {out:?} != 0");
+    }
+
+    #[test]
+    fn einstein_midpoint_stays_inside_klein_ball(
+        a in ball_point(0.9),
+        b in ball_point(0.9),
+        c in ball_point(0.9),
+        w in (0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0),
+    ) {
+        // Convert the Poincaré samples into Klein coordinates (the chart
+        // the Einstein midpoint is defined on), then average.
+        let mut ka = vec![0.0; DIM];
+        let mut kb = vec![0.0; DIM];
+        let mut kc = vec![0.0; DIM];
+        convert::poincare_to_klein(&a, &mut ka);
+        convert::poincare_to_klein(&b, &mut kb);
+        convert::poincare_to_klein(&c, &mut kc);
+        let points: Vec<&[f64]> = vec![&ka, &kb, &kc];
+        let weights = vec![w.0, w.1, w.2];
+        let mut mid = vec![0.0; DIM];
+        klein::einstein_midpoint(&points, &weights, &mut mid);
+        let n = norm(&mid);
+        prop_assert!(n < 1.0, "midpoint left the Klein ball: |m| = {n}");
+        prop_assert!(mid.iter().all(|v| v.is_finite()), "midpoint not finite");
+    }
+}

@@ -1,0 +1,360 @@
+//! # taxorec-parallel
+//!
+//! A zero-dependency scoped worker pool for the workspace's data-parallel
+//! hot loops: k-means assignment, tag scoring, GCN propagation (`spmm`),
+//! and per-user evaluation. Promoted and generalized from the ad-hoc pool
+//! that used to live in `taxorec-bench`.
+//!
+//! ## Determinism contract
+//!
+//! Every entry point is **bit-deterministic with respect to the thread
+//! count**: for any `TAXOREC_THREADS` value (including `1`, the exact
+//! sequential path) the returned values are bit-identical, because
+//!
+//! * [`par_map`] / [`par_map_chunked`] compute each element independently
+//!   and return results in index order — no cross-element arithmetic is
+//!   reassociated;
+//! * [`par_chunks`] hands each worker a disjoint slice whose position is
+//!   fixed by its offset — per-chunk computation order is unchanged;
+//! * [`par_reduce`] folds a *fixed* caller-chosen chunking sequentially
+//!   within each chunk and combines the chunk results left-to-right in
+//!   chunk order — the association pattern depends only on the chunk
+//!   size, never on the number of workers.
+//!
+//! ## Thread count
+//!
+//! `TAXOREC_THREADS` controls the pool width (default:
+//! `available_parallelism`; `1` = run inline on the caller's thread with
+//! no pool machinery at all). The variable is re-read on every pool
+//! launch so tests can flip it between runs.
+//!
+//! Nested pools degrade gracefully: a `par_*` call made from inside a
+//! pool worker runs sequentially (same results, no thread explosion).
+//!
+//! ## Telemetry
+//!
+//! Each pool launch feeds the shared [`taxorec_telemetry`] registry:
+//!
+//! * `parallel.job.duration` — histogram of per-job (per-chunk) seconds,
+//! * `parallel.jobs` — counter of completed jobs,
+//! * `parallel.pool.threads` — gauge, workers used by the last pool,
+//! * `parallel.pool.utilization` — gauge, busy time / (workers × wall).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+thread_local! {
+    /// True while the current thread is a pool worker: nested `par_*`
+    /// calls fall back to the sequential path instead of spawning.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resolved pool width: `TAXOREC_THREADS` if set and ≥ 1, otherwise
+/// `std::thread::available_parallelism()`. Re-read on every call.
+pub fn thread_count() -> usize {
+    if let Ok(s) = std::env::var("TAXOREC_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// True when called from inside a pool worker thread.
+pub fn in_pool() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// Runs `work(0) .. work(n_jobs-1)` across the pool; jobs are claimed
+/// through an atomic cursor so workers load-balance automatically. Falls
+/// back to an inline sequential loop (identical invocation order) when the
+/// pool width is 1, the job count is ≤ 1, or the caller is itself a pool
+/// worker.
+fn run_pool(label: &str, n_jobs: usize, work: &(dyn Fn(usize) + Sync)) {
+    let job_hist = taxorec_telemetry::histogram("parallel.job.duration");
+    let job_count = taxorec_telemetry::counter("parallel.jobs");
+    let n_workers = thread_count().min(n_jobs.max(1));
+    if n_workers <= 1 || n_jobs <= 1 || in_pool() {
+        for i in 0..n_jobs {
+            let t0 = Instant::now();
+            work(i);
+            job_hist.observe(t0.elapsed().as_secs_f64());
+            job_count.inc(1);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let busy_ns = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                IN_POOL.with(|f| f.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    work(i);
+                    let dt = t0.elapsed();
+                    job_hist.observe(dt.as_secs_f64());
+                    job_count.inc(1);
+                    busy_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let utilization = if wall > 0.0 {
+        busy_ns.load(Ordering::Relaxed) as f64 / 1e9 / (wall * n_workers as f64)
+    } else {
+        0.0
+    };
+    taxorec_telemetry::gauge("parallel.pool.threads").set(n_workers as f64);
+    taxorec_telemetry::gauge("parallel.pool.utilization").set(utilization);
+    taxorec_telemetry::sink::debug(&format!(
+        "{label}: {n_jobs} jobs on {n_workers} workers in {wall:.3}s \
+         (utilization {:.0}%)",
+        utilization * 100.0
+    ));
+}
+
+/// Maps `f` over `0..n` and returns the results in index order.
+///
+/// Scheduling granularity is one item per pool job; prefer
+/// [`par_map_chunked`] when individual items are cheap.
+pub fn par_map<T, F>(label: &str, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_chunked(label, n, 1, f)
+}
+
+/// Like [`par_map`], but workers claim contiguous blocks of `chunk` items
+/// at a time, amortizing the per-job bookkeeping over cheap items. The
+/// chunk size affects scheduling and telemetry only — each item is still
+/// computed independently, so results are bit-identical for any chunking
+/// and thread count.
+pub fn par_map_chunked<T, F>(label: &str, n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let n_chunks = n.div_ceil(chunk);
+    run_pool(label, n_chunks, &|ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(n);
+        for (i, slot) in slots.iter().enumerate().take(hi).skip(lo) {
+            *slot.lock().unwrap() = Some(f(i));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("pool job completed"))
+        .collect()
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements (the last
+/// one may be shorter) and calls `f(offset, chunk)` for each, in parallel.
+/// Chunks are disjoint and their offsets are fixed, so any writes land
+/// exactly where the sequential loop would put them.
+pub fn par_chunks<T, F>(label: &str, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let chunks: Vec<Mutex<(usize, &mut [T])>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(ci, slice)| Mutex::new((ci * chunk_len, slice)))
+        .collect();
+    run_pool(label, chunks.len(), &|ci| {
+        let mut guard = chunks[ci].lock().unwrap();
+        let (offset, ref mut slice) = *guard;
+        f(offset, slice);
+    });
+}
+
+/// Order-deterministic chunked reduction: folds each fixed chunk
+/// `lo..hi` of `0..n` with `fold(lo, hi)` (sequential within the chunk),
+/// then combines the per-chunk accumulators **left-to-right in chunk
+/// order** with `combine`. Returns `None` when `n == 0`.
+///
+/// Because the chunk boundaries depend only on `chunk` (never on the
+/// worker count), the association pattern — and therefore every floating
+/// point rounding — is identical for any `TAXOREC_THREADS`. Reductions
+/// whose `combine` is exactly associative (integer-valued sums, max/min,
+/// boolean or) are additionally bit-identical to the plain sequential
+/// fold for any chunk size.
+pub fn par_reduce<T, F, C>(label: &str, n: usize, chunk: usize, fold: F, combine: C) -> Option<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return None;
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let partials = par_map(label, n_chunks, |ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(n);
+        fold(lo, hi)
+    });
+    partials.into_iter().reduce(combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Restores the previous `TAXOREC_THREADS` value on drop.
+    struct ThreadsGuard(Option<String>);
+
+    impl ThreadsGuard {
+        fn set(v: &str) -> Self {
+            let prev = std::env::var("TAXOREC_THREADS").ok();
+            std::env::set_var("TAXOREC_THREADS", v);
+            Self(prev)
+        }
+    }
+
+    impl Drop for ThreadsGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(v) => std::env::set_var("TAXOREC_THREADS", v),
+                None => std::env::remove_var("TAXOREC_THREADS"),
+            }
+        }
+    }
+
+    /// Serializes tests that touch the process-global env var.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map("test.map", 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_chunked_matches_par_map() {
+        let a = par_map("test.map", 37, |i| 3 * i + 1);
+        let b = par_map_chunked("test.map", 37, 8, |i| 3 * i + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map("test.map", 0, |i| i).is_empty());
+        assert_eq!(par_map("test.map", 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_chunks_writes_every_offset() {
+        let mut data = vec![0usize; 103];
+        par_chunks("test.chunks", &mut data, 10, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_reduce_integer_sum_matches_sequential() {
+        let seq: u64 = (0..1000u64).sum();
+        let par = par_reduce(
+            "test.reduce",
+            1000,
+            64,
+            |lo, hi| (lo as u64..hi as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(par, Some(seq));
+        assert_eq!(
+            par_reduce("test.reduce", 0, 8, |_, _| 0u64, |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn sequential_path_is_bit_identical_to_parallel() {
+        let _l = env_lock();
+        let work = |i: usize| (i as f64 + 0.5).sin() * (i as f64).cos();
+        let seq = {
+            let _g = ThreadsGuard::set("1");
+            par_map_chunked("test.det", 500, 16, work)
+        };
+        let par = {
+            let _g = ThreadsGuard::set("4");
+            par_map_chunked("test.det", 500, 16, work)
+        };
+        assert!(seq
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn par_reduce_deterministic_across_thread_counts() {
+        let _l = env_lock();
+        // Non-associative float sum: identical only because the chunking
+        // is fixed.
+        let fold = |lo: usize, hi: usize| (lo..hi).map(|i| 1.0 / (i as f64 + 1.0)).sum::<f64>();
+        let a = {
+            let _g = ThreadsGuard::set("1");
+            par_reduce("test.reduce", 10_000, 128, fold, |x, y| x + y).unwrap()
+        };
+        let b = {
+            let _g = ThreadsGuard::set("7");
+            par_reduce("test.reduce", 10_000, 128, fold, |x, y| x + y).unwrap()
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var("TAXOREC_THREADS", "0");
+        assert_eq!(thread_count(), 1, "0 clamps to 1");
+        std::env::set_var("TAXOREC_THREADS", "garbage");
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn nested_pools_fall_back_to_sequential() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("4");
+        let out = par_map("test.outer", 8, |i| {
+            assert!(in_pool() || thread_count() == 1);
+            // Nested call must not deadlock or spawn; it runs inline.
+            par_map("test.inner", 4, move |j| i * 10 + j)
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+    }
+
+    #[test]
+    fn pool_publishes_telemetry() {
+        let _ = par_map("test.telemetry", 32, |i| i);
+        assert!(taxorec_telemetry::counter("parallel.jobs").get() >= 32);
+        assert!(taxorec_telemetry::histogram("parallel.job.duration").count() >= 1);
+    }
+}

@@ -108,10 +108,7 @@ pub fn adaptive_split(
         candidate.retain(|g| !g.is_empty());
         // Lines 4–8: score every tag against its siblings; drop general
         // tags (score < δ).
-        let stats: Vec<GroupStats> = candidate
-            .iter()
-            .map(|g| GroupStats::compute(g, item_tags, n_tags))
-            .collect();
+        let stats = GroupStats::compute_all(&candidate, item_tags, n_tags);
         let mut refined: Vec<Vec<u32>> = Vec::with_capacity(candidate.len());
         for (gi, g) in candidate.iter().enumerate() {
             let kept: Vec<u32> = g
@@ -138,10 +135,7 @@ pub fn adaptive_split(
         }
     }
     // Score the final groups once more for the regularizer weights.
-    let stats: Vec<GroupStats> = groups
-        .iter()
-        .map(|g| GroupStats::compute(g, item_tags, n_tags))
-        .collect();
+    let stats = GroupStats::compute_all(&groups, item_tags, n_tags);
     let scored: Vec<(Vec<u32>, Vec<f64>)> = groups
         .iter()
         .enumerate()

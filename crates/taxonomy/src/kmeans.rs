@@ -11,6 +11,10 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use taxorec_geometry::poincare;
 
+/// Points per parallel assignment job: node tag sets below this size run
+/// inline (single job), larger ones fan out without per-point overhead.
+const KMEANS_ASSIGN_CHUNK: usize = 256;
+
 /// Seeding strategy for [`poincare_kmeans`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Seeding {
@@ -63,19 +67,31 @@ pub fn poincare_kmeans(
     let mut total_moves = 0u64;
     for _ in 0..max_iters {
         iterations += 1;
-        // Assignment step.
+        // Assignment step: each point's nearest centroid is independent of
+        // every other point's, so it parallelizes bit-identically; the
+        // bookkeeping (changed / total_moves) is applied sequentially.
+        let cents = &centroids;
+        let nearest = taxorec_parallel::par_map_chunked(
+            "taxo.kmeans.assign",
+            points.len(),
+            KMEANS_ASSIGN_CHUNK,
+            |i| {
+                let t = points[i];
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let d = poincare::distance(row(t), &cents[c * dim..(c + 1) * dim]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                (best, best_d)
+            },
+        );
         let mut changed = false;
         let mut dists = vec![0.0f64; points.len()];
-        for (i, &t) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let d = poincare::distance(row(t), &centroids[c * dim..(c + 1) * dim]);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
+        for (i, &(best, best_d)) in nearest.iter().enumerate() {
             dists[i] = best_d;
             if assignment[i] != best {
                 assignment[i] = best;
@@ -83,37 +99,52 @@ pub fn poincare_kmeans(
                 total_moves += 1;
             }
         }
-        // Re-seed empty clusters to the farthest point.
+        // Re-seed empty clusters to the farthest point. Points grabbed by
+        // an earlier empty cluster this round are excluded, so several
+        // simultaneously-empty clusters each get a distinct point instead
+        // of fighting over the same argmax (which left all but the last
+        // one still empty).
+        let mut reseeded: Vec<usize> = Vec::new();
         for c in 0..k {
             if !assignment.contains(&c) {
                 let far = dists
                     .iter()
                     .enumerate()
+                    .filter(|(i, _)| !reseeded.contains(i))
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .map(|(i, _)| i)
-                    .unwrap();
-                assignment[far] = c;
-                changed = true;
+                    .map(|(i, _)| i);
+                if let Some(far) = far {
+                    assignment[far] = c;
+                    reseeded.push(far);
+                    changed = true;
+                }
             }
         }
         if !changed && iterations > 1 {
             break;
         }
-        // Update step: Einstein centroid per cluster.
-        for c in 0..k {
+        // Update step: Einstein centroid per cluster — clusters are
+        // disjoint, so each is computed exactly as in the sequential loop.
+        let assign = &assignment;
+        let new_centroids = taxorec_parallel::par_map("taxo.kmeans.update", k, |c| {
             let members: Vec<&[f64]> = points
                 .iter()
                 .enumerate()
-                .filter(|&(i, _)| assignment[i] == c)
+                .filter(|&(i, _)| assign[i] == c)
                 .map(|(_, &t)| row(t))
                 .collect();
             if members.is_empty() {
-                continue;
+                return None;
             }
             let weights = vec![1.0; members.len()];
             let mut out = vec![0.0; dim];
             poincare::einstein_centroid(&members, &weights, &mut out);
-            centroids[c * dim..(c + 1) * dim].copy_from_slice(&out);
+            Some(out)
+        });
+        for (c, cent) in new_centroids.into_iter().enumerate() {
+            if let Some(cent) = cent {
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(&cent);
+            }
         }
     }
     taxorec_telemetry::histogram("taxo.kmeans.iters").observe(iterations as f64);
@@ -250,6 +281,45 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let r = poincare_kmeans(&emb, 2, &[0, 1, 2], 2, Seeding::PlusPlus, 20, &mut rng);
         assert!(r.assignment.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    fn collapsed_assignment_reseeds_all_clusters_without_nan() {
+        // Craft a total assignment collapse: every point identical, so all
+        // distances tie and every point lands in cluster 0 each iteration,
+        // leaving k−1 clusters empty simultaneously. Reseeding must hand
+        // each empty cluster a *distinct* point (the old argmax-per-cluster
+        // gave them all the same point, so only the last one filled) and
+        // the resulting centroids must stay finite.
+        let emb: Vec<f64> = (0..5).flat_map(|_| [0.25, -0.1]).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = poincare_kmeans(&emb, 2, &[0, 1, 2, 3, 4], 3, Seeding::Uniform, 8, &mut rng);
+        for c in 0..3 {
+            assert!(
+                r.assignment.contains(&c),
+                "cluster {c} empty after reseed: {:?}",
+                r.assignment
+            );
+        }
+        assert!(
+            r.centroids.iter().all(|v| v.is_finite()),
+            "non-finite centroid: {:?}",
+            r.centroids
+        );
+    }
+
+    #[test]
+    fn reseed_handles_more_empty_clusters_than_points_gracefully() {
+        // k is clamped to the point count, so k == points.len() with
+        // identical points exercises the reseed path where every cluster
+        // but one is empty and exactly enough points exist to fill them.
+        let emb = vec![0.4, 0.0, 0.4, 0.0, 0.4, 0.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = poincare_kmeans(&emb, 2, &[0, 1, 2], 3, Seeding::PlusPlus, 10, &mut rng);
+        let mut seen: Vec<usize> = r.assignment.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "each cluster owns exactly one point");
+        assert!(r.centroids.iter().all(|v| v.is_finite()));
     }
 
     #[test]

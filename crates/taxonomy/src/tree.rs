@@ -7,7 +7,7 @@
 //! the parent.
 
 /// One node of the constructed taxonomy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaxoNode {
     /// All tags in this node's scope (the `G_k` handed to Algorithm 1).
     pub tags: Vec<u32>,
@@ -26,7 +26,7 @@ pub struct TaxoNode {
 }
 
 /// The constructed taxonomy. Node 0 is always the root (scope = all tags).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Taxonomy {
     nodes: Vec<TaxoNode>,
 }

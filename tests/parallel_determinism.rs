@@ -1,0 +1,87 @@
+//! Bit-level determinism of the data-parallel kernels: training,
+//! taxonomy construction, and evaluation must produce *identical* numbers
+//! whether the `taxorec-parallel` pool runs sequentially
+//! (`TAXOREC_THREADS=1`) or fans out across workers (`TAXOREC_THREADS=4`).
+//!
+//! One `#[test]` covers the whole pipeline so the env-var flips cannot
+//! race against each other under the default multi-threaded test runner.
+
+use taxorec::core::{TaxoRec, TaxoRecConfig};
+use taxorec::data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec::eval::evaluate;
+use taxorec::taxonomy::Taxonomy;
+
+struct RunResult {
+    loss_history: Vec<f64>,
+    taxonomy: Taxonomy,
+    recall: Vec<Vec<f64>>,
+    ndcg: Vec<Vec<f64>>,
+    users: Vec<u32>,
+}
+
+fn run_pipeline() -> RunResult {
+    let d = generate_preset(Preset::Ciao, Scale::Tiny);
+    let s = Split::standard(&d);
+    let mut m = TaxoRec::new(TaxoRecConfig {
+        epochs: 3,
+        ..TaxoRecConfig::fast_test()
+    });
+    m.fit(&d, &s);
+    let e = evaluate(&m, &s, &[5, 10]);
+    RunResult {
+        loss_history: m.loss_history.clone(),
+        taxonomy: m.taxonomy().expect("taxonomy constructed").clone(),
+        recall: e.recall,
+        ndcg: e.ndcg,
+        users: e.users,
+    }
+}
+
+fn bits(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    rows.iter()
+        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    let prev = std::env::var("TAXOREC_THREADS").ok();
+
+    std::env::set_var("TAXOREC_THREADS", "1");
+    let seq = run_pipeline();
+    std::env::set_var("TAXOREC_THREADS", "4");
+    let par = run_pipeline();
+
+    match prev {
+        Some(v) => std::env::set_var("TAXOREC_THREADS", v),
+        None => std::env::remove_var("TAXOREC_THREADS"),
+    }
+
+    // Epoch losses: every bit of every epoch.
+    let seq_loss: Vec<u64> = seq.loss_history.iter().map(|v| v.to_bits()).collect();
+    let par_loss: Vec<u64> = par.loss_history.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(seq_loss.len(), 3, "three epochs recorded");
+    assert_eq!(
+        seq_loss, par_loss,
+        "epoch losses diverged across thread counts"
+    );
+
+    // The constructed taxonomy: identical structure, tags, and scores.
+    assert_eq!(
+        seq.taxonomy, par.taxonomy,
+        "taxonomy tree diverged across thread counts"
+    );
+
+    // Evaluation: same users in the same order, same per-user metrics.
+    assert_eq!(seq.users, par.users, "evaluated user sets diverged");
+    assert_eq!(
+        bits(&seq.recall),
+        bits(&par.recall),
+        "per-user Recall diverged across thread counts"
+    );
+    assert_eq!(
+        bits(&seq.ndcg),
+        bits(&par.ndcg),
+        "per-user NDCG diverged across thread counts"
+    );
+}
