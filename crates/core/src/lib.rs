@@ -8,11 +8,13 @@
 
 pub mod aggregation;
 pub mod config;
+pub mod export;
 pub mod graph;
 pub mod init;
 pub mod model;
 pub mod optim;
 
 pub use config::TaxoRecConfig;
+pub use export::ModelState;
 pub use graph::GraphMatrices;
 pub use model::TaxoRec;

@@ -427,6 +427,25 @@ impl TaxoRec {
         best
     }
 
+    /// Snapshots everything inference needs — final embeddings, `α_u`,
+    /// taxonomy, config — into a [`crate::ModelState`] for checkpointing
+    /// (the `taxorec-serve` `.taxo` artifact). Only meaningful after
+    /// [`Recommender::fit`].
+    pub fn export_state(&self) -> crate::ModelState {
+        crate::ModelState {
+            name: self.name.clone(),
+            config: self.config.clone(),
+            tags_active: self.tags_active,
+            u_ir: self.final_u_ir.clone(),
+            v_ir: self.final_v_ir.clone(),
+            u_tg: self.final_u_tg.clone(),
+            v_tg: self.final_v_tg.clone(),
+            t_p: self.t_p.clone(),
+            alphas: self.alphas.clone(),
+            taxonomy: self.taxonomy.clone(),
+        }
+    }
+
     /// Runs one forward pass and caches the final embeddings for
     /// inference.
     fn finalize(&mut self) {

@@ -1,9 +1,87 @@
 //! The common interface every recommender in this workspace implements —
 //! TaxoRec itself and all 14 baselines — so the evaluation harness can
-//! treat them uniformly.
+//! treat them uniformly. Also home of the shared heap-based partial
+//! top-K selection that both offline evaluation and online serving rank
+//! with.
+
+use std::collections::BinaryHeap;
 
 use crate::dataset::Dataset;
 use crate::split::Split;
+
+/// Heap entry ordered so that the `BinaryHeap` maximum is the *worst*
+/// candidate: lower score first, then higher index. Scores are compared
+/// with `total_cmp`, giving a deterministic total order even for ±0.0 and
+/// NaN (NaN ranks below -∞, so poisoned scores sink instead of spreading).
+#[derive(Debug)]
+struct RankEntry {
+    score: f64,
+    idx: u32,
+}
+
+impl PartialEq for RankEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for RankEntry {}
+
+impl PartialOrd for RankEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+
+/// The `k` best entries of `scores` as `(index, score)` pairs, best first
+/// (descending score, ties broken by lower index), skipping every index
+/// for which `exclude` returns true.
+///
+/// Partial selection over a bounded min-heap: `O(n log k)` time and
+/// `O(k)` extra space — a full sorted copy of the score vector is never
+/// materialized, which is what makes million-item catalogues servable.
+/// Shared by [`Recommender::top_k_for_user`], the evaluation harness
+/// (`taxorec-eval`), and the online query engine (`taxorec-serve`).
+pub fn select_top_k(
+    scores: &[f64],
+    k: usize,
+    mut exclude: impl FnMut(usize) -> bool,
+) -> Vec<(u32, f64)> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<RankEntry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        if exclude(i) {
+            continue;
+        }
+        let entry = RankEntry {
+            score,
+            idx: i as u32,
+        };
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("non-empty heap") {
+            // Better than the current worst of the top-k: replace it.
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    // Ascending by `Ord` = best first (the ordering is inverted).
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|e| (e.idx, e.score))
+        .collect()
+}
 
 /// A trainable top-N recommender.
 ///
@@ -21,6 +99,19 @@ pub trait Recommender: Sync {
     /// **higher means better**. Metric-learning models return negated
     /// distances. Only valid after [`Recommender::fit`].
     fn scores_for_user(&self, user: u32) -> Vec<f64>;
+
+    /// The user's `k` best items as `(item, score)` pairs, best first
+    /// (deterministic tie-breaking by lower item id).
+    ///
+    /// The default implementation scores every item via
+    /// [`Recommender::scores_for_user`] and partially selects with
+    /// [`select_top_k`] — the single ranking contract shared by offline
+    /// evaluation and online serving. Implementations with a smarter
+    /// index (e.g. pre-partitioned candidate sets) may override it, but
+    /// must preserve the ordering contract.
+    fn top_k_for_user(&self, user: u32, k: usize) -> Vec<(u32, f64)> {
+        select_top_k(&self.scores_for_user(user), k, |_| false)
+    }
 }
 
 #[cfg(test)]
@@ -56,6 +147,86 @@ mod tests {
         fn scores_for_user(&self, _user: u32) -> Vec<f64> {
             self.counts.clone()
         }
+    }
+
+    #[test]
+    fn select_top_k_orders_and_breaks_ties_by_index() {
+        let scores = [1.0, 9.0, 3.0, 9.0, 7.0];
+        assert_eq!(
+            select_top_k(&scores, 3, |_| false),
+            vec![(1, 9.0), (3, 9.0), (4, 7.0)]
+        );
+        // k larger than the candidate set returns everything, ordered.
+        assert_eq!(
+            select_top_k(&scores, 10, |_| false)
+                .iter()
+                .map(|&(i, _)| i)
+                .collect::<Vec<_>>(),
+            vec![1, 3, 4, 2, 0]
+        );
+    }
+
+    #[test]
+    fn select_top_k_respects_exclusion() {
+        let scores = [5.0, 4.0, 3.0, 2.0];
+        let out = select_top_k(&scores, 2, |i| i == 0 || i == 2);
+        assert_eq!(out, vec![(1, 4.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn select_top_k_edge_cases() {
+        assert!(select_top_k(&[], 3, |_| false).is_empty());
+        assert!(select_top_k(&[1.0], 0, |_| false).is_empty());
+        assert!(select_top_k(&[1.0, 2.0], 5, |_| true).is_empty());
+        // Matches a full sort on a pseudo-random vector.
+        let scores: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut full: Vec<usize> = (0..scores.len()).collect();
+        full.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+        let got: Vec<usize> = select_top_k(&scores, 25, |_| false)
+            .iter()
+            .map(|&(i, _)| i as usize)
+            .collect();
+        assert_eq!(got, full[..25]);
+    }
+
+    #[test]
+    fn default_top_k_for_user_matches_scores() {
+        // Item 2 appears in two users' histories, item 1 in one: the
+        // split dedupes repeats within a user, so popularity differences
+        // must come from distinct users.
+        let d = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            n_items: 4,
+            n_tags: 0,
+            interactions: vec![
+                crate::dataset::Interaction {
+                    user: 0,
+                    item: 2,
+                    ts: 0,
+                },
+                crate::dataset::Interaction {
+                    user: 1,
+                    item: 2,
+                    ts: 0,
+                },
+                crate::dataset::Interaction {
+                    user: 1,
+                    item: 1,
+                    ts: 1,
+                },
+            ],
+            item_tags: vec![vec![]; 4],
+            tag_names: vec![],
+            taxonomy_truth: None,
+        };
+        let s = Split::temporal(&d, 1.0, 0.0);
+        let mut p = Popularity::new();
+        p.fit(&d, &s);
+        let top = p.top_k_for_user(0, 2);
+        assert_eq!(top[0].0, 2, "most popular item first");
+        assert_eq!(top[1].0, 1);
+        assert_eq!(top[0].1, p.scores_for_user(0)[2]);
     }
 
     #[test]

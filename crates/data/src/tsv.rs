@@ -14,10 +14,42 @@ use std::path::Path;
 
 use crate::dataset::{Dataset, Interaction};
 
+/// Parses an integer field, reporting the file path, 1-based line number,
+/// field name, and offending text on failure.
+fn parse_i64(raw: Option<&str>, field: &str, path: &Path, line_1b: usize) -> Result<i64, String> {
+    let raw = raw.ok_or_else(|| {
+        format!(
+            "{}:{line_1b}: missing field '{field}' (expected user<TAB>item<TAB>timestamp)",
+            path.display()
+        )
+    })?;
+    raw.trim().parse::<i64>().map_err(|e| {
+        format!(
+            "{}:{line_1b}: field '{field}' = {:?} is not an integer: {e}",
+            path.display(),
+            raw.trim()
+        )
+    })
+}
+
+/// Narrows a parsed integer to a `u32` id, naming the offending field for
+/// negative or overflowing values.
+fn narrow_id(v: i64, field: &str, path: &Path, line_1b: usize) -> Result<u32, String> {
+    u32::try_from(v).map_err(|_| {
+        format!(
+            "{}:{line_1b}: field '{field}' = {v} out of range (ids must be in 0..={})",
+            path.display(),
+            u32::MAX
+        )
+    })
+}
+
 /// Loads a dataset from `<stem>.inter` and `<stem>.tags`.
 ///
 /// # Errors
-/// Returns a descriptive error for missing files or malformed lines.
+/// Returns a descriptive error for missing files or malformed lines; every
+/// parse error carries the file path, the 1-based line number, and the
+/// name of the offending field.
 pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
     let inter_path = stem.with_extension("inter");
     let tags_path = stem.with_extension("tags");
@@ -27,29 +59,17 @@ pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
     let mut n_users = 0usize;
     let mut n_items = 0usize;
     for (lineno, line) in std::io::BufReader::new(inter_file).lines().enumerate() {
+        let line_1b = lineno + 1;
         let line = line.map_err(|e| format!("read {}: {e}", inter_path.display()))?;
         if line.trim().is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split('\t');
-        let parse = |s: Option<&str>, what: &str| -> Result<i64, String> {
-            s.ok_or_else(|| format!("{}:{}: missing {what}", inter_path.display(), lineno + 1))?
-                .trim()
-                .parse::<i64>()
-                .map_err(|e| format!("{}:{}: bad {what}: {e}", inter_path.display(), lineno + 1))
-        };
-        let id = |v: i64, what: &str| -> Result<u32, String> {
-            u32::try_from(v).map_err(|_| {
-                format!(
-                    "{}:{}: {what} {v} out of range",
-                    inter_path.display(),
-                    lineno + 1
-                )
-            })
-        };
-        let user = id(parse(parts.next(), "user")?, "user")?;
-        let item = id(parse(parts.next(), "item")?, "item")?;
-        let ts = parse(parts.next(), "timestamp")?;
+        let user = parse_i64(parts.next(), "user", &inter_path, line_1b)
+            .and_then(|v| narrow_id(v, "user", &inter_path, line_1b))?;
+        let item = parse_i64(parts.next(), "item", &inter_path, line_1b)
+            .and_then(|v| narrow_id(v, "item", &inter_path, line_1b))?;
+        let ts = parse_i64(parts.next(), "timestamp", &inter_path, line_1b)?;
         n_users = n_users.max(user as usize + 1);
         n_items = n_items.max(item as usize + 1);
         interactions.push(Interaction { user, item, ts });
@@ -60,21 +80,20 @@ pub fn load(stem: &Path, name: &str) -> Result<Dataset, String> {
     let mut tag_names: Vec<String> = Vec::new();
     if let Ok(tags_file) = std::fs::File::open(&tags_path) {
         for (lineno, line) in std::io::BufReader::new(tags_file).lines().enumerate() {
+            let line_1b = lineno + 1;
             let line = line.map_err(|e| format!("read {}: {e}", tags_path.display()))?;
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
             let (item_s, tags_s) = line.split_once('\t').ok_or_else(|| {
                 format!(
-                    "{}:{}: expected item<TAB>tags",
-                    tags_path.display(),
-                    lineno + 1
+                    "{}:{line_1b}: expected item<TAB>tag[,tag...]",
+                    tags_path.display()
                 )
             })?;
-            let item: usize = item_s
-                .trim()
-                .parse()
-                .map_err(|e| format!("{}:{}: bad item: {e}", tags_path.display(), lineno + 1))?;
+            let item = parse_i64(Some(item_s), "item", &tags_path, line_1b)
+                .and_then(|v| narrow_id(v, "item", &tags_path, line_1b))?
+                as usize;
             if item >= n_items {
                 // Tagged item never interacted with: extend the catalogue.
                 item_tags.resize(item + 1, Vec::new());
@@ -183,9 +202,15 @@ mod tests {
         let dir = std::env::temp_dir().join("taxorec-tsv-bad");
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("bad");
-        std::fs::write(stem.with_extension("inter"), "1\tnot-a-number\t3\n").unwrap();
+        std::fs::write(
+            stem.with_extension("inter"),
+            "0\t0\t1\n1\tnot-a-number\t3\n",
+        )
+        .unwrap();
         let err = load(&stem, "bad").unwrap_err();
-        assert!(err.contains("bad item"), "{err}");
+        assert!(err.contains("field 'item'"), "{err}");
+        assert!(err.contains("not an integer"), "{err}");
+        assert!(err.contains("bad.inter:2:"), "1-based line number: {err}");
     }
 
     #[test]
@@ -195,7 +220,47 @@ mod tests {
         let stem = dir.join("neg");
         std::fs::write(stem.with_extension("inter"), "-1\t0\t3\n").unwrap();
         let err = load(&stem, "neg").unwrap_err();
+        assert!(err.contains("field 'user' = -1"), "{err}");
         assert!(err.contains("out of range"), "{err}");
+        assert!(err.contains("neg.inter:1:"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_overflowing_item_id() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-overflow");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("of");
+        std::fs::write(stem.with_extension("inter"), "0\t99999999999\t3\n").unwrap();
+        let err = load(&stem, "of").unwrap_err();
+        assert!(err.contains("field 'item' = 99999999999"), "{err}");
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_missing_field_by_name() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("m");
+        std::fs::write(stem.with_extension("inter"), "0\t1\n").unwrap();
+        let err = load(&stem, "m").unwrap_err();
+        assert!(err.contains("missing field 'timestamp'"), "{err}");
+    }
+
+    #[test]
+    fn tags_file_errors_carry_path_and_line() {
+        let dir = std::env::temp_dir().join("taxorec-tsv-tagerr");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("t");
+        std::fs::write(stem.with_extension("inter"), "0\t0\t1\n").unwrap();
+        // A huge item id in the tags file must not blow up the catalogue —
+        // it is rejected with the field name, not silently allocated.
+        std::fs::write(stem.with_extension("tags"), "# c\n0\ta\n-7\tb\n").unwrap();
+        let err = load(&stem, "t").unwrap_err();
+        assert!(err.contains("t.tags:3:"), "{err}");
+        assert!(err.contains("field 'item' = -7"), "{err}");
+        std::fs::write(stem.with_extension("tags"), "0 a\n").unwrap();
+        let err = load(&stem, "t").unwrap_err();
+        assert!(err.contains("expected item<TAB>tag"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ pub mod runner;
 pub mod table;
 pub mod wilcoxon;
 
-pub use metrics::{evaluate, evaluate_valid, top_k_indices, Evaluation};
+pub use metrics::{evaluate, evaluate_valid, top_k, top_k_indices, Evaluation};
 pub use runner::{run_cell, CellStats};
 pub use table::{mark_best, TextTable};
 pub use wilcoxon::{std_normal_cdf, wilcoxon_signed_rank, WilcoxonResult};

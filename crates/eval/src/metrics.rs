@@ -98,16 +98,12 @@ fn evaluate_users(
         .collect();
     let rows = taxorec_parallel::par_map_chunked("eval.users", users.len(), EVAL_USER_CHUNK, |i| {
         let u = users[i] as usize;
-        let mut scores = model.scores_for_user(u as u32);
-        for &v in &split.train[u] {
-            scores[v as usize] = f64::NEG_INFINITY;
-        }
+        let scores = model.scores_for_user(u as u32);
+        let mut masked: std::collections::HashSet<u32> = split.train[u].iter().copied().collect();
         if mask_valid {
-            for &v in &split.valid[u] {
-                scores[v as usize] = f64::NEG_INFINITY;
-            }
+            masked.extend(split.valid[u].iter().copied());
         }
-        user_metrics(&scores, &targets_by_user[u], ks)
+        user_metrics(&scores, &targets_by_user[u], ks, &masked)
     });
     let mut eval = Evaluation {
         ks: ks.to_vec(),
@@ -122,10 +118,16 @@ fn evaluate_users(
     eval
 }
 
-/// Recall@k / NDCG@k rows of one user from their masked score vector.
-fn user_metrics(scores: &[f64], targets: &[u32], ks: &[usize]) -> (Vec<f64>, Vec<f64>) {
+/// Recall@k / NDCG@k rows of one user: partially selects the top `max(ks)`
+/// candidates outside `masked` (train/valid items) and scans for hits.
+fn user_metrics(
+    scores: &[f64],
+    targets: &[u32],
+    ks: &[usize],
+    masked: &std::collections::HashSet<u32>,
+) -> (Vec<f64>, Vec<f64>) {
     let kmax = ks.iter().copied().max().unwrap_or(0);
-    let top = top_k_indices(scores, kmax);
+    let top = top_k(scores, kmax, |i| masked.contains(&(i as u32)));
     let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
     let mut recall_row = Vec::with_capacity(ks.len());
     let mut ndcg_row = Vec::with_capacity(ks.len());
@@ -134,7 +136,7 @@ fn user_metrics(scores: &[f64], targets: &[u32], ks: &[usize]) -> (Vec<f64>, Vec
             .iter()
             .take(k)
             .enumerate()
-            .filter(|&(_, &item)| target_set.contains(&(item as u32)))
+            .filter(|&(_, &(item, _))| target_set.contains(&item))
             .map(|(rank, _)| rank)
             .collect();
         let recall = hits.len() as f64 / targets.len() as f64;
@@ -152,28 +154,26 @@ fn user_metrics(scores: &[f64], targets: &[u32], ks: &[usize]) -> (Vec<f64>, Vec
     (recall_row, ndcg_row)
 }
 
+/// Heap-based partial top-K selection: the `k` best `(item, score)` pairs
+/// of `scores`, best first (descending score, deterministic tie-breaking
+/// by lower index), skipping indices for which `exclude` returns true.
+///
+/// `O(n log k)` without ever materializing a full sorted vector — the one
+/// ranking primitive shared by the offline evaluation loop below and the
+/// online query engine in `taxorec-serve`. The implementation lives in
+/// [`taxorec_data::select_top_k`] so the [`Recommender::top_k_for_user`]
+/// default method uses the identical code path.
+pub fn top_k(scores: &[f64], k: usize, exclude: impl FnMut(usize) -> bool) -> Vec<(u32, f64)> {
+    taxorec_data::select_top_k(scores, k, exclude)
+}
+
 /// Indices of the `k` largest scores, descending (deterministic
-/// tie-breaking by index).
+/// tie-breaking by index). Thin wrapper over [`top_k`] without exclusion.
 pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
-    if scores.is_empty() || k == 0 {
-        return Vec::new();
-    }
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    let k = k.min(scores.len());
-    idx.select_nth_unstable_by(k.saturating_sub(1).min(scores.len() - 1), |&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx
+    top_k(scores, k, |_| false)
+        .into_iter()
+        .map(|(i, _)| i as usize)
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,6 +216,24 @@ mod tests {
         let scores = [1.0, 9.0, 3.0, 7.0];
         assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
         assert_eq!(top_k_indices(&scores, 10), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_exclusion_matches_neg_infinity_masking() {
+        // The exclusion predicate must rank identically to the old
+        // approach of overwriting masked scores with -∞ and sorting.
+        let scores: Vec<f64> = (0..200).map(|i| ((i * 73) % 197) as f64).collect();
+        let masked: Vec<usize> = (0..200).step_by(7).collect();
+        let mut old = scores.clone();
+        for &m in &masked {
+            old[m] = f64::NEG_INFINITY;
+        }
+        let via_mask: Vec<usize> = top_k_indices(&old, 20);
+        let via_exclude: Vec<usize> = top_k(&scores, 20, |i| i.is_multiple_of(7))
+            .iter()
+            .map(|&(i, _)| i as usize)
+            .collect();
+        assert_eq!(via_mask, via_exclude);
     }
 
     #[test]

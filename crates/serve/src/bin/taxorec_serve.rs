@@ -1,0 +1,202 @@
+//! `taxorec-serve` — train, inspect, and serve `.taxo` model artifacts.
+//!
+//! ```text
+//! taxorec-serve train-demo <out.taxo> [--preset ciao|amazon-cd|amazon-book|yelp]
+//!                                     [--scale tiny|bench|full] [--epochs N]
+//! taxorec-serve inspect    <model.taxo>
+//! taxorec-serve serve      <model.taxo> [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! `serve` binds the address (default `127.0.0.1:7878`; port `0` picks an
+//! ephemeral port, printed on startup) and answers `GET /recommend`,
+//! `/explain`, `/healthz`, and `/metrics` until stdin reaches EOF, then
+//! shuts down gracefully.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use taxorec_core::{TaxoRec, TaxoRecConfig};
+use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec_serve::Checkpoint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train-demo") => train_demo(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("serve") => run_server(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("taxorec-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+taxorec-serve — train, inspect, and serve .taxo model artifacts
+
+USAGE:
+  taxorec-serve train-demo <out.taxo> [--preset P] [--scale S] [--epochs N]
+      Train TaxoRec on a synthetic dataset and save a serving artifact.
+      P: ciao | amazon-cd | amazon-book | yelp   (default ciao)
+      S: tiny | bench | full                     (default tiny)
+
+  taxorec-serve inspect <model.taxo>
+      Print the artifact's model card (dims, users, items, tags, taxonomy).
+
+  taxorec-serve serve <model.taxo> [--addr HOST:PORT] [--workers N]
+      Serve the model over HTTP (default 127.0.0.1:7878, 4 workers).
+      Endpoints: /recommend?user=U&k=K  /explain?user=U&item=V
+                 /healthz  /metrics
+      Runs until stdin is closed (Ctrl-D / EOF), then drains and exits.
+";
+
+/// `--flag value` lookup over the raw argument list.
+fn flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{name} requires a value")),
+    }
+}
+
+fn positional<'a>(args: &'a [String], idx: usize, what: &str) -> Result<&'a str, String> {
+    let mut seen = 0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if seen == idx {
+            return Ok(&args[i]);
+        }
+        seen += 1;
+        i += 1;
+    }
+    Err(format!("missing required argument <{what}>\n\n{USAGE}"))
+}
+
+fn train_demo(args: &[String]) -> Result<(), String> {
+    let out = positional(args, 0, "out.taxo")?;
+    let preset = match flag(args, "--preset")?.unwrap_or("ciao") {
+        "ciao" => Preset::Ciao,
+        "amazon-cd" => Preset::AmazonCd,
+        "amazon-book" => Preset::AmazonBook,
+        "yelp" => Preset::Yelp,
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let scale = match flag(args, "--scale")?.unwrap_or("tiny") {
+        "tiny" => Scale::Tiny,
+        "bench" => Scale::Bench,
+        "full" => Scale::Full,
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let dataset = generate_preset(preset, scale);
+    let split = Split::standard(&dataset);
+    let mut config = TaxoRecConfig::fast_test();
+    if let Some(e) = flag(args, "--epochs")? {
+        config.epochs = e
+            .parse()
+            .map_err(|_| format!("--epochs {e:?} is not an integer"))?;
+    }
+    println!(
+        "training TaxoRec on synthetic {} ({} users, {} items, {} tags), {} epochs…",
+        dataset.name, dataset.n_users, dataset.n_items, dataset.n_tags, config.epochs
+    );
+    let mut model = TaxoRec::new(config);
+    model.fit(&dataset, &split);
+    let ckpt = Checkpoint::from_model(&model)
+        .with_dataset(&dataset)
+        .with_seen_items(&split.train);
+    ckpt.save(out).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("saved {out} ({bytes} bytes)");
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "model.taxo")?;
+    let ckpt = Checkpoint::load_file(path).map_err(|e| e.to_string())?;
+    let s = &ckpt.state;
+    println!("artifact      {path}");
+    println!("model         {}", s.name);
+    println!("users         {}", s.n_users());
+    println!("items         {}", s.n_items());
+    println!(
+        "tags          {} (channel active: {})",
+        s.n_tags(),
+        s.tags_active
+    );
+    println!(
+        "dims          interaction {} / tag {} (Lorentz, +1 time-like coord)",
+        s.config.dim_ir, s.config.dim_tag
+    );
+    match &s.taxonomy {
+        Some(t) => {
+            let depth = t.nodes().iter().map(|n| n.level).max().unwrap_or(0);
+            println!("taxonomy      {} nodes, depth {depth}", t.nodes().len());
+        }
+        None => println!("taxonomy      (none)"),
+    }
+    println!(
+        "serving ctx   {} tag names, {} item tag lists, {} seen-item lists",
+        ckpt.tag_names.len(),
+        ckpt.item_tags.len(),
+        ckpt.seen_items.len()
+    );
+    Ok(())
+}
+
+fn run_server(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0, "model.taxo")?;
+    let addr = flag(args, "--addr")?.unwrap_or("127.0.0.1:7878");
+    let workers: usize = match flag(args, "--workers")? {
+        None => 4,
+        Some(w) => w
+            .parse()
+            .map_err(|_| format!("--workers {w:?} is not an integer"))?,
+    };
+    let model = taxorec_serve::load(path).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {path}: model {:?}, {} users, {} items",
+        model.name(),
+        model.n_users(),
+        model.n_items()
+    );
+    let handle = taxorec_serve::serve(Arc::new(model), addr, workers)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on http://{} ({} workers)",
+        handle.local_addr(),
+        workers
+    );
+    println!(
+        "try: curl 'http://{}/recommend?user=0&k=10'",
+        handle.local_addr()
+    );
+    println!("close stdin (Ctrl-D) to shut down");
+    // Block until stdin is exhausted, then drain in-flight requests.
+    let mut sink = String::new();
+    while std::io::stdin()
+        .read_line(&mut sink)
+        .map(|n| n > 0)
+        .unwrap_or(false)
+    {
+        sink.clear();
+    }
+    println!("stdin closed; shutting down…");
+    handle.shutdown();
+    println!("bye");
+    Ok(())
+}

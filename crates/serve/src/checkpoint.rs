@@ -1,0 +1,592 @@
+//! The `.taxo` checkpoint format: a versioned, magic-tagged,
+//! CRC-checksummed binary artifact holding everything needed to serve a
+//! trained TaxoRec model.
+//!
+//! ## Artifact layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"TAXO"
+//! 4       2     format version (u16 LE, currently 1)
+//! 6       2     reserved flags (must be 0)
+//! 8       8     payload length P (u64 LE)
+//! 16      P     payload (sections below, all integers LE)
+//! 16+P    4     CRC-32 (IEEE) of the payload (u32 LE)
+//! ```
+//!
+//! Payload sections, in order: model name · training config · tag-channel
+//! flag · five embedding matrices (`u_ir`, `v_ir`, `u_tg`, `v_tg`, `T^P`;
+//! each `rows, cols, f64×rows·cols`) · personalized tag weights `α_u` ·
+//! optional taxonomy tree (node list) · tag names · per-item tag lists ·
+//! per-user seen-item lists (train-set exclusion for serving).
+//!
+//! Floats are stored bit-exactly (`to_le_bytes`), so a reloaded model
+//! scores **bit-identically** to the live one. [`Checkpoint::from_bytes`]
+//! validates magic, version, length, checksum, and (through
+//! [`ModelState::validate`]) dimension consistency, failing with a precise
+//! [`CheckpointError`] on truncated or corrupted files.
+
+use std::path::Path;
+
+use taxorec_autodiff::Matrix;
+use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig};
+use taxorec_data::Dataset;
+use taxorec_taxonomy::{Seeding, TaxoNode, Taxonomy};
+
+use crate::model::ServingModel;
+use crate::wire::{crc32, Reader, Writer};
+
+/// First four bytes of every `.taxo` artifact.
+pub const MAGIC: [u8; 4] = *b"TAXO";
+/// The format version this build writes and the newest it can read.
+pub const FORMAT_VERSION: u16 = 1;
+/// Fixed header size: magic + version + flags + payload length.
+const HEADER_LEN: usize = 16;
+/// CRC-32 trailer size.
+const TRAILER_LEN: usize = 4;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (open/read/write/rename), with context.
+    Io(String),
+    /// The file is smaller than the fixed header + trailer.
+    TooShort {
+        /// Bytes actually present.
+        found: usize,
+        /// Minimum bytes any valid artifact has.
+        minimum: usize,
+    },
+    /// The first four bytes are not `b"TAXO"` — not a checkpoint at all.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// Written by a newer (or unknown) format revision.
+    UnsupportedVersion {
+        /// Version tag in the file.
+        found: u16,
+        /// Newest version this build understands.
+        supported: u16,
+    },
+    /// The header promises more bytes than the file contains.
+    Truncated {
+        /// Total size the header implies.
+        expected: usize,
+        /// Actual file size.
+        found: usize,
+    },
+    /// Payload bytes do not hash to the stored CRC-32 (bit rot, partial
+    /// overwrite, or tampering).
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum of the payload as read.
+        computed: u32,
+    },
+    /// The payload decodes inconsistently (bad section lengths, invalid
+    /// enum tags, trailing bytes) despite a matching checksum.
+    Corrupt(String),
+    /// Decoded cleanly but the model fails semantic validation
+    /// (dimension mismatches, out-of-range ids, invalid taxonomy links).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            Self::TooShort { found, minimum } => write!(
+                f,
+                "truncated checkpoint: {found} bytes, but even an empty artifact has {minimum}"
+            ),
+            Self::BadMagic { found } => write!(
+                f,
+                "bad magic {found:02x?} (expected {:02x?} — not a .taxo checkpoint)",
+                MAGIC
+            ),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads up to {supported})"
+            ),
+            Self::Truncated { expected, found } => write!(
+                f,
+                "truncated checkpoint: header declares {expected} bytes, file has {found}"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:08x}, computed {computed:08x} — the payload is corrupted"
+            ),
+            Self::Corrupt(m) => write!(f, "corrupt checkpoint payload: {m}"),
+            Self::Invalid(m) => write!(f, "checkpoint decodes but fails validation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A trained model plus the serving-side context (tag names, item tags,
+/// seen items) that lives in the dataset rather than the model itself.
+///
+/// Build one with [`Checkpoint::from_model`], enrich it with
+/// [`Checkpoint::with_dataset`] / [`Checkpoint::with_seen_items`], then
+/// [`Checkpoint::save`]. [`load`] goes straight to a [`ServingModel`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// The exported model snapshot.
+    pub state: ModelState,
+    /// Tag display names (empty = unknown; `explain` falls back to
+    /// `tag<N>` placeholders).
+    pub tag_names: Vec<String>,
+    /// `item_tags[v]` lists the tags of item `v` (empty = unknown —
+    /// `explain` then has no item-level rationale).
+    pub item_tags: Vec<Vec<u32>>,
+    /// `seen_items[u]` lists items user `u` interacted with in training,
+    /// sorted; the query engine excludes them from recommendations.
+    /// Empty = no exclusion information.
+    pub seen_items: Vec<Vec<u32>>,
+}
+
+impl Checkpoint {
+    /// Snapshots a trained model without dataset context.
+    pub fn from_model(model: &TaxoRec) -> Self {
+        Self {
+            state: model.export_state(),
+            tag_names: Vec::new(),
+            item_tags: Vec::new(),
+            seen_items: Vec::new(),
+        }
+    }
+
+    /// Attaches tag names and per-item tag lists from the dataset so the
+    /// serving side can explain recommendations.
+    pub fn with_dataset(mut self, dataset: &Dataset) -> Self {
+        self.tag_names = dataset.tag_names.clone();
+        self.item_tags = dataset.item_tags.clone();
+        self
+    }
+
+    /// Attaches per-user seen-item lists (normally `&split.train`) for
+    /// train-item exclusion at query time. Lists are sorted and deduped.
+    pub fn with_seen_items(mut self, seen: &[Vec<u32>]) -> Self {
+        self.seen_items = seen
+            .iter()
+            .map(|items| {
+                let mut s = items.clone();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        self
+    }
+
+    /// Serializes to the `.taxo` wire format (header + payload + CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Writer::new();
+        p.put_str(&self.state.name);
+        write_config(&mut p, &self.state.config);
+        p.put_bool(self.state.tags_active);
+        for m in [
+            &self.state.u_ir,
+            &self.state.v_ir,
+            &self.state.u_tg,
+            &self.state.v_tg,
+            &self.state.t_p,
+        ] {
+            write_matrix(&mut p, m);
+        }
+        p.put_f64s(&self.state.alphas);
+        match &self.state.taxonomy {
+            None => p.put_bool(false),
+            Some(taxo) => {
+                p.put_bool(true);
+                write_taxonomy(&mut p, taxo);
+            }
+        }
+        p.put_usize(self.tag_names.len());
+        for name in &self.tag_names {
+            p.put_str(name);
+        }
+        p.put_usize(self.item_tags.len());
+        for tags in &self.item_tags {
+            p.put_u32s(tags);
+        }
+        p.put_usize(self.seen_items.len());
+        for items in &self.seen_items {
+            p.put_u32s(items);
+        }
+        let payload = p.into_bytes();
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let crc = crc32(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and fully validates an artifact.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`] — each failure mode is distinguished.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let minimum = HEADER_LEN + TRAILER_LEN;
+        if bytes.len() < minimum {
+            return Err(CheckpointError::TooShort {
+                found: bytes.len(),
+                minimum,
+            });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: bytes[0..4].try_into().unwrap(),
+            });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if flags != 0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "reserved header flags are nonzero ({flags:#06x})"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let expected = (HEADER_LEN as u64)
+            .saturating_add(payload_len)
+            .saturating_add(TRAILER_LEN as u64);
+        let expected = usize::try_from(expected).map_err(|_| CheckpointError::Truncated {
+            expected: usize::MAX,
+            found: bytes.len(),
+        })?;
+        if bytes.len() < expected {
+            return Err(CheckpointError::Truncated {
+                expected,
+                found: bytes.len(),
+            });
+        }
+        if bytes.len() > expected {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - expected
+            )));
+        }
+        let payload = &bytes[HEADER_LEN..expected - TRAILER_LEN];
+        let stored =
+            u32::from_le_bytes(bytes[expected - TRAILER_LEN..expected].try_into().unwrap());
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader::new(payload);
+        let name = r.get_str("model name")?;
+        let config = read_config(&mut r)?;
+        let tags_active = r.get_bool("tags_active flag")?;
+        let u_ir = read_matrix(&mut r, "u_ir")?;
+        let v_ir = read_matrix(&mut r, "v_ir")?;
+        let u_tg = read_matrix(&mut r, "u_tg")?;
+        let v_tg = read_matrix(&mut r, "v_tg")?;
+        let t_p = read_matrix(&mut r, "t_p")?;
+        let alphas = r.get_f64s("alpha weights")?;
+        let taxonomy = if r.get_bool("taxonomy presence flag")? {
+            Some(read_taxonomy(&mut r)?)
+        } else {
+            None
+        };
+        let n_names = r.get_len(8, "tag name count")?;
+        let mut tag_names = Vec::with_capacity(n_names);
+        for i in 0..n_names {
+            tag_names.push(r.get_str(&format!("tag name {i}"))?);
+        }
+        let n_item_rows = r.get_len(8, "item tag-list count")?;
+        let mut item_tags = Vec::with_capacity(n_item_rows);
+        for i in 0..n_item_rows {
+            item_tags.push(r.get_u32s(&format!("tags of item {i}"))?);
+        }
+        let n_seen_rows = r.get_len(8, "seen-item list count")?;
+        let mut seen_items = Vec::with_capacity(n_seen_rows);
+        for u in 0..n_seen_rows {
+            seen_items.push(r.get_u32s(&format!("seen items of user {u}"))?);
+        }
+        r.expect_end()?;
+
+        let ckpt = Self {
+            state: ModelState {
+                name,
+                config,
+                tags_active,
+                u_ir,
+                v_ir,
+                u_tg,
+                v_tg,
+                t_p,
+                alphas,
+                taxonomy,
+            },
+            tag_names,
+            item_tags,
+            seen_items,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Semantic validation of the decoded artifact: model dimension
+    /// consistency plus serving-context bounds (seen/tag ids within the
+    /// catalogue).
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        self.state.validate().map_err(CheckpointError::Invalid)?;
+        let n_items = self.state.n_items();
+        let n_users = self.state.n_users();
+        let n_tags = self.state.n_tags() as u32;
+        if !self.tag_names.is_empty() && self.tag_names.len() != n_tags as usize {
+            return Err(CheckpointError::Invalid(format!(
+                "{} tag names for {n_tags} tag embeddings",
+                self.tag_names.len()
+            )));
+        }
+        if !self.item_tags.is_empty() {
+            if self.item_tags.len() != n_items {
+                return Err(CheckpointError::Invalid(format!(
+                    "{} item tag lists for {n_items} items",
+                    self.item_tags.len()
+                )));
+            }
+            for (v, tags) in self.item_tags.iter().enumerate() {
+                if let Some(&t) = tags.iter().find(|&&t| t >= n_tags) {
+                    return Err(CheckpointError::Invalid(format!(
+                        "item {v} carries tag {t}, but only {n_tags} tags exist"
+                    )));
+                }
+            }
+        }
+        if !self.seen_items.is_empty() {
+            if self.seen_items.len() != n_users {
+                return Err(CheckpointError::Invalid(format!(
+                    "{} seen-item lists for {n_users} users",
+                    self.seen_items.len()
+                )));
+            }
+            for (u, items) in self.seen_items.iter().enumerate() {
+                if let Some(&v) = items.iter().find(|&&v| v as usize >= n_items) {
+                    return Err(CheckpointError::Invalid(format!(
+                        "user {u} has seen item {v}, but only {n_items} items exist"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the artifact atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`, so a crash mid-write never leaves a truncated
+    /// artifact under the final name.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("taxo.tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            CheckpointError::Io(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        taxorec_telemetry::counter("serve.checkpoint.saved").inc(1);
+        taxorec_telemetry::gauge("serve.checkpoint.bytes").set(bytes.len() as f64);
+        Ok(())
+    }
+
+    /// Reads and validates an artifact from disk.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        let ckpt = Self::from_bytes(&bytes)?;
+        taxorec_telemetry::counter("serve.checkpoint.loaded").inc(1);
+        Ok(ckpt)
+    }
+}
+
+/// Saves a bare model snapshot (no dataset context) to `path`.
+///
+/// For a fully featured serving artifact — tag names for explanations,
+/// train-item exclusion — go through [`Checkpoint::from_model`] with
+/// [`Checkpoint::with_dataset`] and [`Checkpoint::with_seen_items`].
+pub fn save(model: &TaxoRec, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    Checkpoint::from_model(model).save(path)
+}
+
+/// Loads an artifact from `path` and builds the online query engine.
+pub fn load(path: impl AsRef<Path>) -> Result<ServingModel, CheckpointError> {
+    ServingModel::new(Checkpoint::load_file(path)?)
+}
+
+fn write_matrix(w: &mut Writer, m: &Matrix) {
+    w.put_usize(m.rows());
+    w.put_usize(m.cols());
+    for &v in m.data() {
+        w.put_f64(v);
+    }
+}
+
+fn read_matrix(r: &mut Reader, what: &str) -> Result<Matrix, CheckpointError> {
+    let rows = r.get_usize(&format!("{what} row count"))?;
+    let cols = r.get_usize(&format!("{what} column count"))?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| CheckpointError::Corrupt(format!("{what}: {rows}×{cols} overflows")))?;
+    if n.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+        return Err(CheckpointError::Corrupt(format!(
+            "{what}: declared shape {rows}×{cols} exceeds the remaining payload"
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.get_f64(what)?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn write_config(w: &mut Writer, c: &TaxoRecConfig) {
+    w.put_usize(c.dim_ir);
+    w.put_usize(c.dim_tag);
+    w.put_usize(c.gcn_layers);
+    w.put_f64(c.margin);
+    w.put_f64(c.lambda);
+    w.put_usize(c.taxo_k);
+    w.put_f64(c.taxo_delta);
+    w.put_usize(c.taxo_rebuild_every);
+    w.put_f64(c.taxo_warmup_frac);
+    w.put_u8(match c.taxo_seeding {
+        Seeding::PlusPlus => 0,
+        Seeding::Uniform => 1,
+    });
+    w.put_usize(c.taxo_max_depth);
+    w.put_usize(c.taxo_min_node);
+    w.put_bool(c.use_aggregation);
+    w.put_bool(c.use_tags);
+    w.put_bool(c.einstein_local);
+    w.put_f64(c.lr);
+    w.put_f64(c.lr_tag_mult);
+    w.put_usize(c.epochs);
+    w.put_usize(c.negatives);
+    w.put_f64(c.tag_channel_gain);
+    w.put_bool(c.soft_hinge);
+    match c.max_radius {
+        None => w.put_bool(false),
+        Some(r) => {
+            w.put_bool(true);
+            w.put_f64(r);
+        }
+    }
+    w.put_usize(c.hard_negative_pool);
+    w.put_usize(c.batch_size);
+    w.put_u64(c.seed);
+}
+
+fn read_config(r: &mut Reader) -> Result<TaxoRecConfig, CheckpointError> {
+    Ok(TaxoRecConfig {
+        dim_ir: r.get_usize("config.dim_ir")?,
+        dim_tag: r.get_usize("config.dim_tag")?,
+        gcn_layers: r.get_usize("config.gcn_layers")?,
+        margin: r.get_f64("config.margin")?,
+        lambda: r.get_f64("config.lambda")?,
+        taxo_k: r.get_usize("config.taxo_k")?,
+        taxo_delta: r.get_f64("config.taxo_delta")?,
+        taxo_rebuild_every: r.get_usize("config.taxo_rebuild_every")?,
+        taxo_warmup_frac: r.get_f64("config.taxo_warmup_frac")?,
+        taxo_seeding: match r.get_u8("config.taxo_seeding")? {
+            0 => Seeding::PlusPlus,
+            1 => Seeding::Uniform,
+            v => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "config.taxo_seeding: unknown variant tag {v}"
+                )))
+            }
+        },
+        taxo_max_depth: r.get_usize("config.taxo_max_depth")?,
+        taxo_min_node: r.get_usize("config.taxo_min_node")?,
+        use_aggregation: r.get_bool("config.use_aggregation")?,
+        use_tags: r.get_bool("config.use_tags")?,
+        einstein_local: r.get_bool("config.einstein_local")?,
+        lr: r.get_f64("config.lr")?,
+        lr_tag_mult: r.get_f64("config.lr_tag_mult")?,
+        epochs: r.get_usize("config.epochs")?,
+        negatives: r.get_usize("config.negatives")?,
+        tag_channel_gain: r.get_f64("config.tag_channel_gain")?,
+        soft_hinge: r.get_bool("config.soft_hinge")?,
+        max_radius: if r.get_bool("config.max_radius presence")? {
+            Some(r.get_f64("config.max_radius")?)
+        } else {
+            None
+        },
+        hard_negative_pool: r.get_usize("config.hard_negative_pool")?,
+        batch_size: r.get_usize("config.batch_size")?,
+        seed: r.get_u64("config.seed")?,
+    })
+}
+
+fn write_taxonomy(w: &mut Writer, taxo: &Taxonomy) {
+    let nodes = taxo.nodes();
+    w.put_usize(nodes.len());
+    for node in nodes {
+        w.put_u32s(&node.tags);
+        w.put_u32s(&node.retained);
+        w.put_f64s(&node.scores);
+        w.put_usize(node.children.len());
+        for &c in &node.children {
+            w.put_usize(c);
+        }
+        match node.parent {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_usize(p);
+            }
+        }
+        w.put_usize(node.level);
+    }
+}
+
+fn read_taxonomy(r: &mut Reader) -> Result<Taxonomy, CheckpointError> {
+    let n = r.get_len(1, "taxonomy node count")?;
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let what = format!("taxonomy node {i}");
+        let tags = r.get_u32s(&what)?;
+        let retained = r.get_u32s(&what)?;
+        let scores = r.get_f64s(&what)?;
+        let n_children = r.get_len(8, &what)?;
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            children.push(r.get_usize(&what)?);
+        }
+        let parent = if r.get_bool(&what)? {
+            Some(r.get_usize(&what)?)
+        } else {
+            None
+        };
+        let level = r.get_usize(&what)?;
+        nodes.push(TaxoNode {
+            tags,
+            retained,
+            scores,
+            children,
+            parent,
+            level,
+        });
+    }
+    Taxonomy::from_nodes(nodes).map_err(CheckpointError::Invalid)
+}

@@ -1,0 +1,391 @@
+//! A minimal std-only HTTP/1.1 front end for [`ServingModel`].
+//!
+//! No async runtime and no HTTP crate: a nonblocking `TcpListener`
+//! polled by a small pool of worker threads, one request per connection
+//! (`Connection: close`), graceful shutdown through an `AtomicBool`.
+//! That is all a latency-tolerant model server needs, and it keeps the
+//! crate dependency-free.
+//!
+//! Endpoints (all `GET`, all JSON):
+//!
+//! | Path         | Query                | Response                                   |
+//! |--------------|----------------------|--------------------------------------------|
+//! | `/recommend` | `user=<id>&k=<n>`    | top-K items with scores                    |
+//! | `/explain`   | `user=<id>&item=<id>`| score + tag/taxonomy rationale             |
+//! | `/healthz`   | —                    | liveness + model card                      |
+//! | `/metrics`   | —                    | `taxorec-telemetry` registry snapshot      |
+//!
+//! Every request lands in the `serve.http.requests` counter and a
+//! per-endpoint latency histogram (`serve.http.<endpoint>.ms`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use taxorec_telemetry::json::{push_f64, push_str_escaped};
+
+use crate::model::{ServeError, ServingModel};
+
+/// Largest request head (request line + headers) we accept.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+/// How long an accepted connection may dawdle before we give up on it.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Accept-loop poll interval while idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// Default `k` when `/recommend` omits it.
+const DEFAULT_K: usize = 10;
+/// Upper bound on `k` per request (keeps a typo from ranking the world).
+const MAX_K: usize = 1000;
+
+/// A running server: joinable worker threads plus a shutdown flag.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once [`ServerHandle::shutdown`] has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Signals the workers to stop accepting and waits for in-flight
+    /// requests to drain (each worker finishes its current response
+    /// before exiting).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// `model` on `n_workers` threads until the handle is shut down or
+/// dropped.
+pub fn serve(
+    model: Arc<ServingModel>,
+    addr: &str,
+    n_workers: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = Arc::new(listener);
+    let n_workers = n_workers.max(1);
+    let mut workers = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        let listener = Arc::clone(&listener);
+        let shutdown = Arc::clone(&shutdown);
+        let model = Arc::clone(&model);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("taxorec-serve-{i}"))
+                .spawn(move || worker_loop(&listener, &shutdown, &model))
+                .expect("spawn server worker"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        workers,
+    })
+}
+
+fn worker_loop(listener: &TcpListener, shutdown: &AtomicBool, model: &ServingModel) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                handle_connection(stream, model);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, model: &ServingModel) {
+    let head = match read_head(&mut stream) {
+        Some(h) => h,
+        None => {
+            let _ = respond(
+                &mut stream,
+                400,
+                &error_json("malformed or oversized request"),
+            );
+            return;
+        }
+    };
+    taxorec_telemetry::counter("serve.http.requests").inc(1);
+    let start = Instant::now();
+    let (status, body, endpoint) = route(&head, model);
+    let _ = respond(&mut stream, status, &body);
+    // Covers routing (the model work) plus the response write, so the
+    // histogram reflects what a client observes.
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    taxorec_telemetry::histogram(&format!("serve.http.{endpoint}.ms")).observe(ms);
+}
+
+/// Reads bytes until the end of the request head (`\r\n\r\n`) and returns
+/// the head as text. `None` on malformed, oversized, or timed-out input.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    if buf.len() >= MAX_REQUEST_BYTES {
+        return None;
+    }
+    String::from_utf8(buf).ok()
+}
+
+/// Dispatches one parsed request; returns (status, JSON body, endpoint
+/// label for telemetry).
+fn route(head: &str, model: &ServingModel) -> (u16, String, &'static str) {
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return (
+            405,
+            error_json(&format!("method {method:?} not allowed; use GET")),
+            "other",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => (200, healthz_json(model), "healthz"),
+        "/metrics" => (200, taxorec_telemetry::snapshot(), "metrics"),
+        "/recommend" => handle_recommend(query, model),
+        "/explain" => handle_explain(query, model),
+        _ => (404, error_json(&format!("no route for {path:?}")), "other"),
+    }
+}
+
+fn handle_recommend(query: &str, model: &ServingModel) -> (u16, String, &'static str) {
+    let user = match require_param(query, "user") {
+        Ok(u) => u,
+        Err(msg) => return (400, error_json(&msg), "recommend"),
+    };
+    let k = match param(query, "k") {
+        None => DEFAULT_K,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k <= MAX_K => k,
+            Ok(k) => {
+                return (
+                    400,
+                    error_json(&format!("k = {k} exceeds the maximum of {MAX_K}")),
+                    "recommend",
+                )
+            }
+            Err(_) => {
+                return (
+                    400,
+                    error_json(&format!("query parameter 'k' = {raw:?} is not an integer")),
+                    "recommend",
+                )
+            }
+        },
+    };
+    match model.recommend(user, k) {
+        Ok(items) => {
+            let mut body = String::with_capacity(32 + items.len() * 32);
+            body.push_str("{\"user\":");
+            body.push_str(&user.to_string());
+            body.push_str(",\"k\":");
+            body.push_str(&k.to_string());
+            body.push_str(",\"items\":[");
+            for (i, &(item, score)) in items.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str("{\"item\":");
+                body.push_str(&item.to_string());
+                body.push_str(",\"score\":");
+                push_f64(&mut body, score);
+                body.push('}');
+            }
+            body.push_str("]}");
+            (200, body, "recommend")
+        }
+        Err(e) => (404, error_json(&e.to_string()), "recommend"),
+    }
+}
+
+fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static str) {
+    let user = match require_param(query, "user") {
+        Ok(u) => u,
+        Err(msg) => return (400, error_json(&msg), "explain"),
+    };
+    let item = match require_param(query, "item") {
+        Ok(v) => v,
+        Err(msg) => return (400, error_json(&msg), "explain"),
+    };
+    match model.explain(user, item) {
+        Ok(ex) => {
+            let mut body = String::with_capacity(128);
+            body.push_str("{\"user\":");
+            body.push_str(&ex.user.to_string());
+            body.push_str(",\"item\":");
+            body.push_str(&ex.item.to_string());
+            body.push_str(",\"score\":");
+            push_f64(&mut body, ex.score);
+            body.push_str(",\"alpha\":");
+            push_f64(&mut body, ex.alpha);
+            body.push_str(",\"item_tags\":[");
+            for (i, t) in ex.item_tags.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str("{\"tag\":");
+                body.push_str(&t.tag.to_string());
+                body.push_str(",\"name\":");
+                push_str_escaped(&mut body, &t.name);
+                body.push_str(",\"distance\":");
+                push_f64(&mut body, t.distance);
+                body.push('}');
+            }
+            body.push_str("],\"node_level\":");
+            match ex.node_level {
+                Some(l) => body.push_str(&l.to_string()),
+                None => body.push_str("null"),
+            }
+            body.push_str(",\"node_tags\":[");
+            for (i, name) in ex.node_tags.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                push_str_escaped(&mut body, name);
+            }
+            body.push_str("]}");
+            (200, body, "explain")
+        }
+        Err(e @ ServeError::UnknownUser { .. }) | Err(e @ ServeError::UnknownItem { .. }) => {
+            (404, error_json(&e.to_string()), "explain")
+        }
+    }
+}
+
+fn healthz_json(model: &ServingModel) -> String {
+    let (cache_len, cache_cap) = model.cache_usage();
+    let mut body = String::with_capacity(128);
+    body.push_str("{\"status\":\"ok\",\"model\":");
+    push_str_escaped(&mut body, model.name());
+    body.push_str(",\"users\":");
+    body.push_str(&model.n_users().to_string());
+    body.push_str(",\"items\":");
+    body.push_str(&model.n_items().to_string());
+    body.push_str(",\"tags\":");
+    body.push_str(&model.n_tags().to_string());
+    body.push_str(",\"cache\":{\"entries\":");
+    body.push_str(&cache_len.to_string());
+    body.push_str(",\"capacity\":");
+    body.push_str(&cache_cap.to_string());
+    body.push_str("}}");
+    body
+}
+
+fn error_json(message: &str) -> String {
+    let mut body = String::with_capacity(message.len() + 12);
+    body.push_str("{\"error\":");
+    push_str_escaped(&mut body, message);
+    body.push('}');
+    body
+}
+
+/// Value of `name` in an `a=1&b=2` query string, if present.
+fn param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+fn require_param(query: &str, name: &str) -> Result<u32, String> {
+    match param(query, name) {
+        None => Err(format!("missing required query parameter '{name}'")),
+        Some(raw) => raw.parse::<u32>().map_err(|_| {
+            format!("query parameter '{name}' = {raw:?} is not a non-negative integer")
+        }),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_parsing() {
+        assert_eq!(param("user=3&k=5", "user"), Some("3"));
+        assert_eq!(param("user=3&k=5", "k"), Some("5"));
+        assert_eq!(param("user=3", "k"), None);
+        assert_eq!(param("", "user"), None);
+        assert_eq!(require_param("user=7", "user"), Ok(7));
+        assert!(require_param("user=-1", "user")
+            .unwrap_err()
+            .contains("non-negative"));
+        assert!(require_param("k=5", "user").unwrap_err().contains("user"));
+    }
+
+    #[test]
+    fn error_json_escapes() {
+        let j = error_json("bad \"quote\"");
+        assert_eq!(j, "{\"error\":\"bad \\\"quote\\\"\"}");
+        assert!(taxorec_telemetry::json::is_valid_json(&j));
+    }
+}

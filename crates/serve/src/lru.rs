@@ -1,0 +1,236 @@
+//! A bounded LRU map for response caching: `HashMap` index over an arena
+//! of doubly-linked slots, so `get`/`put` are O(1) and eviction is exact
+//! LRU (not sampled). Zero dependencies; the serving layer wraps it in a
+//! `Mutex` and counts hits/misses through `taxorec-telemetry`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NONE: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (`0` disables
+    /// caching — every `get` misses and `put` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts (or refreshes) `key → value`; returns the evicted
+    /// least-recently-used entry when the cache was full.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.detach(i);
+            self.push_front(i);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NONE);
+            self.detach(lru);
+            let slot = &mut self.slots[lru];
+            self.map.remove(&slot.key);
+            let old_key = std::mem::replace(&mut slot.key, key.clone());
+            let old_value = std::mem::replace(&mut slot.value, value);
+            evicted = Some((old_key, old_value));
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return evicted;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Drops every entry (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.free.clear();
+        self.free.extend(0..self.slots.len());
+        self.head = NONE;
+        self.tail = NONE;
+    }
+
+    /// Keys from most- to least-recently used (test/debug helper).
+    pub fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NONE {
+            out.push(self.slots[cur].key.clone());
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NONE {
+            self.slots[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slots[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.slots[i].prev = NONE;
+        self.slots[i].next = NONE;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NONE;
+        self.slots[i].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(c.put("a", 1).is_none());
+        assert!(c.put("b", 2).is_none());
+        // Touch "a" so "b" becomes LRU.
+        assert_eq!(c.get(&"a"), Some(&1));
+        let evicted = c.put("c", 3).expect("full cache evicts");
+        assert_eq!(evicted, ("b", 2));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10); // refresh: "a" is now MRU, value updated
+        assert_eq!(c.keys_mru(), vec!["a", "b"]);
+        assert_eq!(c.put("c", 3).unwrap().0, "b");
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        assert!(c.put("a", 1).is_none());
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_and_reuses_slots() {
+        let mut c = LruCache::new(3);
+        for (i, k) in ["a", "b", "c"].into_iter().enumerate() {
+            c.put(k, i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+        c.put("d", 9);
+        assert_eq!(c.get(&"d"), Some(&9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn single_entry_cache_behaves() {
+        let mut c = LruCache::new(1);
+        c.put(1u32, "x");
+        assert_eq!(c.put(2, "y").unwrap(), (1, "x"));
+        assert_eq!(c.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn long_churn_keeps_map_and_list_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.put(i % 13, i);
+            assert!(c.len() <= 8);
+            let mru = c.keys_mru();
+            assert_eq!(mru.len(), c.len());
+            assert_eq!(mru[0], i % 13);
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The online query engine: an immutable [`ServingModel`] answering
+//! top-K recommendation and explanation queries from a checkpoint.
+//!
+//! Design follows the offline-train / online-serve split of Chamberlain
+//! et al.'s "Scalable Hyperbolic Recommender Systems": the hyperbolic
+//! embeddings are learned offline, frozen into a compact artifact, and
+//! queried online through Lorentz-distance scoring with heap-based
+//! partial top-K selection — a full sorted ranking of the catalogue is
+//! never materialized.
+//!
+//! Scoring is **bit-identical** to the live [`TaxoRec`] model: the same
+//! `g(u,v) = d²(u_ir, v_ir) + gain·α_u·d²(u_tg, v_tg)` (Eqs. 16–17)
+//! evaluated in the same operation order on the same bit-exact floats.
+//!
+//! A bounded LRU cache keyed on `(user, k)` absorbs repeated queries
+//! (hit/miss counters land in `taxorec-telemetry` as `serve.cache.*`),
+//! and batched multi-user queries fan out over `taxorec-parallel`.
+
+use std::sync::{Arc, Mutex};
+
+use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig};
+use taxorec_data::{Dataset, Split};
+use taxorec_eval::top_k;
+use taxorec_geometry::{convert, lorentz};
+use taxorec_taxonomy::Taxonomy;
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::lru::LruCache;
+
+/// Default bound on the response cache (distinct `(user, k)` entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// A query against an entity the model does not know.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// User id outside `0..n_users`.
+    UnknownUser {
+        /// The requested user.
+        user: u32,
+        /// Number of users the model was trained on.
+        n_users: usize,
+    },
+    /// Item id outside `0..n_items`.
+    UnknownItem {
+        /// The requested item.
+        item: u32,
+        /// Catalogue size.
+        n_items: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownUser { user, n_users } => {
+                write!(f, "unknown user {user} (model has {n_users} users)")
+            }
+            Self::UnknownItem { item, n_items } => {
+                write!(f, "unknown item {item} (catalogue has {n_items} items)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One tag of an item, ranked by proximity to the user's tag-relevant
+/// embedding (the Table V "closest tags" signal).
+#[derive(Clone, Debug)]
+pub struct TagAffinity {
+    /// Tag id.
+    pub tag: u32,
+    /// Display name (`tag<N>` placeholder when the artifact carried no
+    /// names).
+    pub name: String,
+    /// Lorentz distance from the user's tag-relevant embedding to the
+    /// tag lifted onto the hyperboloid — smaller is closer.
+    pub distance: f64,
+}
+
+/// Why an item was recommended to a user: its score decomposition and the
+/// taxonomy neighborhood of the user's closest item tag.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The queried user.
+    pub user: u32,
+    /// The queried item.
+    pub item: u32,
+    /// The model score (higher is better; negated joint distance).
+    pub score: f64,
+    /// Personalized tag weight `α_u` of this user (Eq. 16).
+    pub alpha: f64,
+    /// The item's tags ranked by proximity to the user (closest first).
+    /// Empty when the artifact carried no item-tag lists or the tag
+    /// channel is inactive.
+    pub item_tags: Vec<TagAffinity>,
+    /// Depth of the taxonomy node where the closest tag resides
+    /// (`None` without a taxonomy or item tags).
+    pub node_level: Option<usize>,
+    /// Display names of the tags retained at that node — the "topic"
+    /// the recommendation is rooted in.
+    pub node_tags: Vec<String>,
+}
+
+/// A shared, immutable recommendation list: `(item, score)` best first.
+pub type Ranking = Arc<Vec<(u32, f64)>>;
+
+/// An immutable, thread-safe top-K query engine over a trained model.
+pub struct ServingModel {
+    state: ModelState,
+    tag_names: Vec<String>,
+    item_tags: Vec<Vec<u32>>,
+    /// Sorted per-user seen-item lists (train-set exclusion).
+    seen: Vec<Vec<u32>>,
+    cache: Mutex<LruCache<(u32, u32), Ranking>>,
+}
+
+impl ServingModel {
+    /// Builds the engine from a validated checkpoint with the default
+    /// cache capacity.
+    pub fn new(ckpt: Checkpoint) -> Result<Self, CheckpointError> {
+        Self::with_cache_capacity(ckpt, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Builds the engine with an explicit response-cache bound
+    /// (`0` disables caching).
+    pub fn with_cache_capacity(
+        ckpt: Checkpoint,
+        cache_capacity: usize,
+    ) -> Result<Self, CheckpointError> {
+        ckpt.validate()?;
+        let Checkpoint {
+            state,
+            tag_names,
+            item_tags,
+            mut seen_items,
+        } = ckpt;
+        for items in &mut seen_items {
+            items.sort_unstable();
+            items.dedup();
+        }
+        Ok(Self {
+            state,
+            tag_names,
+            item_tags,
+            seen: seen_items,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+        })
+    }
+
+    /// Convenience for tests and in-process serving: snapshot a trained
+    /// model together with its dataset context, skipping the disk round
+    /// trip.
+    pub fn from_model(
+        model: &TaxoRec,
+        dataset: &Dataset,
+        split: &Split,
+    ) -> Result<Self, CheckpointError> {
+        Self::new(
+            Checkpoint::from_model(model)
+                .with_dataset(dataset)
+                .with_seen_items(&split.train),
+        )
+    }
+
+    /// Model display name (e.g. `"TaxoRec"`).
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// Number of users the model can serve.
+    pub fn n_users(&self) -> usize {
+        self.state.n_users()
+    }
+
+    /// Catalogue size.
+    pub fn n_items(&self) -> usize {
+        self.state.n_items()
+    }
+
+    /// Number of tags with learned embeddings.
+    pub fn n_tags(&self) -> usize {
+        self.state.n_tags()
+    }
+
+    /// The training configuration frozen into the artifact.
+    pub fn config(&self) -> &TaxoRecConfig {
+        &self.state.config
+    }
+
+    /// The taxonomy constructed at train time, if any.
+    pub fn taxonomy(&self) -> Option<&Taxonomy> {
+        self.state.taxonomy.as_ref()
+    }
+
+    /// Preference score of `user` for every item — identical arithmetic
+    /// (and therefore identical bits) to [`TaxoRec::scores_for_user`].
+    fn scores(&self, u: usize) -> Vec<f64> {
+        let s = &self.state;
+        let urow_ir = s.u_ir.row(u);
+        let alpha = s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0);
+        let n_items = s.v_ir.rows();
+        let mut out = Vec::with_capacity(n_items);
+        for v in 0..n_items {
+            let mut g = lorentz::distance_sq(urow_ir, s.v_ir.row(v));
+            if s.tags_active {
+                g += alpha * lorentz::distance_sq(s.u_tg.row(u), s.v_tg.row(v));
+            }
+            out.push(-g);
+        }
+        out
+    }
+
+    /// The `k` best unseen items for `user`, best first, with scores.
+    ///
+    /// Items from the user's training history (when the artifact carries
+    /// seen-item lists) are excluded. Results are memoized in the LRU
+    /// response cache; `serve.cache.hit` / `serve.cache.miss` count the
+    /// outcomes.
+    pub fn recommend(&self, user: u32, k: usize) -> Result<Ranking, ServeError> {
+        let u = user as usize;
+        if u >= self.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.n_users(),
+            });
+        }
+        let key = (user, k.min(u32::MAX as usize) as u32);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            taxorec_telemetry::counter("serve.cache.hit").inc(1);
+            return Ok(Arc::clone(hit));
+        }
+        taxorec_telemetry::counter("serve.cache.miss").inc(1);
+        let scores = self.scores(u);
+        let seen: &[u32] = self.seen.get(u).map(Vec::as_slice).unwrap_or(&[]);
+        let top = top_k(&scores, k, |v| seen.binary_search(&(v as u32)).is_ok());
+        let result = Arc::new(top);
+        self.cache.lock().unwrap().put(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Answers many users in one call, fanning the per-user work out over
+    /// the `taxorec-parallel` pool. Result order matches `users`; each
+    /// entry fails independently (an unknown user does not poison the
+    /// batch).
+    pub fn recommend_batch(&self, users: &[u32], k: usize) -> Vec<Result<Ranking, ServeError>> {
+        taxorec_parallel::par_map("serve.batch", users.len(), |i| self.recommend(users[i], k))
+    }
+
+    /// Explains why `item` scores the way it does for `user`: the score,
+    /// the user's `α_u`, the item's tags ranked by proximity to the
+    /// user's tag-relevant embedding, and the taxonomy node the closest
+    /// tag resides in.
+    pub fn explain(&self, user: u32, item: u32) -> Result<Explanation, ServeError> {
+        let u = user as usize;
+        let v = item as usize;
+        if u >= self.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.n_users(),
+            });
+        }
+        if v >= self.n_items() {
+            return Err(ServeError::UnknownItem {
+                item,
+                n_items: self.n_items(),
+            });
+        }
+        let s = &self.state;
+        let alpha = s.alphas.get(u).copied().unwrap_or(0.0);
+        let mut g = lorentz::distance_sq(s.u_ir.row(u), s.v_ir.row(v));
+        if s.tags_active {
+            g += s.config.tag_channel_gain
+                * alpha
+                * lorentz::distance_sq(s.u_tg.row(u), s.v_tg.row(v));
+        }
+        let score = -g;
+
+        let mut item_tags = Vec::new();
+        if s.tags_active && s.t_p.rows() > 0 {
+            if let Some(tags) = self.item_tags.get(v) {
+                let dim = s.t_p.cols();
+                let mut lift = vec![0.0; dim + 1];
+                for &t in tags {
+                    convert::poincare_to_lorentz(s.t_p.row(t as usize), &mut lift);
+                    item_tags.push(TagAffinity {
+                        tag: t,
+                        name: self.tag_name(t),
+                        distance: lorentz::distance(s.u_tg.row(u), &lift),
+                    });
+                }
+                item_tags.sort_by(|a, b| {
+                    a.distance
+                        .total_cmp(&b.distance)
+                        .then_with(|| a.tag.cmp(&b.tag))
+                });
+            }
+        }
+
+        let (node_level, node_tags) = match (&s.taxonomy, item_tags.first()) {
+            (Some(taxo), Some(closest)) => {
+                let node_idx = taxo.residence(closest.tag);
+                let node = &taxo.nodes()[node_idx];
+                (
+                    Some(node.level),
+                    node.retained.iter().map(|&t| self.tag_name(t)).collect(),
+                )
+            }
+            _ => (None, Vec::new()),
+        };
+
+        Ok(Explanation {
+            user,
+            item,
+            score,
+            alpha,
+            item_tags,
+            node_level,
+            node_tags,
+        })
+    }
+
+    /// Current response-cache occupancy (entries, capacity).
+    pub fn cache_usage(&self) -> (usize, usize) {
+        let c = self.cache.lock().unwrap();
+        (c.len(), c.capacity())
+    }
+
+    fn tag_name(&self, t: u32) -> String {
+        self.tag_names
+            .get(t as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("tag{t}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxorec_data::{generate_preset, select_top_k, Preset, Recommender, Scale};
+
+    fn trained() -> (TaxoRec, Dataset, Split) {
+        let d = generate_preset(Preset::Ciao, Scale::Tiny);
+        let s = Split::standard(&d);
+        let mut cfg = taxorec_core::TaxoRecConfig::fast_test();
+        cfg.epochs = 6;
+        let mut m = TaxoRec::new(cfg);
+        m.fit(&d, &s);
+        (m, d, s)
+    }
+
+    #[test]
+    fn recommend_matches_live_model_and_excludes_seen() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        for user in 0..d.n_users as u32 {
+            let got = serving.recommend(user, 10).unwrap();
+            let scores = m.scores_for_user(user);
+            let seen: std::collections::HashSet<u32> =
+                s.train[user as usize].iter().copied().collect();
+            let expect = select_top_k(&scores, 10, |v| seen.contains(&(v as u32)));
+            assert_eq!(*got, expect, "user {user}");
+            for &(v, _) in got.iter() {
+                assert!(!seen.contains(&v), "user {user} served seen item {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_identical_results_and_counts() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        let a = serving.recommend(1, 5).unwrap();
+        let b = serving.recommend(1, 5).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call is a cache hit");
+        // Different k is a different cache key.
+        let c = serving.recommend(1, 3).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(&a[..3], &c[..]);
+        assert!(serving.cache_usage().0 >= 2);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        let users: Vec<u32> = (0..d.n_users as u32).collect();
+        let batch = serving.recommend_batch(&users, 7);
+        assert_eq!(batch.len(), users.len());
+        for (u, res) in users.iter().zip(&batch) {
+            assert_eq!(**res.as_ref().unwrap(), *serving.recommend(*u, 7).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        let n = d.n_users as u32;
+        assert_eq!(
+            serving.recommend(n + 5, 3).unwrap_err(),
+            ServeError::UnknownUser {
+                user: n + 5,
+                n_users: d.n_users
+            }
+        );
+        assert!(matches!(
+            serving.explain(0, d.n_items as u32).unwrap_err(),
+            ServeError::UnknownItem { .. }
+        ));
+    }
+
+    #[test]
+    fn explain_ranks_item_tags_and_names_a_taxonomy_node() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        // Find an item with tags.
+        let item = (0..d.n_items)
+            .find(|&v| !d.item_tags[v].is_empty())
+            .expect("synthetic data has tagged items") as u32;
+        let ex = serving.explain(2, item).unwrap();
+        assert_eq!(ex.item_tags.len(), d.item_tags[item as usize].len());
+        for w in ex.item_tags.windows(2) {
+            assert!(w[0].distance <= w[1].distance, "closest first");
+        }
+        assert!(ex.node_level.is_some(), "taxonomy rationale present");
+        assert!(ex.score.is_finite());
+        // Score matches the live model's score for that pair.
+        assert_eq!(ex.score, m.scores_for_user(2)[item as usize]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Byte-level encoding for the `.taxo` artifact: little-endian primitive
+//! writers/readers and the CRC-32 (IEEE 802.3) checksum.
+//!
+//! Everything here is length-checked: a [`Reader`] never panics on a
+//! short buffer, it returns a [`CheckpointError::Corrupt`] naming the
+//! field being decoded and the byte offset where the payload ran dry.
+
+use crate::checkpoint::CheckpointError;
+
+/// CRC-32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time.
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum gzip, PNG, and zip use.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends little-endian primitives to a growable byte buffer.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `f64` slice (bit-exact round trip).
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn put_u32s(&mut self, vs: &[u32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+}
+
+/// Cursor over a payload buffer; every read is bounds-checked and failure
+/// messages carry the field name and offset.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the whole payload was consumed.
+    pub fn expect_end(&self) -> Result<(), CheckpointError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Corrupt(format!(
+                "{} unexpected trailing bytes after the last section",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Corrupt(format!(
+                "payload ends while reading {what}: need {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn get_bool(&mut self, what: &str) -> Result<bool, CheckpointError> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CheckpointError::Corrupt(format!(
+                "{what}: invalid boolean byte {v}"
+            ))),
+        }
+    }
+
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub fn get_usize(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let v = self.get_u64(what)?;
+        usize::try_from(v).map_err(|_| {
+            CheckpointError::Corrupt(format!("{what}: value {v} overflows this platform's usize"))
+        })
+    }
+
+    /// A length prefix that announces at least `elem_size` bytes per
+    /// element: rejected immediately when it exceeds the remaining
+    /// payload, so a corrupted length cannot trigger a huge allocation.
+    pub fn get_len(&mut self, elem_size: usize, what: &str) -> Result<usize, CheckpointError> {
+        let n = self.get_usize(what)?;
+        if n.checked_mul(elem_size)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(CheckpointError::Corrupt(format!(
+                "{what}: declared length {n} exceeds the remaining {} payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn get_str(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let n = self.get_len(1, what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CheckpointError::Corrupt(format!("{what}: invalid UTF-8: {e}")))
+    }
+
+    pub fn get_f64s(&mut self, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.get_len(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64(what)?);
+        }
+        Ok(out)
+    }
+
+    pub fn get_u32s(&mut self, what: &str) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.get_len(4, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32(what)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical test vector from the CRC-32 specification.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.125);
+        w.put_str("héllo");
+        w.put_f64s(&[1.5, f64::MIN_POSITIVE, -0.0]);
+        w.put_u32s(&[3, 1, 4]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert!(r.get_bool("b").unwrap());
+        assert_eq!(r.get_u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64("e").unwrap(), -0.125);
+        assert_eq!(r.get_str("f").unwrap(), "héllo");
+        let fs = r.get_f64s("g").unwrap();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[2].to_bits(), (-0.0f64).to_bits(), "bit-exact");
+        assert_eq!(r.get_u32s("h").unwrap(), vec![3, 1, 4]);
+        assert_eq!(r.expect_end(), Ok(()));
+    }
+
+    #[test]
+    fn reader_reports_field_and_offset_on_underrun() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.get_u32("user count").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("user count"), "{msg}");
+        assert!(msg.contains("offset 0"), "{msg}");
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocating() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_f64s("embeddings").is_err());
+    }
+
+    #[test]
+    fn bad_boolean_byte_is_corrupt() {
+        let mut r = Reader::new(&[2]);
+        assert!(r
+            .get_bool("flag")
+            .unwrap_err()
+            .to_string()
+            .contains("boolean"));
+    }
+}

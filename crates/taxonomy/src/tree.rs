@@ -69,6 +69,53 @@ impl Taxonomy {
         &self.nodes
     }
 
+    /// Reconstructs a taxonomy from an explicit node list (index 0 must be
+    /// the root). This is the deserialization entry point for checkpoint
+    /// formats: the node list round-trips through [`Taxonomy::nodes`].
+    ///
+    /// All structural invariants are re-checked — cross-link indices in
+    /// bounds, parent/child links mutually consistent, levels increasing,
+    /// scores aligned with tags — so a corrupted artifact cannot produce a
+    /// malformed tree.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn from_nodes(nodes: Vec<TaxoNode>) -> Result<Self, String> {
+        if nodes.is_empty() {
+            return Err("taxonomy must have at least a root node".into());
+        }
+        if nodes[0].parent.is_some() || nodes[0].level != 0 {
+            return Err("node 0 must be a level-0 root without a parent".into());
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if n.tags.len() != n.scores.len() {
+                return Err(format!(
+                    "node {i}: {} tags but {} scores",
+                    n.tags.len(),
+                    n.scores.len()
+                ));
+            }
+            for &c in &n.children {
+                if c >= nodes.len() {
+                    return Err(format!("node {i}: child index {c} out of bounds"));
+                }
+            }
+            if let Some(p) = n.parent {
+                if p >= nodes.len() {
+                    return Err(format!("node {i}: parent index {p} out of bounds"));
+                }
+                if !nodes[p].children.contains(&i) {
+                    return Err(format!("node {i}: not listed among parent {p}'s children"));
+                }
+            } else if i != 0 {
+                return Err(format!("node {i}: only the root may lack a parent"));
+            }
+        }
+        let taxo = Self { nodes };
+        taxo.validate()?;
+        Ok(taxo)
+    }
+
     /// Mutable node access (used by the builder to record retained sets).
     pub fn node_mut(&mut self, idx: usize) -> &mut TaxoNode {
         &mut self.nodes[idx]
@@ -241,6 +288,34 @@ mod tests {
         let s = t.render(&names, 10);
         assert!(s.contains("<tag4>"));
         assert!(s.contains("level-2"));
+    }
+
+    #[test]
+    fn from_nodes_round_trips() {
+        let t = sample();
+        let rebuilt = Taxonomy::from_nodes(t.nodes().to_vec()).unwrap();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn from_nodes_rejects_bad_structures() {
+        assert!(Taxonomy::from_nodes(Vec::new()).is_err());
+        // Child index out of bounds.
+        let mut t = sample();
+        t.node_mut(0).children.push(99);
+        assert!(Taxonomy::from_nodes(t.nodes().to_vec())
+            .unwrap_err()
+            .contains("out of bounds"));
+        // Orphaned non-root node.
+        let mut t = sample();
+        t.node_mut(3).parent = None;
+        assert!(Taxonomy::from_nodes(t.nodes().to_vec()).is_err());
+        // Scores misaligned with tags.
+        let mut t = sample();
+        t.node_mut(1).scores.pop();
+        assert!(Taxonomy::from_nodes(t.nodes().to_vec())
+            .unwrap_err()
+            .contains("scores"));
     }
 
     #[test]

@@ -5,5 +5,6 @@ pub use taxorec_core as core;
 pub use taxorec_data as data;
 pub use taxorec_eval as eval;
 pub use taxorec_geometry as geometry;
+pub use taxorec_serve as serve;
 pub use taxorec_taxonomy as taxonomy;
 pub use taxorec_telemetry as telemetry;
