@@ -11,7 +11,7 @@ use taxorec_taxonomy::Seeding;
 /// 0.5 — at synthetic-benchmark scale the Eq. 7 scores concentrate lower,
 /// and 0.5 pushes every tag up (empty splits); the Table IV harness sweeps
 /// the paper's full grid either way.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaxoRecConfig {
     /// Tag-irrelevant embedding dimensionality `D_i` (manifold dimension;
     /// the ambient Lorentz representation has one extra coordinate).

@@ -9,6 +9,7 @@
 pub mod aggregation;
 pub mod config;
 pub mod export;
+pub mod fit_control;
 pub mod graph;
 pub mod init;
 pub mod model;
@@ -16,5 +17,6 @@ pub mod optim;
 
 pub use config::TaxoRecConfig;
 pub use export::ModelState;
+pub use fit_control::{FitControl, FitReport, TrainState};
 pub use graph::GraphMatrices;
 pub use model::TaxoRec;

@@ -27,6 +27,7 @@ use taxorec_telemetry::{span, EpochRecord, RebuildStats, TrainingMonitor};
 
 use crate::aggregation::{global_aggregation, local_tag_aggregation};
 use crate::config::TaxoRecConfig;
+use crate::fit_control::{FitControl, FitReport};
 use crate::graph::GraphMatrices;
 use crate::init;
 use crate::optim;
@@ -356,24 +357,6 @@ impl TaxoRec {
             &dataset.item_tags,
             &cfg,
         );
-        let plan = RegularizerPlan::from_taxonomy(&taxo);
-        if plan.n_centers > 0 {
-            let triplets: Vec<(usize, usize, f64)> = plan.center_weights.clone();
-            let csr = Arc::new(Csr::from_triplets(
-                plan.n_centers,
-                dataset.n_tags,
-                &triplets,
-            ));
-            self.reg_center_csr_t = Some(Arc::new(csr.transpose()));
-            self.reg_center_csr = Some(csr);
-            self.reg_term_tags = Arc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
-            self.reg_term_rows = Arc::new(plan.terms.iter().map(|&(_, r)| r).collect());
-        } else {
-            self.reg_center_csr = None;
-            self.reg_center_csr_t = None;
-            self.reg_term_tags = Arc::new(Vec::new());
-            self.reg_term_rows = Arc::new(Vec::new());
-        }
         let moved_frac = match prev_sig {
             Some(prev) => {
                 let new_sig = tag_group_signatures(&taxo, dataset.n_tags);
@@ -389,8 +372,56 @@ impl TaxoRec {
             moved_frac,
             duration_secs: started.elapsed().as_secs_f64(),
         };
-        self.taxonomy = Some(taxo);
+        self.install_regularizer(taxo, dataset.n_tags);
         stats
+    }
+
+    /// Installs `taxo` as the current taxonomy and derives the Eq. 8
+    /// regularization plan (CSR center matrix + term index lists) from it.
+    /// Shared by [`TaxoRec::rebuild_taxonomy`] and crash-resume, which
+    /// must reinstall the plan from a *deserialized* taxonomy — the live
+    /// plan derives from `T^P` as of the last rebuild epoch and cannot be
+    /// reconstructed from the current embeddings.
+    fn install_regularizer(&mut self, taxo: Taxonomy, n_tags: usize) {
+        let plan = RegularizerPlan::from_taxonomy(&taxo);
+        if plan.n_centers > 0 {
+            let triplets: Vec<(usize, usize, f64)> = plan.center_weights.clone();
+            let csr = Arc::new(Csr::from_triplets(plan.n_centers, n_tags, &triplets));
+            self.reg_center_csr_t = Some(Arc::new(csr.transpose()));
+            self.reg_center_csr = Some(csr);
+            self.reg_term_tags = Arc::new(plan.terms.iter().map(|&(t, _)| t as usize).collect());
+            self.reg_term_rows = Arc::new(plan.terms.iter().map(|&(_, r)| r).collect());
+        } else {
+            self.reg_center_csr = None;
+            self.reg_center_csr_t = None;
+            self.reg_term_tags = Arc::new(Vec::new());
+            self.reg_term_rows = Arc::new(Vec::new());
+        }
+        self.taxonomy = Some(taxo);
+    }
+
+    /// Snapshots the resumable training state (see
+    /// [`crate::fit_control::TrainState`] for the contract).
+    fn capture_train_state(
+        &self,
+        next_epoch: usize,
+        rng: &StdRng,
+        lr_scale: f64,
+        rollbacks: usize,
+    ) -> crate::TrainState {
+        crate::TrainState {
+            config: self.config.clone(),
+            next_epoch,
+            rng_state: rng.state(),
+            lr_scale,
+            rollbacks,
+            u_ir: self.u_ir.clone(),
+            v_ir: self.v_ir.clone(),
+            u_tg: self.u_tg.clone(),
+            t_p: self.t_p.clone(),
+            loss_history: self.loss_history.clone(),
+            taxonomy: self.taxonomy.clone(),
+        }
     }
 
     /// Picks the most violating negative (smallest `g(u, v)`) among `pool`
@@ -446,56 +477,129 @@ impl TaxoRec {
         }
     }
 
-    /// Runs one forward pass and caches the final embeddings for
-    /// inference.
-    fn finalize(&mut self) {
-        let f = self.forward();
-        self.final_u_ir = f.tape.value(f.u_ir).clone();
-        self.final_v_ir = f.tape.value(f.v_ir).clone();
-        if let (Some(u_tg), Some(v_tg)) = (f.u_tg, f.v_tg) {
-            self.final_u_tg = f.tape.value(u_tg).clone();
-            self.final_v_tg = f.tape.value(v_tg).clone();
-        }
-    }
-}
-
-impl Recommender for TaxoRec {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+    /// Fault-tolerant [`Recommender::fit`]: the same training loop with
+    /// optional crash-resume, periodic checkpointing, and divergence
+    /// recovery. `fit` is exactly `fit_controlled` with
+    /// [`FitControl::default`].
+    ///
+    /// * **Resume** (`ctl.resume`): continues bit-identically from a
+    ///   [`crate::TrainState`] captured by a previous run with the same
+    ///   configuration, dataset, and split.
+    /// * **Checkpoints** (`ctl.checkpoint_every` / `ctl.checkpoint_sink`):
+    ///   after every N-th completed epoch the resumable state is handed to
+    ///   the sink; sink failures are warned and counted, never fatal.
+    /// * **Divergence recovery**: a diverged epoch (non-finite mean loss,
+    ///   or a majority of batches skipped as non-finite) is rolled back to
+    ///   its start-of-epoch snapshot and re-run with the learning rate
+    ///   scaled by `ctl.lr_backoff`, up to `ctl.max_rollbacks` times;
+    ///   after that training stops at the last healthy parameters.
+    ///
+    /// Fault injection: each epoch probes the `train.epoch` site, so
+    /// `TAXOREC_FAULT=nan@train.epoch:5` forces epoch 5's loss to NaN and
+    /// exercises the rollback path deterministically.
+    ///
+    /// # Panics
+    /// Panics if a resume state fails validation or does not match the
+    /// dataset/config (the same error class as an invalid configuration).
+    pub fn fit_controlled(
+        &mut self,
+        dataset: &Dataset,
+        split: &Split,
+        mut ctl: FitControl<'_>,
+    ) -> FitReport {
         let _fit_span = span!("train.fit");
         let cfg = self.config.clone();
         let mut monitor = TrainingMonitor::new(&self.name);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
         self.tags_active = cfg.use_aggregation && cfg.use_tags && dataset.n_tags > 0;
         self.graph = Some(GraphMatrices::build(dataset, split));
         self.alphas = dataset.alpha_weights(&split.train);
-        self.u_ir = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_ir, 0.1);
-        self.v_ir = init::lorentz_matrix(&mut rng, dataset.n_items, cfg.dim_ir, 0.1);
-        self.u_tg = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_tag, 0.1);
-        // Tag embeddings start very close to the origin (Nickel & Kiela's
-        // Poincaré init) so that gradient-driven co-occurrence structure
-        // dominates the random initial offsets.
-        self.t_p = init::poincare_matrix(&mut rng, dataset.n_tags.max(1), cfg.dim_tag, 0.001);
-        self.loss_history.clear();
         self.epoch_records.clear();
 
-        let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
-        let mut pairs = split.train_pairs();
-        if pairs.is_empty() {
-            self.finalize();
-            return;
+        let mut rng;
+        let mut lr_scale = 1.0f64;
+        let mut rollbacks = 0usize;
+        let start_epoch;
+        match ctl.resume.take() {
+            Some(state) => {
+                state
+                    .validate()
+                    .unwrap_or_else(|e| panic!("invalid resume state: {e}"));
+                assert!(
+                    state.config == cfg,
+                    "resume state was trained with a different configuration"
+                );
+                assert!(
+                    state.u_ir.rows() == dataset.n_users
+                        && state.v_ir.rows() == dataset.n_items
+                        && state.t_p.rows() == dataset.n_tags.max(1),
+                    "resume state does not match the dataset shape"
+                );
+                rng = StdRng::from_state(state.rng_state);
+                lr_scale = state.lr_scale;
+                rollbacks = state.rollbacks;
+                start_epoch = state.next_epoch;
+                self.u_ir = state.u_ir;
+                self.v_ir = state.v_ir;
+                self.u_tg = state.u_tg;
+                self.t_p = state.t_p;
+                self.loss_history = state.loss_history;
+                match state.taxonomy {
+                    Some(taxo) => self.install_regularizer(taxo, dataset.n_tags),
+                    None => self.taxonomy = None,
+                }
+                taxorec_telemetry::counter("resilience.resume").inc(1);
+                taxorec_telemetry::sink::info(&format!(
+                    "{}: resuming at epoch {start_epoch}/{} (lr_scale {lr_scale})",
+                    self.name, cfg.epochs
+                ));
+            }
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed);
+                start_epoch = 0;
+                self.u_ir = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_ir, 0.1);
+                self.v_ir = init::lorentz_matrix(&mut rng, dataset.n_items, cfg.dim_ir, 0.1);
+                self.u_tg = init::lorentz_matrix(&mut rng, dataset.n_users, cfg.dim_tag, 0.1);
+                // Tag embeddings start very close to the origin (Nickel &
+                // Kiela's Poincaré init) so that gradient-driven
+                // co-occurrence structure dominates the random offsets.
+                self.t_p =
+                    init::poincare_matrix(&mut rng, dataset.n_tags.max(1), cfg.dim_tag, 0.001);
+                self.loss_history.clear();
+            }
         }
-        for epoch in 0..cfg.epochs {
+        let mut report = FitReport {
+            start_epoch,
+            final_lr_scale: lr_scale,
+            ..FitReport::default()
+        };
+
+        let sampler = NegativeSampler::new(dataset.n_items, split.train.clone());
+        let base_pairs = split.train_pairs();
+        if base_pairs.is_empty() {
+            self.finalize();
+            return report;
+        }
+        let warmup = (cfg.epochs as f64 * cfg.taxo_warmup_frac) as usize;
+        let mut epoch = start_epoch;
+        while epoch < cfg.epochs {
+            // Start-of-epoch snapshot: the rollback target if this epoch
+            // diverges. RNG state included so the re-run replays the same
+            // shuffle and negative draws (under the backed-off rate).
+            let snap_params = (
+                self.u_ir.clone(),
+                self.v_ir.clone(),
+                self.u_tg.clone(),
+                self.t_p.clone(),
+            );
+            let snap_rng = rng.state();
+            let snap_losses = self.loss_history.len();
+
             monitor.begin_epoch(epoch);
             // Refresh the post-aggregation embeddings once per epoch for
             // hard-negative mining (stale-but-cheap, standard practice).
             if cfg.hard_negative_pool > 0 {
                 self.finalize();
             }
-            let warmup = (cfg.epochs as f64 * cfg.taxo_warmup_frac) as usize;
             if self.tags_active
                 && cfg.lambda > 0.0
                 && epoch >= warmup.max(1)
@@ -504,9 +608,15 @@ impl Recommender for TaxoRec {
                 let stats = self.rebuild_taxonomy(dataset);
                 monitor.observe_rebuild(stats);
             }
+            // Shuffle a fresh copy: the epoch's pair order depends only
+            // on the RNG state at its start, never on earlier epochs'
+            // in-place permutations — this is what makes a resumed run
+            // replay the same order from the restored RNG state.
+            let mut pairs = base_pairs.clone();
             pairs.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut n_batches = 0usize;
+            let mut nan_batches = 0usize;
             for chunk in pairs.chunks(cfg.batch_size.max(1)) {
                 let mut users = Vec::with_capacity(chunk.len() * cfg.negatives);
                 let mut pos = Vec::with_capacity(users.capacity());
@@ -531,6 +641,7 @@ impl Recommender for TaxoRec {
                     // (through backward) and the epoch mean: skip the
                     // update, counted and warned through the monitor.
                     monitor.observe_batch(batch_loss, 0.0);
+                    nan_batches += 1;
                     continue;
                 }
                 let mut grads = f.tape.backward(metric_loss);
@@ -548,18 +659,20 @@ impl Recommender for TaxoRec {
                     .sum::<f64>()
                     .sqrt();
                 if !monitor.observe_batch(batch_loss, grad_norm) {
+                    nan_batches += 1;
                     continue;
                 }
                 epoch_loss += batch_loss;
                 n_batches += 1;
+                let lr = cfg.lr * lr_scale;
                 if let Some(g) = g_u_ir {
-                    optim::rsgd_lorentz(&mut self.u_ir, &g, cfg.lr);
+                    optim::rsgd_lorentz(&mut self.u_ir, &g, lr);
                 }
                 if let Some(g) = g_v_ir {
-                    optim::rsgd_lorentz(&mut self.v_ir, &g, cfg.lr);
+                    optim::rsgd_lorentz(&mut self.v_ir, &g, lr);
                 }
                 if let Some(g) = g_u_tg {
-                    optim::rsgd_lorentz(&mut self.u_tg, &g, cfg.lr);
+                    optim::rsgd_lorentz(&mut self.u_tg, &g, lr);
                 }
                 if let Some(r) = cfg.max_radius {
                     optim::clip_lorentz_radius(&mut self.u_ir, r);
@@ -569,11 +682,11 @@ impl Recommender for TaxoRec {
                     }
                 }
                 if let Some(g) = g_t_p {
-                    optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr * cfg.lr_tag_mult);
+                    optim::rsgd_poincare(&mut self.t_p, &g, lr * cfg.lr_tag_mult);
                 }
                 // The Eq. 8 pull acts on T^P directly: plain rate.
                 if let Some(g) = g_t_p_reg {
-                    optim::rsgd_poincare(&mut self.t_p, &g, cfg.lr);
+                    optim::rsgd_poincare(&mut self.t_p, &g, lr);
                 }
             }
             // Boundary proximity: the Poincaré tag embeddings degrade
@@ -586,15 +699,101 @@ impl Recommender for TaxoRec {
             }
             monitor.observe_boundary(max_norm);
             monitor.end_epoch();
-            self.loss_history.push(epoch_loss / n_batches.max(1) as f64);
+
+            let mut epoch_mean = epoch_loss / n_batches.max(1) as f64;
+            if taxorec_resilience::inject_nan("train.epoch") {
+                epoch_mean = f64::NAN;
+            }
+            let total = n_batches + nan_batches;
+            let diverged = !epoch_mean.is_finite() || (total > 0 && nan_batches * 2 > total);
+            if diverged {
+                rollbacks += 1;
+                report.rollbacks += 1;
+                taxorec_telemetry::counter("resilience.rollback").inc(1);
+                // Restore the start-of-epoch snapshot either way: the
+                // parameters after a diverged epoch are not trustworthy.
+                let (u_ir, v_ir, u_tg, t_p) = snap_params;
+                self.u_ir = u_ir;
+                self.v_ir = v_ir;
+                self.u_tg = u_tg;
+                self.t_p = t_p;
+                rng = StdRng::from_state(snap_rng);
+                self.loss_history.truncate(snap_losses);
+                if rollbacks > ctl.max_rollbacks {
+                    taxorec_telemetry::sink::warn(&format!(
+                        "{}: epoch {epoch} diverged; rollback budget ({}) exhausted — \
+                         stopping at the last healthy parameters",
+                        self.name, ctl.max_rollbacks
+                    ));
+                    report.gave_up = true;
+                    break;
+                }
+                lr_scale *= ctl.lr_backoff;
+                taxorec_telemetry::sink::warn(&format!(
+                    "{}: epoch {epoch} diverged (mean {epoch_mean}, {nan_batches}/{total} \
+                     non-finite batches); rolled back, retrying with lr_scale {lr_scale}",
+                    self.name
+                ));
+                continue;
+            }
+            self.loss_history.push(epoch_mean);
+            report.epochs_run += 1;
+            if ctl.checkpoint_every > 0 && (epoch + 1).is_multiple_of(ctl.checkpoint_every) {
+                if let Some(sink) = ctl.checkpoint_sink.as_mut() {
+                    let state = self.capture_train_state(epoch + 1, &rng, lr_scale, rollbacks);
+                    match sink(&state) {
+                        Ok(()) => {
+                            report.checkpoints_written += 1;
+                            taxorec_telemetry::counter("resilience.checkpoint.written").inc(1);
+                        }
+                        Err(e) => {
+                            report.checkpoint_failures += 1;
+                            taxorec_telemetry::counter("resilience.checkpoint.failed").inc(1);
+                            taxorec_telemetry::sink::warn(&format!(
+                                "{}: checkpoint after epoch {epoch} failed (training \
+                                 continues): {e}",
+                                self.name
+                            ));
+                        }
+                    }
+                }
+            }
+            if !ctl.epoch_throttle.is_zero() {
+                std::thread::sleep(ctl.epoch_throttle);
+            }
+            epoch += 1;
         }
         // Final taxonomy from the converged embeddings (for RQ4/RQ5
         // outputs), then cache inference embeddings.
-        if self.tags_active && cfg.lambda > 0.0 {
+        if self.tags_active && cfg.lambda > 0.0 && !report.gave_up {
             self.rebuild_taxonomy(dataset);
         }
         self.epoch_records = monitor.records().to_vec();
         self.finalize();
+        report.final_lr_scale = lr_scale;
+        report
+    }
+
+    /// Runs one forward pass and caches the final embeddings for
+    /// inference.
+    fn finalize(&mut self) {
+        let f = self.forward();
+        self.final_u_ir = f.tape.value(f.u_ir).clone();
+        self.final_v_ir = f.tape.value(f.v_ir).clone();
+        if let (Some(u_tg), Some(v_tg)) = (f.u_tg, f.v_tg) {
+            self.final_u_tg = f.tape.value(u_tg).clone();
+            self.final_v_tg = f.tape.value(v_tg).clone();
+        }
+    }
+}
+
+impl Recommender for TaxoRec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, dataset: &Dataset, split: &Split) {
+        self.fit_controlled(dataset, split, FitControl::default());
     }
 
     fn scores_for_user(&self, user: u32) -> Vec<f64> {
@@ -730,6 +929,122 @@ mod tests {
         for (h, r) in m.loss_history.iter().zip(&m.epoch_records) {
             assert!((h - r.mean_loss).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use std::cell::RefCell;
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 6;
+
+        // Reference run: straight through, checkpointing every 2 epochs.
+        let states: RefCell<Vec<crate::TrainState>> = RefCell::new(Vec::new());
+        let mut a = TaxoRec::new(cfg.clone());
+        let report = a.fit_controlled(
+            &d,
+            &s,
+            FitControl {
+                checkpoint_every: 2,
+                checkpoint_sink: Some(Box::new(|st: &crate::TrainState| {
+                    states.borrow_mut().push(st.clone());
+                    Ok(())
+                })),
+                ..FitControl::default()
+            },
+        );
+        assert_eq!(report.epochs_run, 6);
+        assert_eq!(report.checkpoints_written, 3);
+        assert_eq!(report.rollbacks, 0);
+        let states = states.into_inner();
+        assert_eq!(
+            states.iter().map(|s| s.next_epoch).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+
+        // Resumed run: fresh model continues from the epoch-4 state.
+        let mid = states[1].clone();
+        assert_eq!(mid.validate(), Ok(()));
+        assert!(mid.taxonomy.is_some(), "rebuild happened before epoch 4");
+        let mut b = TaxoRec::new(cfg);
+        let report = b.fit_controlled(
+            &d,
+            &s,
+            FitControl {
+                resume: Some(mid),
+                ..FitControl::default()
+            },
+        );
+        assert_eq!(report.start_epoch, 4);
+        assert_eq!(report.epochs_run, 2);
+
+        // Bit-identical parameters and scores.
+        let (ta, tb) = (a.tag_embeddings(), b.tag_embeddings());
+        assert!(ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(a.loss_history, b.loss_history);
+        for u in [0u32, 3, 7] {
+            let (sa, sb) = (a.scores_for_user(u), b.scores_for_user(u));
+            assert!(sa.iter().zip(&sb).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn resume_state_validation_rejects_garbage() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 2;
+        let states = std::cell::RefCell::new(Vec::new());
+        let mut m = TaxoRec::new(cfg.clone());
+        m.fit_controlled(
+            &d,
+            &s,
+            FitControl {
+                checkpoint_every: 1,
+                checkpoint_sink: Some(Box::new(|st: &crate::TrainState| {
+                    states.borrow_mut().push(st.clone());
+                    Ok(())
+                })),
+                ..FitControl::default()
+            },
+        );
+        let good = states.into_inner().remove(0);
+        let mut bad = good.clone();
+        bad.rng_state = [0; 4];
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.lr_scale = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.next_epoch = 99;
+        assert!(bad.validate().is_err());
+        assert_eq!(good.validate(), Ok(()));
+    }
+
+    #[test]
+    fn failing_checkpoint_sink_does_not_stop_training() {
+        let (d, s) = tiny_setup();
+        let mut cfg = TaxoRecConfig::fast_test();
+        cfg.epochs = 4;
+        let mut m = TaxoRec::new(cfg);
+        let report = m.fit_controlled(
+            &d,
+            &s,
+            FitControl {
+                checkpoint_every: 1,
+                checkpoint_sink: Some(Box::new(|_: &crate::TrainState| {
+                    Err("disk full".to_string())
+                })),
+                ..FitControl::default()
+            },
+        );
+        assert_eq!(report.epochs_run, 4, "training ran to completion");
+        assert_eq!(report.checkpoints_written, 0);
+        assert_eq!(report.checkpoint_failures, 4);
+        assert!(m.final_u_ir.all_finite());
     }
 
     #[test]

@@ -21,6 +21,28 @@
 //!   chunk order — the association pattern depends only on the chunk
 //!   size, never on the number of workers.
 //!
+//! ## Fault tolerance
+//!
+//! A panicking job no longer aborts the process. Each job runs under
+//! `catch_unwind`; a panicked *pure* job (the `par_map` family, whose
+//! only effect is filling its own result slot) is retried with bounded
+//! exponential backoff (`TAXOREC_JOB_RETRIES` extra attempts, default 2).
+//! In-place jobs ([`par_chunks`], which mutate caller slices and are not
+//! safely re-runnable) are never retried. A job that still fails surfaces
+//! as a structured [`PoolError`] — from the `try_*` entry points as a
+//! `Result`, from the panicking convenience wrappers as a regular panic
+//! on the *caller's* thread. The pool stops claiming new jobs after the
+//! first definitive failure but lets in-flight jobs finish.
+//!
+//! Result slots use poison-tolerant locking throughout, so an unwound
+//! job cannot wedge the pool, and a worker whose loop is somehow unwound
+//! outside a job (e.g. a panicking telemetry hook) is logically respawned
+//! rather than lost (`parallel.worker.respawns`).
+//!
+//! Fault injection: every job execution probes the `parallel.job` site,
+//! so `TAXOREC_FAULT=panic@parallel.job:17` makes exactly the 17th job
+//! panic — the retry path is deterministically testable.
+//!
 //! ## Thread count
 //!
 //! `TAXOREC_THREADS` controls the pool width (default:
@@ -37,18 +59,58 @@
 //!
 //! * `parallel.job.duration` — histogram of per-job (per-chunk) seconds,
 //! * `parallel.jobs` — counter of completed jobs,
+//! * `parallel.job.panics` / `parallel.job.retries` — caught panics and
+//!   the retries they triggered,
+//! * `parallel.pool.failed` — pools that returned a [`PoolError`],
+//! * `parallel.worker.respawns` — workers logically respawned,
 //! * `parallel.pool.threads` — gauge, workers used by the last pool,
 //! * `parallel.pool.utilization` — gauge, busy time / (workers × wall).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+use taxorec_resilience::RetryPolicy;
 
 thread_local! {
     /// True while the current thread is a pool worker: nested `par_*`
     /// calls fall back to the sequential path instead of spawning.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A pool job failed definitively: it panicked on every allowed attempt
+/// (or was not retryable), and the failure was isolated instead of
+/// aborting the process.
+#[derive(Clone, Debug)]
+pub struct PoolError {
+    /// The pool launch label the failure occurred under.
+    pub label: String,
+    /// Index of the failing job (chunk index for chunked entry points).
+    pub job: usize,
+    /// Attempts made before giving up.
+    pub attempts: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool {:?}: job {} failed after {} attempt(s): {}",
+            self.label, self.job, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Locks a mutex, recovering the data from a poisoned lock — a panicked
+/// job must not wedge every later reader of its slot.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Resolved pool width: `TAXOREC_THREADS` if set and ≥ 1, otherwise
@@ -64,47 +126,169 @@ pub fn thread_count() -> usize {
         .unwrap_or(4)
 }
 
+/// Extra attempts a panicked pure job gets: `TAXOREC_JOB_RETRIES`
+/// (default 2, so 3 attempts total). Re-read per pool launch.
+pub fn job_retries() -> usize {
+    if let Ok(s) = std::env::var("TAXOREC_JOB_RETRIES") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    2
+}
+
 /// True when called from inside a pool worker thread.
 pub fn in_pool() -> bool {
     IN_POOL.with(|f| f.get())
+}
+
+/// Renders a panic payload for [`PoolError::message`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct JobFailure {
+    job: usize,
+    attempts: usize,
+    message: String,
+}
+
+/// Runs job `i` under `catch_unwind`, retrying per `policy` when
+/// `retryable`. Timing/counters are recorded for the successful attempt.
+fn execute_job(
+    label: &str,
+    work: &(dyn Fn(usize) + Sync),
+    i: usize,
+    policy: &RetryPolicy,
+    job_hist: &taxorec_telemetry::registry::Histogram,
+    job_count: &taxorec_telemetry::registry::Counter,
+) -> Result<std::time::Duration, JobFailure> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            taxorec_telemetry::counter("parallel.job.retries").inc(1);
+            std::thread::sleep(policy.backoff_for(attempt));
+        }
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            taxorec_resilience::inject_panic("parallel.job");
+            work(i)
+        }));
+        match result {
+            Ok(()) => {
+                let dt = t0.elapsed();
+                job_hist.observe(dt.as_secs_f64());
+                job_count.inc(1);
+                return Ok(dt);
+            }
+            Err(payload) => {
+                last = panic_message(payload);
+                taxorec_telemetry::counter("parallel.job.panics").inc(1);
+                taxorec_telemetry::sink::warn(&format!(
+                    "{label}: job {i} panicked (attempt {}/{attempts}): {last}",
+                    attempt + 1
+                ));
+            }
+        }
+    }
+    Err(JobFailure {
+        job: i,
+        attempts,
+        message: last,
+    })
 }
 
 /// Runs `work(0) .. work(n_jobs-1)` across the pool; jobs are claimed
 /// through an atomic cursor so workers load-balance automatically. Falls
 /// back to an inline sequential loop (identical invocation order) when the
 /// pool width is 1, the job count is ≤ 1, or the caller is itself a pool
-/// worker.
-fn run_pool(label: &str, n_jobs: usize, work: &(dyn Fn(usize) + Sync)) {
+/// worker. `retryable` gates the panic-retry path (pure jobs only).
+fn run_pool(
+    label: &str,
+    n_jobs: usize,
+    retryable: bool,
+    work: &(dyn Fn(usize) + Sync),
+) -> Result<(), PoolError> {
     let job_hist = taxorec_telemetry::histogram("parallel.job.duration");
     let job_count = taxorec_telemetry::counter("parallel.jobs");
+    let policy = if retryable {
+        RetryPolicy {
+            max_attempts: 1 + job_retries(),
+            ..RetryPolicy::default()
+        }
+    } else {
+        RetryPolicy::none()
+    };
+    let fail = |f: JobFailure| {
+        taxorec_telemetry::counter("parallel.pool.failed").inc(1);
+        PoolError {
+            label: label.to_string(),
+            job: f.job,
+            attempts: f.attempts,
+            message: f.message,
+        }
+    };
     let n_workers = thread_count().min(n_jobs.max(1));
     if n_workers <= 1 || n_jobs <= 1 || in_pool() {
         for i in 0..n_jobs {
-            let t0 = Instant::now();
-            work(i);
-            job_hist.observe(t0.elapsed().as_secs_f64());
-            job_count.inc(1);
+            execute_job(label, work, i, &policy, &job_hist, &job_count).map_err(fail)?;
         }
-        return;
+        return Ok(());
     }
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let busy_ns = AtomicU64::new(0);
+    let done: Vec<AtomicBool> = (0..n_jobs).map(|_| AtomicBool::new(false)).collect();
+    let failure: Mutex<Option<JobFailure>> = Mutex::new(None);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
                 IN_POOL.with(|f| f.set(true));
+                // The outer loop is the logical respawn: if anything
+                // unwinds *outside* a job's own catch (telemetry hooks,
+                // allocator shims), the worker restarts instead of dying
+                // with work left on the queue.
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
+                    let survived = catch_unwind(AssertUnwindSafe(|| loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        match execute_job(label, work, i, &policy, &job_hist, &job_count) {
+                            Ok(dt) => {
+                                done[i].store(true, Ordering::Release);
+                                busy_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                            }
+                            Err(f) => {
+                                stop.store(true, Ordering::Relaxed);
+                                let mut g = lock_ignore_poison(&failure);
+                                if g.is_none() {
+                                    *g = Some(f);
+                                }
+                                break;
+                            }
+                        }
+                    }));
+                    match survived {
+                        Ok(()) => break,
+                        Err(_) => {
+                            taxorec_telemetry::counter("parallel.worker.respawns").inc(1);
+                            taxorec_telemetry::sink::warn(&format!(
+                                "{label}: worker unwound outside a job; respawning"
+                            ));
+                        }
                     }
-                    let t0 = Instant::now();
-                    work(i);
-                    let dt = t0.elapsed();
-                    job_hist.observe(dt.as_secs_f64());
-                    job_count.inc(1);
-                    busy_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
                 }
             });
         }
@@ -122,18 +306,45 @@ fn run_pool(label: &str, n_jobs: usize, work: &(dyn Fn(usize) + Sync)) {
          (utilization {:.0}%)",
         utilization * 100.0
     ));
+    if let Some(f) = lock_ignore_poison(&failure).take() {
+        return Err(fail(f));
+    }
+    // With no recorded failure every job must have completed; a hole
+    // means a worker lost a claimed job to an out-of-job unwind.
+    if let Some(i) = done.iter().position(|d| !d.load(Ordering::Acquire)) {
+        return Err(fail(JobFailure {
+            job: i,
+            attempts: 0,
+            message: "job was claimed but never completed (worker lost it)".to_string(),
+        }));
+    }
+    Ok(())
 }
 
 /// Maps `f` over `0..n` and returns the results in index order.
 ///
 /// Scheduling granularity is one item per pool job; prefer
 /// [`par_map_chunked`] when individual items are cheap.
+///
+/// # Panics
+/// Panics on the caller's thread when a job fails all retry attempts;
+/// use [`try_par_map`] for a `Result`.
 pub fn par_map<T, F>(label: &str, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    par_map_chunked(label, n, 1, f)
+    try_par_map(label, n, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`par_map`]: a job that panics through its retry budget
+/// yields a [`PoolError`] instead of unwinding.
+pub fn try_par_map<T, F>(label: &str, n: usize, f: F) -> Result<Vec<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_par_map_chunked(label, n, 1, f)
 }
 
 /// Like [`par_map`], but workers claim contiguous blocks of `chunk` items
@@ -141,7 +352,27 @@ where
 /// chunk size affects scheduling and telemetry only — each item is still
 /// computed independently, so results are bit-identical for any chunking
 /// and thread count.
+///
+/// # Panics
+/// Panics on the caller's thread when a job fails all retry attempts;
+/// use [`try_par_map_chunked`] for a `Result`.
 pub fn par_map_chunked<T, F>(label: &str, n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_par_map_chunked(label, n, chunk, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`par_map_chunked`]. Jobs are pure (each item only fills its
+/// own slot), so a panicked chunk is retried — overwriting any slots the
+/// failed attempt already filled with bit-identical values.
+pub fn try_par_map_chunked<T, F>(
+    label: &str,
+    n: usize,
+    chunk: usize,
+    f: F,
+) -> Result<Vec<T>, PoolError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -149,16 +380,26 @@ where
     let chunk = chunk.max(1);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let n_chunks = n.div_ceil(chunk);
-    run_pool(label, n_chunks, &|ci| {
+    run_pool(label, n_chunks, true, &|ci| {
         let lo = ci * chunk;
         let hi = (lo + chunk).min(n);
         for (i, slot) in slots.iter().enumerate().take(hi).skip(lo) {
-            *slot.lock().unwrap() = Some(f(i));
+            *lock_ignore_poison(slot) = Some(f(i));
         }
-    });
+    })?;
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("pool job completed"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .ok_or_else(|| PoolError {
+                    label: label.to_string(),
+                    job: i / chunk,
+                    attempts: 0,
+                    message: format!("result slot {i} empty after pool completion"),
+                })
+        })
         .collect()
 }
 
@@ -166,7 +407,28 @@ where
 /// one may be shorter) and calls `f(offset, chunk)` for each, in parallel.
 /// Chunks are disjoint and their offsets are fixed, so any writes land
 /// exactly where the sequential loop would put them.
+///
+/// # Panics
+/// Panics on the caller's thread when a job panics (in-place jobs are
+/// never retried — re-running a partial mutation is not safe in general);
+/// use [`try_par_chunks`] for a `Result`.
 pub fn par_chunks<T, F>(label: &str, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    try_par_chunks(label, data, chunk_len, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`par_chunks`]. On error the chunks before the failing one
+/// hold their new values and the failing chunk may be partially written —
+/// callers that need all-or-nothing semantics must snapshot first.
+pub fn try_par_chunks<T, F>(
+    label: &str,
+    data: &mut [T],
+    chunk_len: usize,
+    f: F,
+) -> Result<(), PoolError>
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -177,11 +439,11 @@ where
         .enumerate()
         .map(|(ci, slice)| Mutex::new((ci * chunk_len, slice)))
         .collect();
-    run_pool(label, chunks.len(), &|ci| {
-        let mut guard = chunks[ci].lock().unwrap();
+    run_pool(label, chunks.len(), false, &|ci| {
+        let mut guard = lock_ignore_poison(&chunks[ci]);
         let (offset, ref mut slice) = *guard;
         f(offset, slice);
-    });
+    })
 }
 
 /// Order-deterministic chunked reduction: folds each fixed chunk
@@ -195,28 +457,49 @@ where
 /// whose `combine` is exactly associative (integer-valued sums, max/min,
 /// boolean or) are additionally bit-identical to the plain sequential
 /// fold for any chunk size.
+///
+/// # Panics
+/// Panics on the caller's thread when a fold job fails all retry
+/// attempts; use [`try_par_reduce`] for a `Result`.
 pub fn par_reduce<T, F, C>(label: &str, n: usize, chunk: usize, fold: F, combine: C) -> Option<T>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
     C: Fn(T, T) -> T,
 {
+    try_par_reduce(label, n, chunk, fold, combine).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`par_reduce`].
+pub fn try_par_reduce<T, F, C>(
+    label: &str,
+    n: usize,
+    chunk: usize,
+    fold: F,
+    combine: C,
+) -> Result<Option<T>, PoolError>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
     if n == 0 {
-        return None;
+        return Ok(None);
     }
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk);
-    let partials = par_map(label, n_chunks, |ci| {
+    let partials = try_par_map(label, n_chunks, |ci| {
         let lo = ci * chunk;
         let hi = (lo + chunk).min(n);
         fold(lo, hi)
-    });
-    partials.into_iter().reduce(combine)
+    })?;
+    Ok(partials.into_iter().reduce(combine))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taxorec_resilience::{install, FaultSpec};
 
     /// Restores the previous `TAXOREC_THREADS` value on drop.
     struct ThreadsGuard(Option<String>);
@@ -238,7 +521,8 @@ mod tests {
         }
     }
 
-    /// Serializes tests that touch the process-global env var.
+    /// Serializes tests that touch the process-global env var or the
+    /// fault-injection harness.
     fn env_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
@@ -356,5 +640,109 @@ mod tests {
         let _ = par_map("test.telemetry", 32, |i| i);
         assert!(taxorec_telemetry::counter("parallel.jobs").get() >= 32);
         assert!(taxorec_telemetry::histogram("parallel.job.duration").count() >= 1);
+    }
+
+    #[test]
+    fn injected_job_panic_is_retried_and_the_run_completes() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("4");
+        install(FaultSpec::parse("panic@parallel.job:17").unwrap());
+        let before = taxorec_telemetry::counter("parallel.job.panics").get();
+        let out = par_map("test.inject", 64, |i| i * 3);
+        taxorec_resilience::disable();
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(
+            taxorec_telemetry::counter("parallel.job.panics").get() > before,
+            "the injected panic was actually caught"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_pool_error_not_an_abort() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("4");
+        taxorec_resilience::disable();
+        // Job 13 panics on every attempt: retries exhaust, the pool
+        // returns an error, the process survives.
+        let r = try_par_map("test.fail", 40, |i| {
+            if i == 13 {
+                panic!("job 13 always dies");
+            }
+            i
+        });
+        let err = r.unwrap_err();
+        assert_eq!(err.job, 13);
+        assert!(err.attempts >= 1);
+        assert!(err.message.contains("job 13 always dies"), "{err}");
+        assert!(err.to_string().contains("test.fail"), "{err}");
+    }
+
+    #[test]
+    fn sequential_path_also_isolates_panics() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("1");
+        taxorec_resilience::disable();
+        let r = try_par_map("test.seqfail", 8, |i| {
+            if i == 5 {
+                panic!("sequential boom");
+            }
+            i
+        });
+        assert_eq!(r.unwrap_err().job, 5);
+    }
+
+    #[test]
+    fn flaky_job_succeeds_via_retry() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("2");
+        taxorec_resilience::disable();
+        // Panics on its first execution only; the retry succeeds and the
+        // result is correct.
+        let flaked = AtomicBool::new(false);
+        let out = par_map("test.flaky", 16, |i| {
+            if i == 7 && !flaked.swap(true, Ordering::SeqCst) {
+                panic!("transient failure");
+            }
+            i + 100
+        });
+        assert_eq!(out, (100..116).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_panic_is_not_retried_but_surfaces_cleanly() {
+        let _l = env_lock();
+        let _g = ThreadsGuard::set("2");
+        taxorec_resilience::disable();
+        let panics_before = taxorec_telemetry::counter("parallel.job.panics").get();
+        let mut data = vec![0usize; 50];
+        let r = try_par_chunks("test.chunkfail", &mut data, 10, |offset, chunk| {
+            if offset == 20 {
+                panic!("in-place job died");
+            }
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        let err = r.unwrap_err();
+        assert_eq!(err.job, 2);
+        assert_eq!(err.attempts, 1, "in-place jobs are never retried");
+        assert_eq!(
+            taxorec_telemetry::counter("parallel.job.panics").get(),
+            panics_before + 1
+        );
+    }
+
+    #[test]
+    fn job_retries_env_override() {
+        let _l = env_lock();
+        let prev = std::env::var("TAXOREC_JOB_RETRIES").ok();
+        std::env::set_var("TAXOREC_JOB_RETRIES", "5");
+        assert_eq!(job_retries(), 5);
+        std::env::set_var("TAXOREC_JOB_RETRIES", "0");
+        assert_eq!(job_retries(), 0);
+        match prev {
+            Some(v) => std::env::set_var("TAXOREC_JOB_RETRIES", v),
+            None => std::env::remove_var("TAXOREC_JOB_RETRIES"),
+        }
     }
 }

@@ -14,10 +14,12 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use taxorec_core::{TaxoRec, TaxoRecConfig};
-use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
-use taxorec_serve::Checkpoint;
+use taxorec_core::{FitControl, TaxoRec, TaxoRecConfig};
+use taxorec_data::{generate_preset, Preset, Scale, Split};
+use taxorec_resilience::RetryPolicy;
+use taxorec_serve::{Checkpoint, TrainCheckpoint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,9 +47,14 @@ taxorec-serve — train, inspect, and serve .taxo model artifacts
 
 USAGE:
   taxorec-serve train-demo <out.taxo> [--preset P] [--scale S] [--epochs N]
+                           [--checkpoint CK] [--checkpoint-every N] [--resume CK]
       Train TaxoRec on a synthetic dataset and save a serving artifact.
       P: ciao | amazon-cd | amazon-book | yelp   (default ciao)
       S: tiny | bench | full                     (default tiny)
+      --checkpoint CK        write a resumable training checkpoint to CK
+      --checkpoint-every N   every N completed epochs (default 1)
+      --resume CK            continue bit-identically from CK (missing file
+                             = fresh start); config flags must match
 
   taxorec-serve inspect <model.taxo>
       Print the artifact's model card (dims, users, items, tags, taxonomy).
@@ -110,12 +117,87 @@ fn train_demo(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--epochs {e:?} is not an integer"))?;
     }
+    let ckpt_path = flag(args, "--checkpoint")?.map(str::to_string);
+    let ckpt_every: usize = match flag(args, "--checkpoint-every")? {
+        None => 1,
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("--checkpoint-every {n:?} is not an integer"))?,
+    };
+    let resume_path = flag(args, "--resume")?;
+
+    let mut ctl = FitControl::default();
+    if let Some(path) = resume_path {
+        if std::path::Path::new(path).exists() {
+            let state = TrainCheckpoint::load_file(path)
+                .map_err(|e| format!("--resume {path}: {e}"))?
+                .state;
+            println!(
+                "resuming from {path}: epoch {}/{} done, lr_scale {}",
+                state.next_epoch, state.config.epochs, state.lr_scale
+            );
+            if state.config != config {
+                return Err(format!(
+                    "--resume {path} was trained with a different configuration \
+                     (pass the same --epochs and dataset flags)"
+                ));
+            }
+            ctl.resume = Some(state);
+        } else {
+            println!("--resume {path}: no checkpoint yet, starting fresh");
+        }
+    }
+    if let Some(path) = &ckpt_path {
+        let path = path.clone();
+        ctl.checkpoint_every = ckpt_every.max(1);
+        // Each save gets a small retry budget: a transient IO failure
+        // (or an injected io@checkpoint.save fault) costs a retry, not
+        // the checkpoint.
+        ctl.checkpoint_sink = Some(Box::new(move |state| {
+            RetryPolicy::default()
+                .run("checkpoint.save", |_| {
+                    TrainCheckpoint::new(state.clone()).save(&path)
+                })
+                .map_err(|e| e.to_string())
+        }));
+    }
+    // Testing hook: slow the epoch loop down so an external kill lands
+    // mid-run deterministically (see the crash-resume integration test).
+    if let Ok(ms) = std::env::var("TAXOREC_EPOCH_SLEEP_MS") {
+        let ms: u64 = ms
+            .trim()
+            .parse()
+            .map_err(|_| format!("TAXOREC_EPOCH_SLEEP_MS={ms:?} is not an integer"))?;
+        ctl.epoch_throttle = Duration::from_millis(ms);
+    }
+
     println!(
         "training TaxoRec on synthetic {} ({} users, {} items, {} tags), {} epochs…",
         dataset.name, dataset.n_users, dataset.n_items, dataset.n_tags, config.epochs
     );
     let mut model = TaxoRec::new(config);
-    model.fit(&dataset, &split);
+    let report = model.fit_controlled(&dataset, &split, ctl);
+    if report.start_epoch > 0 {
+        println!(
+            "resumed at epoch {}, ran {} more",
+            report.start_epoch, report.epochs_run
+        );
+    }
+    if report.rollbacks > 0 {
+        println!(
+            "recovered from {} diverged epoch(s); final lr_scale {}",
+            report.rollbacks, report.final_lr_scale
+        );
+    }
+    if report.checkpoint_failures > 0 {
+        println!(
+            "warning: {} checkpoint write(s) failed ({} succeeded)",
+            report.checkpoint_failures, report.checkpoints_written
+        );
+    }
+    if report.gave_up {
+        return Err("training diverged beyond the rollback budget; artifact not saved".into());
+    }
     let ckpt = Checkpoint::from_model(&model)
         .with_dataset(&dataset)
         .with_seen_items(&split.train);

@@ -29,7 +29,7 @@
 use std::path::Path;
 
 use taxorec_autodiff::Matrix;
-use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig};
+use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig, TrainState};
 use taxorec_data::Dataset;
 use taxorec_taxonomy::{Seeding, TaxoNode, Taxonomy};
 
@@ -40,6 +40,12 @@ use crate::wire::{crc32, Reader, Writer};
 pub const MAGIC: [u8; 4] = *b"TAXO";
 /// The format version this build writes and the newest it can read.
 pub const FORMAT_VERSION: u16 = 1;
+/// Header flag bit marking a **training checkpoint** (resumable
+/// [`TrainState`]) rather than a serving artifact. The two payloads share
+/// the container (magic, version, length, CRC) but not the section
+/// layout, so the flag keeps either loader from misparsing the other's
+/// file with a confusing section-level error.
+pub const FLAG_TRAIN_STATE: u16 = 0x1;
 /// Fixed header size: magic + version + flags + payload length.
 const HEADER_LEN: usize = 16;
 /// CRC-32 trailer size.
@@ -216,17 +222,7 @@ impl Checkpoint {
         for items in &self.seen_items {
             p.put_u32s(items);
         }
-        let payload = p.into_bytes();
-
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        let crc = crc32(&payload);
-        out.extend_from_slice(&payload);
-        out.extend_from_slice(&crc.to_le_bytes());
-        out
+        seal_container(0, p.into_bytes())
     }
 
     /// Parses and fully validates an artifact.
@@ -234,57 +230,18 @@ impl Checkpoint {
     /// # Errors
     /// See [`CheckpointError`] — each failure mode is distinguished.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        let minimum = HEADER_LEN + TRAILER_LEN;
-        if bytes.len() < minimum {
-            return Err(CheckpointError::TooShort {
-                found: bytes.len(),
-                minimum,
-            });
+        let (flags, payload) = parse_container(bytes)?;
+        if flags & FLAG_TRAIN_STATE != 0 {
+            return Err(CheckpointError::Corrupt(
+                "this is a training checkpoint (resume state), not a serving artifact — \
+                 load it with TrainCheckpoint / --resume"
+                    .to_string(),
+            ));
         }
-        if bytes[0..4] != MAGIC {
-            return Err(CheckpointError::BadMagic {
-                found: bytes[0..4].try_into().unwrap(),
-            });
-        }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-        if version == 0 || version > FORMAT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
         if flags != 0 {
             return Err(CheckpointError::Corrupt(format!(
                 "reserved header flags are nonzero ({flags:#06x})"
             )));
-        }
-        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        let expected = (HEADER_LEN as u64)
-            .saturating_add(payload_len)
-            .saturating_add(TRAILER_LEN as u64);
-        let expected = usize::try_from(expected).map_err(|_| CheckpointError::Truncated {
-            expected: usize::MAX,
-            found: bytes.len(),
-        })?;
-        if bytes.len() < expected {
-            return Err(CheckpointError::Truncated {
-                expected,
-                found: bytes.len(),
-            });
-        }
-        if bytes.len() > expected {
-            return Err(CheckpointError::Corrupt(format!(
-                "{} trailing bytes after the checksum",
-                bytes.len() - expected
-            )));
-        }
-        let payload = &bytes[HEADER_LEN..expected - TRAILER_LEN];
-        let stored =
-            u32::from_le_bytes(bytes[expected - TRAILER_LEN..expected].try_into().unwrap());
-        let computed = crc32(payload);
-        if stored != computed {
-            return Err(CheckpointError::ChecksumMismatch { stored, computed });
         }
 
         let mut r = Reader::new(payload);
@@ -391,18 +348,8 @@ impl Checkpoint {
     /// rename over `path`, so a crash mid-write never leaves a truncated
     /// artifact under the final name.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let path = path.as_ref();
         let bytes = self.to_bytes();
-        let tmp = path.with_extension("taxo.tmp");
-        std::fs::write(&tmp, &bytes)
-            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            CheckpointError::Io(format!(
-                "rename {} -> {}: {e}",
-                tmp.display(),
-                path.display()
-            ))
-        })?;
+        write_atomic(path.as_ref(), &bytes)?;
         taxorec_telemetry::counter("serve.checkpoint.saved").inc(1);
         taxorec_telemetry::gauge("serve.checkpoint.bytes").set(bytes.len() as f64);
         Ok(())
@@ -431,6 +378,215 @@ pub fn save(model: &TaxoRec, path: impl AsRef<Path>) -> Result<(), CheckpointErr
 /// Loads an artifact from `path` and builds the online query engine.
 pub fn load(path: impl AsRef<Path>) -> Result<ServingModel, CheckpointError> {
     ServingModel::new(Checkpoint::load_file(path)?)
+}
+
+/// A resumable mid-training snapshot in the `.taxo` container
+/// ([`FLAG_TRAIN_STATE`] set in the header flags).
+///
+/// Written periodically by `taxorec-serve train-demo --checkpoint-every`
+/// and read back by `--resume`; the payload is exactly a
+/// [`TrainState`] — raw parameters, RNG words, learning-rate scale, loss
+/// history, and the last-rebuild taxonomy — so a resumed run continues
+/// **bit-identically** (see `taxorec_core::fit_control`).
+#[derive(Clone, Debug)]
+pub struct TrainCheckpoint {
+    /// The resumable training state.
+    pub state: TrainState,
+}
+
+impl TrainCheckpoint {
+    /// Wraps a captured training state.
+    pub fn new(state: TrainState) -> Self {
+        Self { state }
+    }
+
+    /// Serializes to the `.taxo` wire format with [`FLAG_TRAIN_STATE`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let s = &self.state;
+        let mut p = Writer::new();
+        write_config(&mut p, &s.config);
+        p.put_usize(s.next_epoch);
+        for &w in &s.rng_state {
+            p.put_u64(w);
+        }
+        p.put_f64(s.lr_scale);
+        p.put_usize(s.rollbacks);
+        for m in [&s.u_ir, &s.v_ir, &s.u_tg, &s.t_p] {
+            write_matrix(&mut p, m);
+        }
+        p.put_f64s(&s.loss_history);
+        match &s.taxonomy {
+            None => p.put_bool(false),
+            Some(taxo) => {
+                p.put_bool(true);
+                write_taxonomy(&mut p, taxo);
+            }
+        }
+        seal_container(FLAG_TRAIN_STATE, p.into_bytes())
+    }
+
+    /// Parses and validates a training checkpoint.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`]; a serving artifact (flags without
+    /// [`FLAG_TRAIN_STATE`]) is rejected with a pointed message.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let (flags, payload) = parse_container(bytes)?;
+        if flags & FLAG_TRAIN_STATE == 0 {
+            return Err(CheckpointError::Corrupt(
+                "this is a serving artifact, not a training checkpoint — \
+                 pass it to `serve`/`inspect` instead of --resume"
+                    .to_string(),
+            ));
+        }
+        if flags != FLAG_TRAIN_STATE {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown header flag bits ({flags:#06x})"
+            )));
+        }
+        let mut r = Reader::new(payload);
+        let config = read_config(&mut r)?;
+        let next_epoch = r.get_usize("next_epoch")?;
+        let mut rng_state = [0u64; 4];
+        for (i, w) in rng_state.iter_mut().enumerate() {
+            *w = r.get_u64(&format!("rng word {i}"))?;
+        }
+        let lr_scale = r.get_f64("lr_scale")?;
+        let rollbacks = r.get_usize("rollback count")?;
+        let u_ir = read_matrix(&mut r, "u_ir")?;
+        let v_ir = read_matrix(&mut r, "v_ir")?;
+        let u_tg = read_matrix(&mut r, "u_tg")?;
+        let t_p = read_matrix(&mut r, "t_p")?;
+        let loss_history = r.get_f64s("loss history")?;
+        let taxonomy = if r.get_bool("taxonomy presence flag")? {
+            Some(read_taxonomy(&mut r)?)
+        } else {
+            None
+        };
+        r.expect_end()?;
+        let state = TrainState {
+            config,
+            next_epoch,
+            rng_state,
+            lr_scale,
+            rollbacks,
+            u_ir,
+            v_ir,
+            u_tg,
+            t_p,
+            loss_history,
+            taxonomy,
+        };
+        state.validate().map_err(CheckpointError::Invalid)?;
+        Ok(Self { state })
+    }
+
+    /// Writes the checkpoint atomically (tmp + rename), like
+    /// [`Checkpoint::save`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes();
+        write_atomic(path.as_ref(), &bytes)?;
+        taxorec_telemetry::counter("resilience.train_checkpoint.saved").inc(1);
+        taxorec_telemetry::gauge("resilience.train_checkpoint.bytes").set(bytes.len() as f64);
+        Ok(())
+    }
+
+    /// Reads and validates a training checkpoint from disk.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        let ckpt = Self::from_bytes(&bytes)?;
+        taxorec_telemetry::counter("resilience.train_checkpoint.loaded").inc(1);
+        Ok(ckpt)
+    }
+}
+
+/// Wraps `payload` in the shared `.taxo` container: header (magic,
+/// version, `flags`, length) + payload + CRC-32 trailer.
+fn seal_container(flags: u16, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates the container framing (magic, version, length, checksum)
+/// and returns the header flags plus the checksummed payload slice.
+fn parse_container(bytes: &[u8]) -> Result<(u16, &[u8]), CheckpointError> {
+    let minimum = HEADER_LEN + TRAILER_LEN;
+    if bytes.len() < minimum {
+        return Err(CheckpointError::TooShort {
+            found: bytes.len(),
+            minimum,
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CheckpointError::BadMagic {
+            found: bytes[0..4].try_into().unwrap(),
+        });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let expected = (HEADER_LEN as u64)
+        .saturating_add(payload_len)
+        .saturating_add(TRAILER_LEN as u64);
+    let expected = usize::try_from(expected).map_err(|_| CheckpointError::Truncated {
+        expected: usize::MAX,
+        found: bytes.len(),
+    })?;
+    if bytes.len() < expected {
+        return Err(CheckpointError::Truncated {
+            expected,
+            found: bytes.len(),
+        });
+    }
+    if bytes.len() > expected {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after the checksum",
+            bytes.len() - expected
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..expected - TRAILER_LEN];
+    let stored = u32::from_le_bytes(bytes[expected - TRAILER_LEN..expected].try_into().unwrap());
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    Ok((flags, payload))
+}
+
+/// Atomic write shared by both checkpoint kinds: serialize to
+/// `<path>.tmp`, then rename over `path`, so a crash mid-write never
+/// leaves a truncated artifact under the final name. Probes the
+/// `checkpoint.save` fault site first, so `TAXOREC_FAULT=io@checkpoint.save:2`
+/// deterministically fails the second save.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    if let Some(msg) = taxorec_resilience::inject_io("checkpoint.save") {
+        return Err(CheckpointError::Io(msg));
+    }
+    let tmp = path.with_extension("taxo.tmp");
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        CheckpointError::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
 }
 
 fn write_matrix(w: &mut Writer, m: &Matrix) {

@@ -1,10 +1,10 @@
 //! A minimal std-only HTTP/1.1 front end for [`ServingModel`].
 //!
-//! No async runtime and no HTTP crate: a nonblocking `TcpListener`
-//! polled by a small pool of worker threads, one request per connection
-//! (`Connection: close`), graceful shutdown through an `AtomicBool`.
-//! That is all a latency-tolerant model server needs, and it keeps the
-//! crate dependency-free.
+//! No async runtime and no HTTP crate: a dedicated acceptor thread feeds
+//! a **bounded connection queue** drained by a small pool of worker
+//! threads, one request per connection (`Connection: close`), graceful
+//! shutdown through an `AtomicBool`. That is all a latency-tolerant
+//! model server needs, and it keeps the crate dependency-free.
 //!
 //! Endpoints (all `GET`, all JSON):
 //!
@@ -12,16 +12,38 @@
 //! |--------------|----------------------|--------------------------------------------|
 //! | `/recommend` | `user=<id>&k=<n>`    | top-K items with scores                    |
 //! | `/explain`   | `user=<id>&item=<id>`| score + tag/taxonomy rationale             |
-//! | `/healthz`   | —                    | liveness + model card                      |
+//! | `/healthz`   | —                    | readiness + model card                     |
 //! | `/metrics`   | —                    | `taxorec-telemetry` registry snapshot      |
 //!
-//! Every request lands in the `serve.http.requests` counter and a
-//! per-endpoint latency histogram (`serve.http.<endpoint>.ms`).
+//! ## Hardening
+//!
+//! * **Deadlines** — every accepted connection gets read/write timeouts
+//!   ([`ServeOptions::io_timeout`]); a stalled or trickling client is
+//!   disconnected instead of pinning a worker forever.
+//! * **Size caps** — request heads over
+//!   [`ServeOptions::max_request_bytes`] are rejected with `400`.
+//! * **Load shedding** — when the connection queue is full the acceptor
+//!   answers `503` with a `Retry-After` header immediately rather than
+//!   letting the backlog grow without bound (`serve.http.shed`).
+//! * **Panic isolation** — each request handler runs under
+//!   `catch_unwind`; a panicking request gets a `500` and the worker
+//!   lives on (`serve.http.panics`). The `serve.request` fault site makes
+//!   this deterministically testable.
+//! * **Degraded spawn** — if some worker threads fail to spawn the
+//!   server runs with the ones it got and `/healthz` reports
+//!   `"degraded"`; only zero workers is fatal.
+//!
+//! `/healthz` reports `"ready"`, `"degraded"` (reduced worker pool), or
+//! `"draining"` (shutdown in progress). Every request lands in the
+//! `serve.http.requests` counter and a per-endpoint latency histogram
+//! (`serve.http.<endpoint>.ms`).
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,10 +51,6 @@ use taxorec_telemetry::json::{push_f64, push_str_escaped};
 
 use crate::model::{ServeError, ServingModel};
 
-/// Largest request head (request line + headers) we accept.
-const MAX_REQUEST_BYTES: usize = 16 * 1024;
-/// How long an accepted connection may dawdle before we give up on it.
-const IO_TIMEOUT: Duration = Duration::from_secs(5);
 /// Accept-loop poll interval while idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 /// Default `k` when `/recommend` omits it.
@@ -40,11 +58,109 @@ const DEFAULT_K: usize = 10;
 /// Upper bound on `k` per request (keeps a typo from ranking the world).
 const MAX_K: usize = 1000;
 
-/// A running server: joinable worker threads plus a shutdown flag.
+/// Tuning knobs for [`serve_with`]. [`ServeOptions::from_env`] reads the
+/// `TAXOREC_SERVE_*` variables; [`Default`] ignores the environment.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads handling requests (≥ 1 enforced).
+    pub n_workers: usize,
+    /// Per-connection read/write deadline. A client that stalls longer
+    /// than this mid-request is disconnected.
+    /// Env: `TAXOREC_SERVE_TIMEOUT_MS`.
+    pub io_timeout: Duration,
+    /// Largest request head (request line + headers) accepted.
+    /// Env: `TAXOREC_SERVE_MAX_REQUEST_BYTES`.
+    pub max_request_bytes: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this the
+    /// acceptor sheds load with `503 + Retry-After`.
+    /// Env: `TAXOREC_SERVE_MAX_QUEUE`.
+    pub max_queue: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            n_workers: 4,
+            io_timeout: Duration::from_secs(5),
+            max_request_bytes: 16 * 1024,
+            max_queue: 64,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults overridden by `TAXOREC_SERVE_TIMEOUT_MS`,
+    /// `TAXOREC_SERVE_MAX_REQUEST_BYTES`, and `TAXOREC_SERVE_MAX_QUEUE`
+    /// where set and parseable.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Some(ms) = env_usize("TAXOREC_SERVE_TIMEOUT_MS") {
+            o.io_timeout = Duration::from_millis(ms.max(1) as u64);
+        }
+        if let Some(b) = env_usize("TAXOREC_SERVE_MAX_REQUEST_BYTES") {
+            o.max_request_bytes = b.max(64);
+        }
+        if let Some(q) = env_usize("TAXOREC_SERVE_MAX_QUEUE") {
+            o.max_queue = q.max(1);
+        }
+        o
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Server readiness, surfaced through `/healthz`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Full worker pool, accepting traffic.
+    Ready,
+    /// Serving, but with fewer workers than requested (spawn failures).
+    Degraded,
+    /// Shutdown requested; draining in-flight work.
+    Draining,
+}
+
+impl Health {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Ready => "ready",
+            Self::Degraded => "degraded",
+            Self::Draining => "draining",
+        }
+    }
+}
+
+const HEALTH_READY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_DRAINING: u8 = 2;
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    shutdown: AtomicBool,
+    health: AtomicU8,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    opts: ServeOptions,
+}
+
+impl Shared {
+    fn health(&self) -> Health {
+        match self.health.load(Ordering::SeqCst) {
+            HEALTH_DEGRADED => Health::Degraded,
+            HEALTH_DRAINING => Health::Draining,
+            _ => Health::Ready,
+        }
+    }
+}
+
+/// A running server: joinable acceptor + worker threads plus shared
+/// shutdown/health state.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -55,70 +171,145 @@ impl ServerHandle {
 
     /// True once [`ServerHandle::shutdown`] has been requested.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Signals the workers to stop accepting and waits for in-flight
-    /// requests to drain (each worker finishes its current response
-    /// before exiting).
+    /// Current readiness as reported by `/healthz`.
+    pub fn health(&self) -> Health {
+        self.shared.health()
+    }
+
+    /// Signals the acceptor and workers to stop and waits for in-flight
+    /// requests (and already-queued connections) to drain.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.health.store(HEALTH_DRAINING, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
-/// `model` on `n_workers` threads until the handle is shut down or
-/// dropped.
+/// `model` on `n_workers` threads with environment-tuned hardening
+/// options until the handle is shut down or dropped.
 pub fn serve(
     model: Arc<ServingModel>,
     addr: &str,
     n_workers: usize,
 ) -> std::io::Result<ServerHandle> {
+    serve_with(
+        model,
+        addr,
+        ServeOptions {
+            n_workers,
+            ..ServeOptions::from_env()
+        },
+    )
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+///
+/// Worker threads that fail to spawn are logged and skipped — the server
+/// starts with whatever pool it got, reporting `"degraded"` health.
+/// Only a total spawn failure (zero workers) is an error.
+pub fn serve_with(
+    model: Arc<ServingModel>,
+    addr: &str,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let listener = Arc::new(listener);
-    let n_workers = n_workers.max(1);
-    let mut workers = Vec::with_capacity(n_workers);
-    for i in 0..n_workers {
-        let listener = Arc::clone(&listener);
-        let shutdown = Arc::clone(&shutdown);
+    let n_requested = opts.n_workers.max(1);
+    let shared = Arc::new(Shared {
+        shutdown: AtomicBool::new(false),
+        health: AtomicU8::new(HEALTH_READY),
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        opts,
+    });
+    let mut threads = Vec::with_capacity(n_requested + 1);
+    let mut spawned = 0usize;
+    let mut last_err: Option<std::io::Error> = None;
+    for i in 0..n_requested {
+        let shared = Arc::clone(&shared);
         let model = Arc::clone(&model);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("taxorec-serve-{i}"))
-                .spawn(move || worker_loop(&listener, &shutdown, &model))
-                .expect("spawn server worker"),
+        match std::thread::Builder::new()
+            .name(format!("taxorec-serve-{i}"))
+            .spawn(move || worker_loop(&shared, &model))
+        {
+            Ok(h) => {
+                threads.push(h);
+                spawned += 1;
+            }
+            Err(e) => {
+                taxorec_telemetry::counter("serve.worker.spawn_failed").inc(1);
+                taxorec_telemetry::sink::warn(&format!(
+                    "failed to spawn server worker {i}: {e}; continuing with fewer workers"
+                ));
+                last_err = Some(e);
+            }
+        }
+    }
+    if spawned == 0 {
+        return Err(
+            last_err.unwrap_or_else(|| std::io::Error::other("no server workers could be spawned"))
         );
+    }
+    if spawned < n_requested {
+        shared.health.store(HEALTH_DEGRADED, Ordering::SeqCst);
+        taxorec_telemetry::sink::warn(&format!(
+            "serving degraded: {spawned}/{n_requested} workers"
+        ));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("taxorec-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))?;
+        threads.push(acceptor);
     }
     Ok(ServerHandle {
         addr,
-        shutdown,
-        workers,
+        shared,
+        threads,
     })
 }
 
-fn worker_loop(listener: &TcpListener, shutdown: &AtomicBool, model: &ServingModel) {
-    while !shutdown.load(Ordering::SeqCst) {
+/// Accepts connections into the bounded queue, shedding with `503` when
+/// it is full.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-                handle_connection(stream, model);
+                let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
+                let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
+                let mut q = lock_queue(&shared.queue);
+                if q.len() >= shared.opts.max_queue {
+                    drop(q);
+                    shed(stream, shared.opts.io_timeout);
+                    continue;
+                }
+                q.push_back(stream);
+                taxorec_telemetry::gauge("serve.queue.depth").set(q.len() as f64);
+                drop(q);
+                shared.ready.notify_one();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -126,23 +317,84 @@ fn worker_loop(listener: &TcpListener, shutdown: &AtomicBool, model: &ServingMod
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
+    shared.ready.notify_all();
 }
 
-fn handle_connection(mut stream: TcpStream, model: &ServingModel) {
-    let head = match read_head(&mut stream) {
+/// Rejects an over-capacity connection with `503 + Retry-After` without
+/// reading the request (the write deadline bounds even this).
+fn shed(mut stream: TcpStream, io_timeout: Duration) {
+    taxorec_telemetry::counter("serve.http.shed").inc(1);
+    let retry_after = io_timeout.as_secs().max(1);
+    let _ = respond_with(
+        &mut stream,
+        503,
+        &format!("Retry-After: {retry_after}\r\n"),
+        &error_json("server overloaded; retry later"),
+    );
+}
+
+/// Poison-tolerant queue lock: a worker that panicked while holding the
+/// lock (can't happen in the current code, but belts and braces) must not
+/// wedge the acceptor.
+fn lock_queue(q: &Mutex<VecDeque<TcpStream>>) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &Shared, model: &ServingModel) {
+    loop {
+        let stream = {
+            let mut q = lock_queue(&shared.queue);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    taxorec_telemetry::gauge("serve.queue.depth").set(q.len() as f64);
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .ready
+                    .wait_timeout(q, POLL_INTERVAL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(s, shared, model),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, model: &ServingModel) {
+    let head = match read_head(&mut stream, shared.opts.max_request_bytes) {
         Some(h) => h,
         None => {
             let _ = respond(
                 &mut stream,
                 400,
-                &error_json("malformed or oversized request"),
+                &error_json("malformed, oversized, or timed-out request"),
             );
             return;
         }
     };
     taxorec_telemetry::counter("serve.http.requests").inc(1);
     let start = Instant::now();
-    let (status, body, endpoint) = route(&head, model);
+    // Panic isolation: one poisonous request must not take the worker
+    // (let alone the process) down with it. The `serve.request` fault
+    // site makes this path deterministically testable.
+    let routed = catch_unwind(AssertUnwindSafe(|| {
+        taxorec_resilience::inject_panic("serve.request");
+        route(&head, shared, model)
+    }));
+    let (status, body, endpoint) = match routed {
+        Ok(r) => r,
+        Err(_) => {
+            taxorec_telemetry::counter("serve.http.panics").inc(1);
+            taxorec_telemetry::sink::warn("request handler panicked; worker continues");
+            (500, error_json("internal error"), "other")
+        }
+    };
     let _ = respond(&mut stream, status, &body);
     // Covers routing (the model work) plus the response write, so the
     // histogram reflects what a client observes.
@@ -152,11 +404,11 @@ fn handle_connection(mut stream: TcpStream, model: &ServingModel) {
 
 /// Reads bytes until the end of the request head (`\r\n\r\n`) and returns
 /// the head as text. `None` on malformed, oversized, or timed-out input.
-fn read_head(stream: &mut TcpStream) -> Option<String> {
+fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= max_bytes {
             break;
         }
         match stream.read(&mut chunk) {
@@ -165,7 +417,7 @@ fn read_head(stream: &mut TcpStream) -> Option<String> {
             Err(_) => return None,
         }
     }
-    if buf.len() >= MAX_REQUEST_BYTES {
+    if buf.len() >= max_bytes {
         return None;
     }
     String::from_utf8(buf).ok()
@@ -173,7 +425,7 @@ fn read_head(stream: &mut TcpStream) -> Option<String> {
 
 /// Dispatches one parsed request; returns (status, JSON body, endpoint
 /// label for telemetry).
-fn route(head: &str, model: &ServingModel) -> (u16, String, &'static str) {
+fn route(head: &str, shared: &Shared, model: &ServingModel) -> (u16, String, &'static str) {
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
@@ -190,7 +442,7 @@ fn route(head: &str, model: &ServingModel) -> (u16, String, &'static str) {
         None => (target, ""),
     };
     match path {
-        "/healthz" => (200, healthz_json(model), "healthz"),
+        "/healthz" => (200, healthz_json(shared, model), "healthz"),
         "/metrics" => (200, taxorec_telemetry::snapshot(), "metrics"),
         "/recommend" => handle_recommend(query, model),
         "/explain" => handle_explain(query, model),
@@ -302,10 +554,13 @@ fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static s
     }
 }
 
-fn healthz_json(model: &ServingModel) -> String {
+fn healthz_json(shared: &Shared, model: &ServingModel) -> String {
     let (cache_len, cache_cap) = model.cache_usage();
-    let mut body = String::with_capacity(128);
-    body.push_str("{\"status\":\"ok\",\"model\":");
+    let queued = lock_queue(&shared.queue).len();
+    let mut body = String::with_capacity(160);
+    body.push_str("{\"status\":\"");
+    body.push_str(shared.health().as_str());
+    body.push_str("\",\"model\":");
     push_str_escaped(&mut body, model.name());
     body.push_str(",\"users\":");
     body.push_str(&model.n_users().to_string());
@@ -313,7 +568,11 @@ fn healthz_json(model: &ServingModel) -> String {
     body.push_str(&model.n_items().to_string());
     body.push_str(",\"tags\":");
     body.push_str(&model.n_tags().to_string());
-    body.push_str(",\"cache\":{\"entries\":");
+    body.push_str(",\"queue\":{\"depth\":");
+    body.push_str(&queued.to_string());
+    body.push_str(",\"capacity\":");
+    body.push_str(&shared.opts.max_queue.to_string());
+    body.push_str("},\"cache\":{\"entries\":");
     body.push_str(&cache_len.to_string());
     body.push_str(",\"capacity\":");
     body.push_str(&cache_cap.to_string());
@@ -348,16 +607,26 @@ fn require_param(query: &str, name: &str) -> Result<u32, String> {
 }
 
 fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    respond_with(stream, status, "", body)
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let header = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
@@ -387,5 +656,21 @@ mod tests {
         let j = error_json("bad \"quote\"");
         assert_eq!(j, "{\"error\":\"bad \\\"quote\\\"\"}");
         assert!(taxorec_telemetry::json::is_valid_json(&j));
+    }
+
+    #[test]
+    fn health_state_strings() {
+        assert_eq!(Health::Ready.as_str(), "ready");
+        assert_eq!(Health::Degraded.as_str(), "degraded");
+        assert_eq!(Health::Draining.as_str(), "draining");
+    }
+
+    #[test]
+    fn serve_options_defaults_are_sane() {
+        let o = ServeOptions::default();
+        assert!(o.n_workers >= 1);
+        assert!(o.max_queue >= 1);
+        assert!(o.io_timeout > Duration::ZERO);
+        assert!(o.max_request_bytes >= 1024);
     }
 }

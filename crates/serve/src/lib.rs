@@ -54,8 +54,11 @@ pub mod lru;
 pub mod model;
 mod wire;
 
-pub use checkpoint::{load, save, Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
-pub use http::{serve, ServerHandle};
+pub use checkpoint::{
+    load, save, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_TRAIN_STATE, FORMAT_VERSION,
+    MAGIC,
+};
+pub use http::{serve, serve_with, Health, ServeOptions, ServerHandle};
 pub use lru::LruCache;
 pub use model::{Explanation, Ranking, ServeError, ServingModel, TagAffinity};
 pub use wire::crc32;

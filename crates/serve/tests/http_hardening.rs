@@ -1,0 +1,212 @@
+//! Serve-layer hardening under hostile clients: stalled and garbage
+//! requests, oversized heads, load shedding at queue capacity, and an
+//! injected mid-request panic — in every case the server answers the
+//! well-behaved client and stays up.
+//!
+//! The fault harness is process-global and the panic test arms it, so
+//! every test here serializes on one lock.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use taxorec_core::{TaxoRec, TaxoRecConfig};
+use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec_resilience::{disable, install, FaultSpec};
+use taxorec_serve::{serve_with, ServeOptions, ServingModel};
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn serving_model() -> ServingModel {
+    let dataset = generate_preset(Preset::Ciao, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut cfg = TaxoRecConfig::fast_test();
+    cfg.epochs = 2;
+    let mut model = TaxoRec::new(cfg);
+    model.fit(&dataset, &split);
+    ServingModel::from_model(&model, &dataset, &split).expect("snapshot")
+}
+
+/// One GET over a raw socket; returns (status, full raw response).
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A shed connection is answered (and closed) before the request is
+    // even read, so the send may race an EPIPE — the response is what
+    // matters.
+    let _ = write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+#[test]
+fn stalled_client_is_disconnected_while_healthz_stays_live() {
+    let _g = lock();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            io_timeout: Duration::from_millis(300),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // A client that sends half a request line and then goes silent.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stalled, "GET /recomm").expect("partial send");
+
+    // The other worker keeps answering immediately.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+
+    // After the io deadline the stalled connection is rejected, not
+    // held forever: the worker answers 400 and hangs up.
+    let mut response = String::new();
+    stalled.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("timed-out"), "{response}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_and_oversized_requests_get_400_not_a_crash() {
+    let _g = lock();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            max_request_bytes: 512,
+            io_timeout: Duration::from_secs(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // Invalid UTF-8 in the head.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&[0xff, 0xfe, 0xfd, b'\r', b'\n', b'\r', b'\n'])
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // A head larger than the cap (no terminator within 512 bytes).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let huge = format!("GET /?junk={} HTTP/1.1\r\n\r\n", "x".repeat(4096));
+    stream.write_all(huge.as_bytes()).expect("send");
+    let mut response = String::new();
+    // The server may reset the connection mid-upload after rejecting;
+    // either a 400 response or an early disconnect is acceptable.
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.is_empty() || response.starts_with("HTTP/1.1 400"),
+        "{response}"
+    );
+
+    // The server is still fully functional afterwards.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_and_retry_after() {
+    let _g = lock();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 1,
+            max_queue: 1,
+            io_timeout: Duration::from_secs(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // Occupy the only worker with a silent connection…
+    let blocker = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150));
+    // …and fill the one queue slot with another.
+    let queued = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection must be shed immediately with 503. Shedding
+    // happens at accept time, before any request is read — send nothing,
+    // or the server's close-with-unread-data would RST the response away.
+    let mut shed = TcpStream::connect(addr).expect("connect");
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    shed.read_to_string(&mut response)
+        .expect("read shed response");
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("Retry-After:"), "{response}");
+    assert!(response.contains("overloaded"), "{response}");
+
+    drop(blocker);
+    drop(queued);
+    handle.shutdown();
+}
+
+#[test]
+fn injected_request_panic_returns_500_and_the_worker_survives() {
+    let _g = lock();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 1,
+            io_timeout: Duration::from_secs(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    install(FaultSpec::parse("panic@serve.request:1").expect("spec"));
+    let (status, response) = http_get(addr, "/recommend?user=0&k=3");
+    assert_eq!(status, 500, "{response}");
+    assert!(response.contains("internal error"), "{response}");
+    disable();
+
+    // Same (sole) worker, next request: business as usual.
+    let (status, body) = http_get(addr, "/recommend?user=0&k=3");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"items\":["), "{body}");
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("serve.http.panics"), "{metrics}");
+
+    handle.shutdown();
+}

@@ -107,6 +107,12 @@ enum SinkState {
 
 static SINK: Mutex<SinkState> = Mutex::new(SinkState::Unresolved);
 
+/// Locks the sink state, recovering from a poisoned lock — a panic in
+/// one emitter must never wedge every later metric emission.
+fn lock_sink() -> std::sync::MutexGuard<'static, SinkState> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn resolve_from_env(state: &mut SinkState) {
     if !matches!(state, SinkState::Unresolved) {
         return;
@@ -135,7 +141,7 @@ fn resolve_from_env(state: &mut SinkState) {
 
 /// True when metric events are being emitted anywhere.
 pub fn metrics_enabled() -> bool {
-    let mut state = SINK.lock().unwrap();
+    let mut state = lock_sink();
     resolve_from_env(&mut state);
     matches!(*state, SinkState::On(_))
 }
@@ -144,20 +150,20 @@ pub fn metrics_enabled() -> bool {
 /// test hook for asserting on emitted JSONL.
 pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
     let buf = Arc::new(Mutex::new(Vec::new()));
-    *SINK.lock().unwrap() = SinkState::On(MetricsSink::Memory(Arc::clone(&buf)));
+    *lock_sink() = SinkState::On(MetricsSink::Memory(Arc::clone(&buf)));
     buf
 }
 
 /// Routes metric events to `path` (append), regardless of the environment.
 pub fn install_file_sink(path: &str) -> std::io::Result<()> {
     let f = OpenOptions::new().create(true).append(true).open(path)?;
-    *SINK.lock().unwrap() = SinkState::On(MetricsSink::File(Mutex::new(f)));
+    *lock_sink() = SinkState::On(MetricsSink::File(Mutex::new(f)));
     Ok(())
 }
 
 /// Turns metric emission off, regardless of the environment.
 pub fn disable_metrics() {
-    *SINK.lock().unwrap() = SinkState::Off;
+    *lock_sink() = SinkState::Off;
 }
 
 /// Milliseconds since the Unix epoch (0 if the clock is unavailable).
@@ -181,12 +187,11 @@ pub enum Attr {
 /// Emits one metric event as a JSONL record:
 /// `{"ts_ms":…,"kind":…,"name":…,"value":…}` plus any attributes.
 pub fn emit_metric(kind: &str, name: &str, value: f64, attrs: &[(&str, Attr)]) {
-    let mut state = SINK.lock().unwrap();
+    let mut state = lock_sink();
     resolve_from_env(&mut state);
-    let sink = match &*state {
-        SinkState::On(s) => s,
-        _ => return,
-    };
+    if !matches!(&*state, SinkState::On(_)) {
+        return;
+    }
     let mut line = String::with_capacity(96);
     line.push_str("{\"ts_ms\":");
     line.push_str(&unix_ms().to_string());
@@ -207,7 +212,7 @@ pub fn emit_metric(kind: &str, name: &str, value: f64, attrs: &[(&str, Attr)]) {
         }
     }
     line.push('}');
-    write_line(sink, &line);
+    write_or_disable(&mut state, &line);
 }
 
 /// Emits a pre-assembled JSON object as one JSONL record (used for run
@@ -217,21 +222,47 @@ pub fn emit_json_line(line: &str) {
         json::is_valid_json(line),
         "emit_json_line got invalid JSON: {line}"
     );
-    let mut state = SINK.lock().unwrap();
+    let mut state = lock_sink();
     resolve_from_env(&mut state);
-    if let SinkState::On(sink) = &*state {
-        write_line(sink, line);
+    if matches!(&*state, SinkState::On(_)) {
+        write_or_disable(&mut state, line);
     }
 }
 
-fn write_line(sink: &MetricsSink, line: &str) {
+/// Writes one line to the active sink. A failed write (unwritable path,
+/// disk full, closed descriptor) warns **once** and permanently disables
+/// emission — metrics are observability, never worth crashing or
+/// spamming the training loop for.
+fn write_or_disable(state: &mut SinkState, line: &str) {
+    let ok = match &*state {
+        SinkState::On(sink) => write_line(sink, line),
+        _ => return,
+    };
+    if !ok {
+        *state = SinkState::Off;
+        eprintln!(
+            "[taxorec:warn] metrics sink write failed; disabling metric emission \
+             for the rest of the process"
+        );
+    }
+}
+
+fn write_line(sink: &MetricsSink, line: &str) -> bool {
     match sink {
-        MetricsSink::Stderr => eprintln!("{line}"),
-        MetricsSink::File(f) => {
-            let mut f = f.lock().unwrap();
-            let _ = writeln!(f, "{line}");
+        MetricsSink::Stderr => {
+            eprintln!("{line}");
+            true
         }
-        MetricsSink::Memory(buf) => buf.lock().unwrap().push(line.to_string()),
+        MetricsSink::File(f) => {
+            let mut f = f.lock().unwrap_or_else(|e| e.into_inner());
+            writeln!(f, "{line}").is_ok()
+        }
+        MetricsSink::Memory(buf) => {
+            buf.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(line.to_string());
+            true
+        }
     }
 }
 
@@ -271,5 +302,31 @@ mod tests {
         // Must not panic or print.
         emit_metric("counter", "x", 1.0, &[]);
         assert!(!metrics_enabled());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn full_disk_disables_sink_without_panicking() {
+        let _g = crate::test_lock();
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // the exact disk-full scenario. The first emit must warn, disable
+        // the sink, and return normally; later emits are no-ops.
+        install_file_sink("/dev/full").expect("open /dev/full");
+        assert!(metrics_enabled());
+        emit_metric("gauge", "test.full_disk", 1.0, &[]);
+        assert!(!metrics_enabled(), "sink disabled after the failed write");
+        emit_metric("gauge", "test.full_disk", 2.0, &[]);
+        emit_json_line("{\"after\":\"disable\"}");
+        disable_metrics();
+    }
+
+    #[test]
+    fn unwritable_metrics_path_resolves_to_off() {
+        let _g = crate::test_lock();
+        assert!(install_file_sink("/nonexistent-dir/metrics.jsonl").is_err());
+        disable_metrics();
     }
 }

@@ -5,6 +5,8 @@ pub use taxorec_core as core;
 pub use taxorec_data as data;
 pub use taxorec_eval as eval;
 pub use taxorec_geometry as geometry;
+pub use taxorec_parallel as parallel;
+pub use taxorec_resilience as resilience;
 pub use taxorec_serve as serve;
 pub use taxorec_taxonomy as taxonomy;
 pub use taxorec_telemetry as telemetry;

@@ -1,0 +1,140 @@
+//! The fault-injection matrix from the resilience issue: every fault
+//! site is armed in-process (the programmatic twin of `TAXOREC_FAULT`)
+//! and the corresponding recovery path is asserted end to end —
+//! pool-job panics are retried, a NaN epoch is rolled back and re-run,
+//! a persistent NaN exhausts the rollback budget and degrades
+//! gracefully, and a failed checkpoint write is absorbed by the retry
+//! policy.
+//!
+//! The harness is process-global, so every test here serializes on one
+//! lock and disarms the spec before releasing it.
+
+use std::sync::Mutex;
+
+use taxorec::core::{FitControl, TaxoRec, TaxoRecConfig};
+use taxorec::data::{generate_preset, Preset, Scale, Split};
+use taxorec::parallel::{par_map, try_par_map};
+use taxorec::resilience::{disable, install, FaultSpec, RetryPolicy};
+use taxorec::serve::TrainCheckpoint;
+
+/// Serializes tests that arm the process-global fault harness.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn arm(spec: &str) {
+    install(FaultSpec::parse(spec).expect("valid spec"));
+}
+
+fn tiny_setup(epochs: usize) -> (taxorec::data::Dataset, Split, TaxoRecConfig) {
+    let dataset = generate_preset(Preset::Ciao, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut cfg = TaxoRecConfig::fast_test();
+    cfg.epochs = epochs;
+    (dataset, split, cfg)
+}
+
+#[test]
+fn one_shot_pool_panic_is_absorbed_by_retry() {
+    let _g = lock();
+    arm("panic@parallel.job:1");
+    // The first probed job attempt panics; the pool respawns/retries it
+    // and the map still completes with every slot filled correctly.
+    let out = par_map("fault.map", 16, |i| i * i);
+    assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    disable();
+}
+
+#[test]
+fn persistent_pool_panic_surfaces_a_pool_error() {
+    let _g = lock();
+    arm("panic@parallel.job:1+");
+    let err = try_par_map("fault.persistent", 4, |i| i).unwrap_err();
+    assert!(
+        err.message.contains("fault injected: panic@parallel.job"),
+        "{err}"
+    );
+    assert!(err.attempts >= 1, "{err}");
+    disable();
+    // The pool is healthy again once the fault is disarmed.
+    assert_eq!(par_map("fault.after", 4, |i| i + 1), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn nan_epoch_rolls_back_and_training_recovers() {
+    let _g = lock();
+    let (dataset, split, cfg) = tiny_setup(4);
+    // Epoch probe #2 (the second epoch's first attempt) reports NaN.
+    arm("nan@train.epoch:2");
+    let mut model = TaxoRec::new(cfg);
+    let report = model.fit_controlled(&dataset, &split, FitControl::default());
+    disable();
+
+    assert_eq!(report.rollbacks, 1, "{report:?}");
+    assert!(!report.gave_up, "{report:?}");
+    assert_eq!(report.epochs_run, 4, "every epoch eventually completed");
+    assert_eq!(report.final_lr_scale, 0.5, "one lr backoff applied");
+    assert_eq!(model.loss_history.len(), 4);
+    assert!(
+        model.loss_history.iter().all(|l| l.is_finite()),
+        "the rolled-back NaN never reached the history: {:?}",
+        model.loss_history
+    );
+}
+
+#[test]
+fn persistent_divergence_exhausts_the_budget_and_gives_up() {
+    let _g = lock();
+    let (dataset, split, cfg) = tiny_setup(4);
+    // Every attempt of the second epoch diverges, forever.
+    arm("nan@train.epoch:2+");
+    let mut model = TaxoRec::new(cfg);
+    let ctl = FitControl::default();
+    let max_rollbacks = ctl.max_rollbacks;
+    let report = model.fit_controlled(&dataset, &split, ctl);
+    disable();
+
+    assert!(report.gave_up, "{report:?}");
+    assert_eq!(report.rollbacks, max_rollbacks + 1, "{report:?}");
+    assert_eq!(report.epochs_run, 1, "only the clean first epoch landed");
+    // Graceful degradation: the model stops at its last healthy
+    // parameters instead of poisoning downstream consumers.
+    assert_eq!(model.loss_history.len(), 1);
+    assert!(model.loss_history[0].is_finite());
+}
+
+#[test]
+fn failed_checkpoint_write_is_absorbed_by_the_retry_policy() {
+    let _g = lock();
+    let (dataset, split, cfg) = tiny_setup(2);
+    let path = std::env::temp_dir().join(format!(
+        "taxorec-fault-io-{}.trainstate",
+        std::process::id()
+    ));
+    let path_str = path.to_string_lossy().into_owned();
+    // The very first write of the first checkpoint fails; the retry
+    // policy's second attempt goes through.
+    arm("io@checkpoint.save:1");
+    let mut ctl = FitControl {
+        checkpoint_every: 1,
+        ..FitControl::default()
+    };
+    let sink_path = path_str.clone();
+    ctl.checkpoint_sink = Some(Box::new(move |state| {
+        RetryPolicy::default()
+            .run("checkpoint.save", |_| {
+                TrainCheckpoint::new(state.clone()).save(&sink_path)
+            })
+            .map_err(|e| e.to_string())
+    }));
+    let mut model = TaxoRec::new(cfg);
+    let report = model.fit_controlled(&dataset, &split, ctl);
+    disable();
+
+    assert_eq!(report.checkpoints_written, 2, "{report:?}");
+    assert_eq!(report.checkpoint_failures, 0, "{report:?}");
+    let loaded = TrainCheckpoint::load_file(&path_str).expect("checkpoint readable");
+    assert_eq!(loaded.state.next_epoch, 2);
+    std::fs::remove_file(&path).ok();
+}

@@ -96,7 +96,8 @@ fn http_server_answers_all_endpoints_end_to_end() {
     // /healthz — liveness and the model card.
     let (status, body) = http_get(addr, "/healthz");
     assert_eq!(status, 200, "{body}");
-    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+    assert!(body.contains("\"queue\":{\"depth\":"), "{body}");
     assert!(
         body.contains(&format!("\"users\":{}", dataset.n_users)),
         "{body}"

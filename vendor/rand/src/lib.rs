@@ -161,6 +161,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring it
+        /// with [`StdRng::from_state`] resumes the stream bit-exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`].
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which xoshiro cannot leave.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256++ state"
+            );
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 stream expands the seed into the full state; the
@@ -244,6 +265,18 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
