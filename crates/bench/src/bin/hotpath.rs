@@ -1,0 +1,342 @@
+//! Microbenchmark of the fused hot-path kernels (DESIGN.md §12) against
+//! the seed scalar implementations they replaced:
+//!
+//! * **train** — per-anchor squared-distance sweeps with a hinge-style
+//!   fold, the shape of the pair-loop scoring work (pairs/sec);
+//! * **eval**  — full-catalog two-channel scoring plus top-K selection,
+//!   the per-user ranking path (users/sec).
+//!
+//! Each metric runs at `TAXOREC_THREADS` = 1 and 4 and reports the
+//! naive and fused rates plus their ratio. Results overwrite
+//! `BENCH_hotpath.json` in the working directory.
+//!
+//! `--assert-floor` exits non-zero when any fused rate falls below its
+//! naive counterpart — the CI regression floor. Problem size is
+//! overridable via `TAXOREC_HOTPATH_ITEMS` / `_USERS` / `_REPS`.
+
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taxorec_bench::time_it;
+use taxorec_core::init;
+use taxorec_data::{select_top_k, TopKAccumulator};
+use taxorec_geometry::batch::{fused_scores_multi, BlockCache, TagChannelMulti};
+use taxorec_geometry::lorentz;
+
+/// Tag-irrelevant spatial dims — the paper's D − D_t = 52 rounded up to
+/// the full D = 64 budget the runtime claims of §V-B are made at.
+const DIM_IR: usize = 64;
+/// Tag-relevant spatial dims (paper D_t = 12).
+const DIM_TAG: usize = 12;
+/// Hinge margin of the fold in the train metric.
+const MARGIN: f64 = 1.0;
+/// Top-K selection width of the eval metric.
+const TOP_K: usize = 10;
+/// Users per batched ranking call in the fused eval path — the same
+/// block size the production eval loop hands `top_k_block`.
+const EVAL_USER_CHUNK: usize = 32;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// The shared fixture: user/item embeddings for both channels, flat
+/// row-major, plus the fused caches built over the item sides.
+struct Fixture {
+    n_users: usize,
+    n_items: usize,
+    u_ir: Vec<f64>,
+    u_tg: Vec<f64>,
+    v_ir: Vec<f64>,
+    v_tg: Vec<f64>,
+    ir_cache: BlockCache,
+    tg_cache: BlockCache,
+    alphas: Vec<f64>,
+}
+
+impl Fixture {
+    fn build(n_users: usize, n_items: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x7a_0f_ec);
+        // std 0.8 spreads points from near the origin out to spatial
+        // norms past the trainer's radius clip — the full numeric range
+        // the kernels see in production.
+        let u_ir = init::lorentz_matrix(&mut rng, n_users, DIM_IR, 0.8);
+        let v_ir = init::lorentz_matrix(&mut rng, n_items, DIM_IR, 0.8);
+        let u_tg = init::lorentz_matrix(&mut rng, n_users, DIM_TAG, 0.8);
+        let v_tg = init::lorentz_matrix(&mut rng, n_items, DIM_TAG, 0.8);
+        let ir_cache = BlockCache::build(v_ir.data(), DIM_IR + 1);
+        let tg_cache = BlockCache::build(v_tg.data(), DIM_TAG + 1);
+        let alphas = (0..n_users).map(|u| 0.5 + (u % 7) as f64 * 0.1).collect();
+        Self {
+            n_users,
+            n_items,
+            u_ir: u_ir.data().to_vec(),
+            u_tg: u_tg.data().to_vec(),
+            v_ir: v_ir.data().to_vec(),
+            v_tg: v_tg.data().to_vec(),
+            ir_cache,
+            tg_cache,
+            alphas,
+        }
+    }
+
+    fn u_ir_row(&self, u: usize) -> &[f64] {
+        &self.u_ir[u * (DIM_IR + 1)..(u + 1) * (DIM_IR + 1)]
+    }
+
+    fn u_tg_row(&self, u: usize) -> &[f64] {
+        &self.u_tg[u * (DIM_TAG + 1)..(u + 1) * (DIM_TAG + 1)]
+    }
+
+    fn v_ir_row(&self, v: usize) -> &[f64] {
+        &self.v_ir[v * (DIM_IR + 1)..(v + 1) * (DIM_IR + 1)]
+    }
+
+    fn v_tg_row(&self, v: usize) -> &[f64] {
+        &self.v_tg[v * (DIM_TAG + 1)..(v + 1) * (DIM_TAG + 1)]
+    }
+}
+
+/// Train-shaped work, seed scalar path: one scalar `distance_sq` per
+/// pair, folded through a hinge against the anchor's first candidate.
+fn train_naive(fx: &Fixture) -> f64 {
+    let sums = taxorec_parallel::par_map("hotpath.train.naive", fx.n_users, |u| {
+        let anchor = fx.u_ir_row(u);
+        let d_pos = lorentz::distance_sq(anchor, fx.v_ir_row(u % fx.n_items));
+        let mut acc = 0.0;
+        for v in 0..fx.n_items {
+            let d = lorentz::distance_sq(anchor, fx.v_ir_row(v));
+            acc += (MARGIN + d_pos - d).max(0.0);
+        }
+        acc
+    });
+    sums.iter().sum()
+}
+
+/// Train-shaped work, fused path: one `distance_sq_block` sweep per
+/// anchor into a per-worker scratch buffer, then the same hinge fold.
+fn train_fused(fx: &Fixture) -> f64 {
+    let sums = taxorec_parallel::par_map("hotpath.train.fused", fx.n_users, |u| {
+        let anchor = fx.u_ir_row(u);
+        let d_pos = lorentz::distance_sq(anchor, fx.v_ir_row(u % fx.n_items));
+        taxorec_core::scratch::with_buf(fx.n_items, |d| {
+            fx.ir_cache.distance_sq_block(anchor, 0, fx.n_items, d);
+            let mut acc = 0.0;
+            for &di in d.iter() {
+                acc += (MARGIN + d_pos - di).max(0.0);
+            }
+            acc
+        })
+    });
+    sums.iter().sum()
+}
+
+/// Eval-shaped work, seed scalar path: fresh score `Vec` per user, one
+/// scalar two-channel distance pair per item, then top-K selection.
+fn eval_naive(fx: &Fixture) -> f64 {
+    let tops = taxorec_parallel::par_map("hotpath.eval.naive", fx.n_users, |u| {
+        let urow_ir = fx.u_ir_row(u);
+        let urow_tg = fx.u_tg_row(u);
+        let alpha = fx.alphas[u];
+        let mut scores = Vec::with_capacity(fx.n_items);
+        for v in 0..fx.n_items {
+            let mut g = lorentz::distance_sq(urow_ir, fx.v_ir_row(v));
+            g += alpha * lorentz::distance_sq(urow_tg, fx.v_tg_row(v));
+            scores.push(-g);
+        }
+        let top = select_top_k(&scores, TOP_K, |_| false);
+        top.first().map(|&(i, _)| i as f64).unwrap_or(0.0)
+    });
+    tops.iter().sum()
+}
+
+/// Eval-shaped work, fused path: blocks of [`EVAL_USER_CHUNK`] users,
+/// scored one [`FUSED_ITEM_CHUNK`]-wide catalogue slice at a time into
+/// per-worker scratch buffers and ranked through per-user
+/// [`TopKAccumulator`]s while each slice's scores are cache-hot —
+/// mirroring the production `Recommender::top_k_block` streaming path.
+///
+/// [`FUSED_ITEM_CHUNK`]: taxorec_geometry::batch::FUSED_ITEM_CHUNK
+fn eval_fused(fx: &Fixture) -> f64 {
+    let chunk = taxorec_geometry::batch::FUSED_ITEM_CHUNK;
+    let n_chunks = fx.n_users.div_ceil(EVAL_USER_CHUNK);
+    let tops = taxorec_parallel::par_map("hotpath.eval.fused", n_chunks, |c| {
+        let lo = c * EVAL_USER_CHUNK;
+        let hi = (lo + EVAL_USER_CHUNK).min(fx.n_users);
+        let b = hi - lo;
+        let anchors_ir: Vec<&[f64]> = (lo..hi).map(|u| fx.u_ir_row(u)).collect();
+        let anchors_tg: Vec<&[f64]> = (lo..hi).map(|u| fx.u_tg_row(u)).collect();
+        let mut accs: Vec<TopKAccumulator> = (0..b).map(|_| TopKAccumulator::new(TOP_K)).collect();
+        let buf_len = b * fx.n_items.min(chunk);
+        taxorec_core::scratch::with_buf(buf_len, |scores| {
+            taxorec_core::scratch::with_buf(buf_len, |scr| {
+                let mut v0 = 0;
+                while v0 < fx.n_items {
+                    let v1 = (v0 + chunk).min(fx.n_items);
+                    let m = v1 - v0;
+                    fused_scores_multi(
+                        &fx.ir_cache,
+                        &anchors_ir,
+                        Some(TagChannelMulti {
+                            cache: &fx.tg_cache,
+                            anchors: &anchors_tg,
+                            alphas: &fx.alphas[lo..hi],
+                        }),
+                        v0,
+                        v1,
+                        &mut scr[..b * m],
+                        &mut scores[..b * m],
+                    );
+                    for (pos, acc) in accs.iter_mut().enumerate() {
+                        let row = &scores[pos * m..(pos + 1) * m];
+                        for (i, &s) in row.iter().enumerate() {
+                            acc.push((v0 + i) as u32, s);
+                        }
+                    }
+                    v0 = v1;
+                }
+            });
+        });
+        let mut acc = 0.0;
+        for a in accs {
+            let top = a.into_sorted();
+            acc += top.first().map(|&(i, _)| i as f64).unwrap_or(0.0);
+        }
+        acc
+    });
+    tops.iter().sum()
+}
+
+/// Times `reps` *interleaved* runs of the naive and fused workloads
+/// (after one warm-up each) and returns both rates as
+/// `units_per_rep / best_rep_seconds`. Interleaving pairs each naive
+/// rep with a fused rep in the same time window, so noise on a shared
+/// machine (other tenants, frequency shifts) hits both paths alike
+/// instead of gifting whichever ran during the quiet period.
+fn measure_pair(
+    reps: usize,
+    units_per_rep: f64,
+    mut naive: impl FnMut() -> f64,
+    mut fused: impl FnMut() -> f64,
+) -> (f64, f64) {
+    black_box(naive());
+    black_box(fused());
+    let mut best_naive = f64::INFINITY;
+    let mut best_fused = f64::INFINITY;
+    for _ in 0..reps {
+        let (sum, dt) = time_it(&mut naive);
+        black_box(sum);
+        best_naive = best_naive.min(dt.as_secs_f64().max(1e-12));
+        let (sum, dt) = time_it(&mut fused);
+        black_box(sum);
+        best_fused = best_fused.min(dt.as_secs_f64().max(1e-12));
+    }
+    (units_per_rep / best_naive, units_per_rep / best_fused)
+}
+
+struct Measurement {
+    metric: &'static str,
+    threads: usize,
+    naive_rate: f64,
+    fused_rate: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.fused_rate / self.naive_rate.max(1e-12)
+    }
+}
+
+fn main() {
+    let assert_floor = std::env::args().any(|a| a == "--assert-floor");
+    let n_items = env_usize("TAXOREC_HOTPATH_ITEMS", 3584);
+    let n_users = env_usize("TAXOREC_HOTPATH_USERS", 512);
+    let reps = env_usize("TAXOREC_HOTPATH_REPS", 8);
+    let fx = Fixture::build(n_users, n_items);
+    let pairs_per_rep = (n_users * n_items) as f64;
+    let users_per_rep = n_users as f64;
+
+    let prev_threads = std::env::var("TAXOREC_THREADS").ok();
+    let mut results: Vec<Measurement> = Vec::new();
+    for &threads in &[1usize, 4] {
+        std::env::set_var("TAXOREC_THREADS", threads.to_string());
+        let (tn, tf) = measure_pair(
+            reps,
+            pairs_per_rep,
+            || train_naive(&fx),
+            || train_fused(&fx),
+        );
+        results.push(Measurement {
+            metric: "train_pairs_per_sec",
+            threads,
+            naive_rate: tn,
+            fused_rate: tf,
+        });
+        let (en, ef) = measure_pair(reps, users_per_rep, || eval_naive(&fx), || eval_fused(&fx));
+        results.push(Measurement {
+            metric: "eval_users_per_sec",
+            threads,
+            naive_rate: en,
+            fused_rate: ef,
+        });
+    }
+    match prev_threads {
+        Some(v) => std::env::set_var("TAXOREC_THREADS", v),
+        None => std::env::remove_var("TAXOREC_THREADS"),
+    }
+
+    let mut json = String::with_capacity(1024);
+    json.push_str("{\"bin\":\"hotpath\",\"generated_unix_ms\":");
+    json.push_str(&taxorec_telemetry::sink::unix_ms().to_string());
+    json.push_str(&format!(
+        ",\"n_users\":{n_users},\"n_items\":{n_items},\"dim_ir\":{DIM_IR},\"dim_tag\":{DIM_TAG},\"reps\":{reps},\"results\":["
+    ));
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"metric\":\"{}\",\"threads\":{},\"naive\":{:.1},\"fused\":{:.1},\"speedup\":{:.3}}}",
+            m.metric,
+            m.threads,
+            m.naive_rate,
+            m.fused_rate,
+            m.speedup()
+        ));
+    }
+    json.push_str("]}");
+    if let Err(e) = std::fs::write("BENCH_hotpath.json", format!("{json}\n")) {
+        eprintln!("[taxorec:warn] cannot write BENCH_hotpath.json: {e}");
+    }
+
+    println!("hotpath microbenchmark ({n_users} users x {n_items} items, best of {reps} reps)");
+    for m in &results {
+        println!(
+            "  {:<22} threads={} naive={:>14.0}/s fused={:>14.0}/s speedup={:.2}x",
+            m.metric,
+            m.threads,
+            m.naive_rate,
+            m.fused_rate,
+            m.speedup()
+        );
+    }
+
+    if assert_floor {
+        for m in &results {
+            assert!(
+                m.fused_rate >= m.naive_rate,
+                "fused {} regressed below naive at {} threads: {:.0}/s < {:.0}/s",
+                m.metric,
+                m.threads,
+                m.fused_rate,
+                m.naive_rate
+            );
+        }
+        println!("floor assertion passed: fused >= naive on every metric");
+    }
+}

@@ -19,4 +19,4 @@ pub use config::TaxoRecConfig;
 pub use export::ModelState;
 pub use fit_control::{FitControl, FitReport, TrainState};
 pub use graph::GraphMatrices;
-pub use model::TaxoRec;
+pub use model::{scratch, TaxoRec};

@@ -17,41 +17,97 @@ pub const GRAD_CLIP: f64 = 5.0;
 /// rates stable: steps scale linearly with `lr` until the cap.
 pub const STEP_CLIP: f64 = 0.25;
 
+/// What to do with one gradient row.
+enum RowGrad {
+    /// Every component is exactly zero: nothing to apply.
+    AllZero,
+    /// At least one component is NaN/±Inf: skip (and count) the row.
+    NonFinite,
+    /// A finite, non-trivial gradient: apply the step.
+    Active,
+}
+
+/// Classifies one gradient row in a single pass.
+///
+/// The non-finite case must be caught *before* any arithmetic: the old
+/// `all(|x| x == 0.0)` skip let NaN rows through (`NaN != 0.0`), and
+/// `vecops::clip_norm` passes a NaN norm unchanged (`NaN > max` is
+/// false), so a single poisoned gradient row would silently corrupt the
+/// embedding row through the manifold update.
+fn classify_row(grow: &[f64]) -> RowGrad {
+    let mut all_zero = true;
+    for &x in grow {
+        if !x.is_finite() {
+            return RowGrad::NonFinite;
+        }
+        if x != 0.0 {
+            all_zero = false;
+        }
+    }
+    if all_zero {
+        RowGrad::AllZero
+    } else {
+        RowGrad::Active
+    }
+}
+
+/// Counts a skipped non-finite gradient row under
+/// `optim.nonfinite_grad_rows`.
+fn count_nonfinite_row() {
+    taxorec_telemetry::counter("optim.nonfinite_grad_rows").inc(1);
+}
+
 /// Applies one RSGD step to every row of a Lorentz-model parameter matrix
 /// (`n × (d+1)`, rows on the hyperboloid). The effective per-row step
-/// `lr·grad` is capped at [`STEP_CLIP`].
+/// `lr·grad` is capped at [`STEP_CLIP`]; rows with non-finite gradients
+/// are skipped and counted (`optim.nonfinite_grad_rows`).
 pub fn rsgd_lorentz(param: &mut Matrix, grad: &Matrix, lr: f64) {
     assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
     let mut g = vec![0.0; param.cols()];
+    let mut rg = vec![0.0; param.cols()];
+    let mut stepped = vec![0.0; param.cols()];
     for r in 0..param.rows() {
         let grow = grad.row(r);
-        if grow.iter().all(|&x| x == 0.0) {
-            continue;
+        match classify_row(grow) {
+            RowGrad::AllZero => continue,
+            RowGrad::NonFinite => {
+                count_nonfinite_row();
+                continue;
+            }
+            RowGrad::Active => {}
         }
         for (gi, &x) in g.iter_mut().zip(grow) {
             *gi = lr * x;
         }
         vecops::clip_norm(&mut g, STEP_CLIP);
-        lorentz::rsgd_step(param.row_mut(r), &g, 1.0);
+        lorentz::rsgd_step_buffered(param.row_mut(r), &g, 1.0, &mut rg, &mut stepped);
     }
 }
 
 /// Applies one RSGD step to every row of a Poincaré-ball parameter matrix
 /// (`n × d`, rows strictly inside the unit ball). The effective per-row
-/// step is capped at [`STEP_CLIP`].
+/// step is capped at [`STEP_CLIP`]; rows with non-finite gradients are
+/// skipped and counted (`optim.nonfinite_grad_rows`).
 pub fn rsgd_poincare(param: &mut Matrix, grad: &Matrix, lr: f64) {
     assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
     let mut g = vec![0.0; param.cols()];
+    let mut rg = vec![0.0; param.cols()];
+    let mut stepped = vec![0.0; param.cols()];
     for r in 0..param.rows() {
         let grow = grad.row(r);
-        if grow.iter().all(|&x| x == 0.0) {
-            continue;
+        match classify_row(grow) {
+            RowGrad::AllZero => continue,
+            RowGrad::NonFinite => {
+                count_nonfinite_row();
+                continue;
+            }
+            RowGrad::Active => {}
         }
         for (gi, &x) in g.iter_mut().zip(grow) {
             *gi = lr * x;
         }
         vecops::clip_norm(&mut g, STEP_CLIP);
-        poincare::rsgd_step(param.row_mut(r), &g, 1.0);
+        poincare::rsgd_step_buffered(param.row_mut(r), &g, 1.0, &mut rg, &mut stepped);
     }
 }
 
@@ -83,8 +139,13 @@ pub fn sgd(param: &mut Matrix, grad: &Matrix, lr: f64) {
     let mut g = vec![0.0; param.cols()];
     for r in 0..param.rows() {
         let grow = grad.row(r);
-        if grow.iter().all(|&x| x == 0.0) {
-            continue;
+        match classify_row(grow) {
+            RowGrad::AllZero => continue,
+            RowGrad::NonFinite => {
+                count_nonfinite_row();
+                continue;
+            }
+            RowGrad::Active => {}
         }
         g.copy_from_slice(grow);
         vecops::clip_norm(&mut g, GRAD_CLIP);
@@ -155,6 +216,53 @@ mod tests {
         let d1 = lorentz::distance(&o, p1.row(0));
         let d2 = lorentz::distance(&o, p2.row(0));
         assert!((d2 / d1 - 2.0).abs() < 1e-3, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn nonfinite_gradient_rows_are_skipped_and_counted() {
+        let counter = taxorec_telemetry::counter("optim.nonfinite_grad_rows");
+        let before = counter.get();
+        let orig_a = lorentz::from_spatial(&[0.3, 0.4]);
+        let orig_b = lorentz::from_spatial(&[-0.1, 0.2]);
+        let mut p = Matrix::zeros(2, 3);
+        p.row_mut(0).copy_from_slice(&orig_a);
+        p.row_mut(1).copy_from_slice(&orig_b);
+        // Row 0 poisoned with NaN, row 1 with +Inf. The old zero-row skip
+        // let both through (`NaN != 0.0`), and clip_norm passes a NaN norm
+        // unchanged, so the rows came back poisoned.
+        let g = Matrix::from_vec(2, 3, vec![f64::NAN, 1.0, 0.5, 0.0, f64::INFINITY, 0.0]);
+        rsgd_lorentz(&mut p, &g, 0.5);
+        assert_eq!(p.row(0), &orig_a[..], "NaN row must be left untouched");
+        assert_eq!(p.row(1), &orig_b[..], "Inf row must be left untouched");
+        assert!(p.data().iter().all(|x| x.is_finite()));
+        assert_eq!(counter.get() - before, 2);
+
+        // Poincaré and plain SGD share the same guard.
+        let mut q = Matrix::from_vec(1, 2, vec![0.1, -0.2]);
+        let gq = Matrix::from_vec(1, 2, vec![f64::NEG_INFINITY, 0.0]);
+        rsgd_poincare(&mut q, &gq, 1.0);
+        assert_eq!(q.data(), &[0.1, -0.2]);
+        let mut e = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        sgd(
+            &mut e,
+            &Matrix::from_vec(1, 2, vec![f64::NAN, f64::NAN]),
+            0.1,
+        );
+        assert_eq!(e.data(), &[1.0, 2.0]);
+        assert_eq!(counter.get() - before, 4);
+    }
+
+    #[test]
+    fn healthy_rows_still_step_next_to_poisoned_ones() {
+        let start = lorentz::from_spatial(&[0.3, 0.4]);
+        let mut p = Matrix::zeros(2, 3);
+        p.row_mut(0).copy_from_slice(&start);
+        p.row_mut(1).copy_from_slice(&start);
+        let g = Matrix::from_vec(2, 3, vec![f64::NAN, 0.0, 0.0, 0.0, 0.5, 0.0]);
+        rsgd_lorentz(&mut p, &g, 0.5);
+        assert_eq!(p.row(0), &start[..], "poisoned row skipped");
+        assert!(p.row(1) != &start[..], "healthy row received its update");
+        assert!(lorentz::constraint_residual(p.row(1)) < 1e-9);
     }
 
     #[test]

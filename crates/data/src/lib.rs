@@ -13,7 +13,7 @@ pub mod tsv;
 
 pub use dataset::{Dataset, DatasetStats, Interaction};
 pub use negative::NegativeSampler;
-pub use recommender::{select_top_k, Recommender};
+pub use recommender::{select_top_k, Recommender, TopKAccumulator};
 pub use split::Split;
 pub use synth::{generate, generate_preset, Preset, Scale, SynthConfig};
 pub use truth::TagTree;

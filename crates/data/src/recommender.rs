@@ -56,31 +56,64 @@ pub fn select_top_k(
     k: usize,
     mut exclude: impl FnMut(usize) -> bool,
 ) -> Vec<(u32, f64)> {
-    if k == 0 || scores.is_empty() {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<RankEntry> = BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopKAccumulator::new(k);
     for (i, &score) in scores.iter().enumerate() {
-        if exclude(i) {
-            continue;
-        }
-        let entry = RankEntry {
-            score,
-            idx: i as u32,
-        };
-        if heap.len() < k {
-            heap.push(entry);
-        } else if entry < *heap.peek().expect("non-empty heap") {
-            // Better than the current worst of the top-k: replace it.
-            heap.pop();
-            heap.push(entry);
+        if !exclude(i) {
+            acc.push(i as u32, score);
         }
     }
-    // Ascending by `Ord` = best first (the ordering is inverted).
-    heap.into_sorted_vec()
-        .into_iter()
-        .map(|e| (e.idx, e.score))
-        .collect()
+    acc.into_sorted()
+}
+
+/// Incremental form of [`select_top_k`]: candidates are offered one at a
+/// time via [`TopKAccumulator::push`] instead of scanned from a full
+/// score slice. Offering every `(idx, score)` pair in ascending `idx`
+/// order — in any chunking — performs the exact heap-operation sequence
+/// of a single `select_top_k` pass, so the result is identical, bit for
+/// bit and tie for tie. This is what lets block-scoring paths rank each
+/// catalogue chunk while its scores are still cache-hot instead of
+/// re-scanning a full `O(n_items)` row afterwards.
+pub struct TopKAccumulator {
+    heap: BinaryHeap<RankEntry>,
+    k: usize,
+}
+
+impl TopKAccumulator {
+    /// An empty accumulator that retains the best `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
+    }
+
+    /// Offers one candidate. Candidates must arrive in ascending `idx`
+    /// order for the tie-breaking contract (lower index wins) to match
+    /// [`select_top_k`].
+    #[inline]
+    pub fn push(&mut self, idx: u32, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = RankEntry { score, idx };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("non-empty heap") {
+            // Better than the current worst of the top-k: replace it.
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// The accumulated top-K as `(index, score)` pairs, best first.
+    pub fn into_sorted(self) -> Vec<(u32, f64)> {
+        // Ascending by `Ord` = best first (the ordering is inverted).
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| (e.idx, e.score))
+            .collect()
+    }
 }
 
 /// A trainable top-N recommender.
@@ -99,6 +132,70 @@ pub trait Recommender: Sync {
     /// **higher means better**. Metric-learning models return negated
     /// distances. Only valid after [`Recommender::fit`].
     fn scores_for_user(&self, user: u32) -> Vec<f64>;
+
+    /// Writes [`Recommender::scores_for_user`] into a caller-provided
+    /// buffer (cleared first), so hot loops can reuse one allocation
+    /// across users instead of materializing a fresh `Vec` per call.
+    ///
+    /// The default delegates to `scores_for_user`. Implementations with a
+    /// buffer-oriented scoring path (fused kernels, preallocated caches)
+    /// override this and make `scores_for_user` the delegating wrapper
+    /// instead; both directions must produce identical values.
+    fn scores_into(&self, user: u32, out: &mut Vec<f64>) {
+        let scores = self.scores_for_user(user);
+        out.clear();
+        out.extend_from_slice(&scores);
+    }
+
+    /// Scores a block of users in one call: on return `out` holds
+    /// `users.len()` equal-length score rows back to back, user-major —
+    /// `out[k·n .. (k+1)·n]` is `users[k]`'s score vector, with `n`
+    /// recoverable as `out.len() / users.len()`.
+    ///
+    /// The default clears `out` and appends [`Recommender::scores_for_user`]
+    /// row by row. Models with batched kernels override this to amortize
+    /// item-side memory traffic across the block (it also backs the
+    /// default [`Recommender::top_k_block`] ranking); every override must
+    /// keep each user's row bit-identical to `scores_into` for that user.
+    fn scores_block_into(&self, users: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        for &u in users {
+            let s = self.scores_for_user(u);
+            out.extend_from_slice(&s);
+        }
+    }
+
+    /// The `k` best items of every user in `users` as `(item, score)`
+    /// pairs, best first per user, skipping items for which
+    /// `exclude(pos, item)` returns true (`pos` indexes into `users`).
+    ///
+    /// The default scores the block with
+    /// [`Recommender::scores_block_into`] and ranks each row with
+    /// [`select_top_k`]. Models with chunked batch kernels override this
+    /// to rank each catalogue chunk through a [`TopKAccumulator`] while
+    /// its scores are cache-hot, never materializing full score rows;
+    /// the accumulator contract guarantees the override returns exactly
+    /// the default's ranking for identical scores.
+    fn top_k_block(
+        &self,
+        users: &[u32],
+        k: usize,
+        exclude: &dyn Fn(usize, u32) -> bool,
+    ) -> Vec<Vec<(u32, f64)>> {
+        if users.is_empty() {
+            return Vec::new();
+        }
+        let mut scores = Vec::new();
+        self.scores_block_into(users, &mut scores);
+        let n = scores.len() / users.len();
+        (0..users.len())
+            .map(|pos| {
+                select_top_k(&scores[pos * n..(pos + 1) * n], k, |i| {
+                    exclude(pos, i as u32)
+                })
+            })
+            .collect()
+    }
 
     /// The user's `k` best items as `(item, score)` pairs, best first
     /// (deterministic tie-breaking by lower item id).
@@ -187,6 +284,66 @@ mod tests {
             .map(|&(i, _)| i as usize)
             .collect();
         assert_eq!(got, full[..25]);
+    }
+
+    #[test]
+    fn accumulator_chunked_matches_single_pass() {
+        // Pseudo-random scores with deliberate ties; feeding them in
+        // arbitrary chunkings must reproduce one select_top_k pass
+        // exactly, including tie-breaking by index.
+        let scores: Vec<f64> = (0..300).map(|i| ((i * 53) % 17) as f64).collect();
+        let expect = select_top_k(&scores, 12, |i| i % 7 == 0);
+        for chunk in [1usize, 5, 64, 300] {
+            let mut acc = TopKAccumulator::new(12);
+            let mut lo = 0;
+            while lo < scores.len() {
+                let hi = (lo + chunk).min(scores.len());
+                for (i, &s) in scores[lo..hi].iter().enumerate() {
+                    if (lo + i) % 7 != 0 {
+                        acc.push((lo + i) as u32, s);
+                    }
+                }
+                lo = hi;
+            }
+            assert_eq!(acc.into_sorted(), expect);
+        }
+        // k = 0 stays empty.
+        let mut acc = TopKAccumulator::new(0);
+        acc.push(3, 1.0);
+        assert!(acc.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn default_top_k_block_matches_per_user_selection() {
+        let d = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            n_items: 4,
+            n_tags: 0,
+            interactions: vec![
+                crate::dataset::Interaction {
+                    user: 0,
+                    item: 2,
+                    ts: 0,
+                },
+                crate::dataset::Interaction {
+                    user: 1,
+                    item: 1,
+                    ts: 0,
+                },
+            ],
+            item_tags: vec![vec![]; 4],
+            tag_names: vec![],
+            taxonomy_truth: None,
+        };
+        let s = Split::temporal(&d, 1.0, 0.0);
+        let mut p = Popularity::new();
+        p.fit(&d, &s);
+        let tops = p.top_k_block(&[0, 1], 3, &|pos, item| pos == 0 && item == 2);
+        assert_eq!(tops.len(), 2);
+        // User 0 has item 2 excluded; user 1 does not.
+        assert!(tops[0].iter().all(|&(i, _)| i != 2));
+        assert_eq!(tops[1], select_top_k(&p.scores_for_user(1), 3, |_| false));
     }
 
     #[test]

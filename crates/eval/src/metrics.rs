@@ -75,14 +75,19 @@ fn evaluate_on(
 
 /// Users per parallel evaluation job: each job scores and ranks a block of
 /// users, so per-job overhead is negligible next to full-ranking cost.
-const EVAL_USER_CHUNK: usize = 8;
+const EVAL_USER_CHUNK: usize = 32;
 
 /// Shared worker behind [`evaluate`] and [`evaluate_valid`]: scores each
 /// user with a non-empty target set, masks seen items (`mask_valid` adds
 /// the validation partition to the mask), and ranks the rest. Users are
 /// independent, so the loop fans out across the [`taxorec_parallel`] pool
-/// and collects results in user order — bit-identical to the sequential
-/// loop for any `TAXOREC_THREADS`.
+/// in blocks of [`EVAL_USER_CHUNK`] — each job makes **one**
+/// [`Recommender::top_k_block`] call for its block, so models with
+/// multi-anchor kernels stream the item side once per block instead of
+/// once per user and rank each catalogue chunk while its scores are
+/// cache-hot, never materializing full score rows. Per-user rankings and
+/// metrics are bit-identical to the sequential per-user loop for any
+/// `TAXOREC_THREADS`, and results are collected in user order.
 fn evaluate_users(
     model: &dyn Recommender,
     split: &Split,
@@ -96,38 +101,47 @@ fn evaluate_users(
         .filter(|(_, t)| !t.is_empty())
         .map(|(u, _)| u as u32)
         .collect();
-    let rows = taxorec_parallel::par_map_chunked("eval.users", users.len(), EVAL_USER_CHUNK, |i| {
-        let u = users[i] as usize;
-        let scores = model.scores_for_user(u as u32);
-        let mut masked: std::collections::HashSet<u32> = split.train[u].iter().copied().collect();
-        if mask_valid {
-            masked.extend(split.valid[u].iter().copied());
-        }
-        user_metrics(&scores, &targets_by_user[u], ks, &masked)
+    let kmax = ks.iter().copied().max().unwrap_or(0);
+    let n_chunks = users.len().div_ceil(EVAL_USER_CHUNK);
+    let chunk_rows = taxorec_parallel::par_map("eval.users", n_chunks, |c| {
+        let lo = c * EVAL_USER_CHUNK;
+        let block = &users[lo..(lo + EVAL_USER_CHUNK).min(users.len())];
+        let masked: Vec<std::collections::HashSet<u32>> = block
+            .iter()
+            .map(|&user| {
+                let u = user as usize;
+                let mut m: std::collections::HashSet<u32> =
+                    split.train[u].iter().copied().collect();
+                if mask_valid {
+                    m.extend(split.valid[u].iter().copied());
+                }
+                m
+            })
+            .collect();
+        let tops = model.top_k_block(block, kmax, &|pos, item| masked[pos].contains(&item));
+        block
+            .iter()
+            .zip(&tops)
+            .map(|(&user, top)| user_metrics(top, &targets_by_user[user as usize], ks))
+            .collect::<Vec<_>>()
     });
     let mut eval = Evaluation {
         ks: ks.to_vec(),
-        recall: Vec::with_capacity(rows.len()),
-        ndcg: Vec::with_capacity(rows.len()),
+        recall: Vec::with_capacity(users.len()),
+        ndcg: Vec::with_capacity(users.len()),
         users,
     };
-    for (recall_row, ndcg_row) in rows {
+    for (recall_row, ndcg_row) in chunk_rows.into_iter().flatten() {
         eval.recall.push(recall_row);
         eval.ndcg.push(ndcg_row);
     }
     eval
 }
 
-/// Recall@k / NDCG@k rows of one user: partially selects the top `max(ks)`
-/// candidates outside `masked` (train/valid items) and scans for hits.
-fn user_metrics(
-    scores: &[f64],
-    targets: &[u32],
-    ks: &[usize],
-    masked: &std::collections::HashSet<u32>,
-) -> (Vec<f64>, Vec<f64>) {
-    let kmax = ks.iter().copied().max().unwrap_or(0);
-    let top = top_k(scores, kmax, |i| masked.contains(&(i as u32)));
+/// Recall@k / NDCG@k rows of one user from their already-ranked top
+/// `max(ks)` list (masked items never appear in `top` — the ranking call
+/// excluded them).
+fn user_metrics(top: &[(u32, f64)], targets: &[u32], ks: &[usize]) -> (Vec<f64>, Vec<f64>) {
     let target_set: std::collections::HashSet<u32> = targets.iter().copied().collect();
     let mut recall_row = Vec::with_capacity(ks.len());
     let mut ndcg_row = Vec::with_capacity(ks.len());

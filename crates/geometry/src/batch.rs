@@ -1,0 +1,921 @@
+//! Fused batched Lorentz distance kernels.
+//!
+//! The scalar kernels in [`crate::lorentz`] compute one inner product at a
+//! time over a row-major `(ambient)`-length slice. For an ambient dimension
+//! around 32–64 that loop is *latency*-bound: every `s += x[i] * y[i]` step
+//! depends on the previous one, so one distance costs a full chain of FMA
+//! latencies regardless of how wide the CPU is. The hot paths of this repo
+//! (scoring one user against every item, ranking for eval/serve) evaluate
+//! the *same anchor* against thousands of contiguous rows, which admits a
+//! much better schedule: iterate dimensions in the outer loop and items in
+//! the inner loop, so the compiler vectorizes *across items* while each
+//! individual item's accumulation chain keeps exactly the order of
+//! [`crate::lorentz::inner`].
+//!
+//! That ordering constraint is load-bearing. The repo-wide determinism
+//! contract (see `tests/parallel_determinism.rs`) requires the fused path
+//! to be **bit-identical** to the scalar path, not merely close: for each
+//! item `i` we evaluate
+//!
+//! ```text
+//! acc_i = (-a[0]) * t_i;  acc_i += a[1]*v_i[1];  …;  acc_i += a[d]*v_i[d]
+//! ```
+//!
+//! which is the same sequence of f64 additions and multiplications the
+//! scalar kernel performs — only interleaved across items, which IEEE-754
+//! does not observe.
+//!
+//! [`BlockCache`] holds the per-row precomputation: time components
+//! (`x₀`), the spatial coordinates retiled into panel-major strips (all
+//! dimensions of an 8-item strip contiguous → each strip is one short
+//! sequential read), and spatial squared norms (cheap constraint
+//! diagnostics). The cache is a
+//! snapshot: it does **not** observe later mutation of the embedding
+//! matrix it was built from. Owners must call [`BlockCache::rebuild`]
+//! after every optimizer step that touches the rows — in this repo that is
+//! `TaxoRec::finalize()`, which runs once per epoch after RSGD (see
+//! DESIGN.md §12 for the full invalidation contract).
+
+use crate::arcosh;
+
+/// Precomputed per-row cache over a block of hyperboloid points, stored
+/// in panel-major strips for fused anchor-vs-block kernels.
+///
+/// Built from a row-major flat matrix (`rows × ambient`, ambient ≥ 2).
+/// [`BlockCache::rebuild`] reuses the existing allocations, so a cache
+/// that is refreshed every epoch settles into zero steady-state
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct BlockCache {
+    rows: usize,
+    ambient: usize,
+    /// `time[i] = x_i[0]` — the hyperboloid time components.
+    time: Vec<f64>,
+    /// Spatial coordinates in panel-major tiles: rows are grouped into
+    /// strips of [`STRIP`], and within a strip all `ambient − 1` spatial
+    /// dimensions are contiguous —
+    /// `spatial[(i/STRIP)·STRIP·(ambient−1) + (j−1)·STRIP + i%STRIP] = x_i[j]`.
+    /// A full strip's working set is one short contiguous run, so the
+    /// fused kernels stream it sequentially instead of hopping between
+    /// `rows`-strided columns (the layout GEMM micro-kernels use). The
+    /// final partial strip is zero-padded; padding is never read back.
+    spatial: Vec<f64>,
+    /// `‖x_i[1..]‖²` per row — used only for constraint diagnostics.
+    spatial_sqnorm: Vec<f64>,
+}
+
+impl BlockCache {
+    /// Builds a cache over `rows × ambient` row-major data.
+    pub fn build(data: &[f64], ambient: usize) -> Self {
+        let mut c = Self::default();
+        c.rebuild(data, ambient);
+        c
+    }
+
+    /// Rebuilds the cache in place from fresh row-major data, reusing the
+    /// existing allocations. This is the **invalidation point**: call it
+    /// after every mutation of the source matrix (per epoch, after RSGD).
+    pub fn rebuild(&mut self, data: &[f64], ambient: usize) {
+        assert!(ambient >= 2, "hyperboloid points need ambient dim >= 2");
+        assert_eq!(
+            data.len() % ambient,
+            0,
+            "data length {} not a multiple of ambient dim {}",
+            data.len(),
+            ambient
+        );
+        let rows = data.len() / ambient;
+        self.rows = rows;
+        self.ambient = ambient;
+        self.time.clear();
+        self.time.resize(rows, 0.0);
+        let panel = STRIP * (ambient - 1);
+        self.spatial.clear();
+        self.spatial.resize(rows.div_ceil(STRIP) * panel, 0.0);
+        self.spatial_sqnorm.clear();
+        self.spatial_sqnorm.resize(rows, 0.0);
+        for i in 0..rows {
+            let row = &data[i * ambient..(i + 1) * ambient];
+            self.time[i] = row[0];
+            let base = (i / STRIP) * panel + i % STRIP;
+            let mut sq = 0.0;
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                self.spatial[base + (j - 1) * STRIP] = v;
+                sq += v * v;
+            }
+            self.spatial_sqnorm[i] = sq;
+        }
+    }
+
+    /// Number of cached rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Ambient dimension of the cached points.
+    #[inline]
+    pub fn ambient(&self) -> usize {
+        self.ambient
+    }
+
+    /// True when the cache holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Worst hyperboloid-constraint drift over the cached rows:
+    /// `max_i |‖x_i[1..]‖² − x_i[0]² + 1|`. Diagnostic only.
+    pub fn max_constraint_residual(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            let r = (self.spatial_sqnorm[i] - self.time[i] * self.time[i] + 1.0).abs();
+            worst = worst.max(r);
+        }
+        worst
+    }
+
+    /// Writes `−⟨anchor, x_i⟩_L` for `i in lo..hi` into `out`
+    /// (`out.len() == hi − lo`), bit-identical per item to
+    /// `-lorentz::inner(anchor, row_i)`.
+    ///
+    /// Strip-mined over the panel-major layout: see [`neg_inner_strips`]
+    /// for the schedule and the bit-identity argument.
+    pub fn neg_inner_block(&self, anchor: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+        assert_eq!(anchor.len(), self.ambient, "anchor/cache dim mismatch");
+        assert!(lo <= hi && hi <= self.rows, "block {lo}..{hi} out of range");
+        assert_eq!(out.len(), hi - lo, "output length mismatch");
+        // Runtime ISA dispatch: the AVX2 clone runs the *same* generic
+        // body with 256-bit auto-vectorization (Rust never contracts
+        // mul+add into FMA, so lane width cannot change any result bit);
+        // the baseline build only assumes SSE2.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: feature presence just checked.
+                unsafe {
+                    return neg_inner_strips_avx512(
+                        &self.time,
+                        &self.spatial,
+                        self.ambient,
+                        anchor,
+                        lo,
+                        out,
+                    );
+                }
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence just checked.
+                unsafe {
+                    return neg_inner_strips_avx2(
+                        &self.time,
+                        &self.spatial,
+                        self.ambient,
+                        anchor,
+                        lo,
+                        out,
+                    );
+                }
+            }
+        }
+        neg_inner_strips(&self.time, &self.spatial, self.ambient, anchor, lo, out);
+    }
+
+    /// Multi-anchor variant of [`BlockCache::neg_inner_block`]: writes
+    /// `−⟨anchor_u, x_i⟩_L` for every anchor `u` and `i in lo..hi` into
+    /// `out`, user-major (`out[u·n + (i−lo)]`, `n = hi − lo`).
+    ///
+    /// Per `(anchor, item)` pair the arithmetic is exactly
+    /// [`neg_inner_one`]'s, so each anchor's row is bit-identical to a
+    /// separate [`BlockCache::neg_inner_block`] call. The point of the
+    /// batched form is memory traffic: one pass streams each panel tile
+    /// once for up to [`MULTI`] anchors, so a block of users amortizes
+    /// the item-side reads that dominate single-anchor sweeps when the
+    /// panel outgrows L2.
+    pub fn neg_inner_block_multi(&self, anchors: &[&[f64]], lo: usize, hi: usize, out: &mut [f64]) {
+        assert!(lo <= hi && hi <= self.rows, "block {lo}..{hi} out of range");
+        let n = hi - lo;
+        assert_eq!(out.len(), anchors.len() * n, "output length mismatch");
+        self.neg_inner_multi_dispatch(anchors, lo, n, n, out);
+    }
+
+    /// Strided form of the multi-anchor sweep shared with
+    /// [`fused_scores_multi`]'s chunked finisher: anchor `u`'s results
+    /// land at `out[u·stride + i]` for `i in 0..n`, so a sub-range of
+    /// items can be swept directly into rows of a larger user-major
+    /// buffer. Performs the ISA dispatch for every multi-anchor entry
+    /// point.
+    fn neg_inner_multi_dispatch(
+        &self,
+        anchors: &[&[f64]],
+        lo: usize,
+        n: usize,
+        stride: usize,
+        out: &mut [f64],
+    ) {
+        assert!(n <= stride, "row stride shorter than range");
+        assert!(lo + n <= self.rows, "block {lo}..{} out of range", lo + n);
+        if let Some(last) = anchors.len().checked_sub(1) {
+            assert!(last * stride + n <= out.len(), "output too short");
+        }
+        for a in anchors {
+            assert_eq!(a.len(), self.ambient, "anchor/cache dim mismatch");
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: feature presence just checked.
+                unsafe {
+                    return neg_inner_strips_multi_avx512(
+                        &self.time,
+                        &self.spatial,
+                        self.ambient,
+                        anchors,
+                        lo,
+                        n,
+                        stride,
+                        out,
+                    );
+                }
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature presence just checked.
+                unsafe {
+                    return neg_inner_strips_multi_avx2(
+                        &self.time,
+                        &self.spatial,
+                        self.ambient,
+                        anchors,
+                        lo,
+                        n,
+                        stride,
+                        out,
+                    );
+                }
+            }
+        }
+        neg_inner_strips_multi(
+            &self.time,
+            &self.spatial,
+            self.ambient,
+            anchors,
+            lo,
+            n,
+            stride,
+            out,
+        );
+    }
+
+    /// Writes the geodesic distance `d_H(anchor, x_i)` for `i in lo..hi`
+    /// into `out`, bit-identical per item to `lorentz::distance`.
+    pub fn distance_block(&self, anchor: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+        self.neg_inner_block(anchor, lo, hi, out);
+        for o in out.iter_mut() {
+            *o = arcosh(*o);
+        }
+    }
+
+    /// Writes the squared geodesic distance `d_H(anchor, x_i)²` for
+    /// `i in lo..hi` into `out`, bit-identical per item to
+    /// `lorentz::distance_sq`.
+    pub fn distance_sq_block(&self, anchor: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+        self.distance_block(anchor, lo, hi, out);
+        for o in out.iter_mut() {
+            *o = *o * *o;
+        }
+    }
+}
+
+/// Strip width of the fused inner-product kernels: 8 f64 accumulators
+/// give the compiler independent chains to hide FP-add latency while
+/// fitting the vector register file on every supported tier.
+const STRIP: usize = 32;
+
+/// One item's negated Lorentz inner product against the anchor, read
+/// from the panel-major layout — the scalar fallback for partial strips
+/// at the edges of a query range. Accumulation order matches
+/// [`crate::lorentz::inner`] exactly.
+#[inline(always)]
+fn neg_inner_one(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchor: &[f64],
+    na0: f64,
+    idx: usize,
+) -> f64 {
+    let base = (idx / STRIP) * STRIP * (ambient - 1) + idx % STRIP;
+    let mut acc = na0 * time[idx];
+    for j in 1..ambient {
+        acc += anchor[j] * spatial[base + (j - 1) * STRIP];
+    }
+    -acc
+}
+
+/// Generic strip-mined body of [`BlockCache::neg_inner_block`]: items in
+/// strips of [`STRIP`] with register-resident accumulators over the
+/// panel-major layout, so a whole strip's inputs are one contiguous
+/// sequential read and `out` is written exactly once. Within a strip
+/// each item accumulates its dimensions in the scalar kernel's exact
+/// order: `acc = (−a₀)·tᵢ; acc += aⱼ·xᵢ[j] (j ascending); out = −acc` —
+/// unary minus binds to the operand, so both sign flips are exact.
+/// Partial strips at the range edges run [`neg_inner_one`] per item.
+#[inline(always)]
+fn neg_inner_strips(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchor: &[f64],
+    lo: usize,
+    out: &mut [f64],
+) {
+    let na0 = -anchor[0];
+    let n = out.len();
+    let panel = STRIP * (ambient - 1);
+    let mut i = 0;
+    // Head: items before the first strip boundary.
+    while i < n && !(lo + i).is_multiple_of(STRIP) {
+        out[i] = neg_inner_one(time, spatial, ambient, anchor, na0, lo + i);
+        i += 1;
+    }
+    // Aligned full strips: one contiguous panel each.
+    while i + STRIP <= n {
+        let t = &time[lo + i..lo + i + STRIP];
+        let mut acc = [0.0f64; STRIP];
+        for k in 0..STRIP {
+            acc[k] = na0 * t[k];
+        }
+        let base = (lo + i) / STRIP * panel;
+        let tile = &spatial[base..base + panel];
+        for j in 1..ambient {
+            let aj = anchor[j];
+            let col = &tile[(j - 1) * STRIP..j * STRIP];
+            for k in 0..STRIP {
+                acc[k] += aj * col[k];
+            }
+        }
+        for k in 0..STRIP {
+            out[i + k] = -acc[k];
+        }
+        i += STRIP;
+    }
+    // Tail: the final partial strip.
+    while i < n {
+        out[i] = neg_inner_one(time, spatial, ambient, anchor, na0, lo + i);
+        i += 1;
+    }
+}
+
+/// [`neg_inner_strips`] compiled with AVX-512F enabled, selected at
+/// runtime. Identical IEEE-754 operation sequence — only the vector
+/// width differs.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn neg_inner_strips_avx512(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchor: &[f64],
+    lo: usize,
+    out: &mut [f64],
+) {
+    neg_inner_strips(time, spatial, ambient, anchor, lo, out);
+}
+
+/// [`neg_inner_strips`] compiled with AVX2 enabled, selected at runtime.
+/// Identical IEEE-754 operation sequence — only the vector width differs.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn neg_inner_strips_avx2(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchor: &[f64],
+    lo: usize,
+    out: &mut [f64],
+) {
+    neg_inner_strips(time, spatial, ambient, anchor, lo, out);
+}
+
+/// Anchors per register-blocked group of the multi-anchor kernels: the
+/// widest block whose `MULTI × STRIP` accumulator tile still fits the
+/// AVX-512 register file alongside the shared column loads.
+const MULTI: usize = 4;
+
+/// Generic body of [`BlockCache::neg_inner_block_multi`]: strips in the
+/// outer loop, anchors in register-blocked groups of up to [`MULTI`] in
+/// the inner loop. Each strip's panel tile is therefore read from
+/// memory once per *block* of anchors — the first group pulls it in,
+/// later groups hit L1 (a tile is `STRIP · (ambient−1)` doubles, ≤16 KiB
+/// at ambient 65) — and every `col` load inside a group feeds [`MULTI`]
+/// accumulator strips. Per `(anchor, item)` pair the operation sequence
+/// is exactly the single-anchor kernel's — blocking only changes which
+/// loads are shared, never the arithmetic.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn neg_inner_strips_multi(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchors: &[&[f64]],
+    lo: usize,
+    n: usize,
+    stride: usize,
+    out: &mut [f64],
+) {
+    let panel = STRIP * (ambient - 1);
+    let n_anchors = anchors.len();
+    let mut i = 0;
+    // Head: items before the first strip boundary.
+    while i < n && !(lo + i).is_multiple_of(STRIP) {
+        for (u, anchor) in anchors.iter().enumerate() {
+            out[u * stride + i] = neg_inner_one(time, spatial, ambient, anchor, -anchor[0], lo + i);
+        }
+        i += 1;
+    }
+    // Aligned full strips: one tile read serves every anchor group.
+    while i + STRIP <= n {
+        let t = &time[lo + i..lo + i + STRIP];
+        let base = (lo + i) / STRIP * panel;
+        let tile = &spatial[base..base + panel];
+        let mut a = 0;
+        while a < n_anchors {
+            let b = (n_anchors - a).min(MULTI);
+            let group = &anchors[a..a + b];
+            let mut acc = [[0.0f64; STRIP]; MULTI];
+            for (u, accu) in acc.iter_mut().take(b).enumerate() {
+                let na0 = -group[u][0];
+                for k in 0..STRIP {
+                    accu[k] = na0 * t[k];
+                }
+            }
+            for j in 1..ambient {
+                let col = &tile[(j - 1) * STRIP..j * STRIP];
+                for (u, accu) in acc.iter_mut().take(b).enumerate() {
+                    let aj = group[u][j];
+                    for k in 0..STRIP {
+                        accu[k] += aj * col[k];
+                    }
+                }
+            }
+            for (u, accu) in acc.iter().take(b).enumerate() {
+                let dst = &mut out[(a + u) * stride + i..(a + u) * stride + i + STRIP];
+                for k in 0..STRIP {
+                    dst[k] = -accu[k];
+                }
+            }
+            a += b;
+        }
+        i += STRIP;
+    }
+    // Tail: the final partial strip.
+    while i < n {
+        for (u, anchor) in anchors.iter().enumerate() {
+            out[u * stride + i] = neg_inner_one(time, spatial, ambient, anchor, -anchor[0], lo + i);
+        }
+        i += 1;
+    }
+}
+
+/// [`neg_inner_strips_multi`] compiled with AVX-512F enabled, selected
+/// at runtime. Identical IEEE-754 operation sequence — only the vector
+/// width differs.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX-512F.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn neg_inner_strips_multi_avx512(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchors: &[&[f64]],
+    lo: usize,
+    n: usize,
+    stride: usize,
+    out: &mut [f64],
+) {
+    neg_inner_strips_multi(time, spatial, ambient, anchors, lo, n, stride, out);
+}
+
+/// [`neg_inner_strips_multi`] compiled with AVX2 enabled, selected at
+/// runtime. Identical IEEE-754 operation sequence — only the vector
+/// width differs.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn neg_inner_strips_multi_avx2(
+    time: &[f64],
+    spatial: &[f64],
+    ambient: usize,
+    anchors: &[&[f64]],
+    lo: usize,
+    n: usize,
+    stride: usize,
+    out: &mut [f64],
+) {
+    neg_inner_strips_multi(time, spatial, ambient, anchors, lo, n, stride, out);
+}
+
+/// Second distance channel of a fused two-channel score pass.
+pub struct TagChannel<'a> {
+    /// Cache over the tag-relevant item block.
+    pub cache: &'a BlockCache,
+    /// Tag-relevant anchor (same ambient dim as `cache`).
+    pub anchor: &'a [f64],
+    /// Channel weight: `gain · α_u` in paper Eq. 17.
+    pub alpha: f64,
+}
+
+/// Fused two-channel preference scores for one anchor against the block
+/// `lo..hi`:
+///
+/// `out[i] = −( d²(u_ir, v_ir_i) + α · d²(u_tg, v_tg_i) )`
+///
+/// with the tag term dropped when `tag` is `None`. `scratch` must be at
+/// least `hi − lo` long when `tag` is present; its prior contents are
+/// overwritten. The per-item arithmetic order matches the scalar scoring
+/// loop (`d = arcosh(−⟨·,·⟩); g = d·d; g += α·(d_tg·d_tg); score = −g`),
+/// so scores are bit-identical to the pre-fusion path. Both channels'
+/// inner products run as batched sweeps, then one finisher pass applies
+/// arcosh/square/combine per item — a single traversal instead of the
+/// five separate map passes the composed `distance_sq_block` calls would
+/// make.
+pub fn fused_scores_block(
+    ir: &BlockCache,
+    u_ir: &[f64],
+    tag: Option<TagChannel<'_>>,
+    lo: usize,
+    hi: usize,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    ir.neg_inner_block(u_ir, lo, hi, out);
+    match tag {
+        Some(t) => {
+            let n = hi - lo;
+            assert!(scratch.len() >= n, "scratch too small for tag channel");
+            let scratch = &mut scratch[..n];
+            t.cache.neg_inner_block(t.anchor, lo, hi, scratch);
+            let alpha = t.alpha;
+            for (o, &ni_tg) in out.iter_mut().zip(scratch.iter()) {
+                let d_ir = arcosh(*o);
+                let mut g = d_ir * d_ir;
+                let d_tg = arcosh(ni_tg);
+                g += alpha * (d_tg * d_tg);
+                *o = -g;
+            }
+        }
+        None => {
+            for o in out.iter_mut() {
+                let d = arcosh(*o);
+                *o = -(d * d);
+            }
+        }
+    }
+}
+
+/// Second distance channel of a multi-anchor fused score pass: one tag
+/// cache shared by a block of users, with per-user anchors and weights.
+pub struct TagChannelMulti<'a> {
+    /// Cache over the tag-relevant item block.
+    pub cache: &'a BlockCache,
+    /// Tag-relevant anchor of each user (parallel to the `u_irs` block).
+    pub anchors: &'a [&'a [f64]],
+    /// Channel weight of each user: `gain · α_u` in paper Eq. 17.
+    pub alphas: &'a [f64],
+}
+
+/// Items per internal pass of [`fused_scores_multi`]: the sweep + finish
+/// working set of one pass (score rows, tag scratch rows, and the panel
+/// chunk) stays L2-resident, so the finisher reads scores the sweep just
+/// wrote instead of re-streaming full-catalog buffers. Also the scratch
+/// requirement of the tag channel: `u_irs.len() · min(n, FUSED_ITEM_CHUNK)`.
+pub const FUSED_ITEM_CHUNK: usize = 512;
+
+/// Multi-anchor variant of [`fused_scores_block`]: scores a block of
+/// users against the items `lo..hi` in one pass, user-major into `out`
+/// (`out[u·n + (i−lo)]`, `n = hi − lo`, `out.len() == u_irs.len() · n`).
+/// `scratch` must be at least `u_irs.len() · min(n, FUSED_ITEM_CHUNK)`
+/// long when `tag` is present; its prior contents are overwritten.
+///
+/// Each user's row is bit-identical to a single-anchor
+/// [`fused_scores_block`] call — the batched inner-product sweeps keep
+/// [`neg_inner_one`]'s per-pair arithmetic and the finisher applies the
+/// same `d = arcosh(·); g = d·d; g += α·(d_tg·d_tg); score = −g`
+/// sequence per item. Batching exists purely for memory traffic: the
+/// item panels stream once per user *block* instead of once per user,
+/// and the work proceeds in [`FUSED_ITEM_CHUNK`]-item passes so each
+/// pass finishes its scores while they are still cache-hot.
+pub fn fused_scores_multi(
+    ir: &BlockCache,
+    u_irs: &[&[f64]],
+    tag: Option<TagChannelMulti<'_>>,
+    lo: usize,
+    hi: usize,
+    scratch: &mut [f64],
+    out: &mut [f64],
+) {
+    let n = hi - lo;
+    let b = u_irs.len();
+    assert_eq!(out.len(), b * n, "output length mismatch");
+    if let Some(t) = &tag {
+        assert_eq!(t.anchors.len(), b, "tag anchors/users mismatch");
+        assert_eq!(t.alphas.len(), b, "tag alphas/users mismatch");
+        assert!(
+            scratch.len() >= b * n.min(FUSED_ITEM_CHUNK),
+            "scratch too small for tag channel"
+        );
+    }
+    let mut c0 = 0;
+    while c0 < n {
+        let c1 = (c0 + FUSED_ITEM_CHUNK).min(n);
+        let m = c1 - c0;
+        // ir sweep of this item chunk, strided straight into the full
+        // user-major rows of `out`.
+        ir.neg_inner_multi_dispatch(u_irs, lo + c0, m, n, &mut out[c0..]);
+        match &tag {
+            Some(t) => {
+                let scr = &mut scratch[..b * m];
+                t.cache
+                    .neg_inner_multi_dispatch(t.anchors, lo + c0, m, m, scr);
+                for u in 0..b {
+                    let alpha = t.alphas[u];
+                    let orow = &mut out[u * n + c0..u * n + c1];
+                    let srow = &scr[u * m..(u + 1) * m];
+                    for (o, &ni_tg) in orow.iter_mut().zip(srow.iter()) {
+                        let d_ir = arcosh(*o);
+                        let mut g = d_ir * d_ir;
+                        let d_tg = arcosh(ni_tg);
+                        g += alpha * (d_tg * d_tg);
+                        *o = -g;
+                    }
+                }
+            }
+            None => {
+                for u in 0..b {
+                    for o in &mut out[u * n + c0..u * n + c1] {
+                        let d = arcosh(*o);
+                        *o = -(d * d);
+                    }
+                }
+            }
+        }
+        c0 = c1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lorentz;
+
+    fn flat(points: &[Vec<f64>]) -> Vec<f64> {
+        points.iter().flat_map(|p| p.iter().copied()).collect()
+    }
+
+    fn sample_points() -> Vec<Vec<f64>> {
+        vec![
+            lorentz::from_spatial(&[0.0, 0.0, 0.0]),
+            lorentz::from_spatial(&[0.5, -1.2, 3.0]),
+            lorentz::from_spatial(&[1e-9, -1e-9, 1e-9]),
+            lorentz::from_spatial(&[-4.0, 2.5, -1.0]),
+            lorentz::from_spatial(&[0.3, 0.1, -0.2]),
+        ]
+    }
+
+    #[test]
+    fn cache_layout_round_trips() {
+        let pts = sample_points();
+        let c = BlockCache::build(&flat(&pts), 4);
+        assert_eq!(c.rows(), pts.len());
+        assert_eq!(c.ambient(), 4);
+        assert!(!c.is_empty());
+        assert!(c.max_constraint_residual() < 1e-9);
+    }
+
+    #[test]
+    fn block_kernels_are_bit_identical_to_scalar() {
+        let pts = sample_points();
+        let c = BlockCache::build(&flat(&pts), 4);
+        let anchor = lorentz::from_spatial(&[0.9, -0.4, 0.25]);
+        let mut d = vec![0.0; pts.len()];
+        c.distance_block(&anchor, 0, pts.len(), &mut d);
+        let mut d2 = vec![0.0; pts.len()];
+        c.distance_sq_block(&anchor, 0, pts.len(), &mut d2);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(
+                d[i].to_bits(),
+                lorentz::distance(&anchor, p).to_bits(),
+                "distance row {i}"
+            );
+            assert_eq!(
+                d2[i].to_bits(),
+                lorentz::distance_sq(&anchor, p).to_bits(),
+                "distance_sq row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_blocks_match_full_block() {
+        let pts = sample_points();
+        let c = BlockCache::build(&flat(&pts), 4);
+        let anchor = lorentz::from_spatial(&[-0.3, 0.8, 0.1]);
+        let mut full = vec![0.0; pts.len()];
+        c.distance_sq_block(&anchor, 0, pts.len(), &mut full);
+        let mut part = vec![0.0; 2];
+        c.distance_sq_block(&anchor, 2, 4, &mut part);
+        assert_eq!(part[0].to_bits(), full[2].to_bits());
+        assert_eq!(part[1].to_bits(), full[3].to_bits());
+    }
+
+    #[test]
+    fn rebuild_reuses_and_refreshes() {
+        let pts = sample_points();
+        let mut c = BlockCache::build(&flat(&pts), 4);
+        let moved: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|p| {
+                let spatial: Vec<f64> = p[1..].iter().map(|v| v * 1.5 + 0.1).collect();
+                lorentz::from_spatial(&spatial)
+            })
+            .collect();
+        c.rebuild(&flat(&moved), 4);
+        let anchor = lorentz::from_spatial(&[0.2, 0.2, 0.2]);
+        let mut d = vec![0.0; moved.len()];
+        c.distance_block(&anchor, 0, moved.len(), &mut d);
+        for (i, p) in moved.iter().enumerate() {
+            assert_eq!(d[i].to_bits(), lorentz::distance(&anchor, p).to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_scores_match_scalar_two_channel_loop() {
+        let ir_pts = sample_points();
+        let tg_pts: Vec<Vec<f64>> = vec![
+            lorentz::from_spatial(&[0.1, 0.0]),
+            lorentz::from_spatial(&[-0.5, 0.4]),
+            lorentz::from_spatial(&[2.0, -1.0]),
+            lorentz::from_spatial(&[0.0, 0.0]),
+            lorentz::from_spatial(&[-0.1, -0.3]),
+        ];
+        let ir = BlockCache::build(&flat(&ir_pts), 4);
+        let tg = BlockCache::build(&flat(&tg_pts), 3);
+        let u_ir = lorentz::from_spatial(&[0.4, 0.4, -0.9]);
+        let u_tg = lorentz::from_spatial(&[-0.2, 0.6]);
+        let alpha = 0.37;
+        let n = ir_pts.len();
+        let mut scratch = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        fused_scores_block(
+            &ir,
+            &u_ir,
+            Some(TagChannel {
+                cache: &tg,
+                anchor: &u_tg,
+                alpha,
+            }),
+            0,
+            n,
+            &mut scratch,
+            &mut out,
+        );
+        for i in 0..n {
+            let mut g = lorentz::distance_sq(&u_ir, &ir_pts[i]);
+            g += alpha * lorentz::distance_sq(&u_tg, &tg_pts[i]);
+            assert_eq!(out[i].to_bits(), (-g).to_bits(), "row {i}");
+        }
+        // Single channel.
+        fused_scores_block(&ir, &u_ir, None, 0, n, &mut scratch, &mut out);
+        for i in 0..n {
+            let g = lorentz::distance_sq(&u_ir, &ir_pts[i]);
+            assert_eq!(out[i].to_bits(), (-g).to_bits(), "row {i} (single)");
+        }
+    }
+
+    #[test]
+    fn multi_anchor_rows_match_single_anchor_sweeps() {
+        // 6 anchors exercises one full MULTI group plus a remainder; the
+        // sub-range 1..4 exercises the unaligned head/tail per group.
+        let pts = sample_points();
+        let c = BlockCache::build(&flat(&pts), 4);
+        let anchor_pts: Vec<Vec<f64>> = (0..6)
+            .map(|a| {
+                let s = a as f64 * 0.3 - 0.8;
+                lorentz::from_spatial(&[s, -s * 0.5, 0.2 + s])
+            })
+            .collect();
+        let anchors: Vec<&[f64]> = anchor_pts.iter().map(|p| p.as_slice()).collect();
+        for (lo, hi) in [(0usize, pts.len()), (1, 4)] {
+            let n = hi - lo;
+            let mut multi = vec![0.0; anchors.len() * n];
+            c.neg_inner_block_multi(&anchors, lo, hi, &mut multi);
+            let mut single = vec![0.0; n];
+            for (u, a) in anchors.iter().enumerate() {
+                c.neg_inner_block(a, lo, hi, &mut single);
+                for i in 0..n {
+                    assert_eq!(
+                        multi[u * n + i].to_bits(),
+                        single[i].to_bits(),
+                        "anchor {u} item {i} range {lo}..{hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_multi_scores_match_per_user_fused_blocks() {
+        let ir_pts = sample_points();
+        let tg_pts: Vec<Vec<f64>> = ir_pts
+            .iter()
+            .map(|p| lorentz::from_spatial(&[p[1] * 0.5, p[2] - 0.1]))
+            .collect();
+        let ir = BlockCache::build(&flat(&ir_pts), 4);
+        let tg = BlockCache::build(&flat(&tg_pts), 3);
+        let n = ir_pts.len();
+        let b = 5usize; // one full MULTI group + remainder
+        let u_ir_pts: Vec<Vec<f64>> = (0..b)
+            .map(|u| lorentz::from_spatial(&[0.1 * u as f64, -0.4, 0.3]))
+            .collect();
+        let u_tg_pts: Vec<Vec<f64>> = (0..b)
+            .map(|u| lorentz::from_spatial(&[0.2, 0.1 * u as f64 - 0.3]))
+            .collect();
+        let u_irs: Vec<&[f64]> = u_ir_pts.iter().map(|p| p.as_slice()).collect();
+        let u_tgs: Vec<&[f64]> = u_tg_pts.iter().map(|p| p.as_slice()).collect();
+        let alphas: Vec<f64> = (0..b).map(|u| 0.2 + 0.15 * u as f64).collect();
+        let mut scratch = vec![0.0; b * n];
+        let mut multi = vec![0.0; b * n];
+        fused_scores_multi(
+            &ir,
+            &u_irs,
+            Some(TagChannelMulti {
+                cache: &tg,
+                anchors: &u_tgs,
+                alphas: &alphas,
+            }),
+            0,
+            n,
+            &mut scratch,
+            &mut multi,
+        );
+        let mut single_scr = vec![0.0; n];
+        let mut single = vec![0.0; n];
+        for u in 0..b {
+            fused_scores_block(
+                &ir,
+                u_irs[u],
+                Some(TagChannel {
+                    cache: &tg,
+                    anchor: u_tgs[u],
+                    alpha: alphas[u],
+                }),
+                0,
+                n,
+                &mut single_scr,
+                &mut single,
+            );
+            for i in 0..n {
+                assert_eq!(
+                    multi[u * n + i].to_bits(),
+                    single[i].to_bits(),
+                    "user {u} item {i}"
+                );
+            }
+        }
+        // Single channel.
+        fused_scores_multi(&ir, &u_irs, None, 0, n, &mut [], &mut multi);
+        for u in 0..b {
+            fused_scores_block(&ir, u_irs[u], None, 0, n, &mut [], &mut single);
+            for i in 0..n {
+                assert_eq!(
+                    multi[u * n + i].to_bits(),
+                    single[i].to_bits(),
+                    "user {u} item {i} (single channel)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cache_is_harmless() {
+        let c = BlockCache::build(&[], 4);
+        assert!(c.is_empty());
+        assert_eq!(c.rows(), 0);
+        let anchor = lorentz::origin(4);
+        let mut out: Vec<f64> = vec![];
+        c.distance_block(&anchor, 0, 0, &mut out);
+    }
+}

@@ -30,6 +30,7 @@
 //! All functions operate on `&[f64]` slices so callers can store embeddings
 //! in flat matrices without copies.
 
+pub mod batch;
 pub mod convert;
 pub mod klein;
 pub mod lorentz;

@@ -167,13 +167,20 @@ pub fn exp_map(x: &[f64], eta: &[f64], out: &mut [f64]) {
 /// One Riemannian SGD step: `x ← exp_x(−lr · grad_R(x))`, then re-project.
 pub fn rsgd_step(x: &mut [f64], grad_e: &[f64], lr: f64) {
     let mut rg = vec![0.0; x.len()];
-    riemannian_grad(x, grad_e, &mut rg);
+    let mut out = vec![0.0; x.len()];
+    rsgd_step_buffered(x, grad_e, lr, &mut rg, &mut out);
+}
+
+/// [`rsgd_step`] with caller-provided buffers (`rg` and `out`, both of
+/// `x.len()`) — the allocation-free form for optimizer loops that update
+/// many rows. Arithmetic is identical to [`rsgd_step`].
+pub fn rsgd_step_buffered(x: &mut [f64], grad_e: &[f64], lr: f64, rg: &mut [f64], out: &mut [f64]) {
+    riemannian_grad(x, grad_e, rg);
     for g in rg.iter_mut() {
         *g *= -lr;
     }
-    let mut out = vec![0.0; x.len()];
-    exp_map(x, &rg, &mut out);
-    x.copy_from_slice(&out);
+    exp_map(x, rg, out);
+    x.copy_from_slice(out);
 }
 
 /// Checks how far `x` drifts from the hyperboloid constraint; returns

@@ -86,13 +86,20 @@ pub fn riemannian_grad(x: &[f64], grad_e: &[f64], out: &mut [f64]) {
 /// followed by re-clipping into the ball.
 pub fn rsgd_step(x: &mut [f64], grad_e: &[f64], lr: f64) {
     let mut rg = vec![0.0; x.len()];
-    riemannian_grad(x, grad_e, &mut rg);
+    let mut out = vec![0.0; x.len()];
+    rsgd_step_buffered(x, grad_e, lr, &mut rg, &mut out);
+}
+
+/// [`rsgd_step`] with caller-provided buffers (`rg` and `out`, both of
+/// `x.len()`) for optimizer loops that update many rows. Arithmetic is
+/// identical to [`rsgd_step`].
+pub fn rsgd_step_buffered(x: &mut [f64], grad_e: &[f64], lr: f64, rg: &mut [f64], out: &mut [f64]) {
+    riemannian_grad(x, grad_e, rg);
     for g in rg.iter_mut() {
         *g *= -lr;
     }
-    let mut out = vec![0.0; x.len()];
-    exp_map(x, &rg, &mut out);
-    x.copy_from_slice(&out);
+    exp_map(x, rg, out);
+    x.copy_from_slice(out);
     clip_norm(x, MAX_BALL_NORM);
 }
 

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig};
 use taxorec_data::{Dataset, Split};
 use taxorec_eval::top_k;
+use taxorec_geometry::batch::{fused_scores_block, BlockCache, TagChannel};
 use taxorec_geometry::{convert, lorentz};
 use taxorec_taxonomy::Taxonomy;
 
@@ -112,6 +113,13 @@ pub struct ServingModel {
     item_tags: Vec<Vec<u32>>,
     /// Sorted per-user seen-item lists (train-set exclusion).
     seen: Vec<Vec<u32>>,
+    /// Fused-kernel cache over the item embeddings, tag-irrelevant
+    /// channel. The model is immutable, so the cache is built once at
+    /// construction and never invalidated (DESIGN.md §12).
+    ir_cache: BlockCache,
+    /// Tag-relevant counterpart of `ir_cache` (`None` when the tag
+    /// channel is inactive).
+    tg_cache: Option<BlockCache>,
     cache: Mutex<LruCache<(u32, u32), Ranking>>,
 }
 
@@ -139,11 +147,20 @@ impl ServingModel {
             items.sort_unstable();
             items.dedup();
         }
+        let ir_cache = if state.v_ir.rows() > 0 {
+            BlockCache::build(state.v_ir.data(), state.v_ir.cols())
+        } else {
+            BlockCache::default()
+        };
+        let tg_cache = (state.tags_active && state.v_tg.rows() > 0)
+            .then(|| BlockCache::build(state.v_tg.data(), state.v_tg.cols()));
         Ok(Self {
             state,
             tag_names,
             item_tags,
             seen: seen_items,
+            ir_cache,
+            tg_cache,
             cache: Mutex::new(LruCache::new(cache_capacity)),
         })
     }
@@ -194,21 +211,41 @@ impl ServingModel {
     }
 
     /// Preference score of `user` for every item — identical arithmetic
-    /// (and therefore identical bits) to [`TaxoRec::scores_for_user`].
-    fn scores(&self, u: usize) -> Vec<f64> {
+    /// (and therefore identical bits) to [`TaxoRec::scores_for_user`],
+    /// computed with the fused block kernels over the construction-time
+    /// caches into a caller-provided buffer.
+    fn scores_into(&self, u: usize, out: &mut Vec<f64>) {
         let s = &self.state;
+        let n_items = s.v_ir.rows();
+        // Every element is overwritten below; skip the zero-refill when a
+        // reused buffer already has the right length.
+        if out.len() != n_items {
+            out.clear();
+            out.resize(n_items, 0.0);
+        }
+        if n_items == 0 {
+            return;
+        }
         let urow_ir = s.u_ir.row(u);
         let alpha = s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0);
-        let n_items = s.v_ir.rows();
-        let mut out = Vec::with_capacity(n_items);
-        for v in 0..n_items {
-            let mut g = lorentz::distance_sq(urow_ir, s.v_ir.row(v));
-            if s.tags_active {
-                g += alpha * lorentz::distance_sq(s.u_tg.row(u), s.v_tg.row(v));
-            }
-            out.push(-g);
+        match &self.tg_cache {
+            Some(tg) => taxorec_core::scratch::with_buf(n_items, |scr| {
+                fused_scores_block(
+                    &self.ir_cache,
+                    urow_ir,
+                    Some(TagChannel {
+                        cache: tg,
+                        anchor: s.u_tg.row(u),
+                        alpha,
+                    }),
+                    0,
+                    n_items,
+                    scr,
+                    out,
+                );
+            }),
+            None => fused_scores_block(&self.ir_cache, urow_ir, None, 0, n_items, &mut [], out),
         }
-        out
     }
 
     /// The `k` best unseen items for `user`, best first, with scores.
@@ -231,9 +268,13 @@ impl ServingModel {
             return Ok(Arc::clone(hit));
         }
         taxorec_telemetry::counter("serve.cache.miss").inc(1);
-        let scores = self.scores(u);
         let seen: &[u32] = self.seen.get(u).map(Vec::as_slice).unwrap_or(&[]);
-        let top = top_k(&scores, k, |v| seen.binary_search(&(v as u32)).is_ok());
+        // Score into a per-worker scratch buffer: a cache miss allocates
+        // only its `k`-entry result after warm-up.
+        let top = taxorec_core::scratch::with_vec(|scores| {
+            self.scores_into(u, scores);
+            top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
+        });
         let result = Arc::new(top);
         self.cache.lock().unwrap().put(key, Arc::clone(&result));
         Ok(result)

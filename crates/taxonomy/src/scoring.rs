@@ -102,10 +102,14 @@ impl GroupStats {
     /// Context factor `con(t, G_k)` (paper Eq. 4):
     /// `log(tf(t,E_k)+1) / log(tf(E_k))`, clamped into `[0, 1]`.
     pub fn context(&self, t: u32) -> f64 {
-        if self.total_tf <= 1.0 {
+        // `ln(total_tf)` is the denominator: it must be strictly positive
+        // and finite, which rules out `total_tf ≤ 1` (a single-occurrence
+        // group has `ln(1) = 0` → 0/0 = NaN) and any degenerate stats.
+        let denom = self.total_tf.ln();
+        if !denom.is_finite() || denom <= 0.0 {
             return 0.0;
         }
-        ((self.tf[t as usize] + 1.0).ln() / self.total_tf.ln()).clamp(0.0, 1.0)
+        ((self.tf[t as usize] + 1.0).ln() / denom).clamp(0.0, 1.0)
     }
 
     /// Inverse document frequency `idf(t)` (paper §IV-C.1):
@@ -130,11 +134,19 @@ impl GroupStats {
 /// `t` on child `k` against all siblings,
 /// `exp(rank(t,E_k)) / (1 + Σ_j exp(rank(t,E_j)))`.
 ///
-/// Ranks are clamped at 50 before exponentiation to avoid overflow.
+/// Evaluated in log space (every exponent shifted by the running maximum
+/// rank, with the implicit `1` in the denominator treated as `exp(0)`):
+/// the ratio is algebraically unchanged, but no intermediate can overflow.
+/// The previous `rank.min(50.0)` overflow clamp made every rank above 50
+/// exponentiate identically, erasing the ordering between highly
+/// concentrated siblings.
 pub fn structure(t: u32, k: usize, groups: &[GroupStats]) -> f64 {
-    let exp_rank = |g: &GroupStats| g.rank(t).min(50.0).exp();
-    let num = exp_rank(&groups[k]);
-    let denom = 1.0 + groups.iter().map(exp_rank).sum::<f64>();
+    let mut m = 0.0f64; // the denominator's +1 term is exp(0)
+    for g in groups {
+        m = m.max(g.rank(t));
+    }
+    let num = (groups[k].rank(t) - m).exp();
+    let denom = (-m).exp() + groups.iter().map(|g| (g.rank(t) - m).exp()).sum::<f64>();
     num / denom
 }
 
@@ -226,6 +238,66 @@ mod tests {
         let expected = (groups[0].context(0) * structure(0, 0, &groups)).sqrt();
         assert!((s - expected).abs() < 1e-12);
         assert!(s > 0.0 && s <= 1.0);
+    }
+
+    /// Synthetic stats with one tag occurring once and an adjustable
+    /// total occurrence count — `avgdl = total_tf` pins the BM25 length
+    /// normalization at 1, so `rank ≈ idf = ln((total_tf − 0.5)/1.5 + 1)`
+    /// and the rank can be dialed arbitrarily high via `total_tf`.
+    fn stats_with_total(total_tf: f64) -> GroupStats {
+        GroupStats {
+            tf: vec![1.0],
+            total_tf,
+            n_items: 1,
+            avgdl: total_tf,
+        }
+    }
+
+    #[test]
+    fn context_is_finite_for_single_occurrence_groups() {
+        // One item carrying the group's only tag: total_tf == 1, so the
+        // ln-denominator of Eq. 4 is exactly zero.
+        let items = vec![vec![0u32]];
+        let groups = vec![GroupStats::compute(&[0], &items, 1)];
+        assert_eq!(groups[0].total_tf, 1.0);
+        assert_eq!(groups[0].context(0), 0.0);
+        let s = score(0, 0, &groups);
+        assert!(s.is_finite(), "score must stay finite, got {s}");
+    }
+
+    #[test]
+    fn structure_distinguishes_ranks_beyond_the_old_clamp() {
+        // Both ranks land well above 50, so the old `min(50.0)` clamp
+        // exponentiated them identically and the softmax could not tell
+        // the more concentrated sibling apart.
+        let groups = vec![stats_with_total(1e40), stats_with_total(1e30)];
+        let r_hi = groups[0].rank(0);
+        let r_lo = groups[1].rank(0);
+        assert!(r_hi > 55.0 && r_lo > 55.0, "ranks {r_hi}, {r_lo}");
+        assert!(r_hi > r_lo + 5.0);
+        let s_hi = structure(0, 0, &groups);
+        let s_lo = structure(0, 1, &groups);
+        assert!(
+            s_hi > s_lo,
+            "higher rank must win the softmax: {s_hi} vs {s_lo}"
+        );
+    }
+
+    #[test]
+    fn structure_survives_overflowing_ranks() {
+        // rank ≈ 709 for each group: Σ exp(rank) overflows f64 without the
+        // log-space evaluation.
+        let groups: Vec<GroupStats> = (0..4).map(|_| stats_with_total(1.7e308)).collect();
+        assert!(groups[0].rank(0) > 700.0);
+        let mut sum = 0.0;
+        for k in 0..groups.len() {
+            let s = structure(0, k, &groups);
+            assert!(s.is_finite() && s > 0.0 && s < 1.0, "structure {s}");
+            sum += s;
+        }
+        // The +1 denominator term is exp(-m) ≈ 1e-308 here — far below one
+        // ulp of the sum — so sub-normalization holds only up to rounding.
+        assert!(sum <= 1.0, "softmax sum must not exceed 1, got {sum}");
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! One `#[test]` covers the whole pipeline so the env-var flips cannot
 //! race against each other under the default multi-threaded test runner.
 
-use taxorec::core::{TaxoRec, TaxoRecConfig};
+use taxorec::core::{ModelState, TaxoRec, TaxoRecConfig};
 use taxorec::data::{generate_preset, Preset, Recommender, Scale, Split};
 use taxorec::eval::evaluate;
+use taxorec::geometry::lorentz;
 use taxorec::taxonomy::Taxonomy;
 
 struct RunResult {
@@ -17,6 +18,40 @@ struct RunResult {
     recall: Vec<Vec<f64>>,
     ndcg: Vec<Vec<f64>>,
     users: Vec<u32>,
+}
+
+/// Reference scorer over an exported [`ModelState`], using the original
+/// scalar per-item loop. The fused block kernels must reproduce its
+/// scores bit-for-bit (same per-item summation order).
+struct NaiveScorer {
+    state: ModelState,
+}
+
+impl Recommender for NaiveScorer {
+    fn name(&self) -> &str {
+        "NaiveScorer"
+    }
+
+    fn fit(&mut self, _dataset: &taxorec::data::Dataset, _split: &Split) {
+        // Scores come from the exported state; nothing to train.
+    }
+
+    fn scores_for_user(&self, user: u32) -> Vec<f64> {
+        let s = &self.state;
+        let u = user as usize;
+        let urow_ir = s.u_ir.row(u);
+        let alpha = s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0);
+        let n_items = s.v_ir.rows();
+        let mut out = Vec::with_capacity(n_items);
+        for v in 0..n_items {
+            let mut g = lorentz::distance_sq(urow_ir, s.v_ir.row(v));
+            if s.tags_active {
+                g += alpha * lorentz::distance_sq(s.u_tg.row(u), s.v_tg.row(v));
+            }
+            out.push(-g);
+        }
+        out
+    }
 }
 
 fn run_pipeline() -> RunResult {
@@ -28,6 +63,35 @@ fn run_pipeline() -> RunResult {
     });
     m.fit(&d, &s);
     let e = evaluate(&m, &s, &[5, 10]);
+
+    // Fused-vs-naive equivalence, at whatever thread count is active:
+    // the batched kernels must reproduce the seed scalar loop exactly.
+    let naive = NaiveScorer {
+        state: m.export_state(),
+    };
+    for &u in e.users.iter().take(8) {
+        let fused = m.scores_for_user(u);
+        let reference = naive.scores_for_user(u);
+        let fused_bits: Vec<u64> = fused.iter().map(|v| v.to_bits()).collect();
+        let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            fused_bits, ref_bits,
+            "fused scores diverged from the scalar reference for user {u}"
+        );
+    }
+    let e_naive = evaluate(&naive, &s, &[5, 10]);
+    assert_eq!(e.users, e_naive.users, "naive eval visited different users");
+    assert_eq!(
+        bits(&e.recall),
+        bits(&e_naive.recall),
+        "fused-path Recall diverged from the scalar reference"
+    );
+    assert_eq!(
+        bits(&e.ndcg),
+        bits(&e_naive.ndcg),
+        "fused-path NDCG diverged from the scalar reference"
+    );
+
     RunResult {
         loss_history: m.loss_history.clone(),
         taxonomy: m.taxonomy().expect("taxonomy constructed").clone(),
