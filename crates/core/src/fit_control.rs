@@ -123,6 +123,11 @@ pub struct FitControl<'a> {
     /// Sleep inserted after every epoch (testing hook: makes mid-run
     /// kills land deterministically between epochs).
     pub epoch_throttle: Duration,
+    /// Called after every successfully completed epoch with its record
+    /// (loss, grad norm, stage breakdown). Drives progress tails like
+    /// `train-demo --follow`; rolled-back epochs are not reported.
+    #[allow(clippy::type_complexity)]
+    pub on_epoch: Option<Box<dyn FnMut(&taxorec_telemetry::EpochRecord) + 'a>>,
 }
 
 impl Default for FitControl<'_> {
@@ -134,6 +139,7 @@ impl Default for FitControl<'_> {
             max_rollbacks: 3,
             lr_backoff: 0.5,
             epoch_throttle: Duration::ZERO,
+            on_epoch: None,
         }
     }
 }

@@ -14,6 +14,7 @@
 //!    `L_metric + λ·L_reg` (Eqs. 18–19).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -573,6 +574,12 @@ impl TaxoRec {
         mut ctl: FitControl<'_>,
     ) -> FitReport {
         let _fit_span = span!("train.fit");
+        // The run's trace context: the same mechanism as a serve request,
+        // so TAXOREC_TRACE renders training epochs and their stage
+        // breakdown alongside (or instead of) request traces.
+        let fit_ctx = taxorec_telemetry::trace::mint();
+        let _fit_trace = taxorec_telemetry::trace::scope(fit_ctx);
+        let fit_started = Instant::now();
         let cfg = self.config.clone();
         let mut monitor = TrainingMonitor::new(&self.name);
         self.tags_active = cfg.use_aggregation && cfg.use_tags && dataset.n_tags > 0;
@@ -642,6 +649,8 @@ impl TaxoRec {
         let base_pairs = split.train_pairs();
         if base_pairs.is_empty() {
             self.finalize();
+            taxorec_telemetry::trace::flush();
+            taxorec_telemetry::sink::flush();
             return report;
         }
         let warmup = (cfg.epochs as f64 * cfg.taxo_warmup_frac) as usize;
@@ -665,6 +674,13 @@ impl TaxoRec {
             let snap_rng = rng.state();
             let snap_losses = self.loss_history.len();
 
+            let epoch_started = Instant::now();
+            // Stage breakdown accumulators: wall time across the epoch's
+            // batches split into aggregation (forward), scoring (loss +
+            // backward), and update (Riemannian SGD steps).
+            let mut agg_time = Duration::ZERO;
+            let mut score_time = Duration::ZERO;
+            let mut update_time = Duration::ZERO;
             monitor.begin_epoch(epoch);
             // Refresh the post-aggregation embeddings once per epoch for
             // hard-negative mining (stale-but-cheap, standard practice).
@@ -703,7 +719,10 @@ impl TaxoRec {
                         });
                     }
                 }
+                let stage_t0 = Instant::now();
                 let mut f = self.forward();
+                let stage_t1 = Instant::now();
+                agg_time += stage_t1 - stage_t0;
                 let (metric_loss, reg_loss) = self.build_loss(&mut f, &users, &pos, &neg);
                 let batch_loss = f.tape.value(metric_loss).as_scalar()
                     + reg_loss.map(|r| f.tape.value(r).as_scalar()).unwrap_or(0.0);
@@ -729,6 +748,8 @@ impl TaxoRec {
                     .filter_map(|g| g.as_ref().map(grad_sq_sum))
                     .sum::<f64>()
                     .sqrt();
+                let stage_t2 = Instant::now();
+                score_time += stage_t2 - stage_t1;
                 if !monitor.observe_batch(batch_loss, grad_norm) {
                     nan_batches += 1;
                     continue;
@@ -759,6 +780,7 @@ impl TaxoRec {
                 if let Some(g) = g_t_p_reg {
                     optim::rsgd_poincare(&mut self.t_p, &g, lr);
                 }
+                update_time += stage_t2.elapsed();
             }
             // Boundary proximity: the Poincaré tag embeddings degrade
             // numerically as ‖t‖ → 1, so the max row norm is the early
@@ -769,7 +791,35 @@ impl TaxoRec {
                 max_norm = max_norm.max(sq.sqrt());
             }
             monitor.observe_boundary(max_norm);
-            monitor.end_epoch();
+            monitor.observe_stages(
+                agg_time.as_secs_f64(),
+                score_time.as_secs_f64(),
+                update_time.as_secs_f64(),
+            );
+            let epoch_record = monitor.end_epoch().clone();
+            // When this run is sampled, lay the epoch out as a span with
+            // its three stages as sequential children (per-batch stage
+            // slices interleave in reality; the aggregate layout shows
+            // where the epoch's time went at a glance).
+            if fit_ctx.sampled {
+                let epoch_end = Instant::now();
+                let epoch_ctx = taxorec_telemetry::trace::emit_span_at(
+                    "train.epoch",
+                    fit_ctx,
+                    epoch_started,
+                    epoch_end,
+                );
+                let mut stage_start = epoch_started;
+                for (name, dur) in [
+                    ("aggregation", agg_time),
+                    ("scoring", score_time),
+                    ("update", update_time),
+                ] {
+                    let stage_end = (stage_start + dur).min(epoch_end);
+                    taxorec_telemetry::trace::emit_span_at(name, epoch_ctx, stage_start, stage_end);
+                    stage_start = stage_end;
+                }
+            }
 
             let mut epoch_mean = epoch_loss / n_batches.max(1) as f64;
             if taxorec_resilience::inject_nan("train.epoch") {
@@ -781,6 +831,15 @@ impl TaxoRec {
                 rollbacks += 1;
                 report.rollbacks += 1;
                 taxorec_telemetry::counter("resilience.rollback").inc(1);
+                // A divergence is an incident: capture the recent-event
+                // history before the retry overwrites it.
+                taxorec_telemetry::flight_event!(
+                    "train.rollback",
+                    fit_ctx.trace_id,
+                    epoch as i64,
+                    epoch_mean
+                );
+                taxorec_telemetry::flight::dump("train.rollback");
                 // Restore the start-of-epoch snapshot either way: the
                 // parameters after a diverged epoch are not trustworthy.
                 let (u_ir, v_ir, u_tg, t_p) = snap_params;
@@ -809,6 +868,9 @@ impl TaxoRec {
             }
             self.loss_history.push(epoch_mean);
             report.epochs_run += 1;
+            if let Some(cb) = ctl.on_epoch.as_mut() {
+                cb(&epoch_record);
+            }
             if ctl.checkpoint_every > 0 && (epoch + 1).is_multiple_of(ctl.checkpoint_every) {
                 if let Some(sink) = ctl.checkpoint_sink.as_mut() {
                     let state = self.capture_train_state(epoch + 1, &rng, lr_scale, rollbacks);
@@ -842,6 +904,11 @@ impl TaxoRec {
         self.epoch_records = monitor.records().to_vec();
         self.finalize();
         report.final_lr_scale = lr_scale;
+        // The run's root span, then flush both the trace export and any
+        // file-backed JSONL sink so short runs don't lose tail events.
+        taxorec_telemetry::trace::emit_root_at("train.fit", fit_ctx, fit_started, Instant::now());
+        taxorec_telemetry::trace::flush();
+        taxorec_telemetry::sink::flush();
         report
     }
 

@@ -247,11 +247,16 @@ fn run_pool(
     let busy_ns = AtomicU64::new(0);
     let done: Vec<AtomicBool> = (0..n_jobs).map(|_| AtomicBool::new(false)).collect();
     let failure: Mutex<Option<JobFailure>> = Mutex::new(None);
+    // The launcher's ambient trace context is re-installed in every
+    // worker, so spans opened inside pool jobs parent into the request
+    // or training run that fanned the work out (`Copy`, free to carry).
+    let trace_ctx = taxorec_telemetry::trace::current();
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
                 IN_POOL.with(|f| f.set(true));
+                let _trace_scope = taxorec_telemetry::trace::scope(trace_ctx);
                 // The outer loop is the logical respawn: if anything
                 // unwinds *outside* a job's own catch (telemetry hooks,
                 // allocator shims), the worker restarts instead of dying

@@ -48,6 +48,7 @@ taxorec-serve — train, inspect, and serve .taxo model artifacts
 USAGE:
   taxorec-serve train-demo <out.taxo> [--preset P] [--scale S] [--epochs N]
                            [--checkpoint CK] [--checkpoint-every N] [--resume CK]
+                           [--follow]
       Train TaxoRec on a synthetic dataset and save a serving artifact.
       P: ciao | amazon-cd | amazon-book | yelp   (default ciao)
       S: tiny | bench | full                     (default tiny)
@@ -55,6 +56,8 @@ USAGE:
       --checkpoint-every N   every N completed epochs (default 1)
       --resume CK            continue bit-identically from CK (missing file
                              = fresh start); config flags must match
+      --follow               print a per-epoch progress line with the
+                             aggregation/scoring/update stage breakdown
 
   taxorec-serve inspect <model.taxo>
       Print the artifact's model card (dims, users, items, tags, taxonomy).
@@ -62,9 +65,15 @@ USAGE:
   taxorec-serve serve <model.taxo> [--addr HOST:PORT] [--workers N]
       Serve the model over HTTP (default 127.0.0.1:7878, 4 workers).
       Endpoints: /recommend?user=U&k=K  /explain?user=U&item=V
-                 /healthz  /metrics
+                 /healthz  /metrics (Prometheus)  /metrics.json  /debug/flight
       Runs until stdin is closed (Ctrl-D / EOF), then drains and exits.
+      Set TAXOREC_TRACE=<file> to export sampled request traces as Chrome
+      trace-event JSON on shutdown.
 ";
+
+/// Boolean `--flag`s (no value); `positional` must not skip an argument
+/// after these.
+const BOOL_FLAGS: &[&str] = &["--follow"];
 
 /// `--flag value` lookup over the raw argument list.
 fn flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
@@ -82,7 +91,12 @@ fn positional<'a>(args: &'a [String], idx: usize, what: &str) -> Result<&'a str,
     let mut i = 0;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += 2; // skip the flag and its value
+            // Boolean flags stand alone; value flags consume the next arg.
+            i += if BOOL_FLAGS.contains(&args[i].as_str()) {
+                1
+            } else {
+                2
+            };
             continue;
         }
         if seen == idx {
@@ -159,6 +173,22 @@ fn train_demo(args: &[String]) -> Result<(), String> {
                     TrainCheckpoint::new(state.clone()).save(&path)
                 })
                 .map_err(|e| e.to_string())
+        }));
+    }
+    if args.iter().any(|a| a == "--follow") {
+        ctl.on_epoch = Some(Box::new(|r| {
+            let total = (r.aggregation_secs + r.scoring_secs + r.update_secs).max(1e-12);
+            println!(
+                "epoch {:>3}  loss {:.5}  grad {:.4}  {:.2}s \
+                 (agg {:.0}% / score {:.0}% / update {:.0}%)",
+                r.epoch,
+                r.mean_loss,
+                r.mean_grad_norm,
+                r.duration_secs,
+                100.0 * r.aggregation_secs / total,
+                100.0 * r.scoring_secs / total,
+                100.0 * r.update_secs / total,
+            );
         }));
     }
     // Testing hook: slow the epoch loop down so an external kill lands
@@ -279,6 +309,12 @@ fn run_server(args: &[String]) -> Result<(), String> {
     }
     println!("stdin closed; shutting down…");
     handle.shutdown();
+    // Drain buffered observability before exiting: the trace export and
+    // any file-backed JSONL sink only hit disk here on a short run.
+    if let Some(path) = taxorec_telemetry::trace::flush() {
+        println!("trace export written to {}", path.display());
+    }
+    taxorec_telemetry::sink::flush();
     println!("bye");
     Ok(())
 }

@@ -6,14 +6,28 @@
 //! shutdown through an `AtomicBool`. That is all a latency-tolerant
 //! model server needs, and it keeps the crate dependency-free.
 //!
-//! Endpoints (all `GET`, all JSON):
+//! Endpoints (all `GET`):
 //!
-//! | Path         | Query                | Response                                   |
-//! |--------------|----------------------|--------------------------------------------|
-//! | `/recommend` | `user=<id>&k=<n>`    | top-K items with scores                    |
-//! | `/explain`   | `user=<id>&item=<id>`| score + tag/taxonomy rationale             |
-//! | `/healthz`   | —                    | readiness + model card                     |
-//! | `/metrics`   | —                    | `taxorec-telemetry` registry snapshot      |
+//! | Path            | Query                | Response                                   |
+//! |-----------------|----------------------|--------------------------------------------|
+//! | `/recommend`    | `user=<id>&k=<n>`    | top-K items with scores (JSON)             |
+//! | `/explain`      | `user=<id>&item=<id>`| score + tag/taxonomy rationale (JSON)      |
+//! | `/healthz`      | —                    | readiness + model card (JSON)              |
+//! | `/metrics`      | —                    | Prometheus text exposition 0.0.4           |
+//! | `/metrics.json` | —                    | `taxorec-telemetry` registry snapshot      |
+//! | `/debug/flight` | —                    | flight-recorder ring contents (JSON)       |
+//!
+//! ## Observability
+//!
+//! A [`TraceContext`] is minted for every accepted connection — before
+//! queueing, so queue wait is part of the trace — and echoed back in an
+//! `x-taxorec-trace` response header on **every** response (including
+//! `400`s and shed `503`s). When `TAXOREC_TRACE` is set and the request
+//! falls on the sampling stride, the request exports a connected span
+//! tree: `http` (root) → `queue` / `cache` / `score` → `kernel` /
+//! `respond`. Request outcomes also land in the flight recorder
+//! (`serve.request` events), which dumps its ring to disk on handler
+//! panics and load shedding.
 //!
 //! ## Hardening
 //!
@@ -48,8 +62,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use taxorec_telemetry::json::{push_f64, push_str_escaped};
+use taxorec_telemetry::{flight, flight_event, trace, TraceContext};
 
 use crate::model::{ServeError, ServingModel};
+
+const JSON_CONTENT_TYPE: &str = "application/json";
 
 /// Accept-loop poll interval while idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
@@ -136,11 +153,19 @@ const HEALTH_READY: u8 = 0;
 const HEALTH_DEGRADED: u8 = 1;
 const HEALTH_DRAINING: u8 = 2;
 
+/// An accepted connection waiting for a worker, carrying the trace
+/// context minted at accept time (so queue wait is inside the trace).
+struct Queued {
+    stream: TcpStream,
+    ctx: TraceContext,
+    accepted: Instant,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     shutdown: AtomicBool,
     health: AtomicU8,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<Queued>>,
     ready: Condvar,
     opts: ServeOptions,
 }
@@ -300,13 +325,22 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
                 let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
+                // Trace identity is minted here, at the system edge, so
+                // even shed responses carry an `x-taxorec-trace` header
+                // and queue wait is covered by the trace.
+                let ctx = trace::mint();
                 let mut q = lock_queue(&shared.queue);
                 if q.len() >= shared.opts.max_queue {
+                    let depth = q.len();
                     drop(q);
-                    shed(stream, shared.opts.io_timeout);
+                    shed(stream, ctx, depth, shared.opts.io_timeout);
                     continue;
                 }
-                q.push_back(stream);
+                q.push_back(Queued {
+                    stream,
+                    ctx,
+                    accepted: Instant::now(),
+                });
                 taxorec_telemetry::gauge("serve.queue.depth").set(q.len() as f64);
                 drop(q);
                 shared.ready.notify_one();
@@ -321,13 +355,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 /// Rejects an over-capacity connection with `503 + Retry-After` without
-/// reading the request (the write deadline bounds even this).
-fn shed(mut stream: TcpStream, io_timeout: Duration) {
+/// reading the request (the write deadline bounds even this). The
+/// incident is recorded in the flight ring and triggers a (throttled)
+/// dump — a shed storm is exactly the moment the recent-event history
+/// matters.
+fn shed(mut stream: TcpStream, ctx: TraceContext, queue_depth: usize, io_timeout: Duration) {
     taxorec_telemetry::counter("serve.http.shed").inc(1);
+    flight_event!("serve.shed", ctx.trace_id, queue_depth as i64, 0.0);
+    flight::dump("serve.shed");
     let retry_after = io_timeout.as_secs().max(1);
     let _ = respond_with(
         &mut stream,
         503,
+        ctx.trace_id,
+        JSON_CONTENT_TYPE,
         &format!("Retry-After: {retry_after}\r\n"),
         &error_json("server overloaded; retry later"),
     );
@@ -336,13 +377,13 @@ fn shed(mut stream: TcpStream, io_timeout: Duration) {
 /// Poison-tolerant queue lock: a worker that panicked while holding the
 /// lock (can't happen in the current code, but belts and braces) must not
 /// wedge the acceptor.
-fn lock_queue(q: &Mutex<VecDeque<TcpStream>>) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+fn lock_queue(q: &Mutex<VecDeque<Queued>>) -> std::sync::MutexGuard<'_, VecDeque<Queued>> {
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn worker_loop(shared: &Shared, model: &ServingModel) {
     loop {
-        let stream = {
+        let queued = {
             let mut q = lock_queue(&shared.queue);
             loop {
                 if let Some(s) = q.pop_front() {
@@ -359,20 +400,31 @@ fn worker_loop(shared: &Shared, model: &ServingModel) {
                 q = guard;
             }
         };
-        match stream {
+        match queued {
             Some(s) => handle_connection(s, shared, model),
             None => return,
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared, model: &ServingModel) {
+fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel) {
+    let Queued {
+        mut stream,
+        ctx,
+        accepted,
+    } = queued;
+    // The wait between accept and dequeue, as a retroactive child span.
+    trace::emit_span_at("queue", ctx, accepted, Instant::now());
+    // Everything below runs with `ctx` ambient, so `child_span` calls in
+    // the serving model (cache, score, kernel) parent into this request.
+    let _trace_scope = trace::scope(ctx);
     let head = match read_head(&mut stream, shared.opts.max_request_bytes) {
         Some(h) => h,
         None => {
             let _ = respond(
                 &mut stream,
                 400,
+                ctx.trace_id,
                 &error_json("malformed, oversized, or timed-out request"),
             );
             return;
@@ -387,19 +439,39 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, model: &ServingMode
         taxorec_resilience::inject_panic("serve.request");
         route(&head, shared, model)
     }));
-    let (status, body, endpoint) = match routed {
+    let (status, body, endpoint, content_type) = match routed {
         Ok(r) => r,
         Err(_) => {
             taxorec_telemetry::counter("serve.http.panics").inc(1);
             taxorec_telemetry::sink::warn("request handler panicked; worker continues");
-            (500, error_json("internal error"), "other")
+            // Dump *before* responding so the dump file exists by the
+            // time the client sees the 500.
+            flight_event!("serve.panic", ctx.trace_id, 500, 0.0);
+            flight::dump("serve.request.panic");
+            (
+                500,
+                error_json("internal error"),
+                "other",
+                JSON_CONTENT_TYPE,
+            )
         }
     };
-    let _ = respond(&mut stream, status, &body);
+    {
+        let _respond_span = trace::child_span("respond");
+        let _ = respond_with(&mut stream, status, ctx.trace_id, content_type, "", &body);
+    }
     // Covers routing (the model work) plus the response write, so the
     // histogram reflects what a client observes.
     let ms = start.elapsed().as_secs_f64() * 1e3;
     taxorec_telemetry::histogram(&format!("serve.http.{endpoint}.ms")).observe(ms);
+    taxorec_telemetry::counter(&format!("serve.http.{endpoint}.requests")).inc(1);
+    if status >= 400 {
+        taxorec_telemetry::counter(&format!("serve.http.{endpoint}.errors")).inc(1);
+    }
+    flight_event!("serve.request", ctx.trace_id, status as i64, ms);
+    // The root span covers accept → response written; emitted last so
+    // the whole tree is buffered once the request is externally visible.
+    trace::emit_root_at("http", ctx, accepted, Instant::now());
 }
 
 /// Reads bytes until the end of the request head (`\r\n\r\n`) and returns
@@ -423,9 +495,13 @@ fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
     String::from_utf8(buf).ok()
 }
 
-/// Dispatches one parsed request; returns (status, JSON body, endpoint
-/// label for telemetry).
-fn route(head: &str, shared: &Shared, model: &ServingModel) -> (u16, String, &'static str) {
+/// Dispatches one parsed request; returns (status, body, endpoint label
+/// for telemetry, content type).
+fn route(
+    head: &str,
+    shared: &Shared,
+    model: &ServingModel,
+) -> (u16, String, &'static str, &'static str) {
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
@@ -435,6 +511,7 @@ fn route(head: &str, shared: &Shared, model: &ServingModel) -> (u16, String, &'s
             405,
             error_json(&format!("method {method:?} not allowed; use GET")),
             "other",
+            JSON_CONTENT_TYPE,
         );
     }
     let (path, query) = match target.split_once('?') {
@@ -442,11 +519,39 @@ fn route(head: &str, shared: &Shared, model: &ServingModel) -> (u16, String, &'s
         None => (target, ""),
     };
     match path {
-        "/healthz" => (200, healthz_json(shared, model), "healthz"),
-        "/metrics" => (200, taxorec_telemetry::snapshot(), "metrics"),
-        "/recommend" => handle_recommend(query, model),
-        "/explain" => handle_explain(query, model),
-        _ => (404, error_json(&format!("no route for {path:?}")), "other"),
+        "/healthz" => (
+            200,
+            healthz_json(shared, model),
+            "healthz",
+            JSON_CONTENT_TYPE,
+        ),
+        "/metrics" => (
+            200,
+            taxorec_telemetry::prometheus::render(),
+            "metrics",
+            taxorec_telemetry::prometheus::CONTENT_TYPE,
+        ),
+        "/metrics.json" => (
+            200,
+            taxorec_telemetry::snapshot(),
+            "metrics",
+            JSON_CONTENT_TYPE,
+        ),
+        "/debug/flight" => (200, flight::snapshot_json(), "flight", JSON_CONTENT_TYPE),
+        "/recommend" => {
+            let (status, body, ep) = handle_recommend(query, model);
+            (status, body, ep, JSON_CONTENT_TYPE)
+        }
+        "/explain" => {
+            let (status, body, ep) = handle_explain(query, model);
+            (status, body, ep, JSON_CONTENT_TYPE)
+        }
+        _ => (
+            404,
+            error_json(&format!("no route for {path:?}")),
+            "other",
+            JSON_CONTENT_TYPE,
+        ),
     }
 }
 
@@ -606,13 +711,15 @@ fn require_param(query: &str, name: &str) -> Result<u32, String> {
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    respond_with(stream, status, "", body)
+fn respond(stream: &mut TcpStream, status: u16, trace_id: u64, body: &str) -> std::io::Result<()> {
+    respond_with(stream, status, trace_id, JSON_CONTENT_TYPE, "", body)
 }
 
 fn respond_with(
     stream: &mut TcpStream,
     status: u16,
+    trace_id: u64,
+    content_type: &str,
     extra_headers: &str,
     body: &str,
 ) -> std::io::Result<()> {
@@ -625,8 +732,9 @@ fn respond_with(
         _ => "Internal Server Error",
     };
     let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nx-taxorec-trace: {trace_id:016x}\r\n\
+         {extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;

@@ -263,16 +263,25 @@ impl ServingModel {
             });
         }
         let key = (user, k.min(u32::MAX as usize) as u32);
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            taxorec_telemetry::counter("serve.cache.hit").inc(1);
-            return Ok(Arc::clone(hit));
+        {
+            let _cache_span = taxorec_telemetry::trace::child_span("cache");
+            if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+                taxorec_telemetry::counter("serve.cache.hit").inc(1);
+                return Ok(Arc::clone(hit));
+            }
+            taxorec_telemetry::counter("serve.cache.miss").inc(1);
         }
-        taxorec_telemetry::counter("serve.cache.miss").inc(1);
         let seen: &[u32] = self.seen.get(u).map(Vec::as_slice).unwrap_or(&[]);
         // Score into a per-worker scratch buffer: a cache miss allocates
-        // only its `k`-entry result after warm-up.
+        // only its `k`-entry result after warm-up. The `score` span (with
+        // the fused block scoring under `kernel`) is inert unless the
+        // ambient request is sampled.
+        let _score_span = taxorec_telemetry::trace::child_span("score");
         let top = taxorec_core::scratch::with_vec(|scores| {
-            self.scores_into(u, scores);
+            {
+                let _kernel_span = taxorec_telemetry::trace::child_span("kernel");
+                self.scores_into(u, scores);
+            }
             top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
         });
         let result = Arc::new(top);

@@ -204,7 +204,7 @@ fn injected_request_panic_returns_500_and_the_worker_survives() {
     let (status, body) = http_get(addr, "/recommend?user=0&k=3");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"items\":["), "{body}");
-    let (status, metrics) = http_get(addr, "/metrics");
+    let (status, metrics) = http_get(addr, "/metrics.json");
     assert_eq!(status, 200);
     assert!(metrics.contains("serve.http.panics"), "{metrics}");
 

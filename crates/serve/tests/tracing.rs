@@ -1,0 +1,197 @@
+//! End-to-end trace propagation over a live server and a raw client
+//! socket: every response carries an `x-taxorec-trace` header, and a
+//! sampled `/recommend` request exports a Chrome trace-event JSON file
+//! whose spans share one trace id and form a single rooted tree
+//! (http → queue / cache / score → kernel / respond).
+//!
+//! The trace exporter is process-global, so the tests serialize on one
+//! lock and live in their own integration-test binary (their own
+//! process) to stay isolated from the other serve tests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use taxorec_core::{TaxoRec, TaxoRecConfig};
+use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec_serve::{serve_with, ServeOptions, ServingModel};
+use taxorec_telemetry::trace;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn serving_model() -> ServingModel {
+    let dataset = generate_preset(Preset::Ciao, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut cfg = TaxoRecConfig::fast_test();
+    cfg.epochs = 2;
+    let mut model = TaxoRec::new(cfg);
+    model.fit(&dataset, &split);
+    ServingModel::from_model(&model, &dataset, &split).expect("snapshot")
+}
+
+/// One GET over a raw socket; returns (status, full raw response
+/// including headers).
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let _ = write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+/// The `x-taxorec-trace` header value from a raw response.
+fn trace_header(response: &str) -> Option<&str> {
+    response
+        .lines()
+        .find_map(|l| l.strip_prefix("x-taxorec-trace: "))
+        .map(str::trim)
+}
+
+#[test]
+fn every_response_carries_a_trace_header() {
+    let _g = lock();
+    trace::disable();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            io_timeout: Duration::from_secs(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let mut ids = Vec::new();
+    for target in ["/recommend?user=0&k=3", "/healthz", "/nope", "/recommend"] {
+        let (_status, response) = http_get(addr, target);
+        let id = trace_header(&response)
+            .unwrap_or_else(|| panic!("no x-taxorec-trace header on {target}:\n{response}"));
+        assert_eq!(id.len(), 16, "16 hex digits: {id:?}");
+        assert!(
+            id.chars().all(|c| c.is_ascii_hexdigit()),
+            "hex trace id: {id:?}"
+        );
+        assert_ne!(id, "0000000000000000", "real id even when unsampled");
+        ids.push(id.to_string());
+    }
+    let unique: std::collections::HashSet<&String> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "distinct per request: {ids:?}");
+
+    handle.shutdown();
+}
+
+/// One exported trace event, parsed from its JSON line.
+struct SpanEvent {
+    name: String,
+    trace: String,
+    span: String,
+    parent: String,
+}
+
+fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn parse_events(text: &str) -> Vec<SpanEvent> {
+    text.lines()
+        .filter(|l| l.contains("\"ph\":\"X\""))
+        .map(|l| SpanEvent {
+            name: field(l, "name").expect("name"),
+            trace: field(l, "trace").expect("trace"),
+            span: field(l, "span").expect("span"),
+            parent: field(l, "parent").expect("parent"),
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_recommend_request_exports_one_rooted_span_tree() {
+    let _g = lock();
+    // Train BEFORE arming the exporter: fit_controlled mints its own
+    // trace and would otherwise consume the sampling slot / add spans.
+    let model = serving_model();
+    let path =
+        std::env::temp_dir().join(format!("taxorec-tracing-test-{}.json", std::process::id()));
+    trace::install_file_exporter(path.to_str().unwrap());
+    trace::set_sample_every(1);
+
+    let handle = serve_with(
+        Arc::new(model),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 1,
+            io_timeout: Duration::from_secs(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+    let (status, response) = http_get(addr, "/recommend?user=0&k=5");
+    assert_eq!(status, 200, "{response}");
+    let header_id = trace_header(&response).expect("trace header").to_string();
+    handle.shutdown();
+
+    let written = trace::flush().expect("flush");
+    let text = std::fs::read_to_string(&written).expect("read export");
+    assert!(
+        taxorec_telemetry::json::is_valid_json(text.trim()),
+        "{text}"
+    );
+    let events = parse_events(&text);
+    trace::disable();
+    let _ = std::fs::remove_file(&path);
+
+    // Every span belongs to the one trace the client saw in its header.
+    assert!(!events.is_empty(), "no events exported:\n{text}");
+    for e in &events {
+        assert_eq!(e.trace, header_id, "span {} off-trace", e.name);
+    }
+
+    // Exactly one root, and it is the http span.
+    let roots: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.parent == "0000000000000000")
+        .collect();
+    assert_eq!(roots.len(), 1, "single root");
+    assert_eq!(roots[0].name, "http");
+
+    // Connected: every non-root parent id is some exported span's id.
+    let span_ids: std::collections::HashSet<&str> =
+        events.iter().map(|e| e.span.as_str()).collect();
+    for e in &events {
+        if e.parent != "0000000000000000" {
+            assert!(
+                span_ids.contains(e.parent.as_str()),
+                "span {} has dangling parent {}",
+                e.name,
+                e.parent
+            );
+        }
+    }
+
+    // The stages the issue promises are all present.
+    let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    for expected in ["http", "queue", "cache", "score", "respond"] {
+        assert!(
+            names.contains(expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! `promcheck` — validates Prometheus text exposition 0.0.4 read from
+//! stdin (or a file argument) against the grammar in
+//! [`taxorec_telemetry::prometheus::validate`]. CI pipes the live
+//! `/metrics` scrape through it:
+//!
+//! ```text
+//! curl -sf http://127.0.0.1:7979/metrics | promcheck
+//! promcheck scrape.txt
+//! ```
+//!
+//! Exits 0 and prints a one-line sample count on success; exits 1 with
+//! the first violation on failure.
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.as_slice() {
+        [] => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promcheck: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("promcheck: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: promcheck [file]   (reads stdin when no file is given)");
+            std::process::exit(2);
+        }
+    };
+    match taxorec_telemetry::prometheus::validate(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("promcheck: OK ({samples} samples)");
+        }
+        Err(e) => {
+            eprintln!("promcheck: INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,11 @@
 //! | `TAXOREC_LOG`     | `off` (default) `warn` `info` `debug` | human-readable diagnostics on stderr |
 //! | `TAXOREC_METRICS` | unset/`off` (default), `json`/`jsonl`/`stderr`/`1`, or a file path | metric events as JSON Lines |
 //! | `TAXOREC_FAIL_FAST` | `1`/`true`                        | abort training on the first NaN/Inf batch |
+//! | `TAXOREC_TRACE`   | unset/`off` (default) or a file path | export sampled spans as Chrome trace-event JSON |
+//! | `TAXOREC_TRACE_SAMPLE` | integer `n` (default 1)        | export every `n`-th trace root |
+//! | `TAXOREC_FLIGHT`  | `off`/`0` to disable (default on)   | flight-recorder ring buffer |
+//! | `TAXOREC_FLIGHT_SIZE` | integer (default 1024)          | flight-recorder capacity in events |
+//! | `TAXOREC_FLIGHT_DIR` | directory (default temp dir)     | where incident dumps are written |
 //!
 //! With both variables unset the crate is completely silent — `cargo
 //! test -q` output is byte-identical to a build without instrumentation.
@@ -48,11 +53,14 @@
 //! runner), `bench.*` (benchmark harness). Span histograms are always
 //! `<span name>.duration` in seconds.
 
+pub mod flight;
 pub mod json;
 pub mod monitor;
+pub mod prometheus;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use monitor::{EpochRecord, RebuildStats, TrainingMonitor};
 pub use registry::{counter, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram};
@@ -61,6 +69,7 @@ pub use sink::{
     LogLevel,
 };
 pub use span::Span;
+pub use trace::TraceContext;
 
 /// Serializes tests that mutate process-global state (the registry's
 /// values via `reset()`, the metrics sink). Lock poisoning is ignored —

@@ -43,6 +43,12 @@ pub struct EpochRecord {
     pub nan_batches: usize,
     /// Wall time of the epoch in seconds.
     pub duration_secs: f64,
+    /// Seconds spent in neighbour aggregation (forward passes).
+    pub aggregation_secs: f64,
+    /// Seconds spent in loss scoring and backward passes.
+    pub scoring_secs: f64,
+    /// Seconds spent in Riemannian parameter updates.
+    pub update_secs: f64,
     /// Taxonomy rebuild this epoch, if one happened.
     pub rebuild: Option<RebuildStats>,
 }
@@ -63,12 +69,18 @@ pub struct TrainingMonitor {
     n_batches: usize,
     nan_batches: usize,
     boundary_max_norm: f64,
+    aggregation_secs: f64,
+    scoring_secs: f64,
+    update_secs: f64,
     rebuild: Option<RebuildStats>,
     // Cached metric handles (no registry lock on the hot path).
     g_loss: Arc<Gauge>,
     g_grad: Arc<Gauge>,
     g_boundary: Arc<Gauge>,
     h_epoch: Arc<Histogram>,
+    h_aggregation: Arc<Histogram>,
+    h_scoring: Arc<Histogram>,
+    h_update: Arc<Histogram>,
     c_nan: Arc<Counter>,
     c_epochs: Arc<Counter>,
 }
@@ -94,11 +106,17 @@ impl TrainingMonitor {
             n_batches: 0,
             nan_batches: 0,
             boundary_max_norm: 0.0,
+            aggregation_secs: 0.0,
+            scoring_secs: 0.0,
+            update_secs: 0.0,
             rebuild: None,
             g_loss: registry::gauge("train.epoch.loss"),
             g_grad: registry::gauge("train.grad_norm"),
             g_boundary: registry::gauge("train.boundary_max_norm"),
             h_epoch: registry::histogram("train.epoch.duration"),
+            h_aggregation: registry::histogram("train.stage.aggregation.duration"),
+            h_scoring: registry::histogram("train.stage.scoring.duration"),
+            h_update: registry::histogram("train.stage.update.duration"),
             c_nan: registry::counter("train.nan_batches"),
             c_epochs: registry::counter("train.epochs"),
         }
@@ -124,6 +142,9 @@ impl TrainingMonitor {
         self.n_batches = 0;
         self.nan_batches = 0;
         self.boundary_max_norm = 0.0;
+        self.aggregation_secs = 0.0;
+        self.scoring_secs = 0.0;
+        self.update_secs = 0.0;
         self.rebuild = None;
     }
 
@@ -165,6 +186,16 @@ impl TrainingMonitor {
         self.rebuild = Some(stats);
     }
 
+    /// Accumulates the current epoch's stage breakdown (seconds spent in
+    /// neighbour aggregation, loss scoring/backward, and parameter
+    /// update). Call once per epoch or repeatedly per batch — the values
+    /// add up until `end_epoch` publishes them.
+    pub fn observe_stages(&mut self, aggregation_secs: f64, scoring_secs: f64, update_secs: f64) {
+        self.aggregation_secs += aggregation_secs;
+        self.scoring_secs += scoring_secs;
+        self.update_secs += update_secs;
+    }
+
     /// Closes the current epoch: computes means, stores the record, and
     /// publishes `train.*` metrics (one JSONL event per gauge when the
     /// metrics sink is on).
@@ -183,12 +214,20 @@ impl TrainingMonitor {
             n_batches: self.n_batches,
             nan_batches: self.nan_batches,
             duration_secs,
+            aggregation_secs: self.aggregation_secs,
+            scoring_secs: self.scoring_secs,
+            update_secs: self.update_secs,
             rebuild: self.rebuild.take(),
         };
         self.g_loss.set(record.mean_loss);
         self.g_grad.set(record.mean_grad_norm);
         self.g_boundary.set(record.boundary_max_norm);
         self.h_epoch.observe(duration_secs);
+        if record.aggregation_secs + record.scoring_secs + record.update_secs > 0.0 {
+            self.h_aggregation.observe(record.aggregation_secs);
+            self.h_scoring.observe(record.scoring_secs);
+            self.h_update.observe(record.update_secs);
+        }
         self.c_epochs.inc(1);
         if let Some(r) = &record.rebuild {
             sink::emit_metric(
@@ -276,6 +315,25 @@ mod tests {
         let mut m = TrainingMonitor::new("test").with_fail_fast(true);
         m.begin_epoch(0);
         m.observe_batch(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn stage_breakdown_accumulates_and_resets_per_epoch() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        let mut m = TrainingMonitor::new("test").with_fail_fast(false);
+        m.begin_epoch(0);
+        m.observe_batch(1.0, 0.5);
+        m.observe_stages(0.2, 0.1, 0.05);
+        m.observe_stages(0.2, 0.1, 0.05);
+        let r = m.end_epoch().clone();
+        assert!((r.aggregation_secs - 0.4).abs() < 1e-12);
+        assert!((r.scoring_secs - 0.2).abs() < 1e-12);
+        assert!((r.update_secs - 0.1).abs() < 1e-12);
+        m.begin_epoch(1);
+        m.observe_batch(1.0, 0.5);
+        let r1 = m.end_epoch().clone();
+        assert_eq!(r1.aggregation_secs, 0.0, "stages reset at begin_epoch");
     }
 
     #[test]

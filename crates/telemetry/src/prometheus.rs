@@ -1,0 +1,455 @@
+//! Prometheus text exposition (format version 0.0.4) rendered from the
+//! in-process registry, plus a strict-enough validator used by the
+//! `promcheck` CI binary and the integration tests.
+//!
+//! ## Name mapping
+//!
+//! Registry names are dotted (`serve.cache.hit`); Prometheus names are
+//! underscored with a `taxorec_` prefix (`taxorec_serve_cache_hit_total`
+//! — counters gain the conventional `_total` suffix). Histograms render
+//! as **summaries**: `p50`/`p90`/`p99` quantile samples derived from the
+//! cumulative log-bucket counts (see [`crate::registry::Histogram::quantile`])
+//! plus `_sum` and `_count`.
+//!
+//! ## Per-endpoint RED labels
+//!
+//! Four-segment serve metrics of the shape `serve.http.<endpoint>.requests`
+//! / `.errors` / `.ms` are folded into three **labeled families** —
+//! `taxorec_serve_http_endpoint_requests_total{endpoint="recommend"}` and
+//! friends — so rate, errors, and duration slice per endpoint instead of
+//! multiplying metric names. The pre-existing flat totals
+//! (`serve.http.requests` etc.) keep their unlabeled names.
+//!
+//! Process stats (RSS, threads, open fds) are read live from
+//! `/proc/self` on Linux and omitted elsewhere.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::registry::{self, Histogram};
+
+/// Content-Type for the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Mangles a dotted registry name into a Prometheus metric name:
+/// `serve.cache.hit` → `taxorec_serve_cache_hit`.
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("taxorec_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Splits a 4-segment `serve.http.<endpoint>.<leaf>` name into
+/// `(endpoint, leaf)` when `leaf` is one of the RED leaves.
+fn red_split(name: &str) -> Option<(&str, &str)> {
+    let rest = name.strip_prefix("serve.http.")?;
+    let (endpoint, leaf) = rest.split_once('.')?;
+    if endpoint.is_empty() || leaf.is_empty() || leaf.contains('.') {
+        return None;
+    }
+    matches!(leaf, "requests" | "errors" | "ms").then_some((endpoint, leaf))
+}
+
+fn push_f64_prom(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn push_summary(out: &mut String, fam: &str, labels: &str, h: &Histogram) {
+    for q in QUANTILES {
+        out.push_str(fam);
+        out.push('{');
+        out.push_str(labels);
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "quantile=\"{q}\"");
+        out.push_str("} ");
+        push_f64_prom(out, h.quantile(q));
+        out.push('\n');
+    }
+    out.push_str(fam);
+    out.push_str("_sum");
+    if !labels.is_empty() {
+        let _ = write!(out, "{{{labels}}}");
+    }
+    out.push(' ');
+    push_f64_prom(out, h.sum());
+    out.push('\n');
+    out.push_str(fam);
+    out.push_str("_count");
+    if !labels.is_empty() {
+        let _ = write!(out, "{{{labels}}}");
+    }
+    let _ = writeln!(out, " {}", h.count());
+}
+
+/// Renders the whole registry (plus `/proc/self` process stats) as
+/// Prometheus text exposition 0.0.4.
+pub fn render() -> String {
+    let mut out = String::with_capacity(4096);
+
+    // Counters: flat ones one per family; RED `serve.http.<ep>.requests`
+    // and `.errors` grouped into two labeled families.
+    let mut red_requests: Vec<(String, u64)> = Vec::new();
+    let mut red_errors: Vec<(String, u64)> = Vec::new();
+    for c in registry::counters() {
+        match red_split(c.name()) {
+            Some((ep, "requests")) => red_requests.push((ep.to_string(), c.get())),
+            Some((ep, "errors")) => red_errors.push((ep.to_string(), c.get())),
+            _ => {
+                let fam = format!("{}_total", mangle(c.name()));
+                push_header(&mut out, &fam, c.name(), "counter");
+                let _ = writeln!(out, "{fam} {}", c.get());
+            }
+        }
+    }
+    for (fam, help, samples) in [
+        (
+            "taxorec_serve_http_endpoint_requests_total",
+            "requests served, by endpoint",
+            &red_requests,
+        ),
+        (
+            "taxorec_serve_http_endpoint_errors_total",
+            "error responses (status >= 400), by endpoint",
+            &red_errors,
+        ),
+    ] {
+        if samples.is_empty() {
+            continue;
+        }
+        push_header(&mut out, fam, help, "counter");
+        for (ep, v) in samples {
+            let _ = writeln!(out, "{fam}{{endpoint=\"{ep}\"}} {v}");
+        }
+    }
+
+    // Gauges: skip never-set (NaN) ones — a NaN gauge sample is noise.
+    for g in registry::gauges() {
+        let v = g.get();
+        if v.is_nan() {
+            continue;
+        }
+        let fam = mangle(g.name());
+        push_header(&mut out, &fam, g.name(), "gauge");
+        out.push_str(&fam);
+        out.push(' ');
+        push_f64_prom(&mut out, v);
+        out.push('\n');
+    }
+
+    // Histograms as summaries; RED `serve.http.<ep>.ms` grouped into one
+    // labeled duration family.
+    let mut red_ms: Vec<(String, Arc<Histogram>)> = Vec::new();
+    for h in registry::histograms() {
+        if let Some((ep, "ms")) = red_split(h.name()) {
+            red_ms.push((ep.to_string(), h));
+            continue;
+        }
+        let fam = mangle(h.name());
+        push_header(&mut out, &fam, h.name(), "summary");
+        push_summary(&mut out, &fam, "", &h);
+    }
+    if !red_ms.is_empty() {
+        let fam = "taxorec_serve_http_endpoint_duration_ms";
+        push_header(
+            &mut out,
+            fam,
+            "request duration in ms, by endpoint",
+            "summary",
+        );
+        for (ep, h) in &red_ms {
+            push_summary(&mut out, fam, &format!("endpoint=\"{ep}\""), h);
+        }
+    }
+
+    push_process_stats(&mut out);
+    out
+}
+
+/// Appends `/proc/self`-derived process gauges (Linux only; silently
+/// omitted when the files are unreadable).
+fn push_process_stats(out: &mut String) {
+    if let Some(rss) = proc_rss_bytes() {
+        push_header(
+            out,
+            "taxorec_process_resident_memory_bytes",
+            "resident set size from /proc/self/statm",
+            "gauge",
+        );
+        let _ = writeln!(out, "taxorec_process_resident_memory_bytes {rss}");
+    }
+    if let Some(threads) = proc_threads() {
+        push_header(
+            out,
+            "taxorec_process_threads",
+            "thread count from /proc/self/status",
+            "gauge",
+        );
+        let _ = writeln!(out, "taxorec_process_threads {threads}");
+    }
+    if let Some(fds) = proc_open_fds() {
+        push_header(
+            out,
+            "taxorec_process_open_fds",
+            "open file descriptors from /proc/self/fd",
+            "gauge",
+        );
+        let _ = writeln!(out, "taxorec_process_open_fds {fds}");
+    }
+}
+
+fn proc_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+fn proc_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn proc_open_fds() -> Option<u64> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count() as u64)
+}
+
+/// Validates `text` against the 0.0.4 exposition grammar (the subset we
+/// emit): `# HELP`/`# TYPE` lines with known types, sample lines of the
+/// shape `name[{labels}] value`, every sample preceded by a matching
+/// `# TYPE`, metric names `[a-zA-Z_:][a-zA-Z0-9_:]*`, label values
+/// quoted. Returns the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad HELP metric name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    let ty = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                    }
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    ) {
+                        return Err(format!("line {n}: unknown TYPE {ty:?}"));
+                    }
+                    if types.insert(name.to_string(), ty.to_string()).is_some() {
+                        return Err(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => return Err(format!("line {n}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without value: {line:?}"))?;
+        if value.parse::<f64>().is_err() && !matches!(value, "NaN" | "+Inf" | "-Inf") {
+            return Err(format!("line {n}: unparseable sample value {value:?}"));
+        }
+        let name = match name_and_labels.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unclosed label braces: {line:?}"))?;
+                for pair in split_labels(labels) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {n}: label without '=': {pair:?}"))?;
+                    if !valid_metric_name(k) {
+                        return Err(format!("line {n}: bad label name {k:?}"));
+                    }
+                    if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                        return Err(format!("line {n}: unquoted label value {v:?}"));
+                    }
+                }
+                name
+            }
+            None => name_and_labels,
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad sample metric name {name:?}"));
+        }
+        // A summary's quantile/_sum/_count samples share the family TYPE.
+        let family = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.contains_key(*f) && !types.contains_key(name))
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!("line {n}: sample {name} has no preceding # TYPE"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples found".to_string());
+    }
+    Ok(())
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `a="b",c="d"` on commas outside quotes.
+fn split_labels(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let bytes = labels.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_quotes = !in_quotes,
+            b',' if !in_quotes => {
+                out.push(&labels[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mangling_prefixes_and_underscores() {
+        assert_eq!(mangle("serve.cache.hit"), "taxorec_serve_cache_hit");
+        assert_eq!(mangle("train.epoch.ms"), "taxorec_train_epoch_ms");
+    }
+
+    #[test]
+    fn red_split_only_matches_four_segment_serve_names() {
+        assert_eq!(
+            red_split("serve.http.recommend.requests"),
+            Some(("recommend", "requests"))
+        );
+        assert_eq!(
+            red_split("serve.http.recommend.ms"),
+            Some(("recommend", "ms"))
+        );
+        assert_eq!(
+            red_split("serve.http.requests"),
+            None,
+            "flat name untouched"
+        );
+        assert_eq!(red_split("serve.cache.hit"), None);
+        assert_eq!(red_split("serve.http.a.b.ms"), None, "too many segments");
+    }
+
+    #[test]
+    fn rendered_exposition_validates_and_carries_red_labels() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        registry::counter("test.prom.flat").inc(3);
+        registry::counter("serve.http.recommend.requests").inc(7);
+        registry::counter("serve.http.recommend.errors").inc(1);
+        registry::gauge("test.prom.gauge").set(2.5);
+        let h = registry::histogram("serve.http.recommend.ms");
+        for v in [0.5, 1.0, 2.0, 40.0] {
+            h.observe(v);
+        }
+        let text = render();
+        validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("taxorec_test_prom_flat_total 3"));
+        assert!(
+            text.contains("taxorec_serve_http_endpoint_requests_total{endpoint=\"recommend\"} 7")
+        );
+        assert!(text.contains("taxorec_serve_http_endpoint_errors_total{endpoint=\"recommend\"} 1"));
+        assert!(text.contains(
+            "taxorec_serve_http_endpoint_duration_ms{endpoint=\"recommend\",quantile=\"0.5\"}"
+        ));
+        assert!(text
+            .contains("taxorec_serve_http_endpoint_duration_ms_count{endpoint=\"recommend\"} 4"));
+        assert!(text.contains("taxorec_test_prom_gauge 2.5"));
+        #[cfg(target_os = "linux")]
+        assert!(text.contains("taxorec_process_resident_memory_bytes"));
+    }
+
+    #[test]
+    fn never_set_gauges_are_omitted() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        registry::gauge("test.prom.nan.gauge");
+        let text = render();
+        assert!(!text.contains("taxorec_test_prom_nan_gauge"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate("").is_err(), "empty");
+        assert!(validate("# TYPE x counter\nx 1\n").is_ok());
+        assert!(validate("x 1\n").is_err(), "sample without TYPE");
+        assert!(validate("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate("# TYPE x widget\nx 1\n").is_err(), "unknown type");
+        assert!(
+            validate("# TYPE x summary\nx{quantile=0.5} 1\nx_count 1\n").is_err(),
+            "unquoted label value"
+        );
+        assert!(
+            validate("# TYPE x summary\nx{quantile=\"0.5\"} 1\nx_sum 2\nx_count 1\n").is_ok(),
+            "summary _sum/_count inherit the family type"
+        );
+        assert!(
+            validate("# TYPE 9bad counter\n9bad 1\n").is_err(),
+            "bad name"
+        );
+    }
+}

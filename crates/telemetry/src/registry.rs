@@ -167,6 +167,27 @@ impl Histogram {
         self.buckets[i].load(Ordering::Relaxed)
     }
 
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the cumulative bucket
+    /// counts: the upper bound of the first bucket whose cumulative count
+    /// reaches `q · total`, clamped to the exact observed `[min, max]`
+    /// range so the log-bucket granularity never reports a value outside
+    /// what was actually seen. `NaN` when no finite value was observed.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = (0..N_BUCKETS).map(|i| self.bucket_count(i)).sum();
+        if total == 0 || !self.max().is_finite() {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for i in 0..N_BUCKETS {
+            cum += self.bucket_count(i);
+            if cum >= rank {
+                return bucket_upper_bound(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
     /// Metric name.
     pub fn name(&self) -> &str {
         &self.name
@@ -253,6 +274,30 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new(name))),
     )
+}
+
+/// All registered counters, sorted by name (for exposition renderers).
+pub fn counters() -> Vec<Arc<Counter>> {
+    let map = registry().counters.lock().unwrap();
+    let mut v: Vec<Arc<Counter>> = map.values().map(Arc::clone).collect();
+    v.sort_by(|a, b| a.name().cmp(b.name()));
+    v
+}
+
+/// All registered gauges, sorted by name.
+pub fn gauges() -> Vec<Arc<Gauge>> {
+    let map = registry().gauges.lock().unwrap();
+    let mut v: Vec<Arc<Gauge>> = map.values().map(Arc::clone).collect();
+    v.sort_by(|a, b| a.name().cmp(b.name()));
+    v
+}
+
+/// All registered histograms, sorted by name.
+pub fn histograms() -> Vec<Arc<Histogram>> {
+    let map = registry().histograms.lock().unwrap();
+    let mut v: Vec<Arc<Histogram>> = map.values().map(Arc::clone).collect();
+    v.sort_by(|a, b| a.name().cmp(b.name()));
+    v
 }
 
 /// Zeroes every registered metric without invalidating held handles
@@ -415,6 +460,30 @@ mod tests {
             h.sum()
         );
         assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_come_from_cumulative_buckets_clamped_to_range() {
+        let _g = crate::test_lock();
+        crate::sink::disable_metrics();
+        let h = Histogram::new("test.quantile");
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+        for _ in 0..90 {
+            h.observe(0.001);
+        }
+        for _ in 0..10 {
+            h.observe(10.0);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(
+            (1e-4..=1e-2).contains(&p50),
+            "p50 in the small-value decade: {p50}"
+        );
+        // p99 falls in the tail bucket but is clamped to the observed max.
+        assert!(p99 <= 10.0 + 1e-12 && p99 > 1.0, "p99={p99}");
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max() + 1e-12);
     }
 
     #[test]

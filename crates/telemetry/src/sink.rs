@@ -166,6 +166,15 @@ pub fn disable_metrics() {
     *lock_sink() = SinkState::Off;
 }
 
+/// Flushes a file-backed metrics sink so buffered tail events reach disk
+/// before the process exits (called on graceful serve shutdown and at the
+/// end of `fit_controlled`). No-op for stderr/memory/disabled sinks.
+pub fn flush() {
+    if let SinkState::On(MetricsSink::File(f)) = &*lock_sink() {
+        let _ = f.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
 /// Milliseconds since the Unix epoch (0 if the clock is unavailable).
 pub fn unix_ms() -> u128 {
     SystemTime::now()

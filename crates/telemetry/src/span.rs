@@ -10,7 +10,10 @@ use std::time::Instant;
 use crate::registry::Histogram;
 use crate::sink;
 
-/// An in-flight span; records its duration on drop.
+/// An in-flight span; records its duration on drop. `#[must_use]`: a
+/// span that is not bound to a local (`let _guard = span!(…)`) drops
+/// immediately and times nothing.
+#[must_use = "binding a span to `_` or dropping it immediately times nothing"]
 pub struct Span {
     name: &'static str,
     start: Instant,

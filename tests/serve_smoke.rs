@@ -120,10 +120,16 @@ fn http_server_answers_all_endpoints_end_to_end() {
     assert!(body.contains("\"item_tags\":["), "{body}");
     assert!(taxorec::telemetry::json::is_valid_json(&body), "{body}");
 
-    // /metrics — the telemetry snapshot, which by now has request counts.
+    // /metrics — Prometheus text exposition, which by now has request
+    // counts; /metrics.json keeps the raw registry snapshot.
     let (status, body) = http_get(addr, "/metrics");
     assert_eq!(status, 200, "{body}");
+    assert!(body.contains("taxorec_serve_http_requests_total"), "{body}");
+    taxorec::telemetry::prometheus::validate(&body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+    let (status, body) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200, "{body}");
     assert!(body.contains("serve.http.requests"), "{body}");
+    assert!(taxorec::telemetry::json::is_valid_json(&body), "{body}");
 
     // Error paths: bad query, unknown user, unknown route, wrong method.
     let (status, body) = http_get(addr, "/recommend");
