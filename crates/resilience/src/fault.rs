@@ -5,7 +5,7 @@
 //! ```text
 //! spec    := entry (',' entry)*
 //! entry   := kind '@' site [':' ordinal] ['+']
-//! kind    := 'panic' | 'nan' | 'io'
+//! kind    := 'panic' | 'nan' | 'io' | 'stall'
 //! site    := dotted identifier, e.g. parallel.job, train.epoch
 //! ordinal := 1-based invocation count at which the fault fires (default 1)
 //! ```
@@ -26,6 +26,12 @@
 //! | `train.epoch`     | `nan`            | every batch loss in the epoch is NaN |
 //! | `checkpoint.save` | `io`             | checkpoint write fails               |
 //! | `serve.request`   | `panic`          | HTTP worker panics mid-request       |
+//! | `serve.batch`     | `panic`, `stall` | scorer batch panics / stalls         |
+//!
+//! `stall` puts the probing thread to sleep for
+//! `TAXOREC_FAULT_STALL_MS` milliseconds (default 100) — the
+//! deterministic way to wedge a pipeline stage and observe backpressure
+//! (queue growth, load shedding) without relying on timing races.
 //!
 //! A kind that a site does not honour is counted and warned about, never
 //! silently dropped.
@@ -43,6 +49,8 @@ pub enum FaultKind {
     Nan,
     /// The site fails with an I/O error.
     Io,
+    /// The site sleeps for `TAXOREC_FAULT_STALL_MS` ms (default 100).
+    Stall,
 }
 
 impl FaultKind {
@@ -52,6 +60,7 @@ impl FaultKind {
             Self::Panic => "panic",
             Self::Nan => "nan",
             Self::Io => "io",
+            Self::Stall => "stall",
         }
     }
 }
@@ -105,9 +114,10 @@ impl FaultSpec {
                 "panic" => FaultKind::Panic,
                 "nan" => FaultKind::Nan,
                 "io" => FaultKind::Io,
+                "stall" => FaultKind::Stall,
                 other => {
                     return Err(FaultSpecError(format!(
-                        "unknown fault kind {other:?} in {raw:?} (panic|nan|io)"
+                        "unknown fault kind {other:?} in {raw:?} (panic|nan|io|stall)"
                     )))
                 }
             };
@@ -295,6 +305,44 @@ pub fn inject_nan(site: &str) -> bool {
     }
 }
 
+/// The `stall` sleep duration: `TAXOREC_FAULT_STALL_MS` ms, default 100.
+pub fn stall_duration() -> std::time::Duration {
+    let ms = std::env::var("TAXOREC_FAULT_STALL_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(100u64);
+    std::time::Duration::from_millis(ms)
+}
+
+/// Probes `site` and sleeps for [`stall_duration`] when a `stall` fault
+/// is armed for this invocation. Returns true when it stalled.
+pub fn inject_stall(site: &str) -> bool {
+    match probe(site) {
+        Some(FaultKind::Stall) => {
+            std::thread::sleep(stall_duration());
+            true
+        }
+        Some(other) => {
+            unsupported(site, other);
+            false
+        }
+        None => false,
+    }
+}
+
+/// Probes `site` once and handles both the kinds a pipeline stage can
+/// express: `panic` unwinds, `stall` sleeps, anything else is reported
+/// as unsupported. One probe means one counter increment, so ordinals
+/// stay deterministic for sites honouring multiple kinds.
+pub fn inject_panic_or_stall(site: &str) {
+    match probe(site) {
+        Some(FaultKind::Panic) => panic!("fault injected: panic@{site}"),
+        Some(FaultKind::Stall) => std::thread::sleep(stall_duration()),
+        Some(other) => unsupported(site, other),
+        None => {}
+    }
+}
+
 /// Probes `site`; `Some(message)` when an `io` fault is armed for this
 /// invocation — the caller turns it into its own I/O error type.
 pub fn inject_io(site: &str) -> Option<String> {
@@ -390,6 +438,35 @@ mod tests {
         let err = std::panic::catch_unwind(|| inject_panic("t.p")).unwrap_err();
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("fault injected: panic@t.p"), "{msg}");
+        disable();
+    }
+
+    #[test]
+    fn stall_parses_and_sleeps_on_its_ordinal() {
+        let _g = lock();
+        let s = FaultSpec::parse("stall@t.stall:2").unwrap();
+        assert_eq!(s.entries[0].kind, FaultKind::Stall);
+        install(s);
+        let t0 = std::time::Instant::now();
+        assert!(!inject_stall("t.stall"), "first probe clean");
+        assert!(t0.elapsed() < stall_duration(), "no sleep on a clean probe");
+        let t1 = std::time::Instant::now();
+        assert!(inject_stall("t.stall"), "second probe stalls");
+        assert!(t1.elapsed() >= stall_duration());
+        disable();
+    }
+
+    #[test]
+    fn panic_or_stall_handles_both_kinds_with_one_probe_each() {
+        let _g = lock();
+        install(FaultSpec::parse("stall@t.ps:1,panic@t.ps:2").unwrap());
+        let t0 = std::time::Instant::now();
+        inject_panic_or_stall("t.ps");
+        assert!(t0.elapsed() >= stall_duration(), "first probe stalls");
+        let err = std::panic::catch_unwind(|| inject_panic_or_stall("t.ps")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("fault injected: panic@t.ps"), "{msg}");
+        inject_panic_or_stall("t.ps"); // third probe: clean
         disable();
     }
 

@@ -1,0 +1,531 @@
+//! The micro-batching scheduler: a bounded request channel drained by a
+//! scorer pool into user-blocks.
+//!
+//! The hot-path kernels (DESIGN.md §12) are fastest on 32-user fused
+//! blocks, but an HTTP front end naturally produces one request at a
+//! time. This module closes the gap with the classic batching bargain:
+//! requests enqueue into a bounded channel; each scorer thread takes the
+//! oldest waiting request and then gathers more — up to
+//! [`BatchOptions::max_batch`] — until the **batching deadline**
+//! (measured from the *first* request's enqueue instant) expires, so a
+//! lone request is never stalled longer than the deadline and a burst is
+//! coalesced into one fused-kernel pass. The production shape follows
+//! Chamberlain et al.'s "Scalable Hyperbolic Recommender Systems"
+//! offline-train / online-batch-serve split.
+//!
+//! The scheduler is generic over the request type `R` and the response
+//! type `S`; the serving tier instantiates it with parsed `/recommend`
+//! requests (carrying their connection) and body/status responses, and
+//! the property tests instantiate it with plain values to drive
+//! arbitrary arrival interleavings through the assembler.
+//!
+//! ## Guarantees
+//!
+//! * **No request is dropped or duplicated** — every submitted request
+//!   is completed exactly once, including at shutdown (the queue is
+//!   drained, not discarded) and when the batch handler panics (each
+//!   request in the doomed batch gets the `fallback` response).
+//! * **No cross-wiring** — responses are matched to requests by
+//!   position within the batch; the handler contract (`Vec<S>` of
+//!   exactly the batch's length, same order) is checked, and a handler
+//!   that breaks it fails the whole batch to `fallback` rather than
+//!   mis-delivering.
+//! * **Bounded queue wait** — a request either enters a batch within
+//!   `deadline` of the batch's first member (plus scheduling noise and
+//!   the service time of batches ahead of it) or was never admitted:
+//!   [`Batcher::try_submit`] refuses at capacity so the caller can shed
+//!   load with `503 + Retry-After` instead of queueing unboundedly.
+//! * **Panic isolation** — a panicking batch fails only its own
+//!   requests (`serve.batch.panics`); the scorer thread lives on. The
+//!   `serve.batch` fault site makes this deterministically testable
+//!   (`panic@serve.batch`, `stall@serve.batch`).
+//!
+//! ## Telemetry
+//!
+//! `serve.batch.size` (histogram, requests per formed batch),
+//! `serve.batch.wait_ms` (histogram, per-request queue wait),
+//! `serve.batch.queue.depth` (gauge), `serve.batch.batches` /
+//! `serve.batch.requests` / `serve.batch.shed` / `serve.batch.panics`
+//! (counters).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Idle poll interval while waiting for the first request of a batch
+/// (bounds shutdown latency; wakes normally arrive via the condvar).
+const IDLE_POLL: Duration = Duration::from_millis(10);
+
+/// Tuning knobs for the [`Batcher`]. [`BatchOptions::from_env`] reads
+/// the `TAXOREC_SERVE_BATCH_*` / `TAXOREC_SERVE_SCORERS` variables;
+/// [`Default`] ignores the environment.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Most requests coalesced into one scoring batch. 32 matches the
+    /// fused-kernel block size (DESIGN.md §12).
+    /// Env: `TAXOREC_SERVE_BATCH_MAX`.
+    pub max_batch: usize,
+    /// How long a forming batch waits for more requests, measured from
+    /// its first request's enqueue instant. A lone request is scored at
+    /// most this long after arriving.
+    /// Env: `TAXOREC_SERVE_BATCH_DEADLINE_US` (microseconds).
+    pub deadline: Duration,
+    /// Requests allowed to wait in the batch queue; beyond this
+    /// [`Batcher::try_submit`] refuses and the caller sheds load.
+    /// Env: `TAXOREC_SERVE_BATCH_QUEUE`.
+    pub queue_capacity: usize,
+    /// Scorer threads draining the queue.
+    /// Env: `TAXOREC_SERVE_SCORERS`.
+    pub n_scorers: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            deadline: Duration::from_millis(2),
+            queue_capacity: 1024,
+            n_scorers: 2,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Defaults overridden by `TAXOREC_SERVE_BATCH_MAX`,
+    /// `TAXOREC_SERVE_BATCH_DEADLINE_US`, `TAXOREC_SERVE_BATCH_QUEUE`,
+    /// and `TAXOREC_SERVE_SCORERS` where set and parseable.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Some(b) = env_usize("TAXOREC_SERVE_BATCH_MAX") {
+            o.max_batch = b.clamp(1, 1024);
+        }
+        if let Some(us) = env_usize("TAXOREC_SERVE_BATCH_DEADLINE_US") {
+            o.deadline = Duration::from_micros(us as u64);
+        }
+        if let Some(q) = env_usize("TAXOREC_SERVE_BATCH_QUEUE") {
+            o.queue_capacity = q.max(1);
+        }
+        if let Some(s) = env_usize("TAXOREC_SERVE_SCORERS") {
+            o.n_scorers = s.clamp(1, 64);
+        }
+        o
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// A request waiting in (or drained from) the batch queue, with the
+/// instant it entered — the batching deadline and the queue-wait
+/// telemetry are both measured from `enqueued`.
+pub struct BatchJob<R> {
+    /// The submitted request.
+    pub req: R,
+    /// When [`Batcher::try_submit`] accepted it.
+    pub enqueued: Instant,
+}
+
+struct BatchShared<R> {
+    queue: Mutex<VecDeque<BatchJob<R>>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    opts: BatchOptions,
+}
+
+fn lock_queue<R>(
+    q: &Mutex<VecDeque<BatchJob<R>>>,
+) -> std::sync::MutexGuard<'_, VecDeque<BatchJob<R>>> {
+    // Scorer panics are caught around the handler, never while holding
+    // the queue lock, but a poisoned queue must not wedge the pipeline.
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The micro-batching scheduler: bounded queue + scorer pool. See the
+/// module docs for the guarantees.
+pub struct Batcher<R: Send + 'static> {
+    shared: Arc<BatchShared<R>>,
+    scorers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<R: Send + 'static> Batcher<R> {
+    /// Spawns the scorer pool.
+    ///
+    /// * `handler` scores one assembled batch; it must return exactly
+    ///   one `S` per job, in batch order.
+    /// * `fallback` synthesizes the response for every job of a batch
+    ///   whose handler panicked (or broke the length contract).
+    /// * `complete` delivers each `(request, response)` pair — exactly
+    ///   once per submitted request, from a scorer thread.
+    ///
+    /// Scorer threads that fail to spawn are skipped; the second element
+    /// of the returned pair is the number actually running (callers
+    /// surface `< n_scorers` as degraded health). Zero is an error.
+    pub fn spawn<S, H, F, C>(
+        opts: BatchOptions,
+        handler: H,
+        fallback: F,
+        complete: C,
+    ) -> std::io::Result<(Self, usize)>
+    where
+        S: Send + 'static,
+        H: Fn(&[BatchJob<R>]) -> Vec<S> + Send + Sync + 'static,
+        F: Fn(&BatchJob<R>) -> S + Send + Sync + 'static,
+        C: Fn(R, S) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(BatchShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            opts,
+        });
+        let stages: Arc<(H, F, C)> = Arc::new((handler, fallback, complete));
+        let n = shared.opts.n_scorers.max(1);
+        let mut scorers = Vec::with_capacity(n);
+        let mut last_err = None;
+        for i in 0..n {
+            let shared = Arc::clone(&shared);
+            let stages = Arc::clone(&stages);
+            match std::thread::Builder::new()
+                .name(format!("taxorec-scorer-{i}"))
+                .spawn(move || scorer_loop(&shared, &stages))
+            {
+                Ok(h) => scorers.push(h),
+                Err(e) => {
+                    taxorec_telemetry::counter("serve.scorer.spawn_failed").inc(1);
+                    taxorec_telemetry::sink::warn(&format!(
+                        "failed to spawn scorer {i}: {e}; continuing with fewer"
+                    ));
+                    last_err = Some(e);
+                }
+            }
+        }
+        if scorers.is_empty() {
+            return Err(
+                last_err.unwrap_or_else(|| std::io::Error::other("no scorers could be spawned"))
+            );
+        }
+        let spawned = scorers.len();
+        Ok((
+            Self {
+                shared,
+                scorers: Mutex::new(scorers),
+            },
+            spawned,
+        ))
+    }
+
+    /// Enqueues a request, or returns it when the queue is at capacity
+    /// (or the batcher is shutting down) so the caller can shed load.
+    pub fn try_submit(&self, req: R) -> Result<(), R> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(req);
+        }
+        let mut q = lock_queue(&self.shared.queue);
+        if q.len() >= self.shared.opts.queue_capacity {
+            drop(q);
+            taxorec_telemetry::counter("serve.batch.shed").inc(1);
+            return Err(req);
+        }
+        q.push_back(BatchJob {
+            req,
+            enqueued: Instant::now(),
+        });
+        taxorec_telemetry::gauge("serve.batch.queue.depth").set(q.len() as f64);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Requests currently waiting (not yet drained into a batch).
+    pub fn queue_depth(&self) -> usize {
+        lock_queue(&self.shared.queue).len()
+    }
+
+    /// The configured queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.opts.queue_capacity
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &BatchOptions {
+        &self.shared.opts
+    }
+
+    /// Stops accepting work, drains every queued request through the
+    /// scorers, and joins the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        let handles: Vec<_> = self
+            .scorers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<R: Send + 'static> Drop for Batcher<R> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One scorer: assemble a batch (first job + gather until full or the
+/// deadline from the first job's enqueue), score it with panic
+/// isolation, fan the responses out.
+fn scorer_loop<R, S, H, F, C>(shared: &BatchShared<R>, stages: &(H, F, C))
+where
+    R: Send + 'static,
+    S: Send + 'static,
+    H: Fn(&[BatchJob<R>]) -> Vec<S>,
+    F: Fn(&BatchJob<R>) -> S,
+    C: Fn(R, S),
+{
+    let (handler, fallback, complete) = stages;
+    loop {
+        // Phase 1: block until a first request (or drained shutdown).
+        let first = {
+            let mut q = lock_queue(&shared.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, IDLE_POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        // Phase 2: gather until the batch is full or the deadline —
+        // anchored at the *first* request's enqueue, so a request that
+        // already waited its deadline in a backlog is scored immediately.
+        let mut batch = Vec::with_capacity(shared.opts.max_batch);
+        batch.push(first);
+        let deadline_at = batch[0].enqueued + shared.opts.deadline;
+        {
+            let mut q = lock_queue(&shared.queue);
+            loop {
+                while batch.len() < shared.opts.max_batch {
+                    match q.pop_front() {
+                        Some(j) => batch.push(j),
+                        None => break,
+                    }
+                }
+                if batch.len() >= shared.opts.max_batch || shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = Instant::now();
+                let Some(wait) = deadline_at
+                    .checked_duration_since(now)
+                    .filter(|w| !w.is_zero())
+                else {
+                    break;
+                };
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, wait)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            taxorec_telemetry::gauge("serve.batch.queue.depth").set(q.len() as f64);
+        }
+        // Phase 3: score with panic isolation and per-batch telemetry.
+        let formed = Instant::now();
+        taxorec_telemetry::histogram("serve.batch.size").observe(batch.len() as f64);
+        taxorec_telemetry::counter("serve.batch.batches").inc(1);
+        taxorec_telemetry::counter("serve.batch.requests").inc(batch.len() as u64);
+        let wait_hist = taxorec_telemetry::histogram("serve.batch.wait_ms");
+        for j in &batch {
+            wait_hist.observe(formed.saturating_duration_since(j.enqueued).as_secs_f64() * 1e3);
+        }
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            // Deterministic failure hook: `panic@serve.batch` dooms this
+            // batch (and only it); `stall@serve.batch` wedges the scorer
+            // so backpressure and shedding are observable in tests.
+            taxorec_resilience::inject_panic_or_stall("serve.batch");
+            handler(&batch)
+        }));
+        // Phase 4: fan out — exactly one completion per request, even
+        // when the handler panicked or broke the length contract.
+        match scored {
+            Ok(responses) if responses.len() == batch.len() => {
+                for (job, resp) in batch.into_iter().zip(responses) {
+                    complete(job.req, resp);
+                }
+            }
+            outcome => {
+                taxorec_telemetry::counter("serve.batch.panics").inc(1);
+                taxorec_telemetry::sink::warn(match outcome {
+                    Ok(_) => {
+                        "batch handler broke the one-response-per-request contract; \
+                              failing the batch"
+                    }
+                    Err(_) => "batch handler panicked; failing only this batch",
+                });
+                for job in batch {
+                    let resp = fallback(&job);
+                    complete(job.req, resp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(completed: &Mutex<Vec<(u32, String)>>, n: usize) -> Vec<(u32, String)> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            {
+                let got = completed.lock().unwrap();
+                if got.len() >= n {
+                    return got.clone();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for completions"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once_with_its_own_response() {
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&completed);
+        let (batcher, spawned) = Batcher::spawn(
+            BatchOptions {
+                max_batch: 4,
+                deadline: Duration::from_millis(5),
+                queue_capacity: 1024,
+                n_scorers: 2,
+            },
+            |jobs: &[BatchJob<u32>]| jobs.iter().map(|j| format!("r{}", j.req)).collect(),
+            |_job| "fallback".to_string(),
+            move |req, resp: String| sink.lock().unwrap().push((req, resp)),
+        )
+        .expect("spawn");
+        assert_eq!(spawned, 2);
+        for i in 0..100u32 {
+            batcher.try_submit(i).expect("submit");
+        }
+        let got = drain_all(&completed, 100);
+        assert_eq!(got.len(), 100, "no drops, no duplicates");
+        let mut seen: Vec<u32> = got.iter().map(|(r, _)| *r).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        for (req, resp) in &got {
+            assert_eq!(resp, &format!("r{req}"), "no cross-wiring");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn queue_capacity_refuses_instead_of_growing() {
+        // No scorers can drain while the handler is stalled on the gate.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate_h = Arc::clone(&gate);
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&completed);
+        let (batcher, _) = Batcher::spawn(
+            BatchOptions {
+                max_batch: 1,
+                deadline: Duration::ZERO,
+                queue_capacity: 2,
+                n_scorers: 1,
+            },
+            move |jobs: &[BatchJob<u32>]| {
+                let (open, cv) = &*gate_h;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                jobs.iter().map(|j| format!("r{}", j.req)).collect()
+            },
+            |_job| "fallback".to_string(),
+            move |req, resp: String| sink.lock().unwrap().push((req, resp)),
+        )
+        .expect("spawn");
+        // First submit is grabbed by the (now blocked) scorer; the next
+        // two fill the queue; the fourth must be refused.
+        batcher.try_submit(0).expect("scored");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while batcher.queue_depth() != 0 {
+            assert!(Instant::now() < deadline, "scorer never took the first job");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        batcher.try_submit(1).expect("queued");
+        batcher.try_submit(2).expect("queued");
+        let refused = batcher.try_submit(3);
+        assert_eq!(refused, Err(3), "at capacity: shed, don't queue");
+        {
+            let (open, cv) = &*gate;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let got = drain_all(&completed, 3);
+        assert_eq!(got.len(), 3);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&completed);
+        let (batcher, _) = Batcher::spawn(
+            BatchOptions {
+                max_batch: 8,
+                deadline: Duration::from_millis(50),
+                queue_capacity: 1024,
+                n_scorers: 1,
+            },
+            |jobs: &[BatchJob<u32>]| jobs.iter().map(|j| format!("r{}", j.req)).collect(),
+            |_job| "fallback".to_string(),
+            move |req, resp: String| sink.lock().unwrap().push((req, resp)),
+        )
+        .expect("spawn");
+        for i in 0..20u32 {
+            batcher.try_submit(i).expect("submit");
+        }
+        batcher.shutdown();
+        let got = completed.lock().unwrap();
+        assert_eq!(got.len(), 20, "shutdown drained, not dropped");
+    }
+
+    #[test]
+    fn lone_request_is_released_by_the_deadline_not_a_full_batch() {
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&completed);
+        let (batcher, _) = Batcher::spawn(
+            BatchOptions {
+                max_batch: 32, // would never fill
+                deadline: Duration::from_millis(20),
+                queue_capacity: 16,
+                n_scorers: 1,
+            },
+            |jobs: &[BatchJob<u32>]| jobs.iter().map(|j| format!("r{}", j.req)).collect(),
+            |_job| "fallback".to_string(),
+            move |req, resp: String| sink.lock().unwrap().push((req, resp)),
+        )
+        .expect("spawn");
+        batcher.try_submit(7).expect("submit");
+        let got = drain_all(&completed, 1);
+        assert_eq!(got[0], (7, "r7".to_string()));
+        batcher.shutdown();
+    }
+}

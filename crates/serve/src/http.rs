@@ -1,10 +1,30 @@
 //! A minimal std-only HTTP/1.1 front end for [`ServingModel`].
 //!
-//! No async runtime and no HTTP crate: a dedicated acceptor thread feeds
-//! a **bounded connection queue** drained by a small pool of worker
-//! threads, one request per connection (`Connection: close`), graceful
-//! shutdown through an `AtomicBool`. That is all a latency-tolerant
-//! model server needs, and it keeps the crate dependency-free.
+//! No async runtime and no HTTP crate: an event-driven pipeline of small
+//! thread pools, one request per connection (`Connection: close`),
+//! graceful shutdown through an `AtomicBool`. That is all a
+//! latency-tolerant model server needs, and it keeps the crate
+//! dependency-free.
+//!
+//! ## The pipeline (DESIGN.md §14)
+//!
+//! ```text
+//! acceptor → conn queue → parser workers → batch queue → scorer pool
+//!                              │ (cache hits, /healthz, …)     │
+//!                              └──────────→ inline response    └→ responder pool
+//! ```
+//!
+//! The acceptor enqueues raw connections into a bounded queue; parser
+//! workers read and route them. Endpoints other than `/recommend` — and
+//! `/recommend` cache **hits** — are answered inline by the parser
+//! worker. Cache misses become [`RecommendReq`]s submitted to the
+//! [`Batcher`]: scorer threads coalesce up to
+//! [`BatchOptions::max_batch`] requests (bounded by the batching
+//! deadline, so a lone request is never stalled) and score the block in
+//! one fused [`ServingModel::recommend_many`] pass — **bit-identical**
+//! to the single-request path. Completed requests fan out to a responder
+//! pool that owns the socket writes, so a slow-reading client can only
+//! ever occupy a parser worker or a responder — never a scorer.
 //!
 //! Endpoints (all `GET`):
 //!
@@ -64,12 +84,18 @@ use std::time::{Duration, Instant};
 use taxorec_telemetry::json::{push_f64, push_str_escaped};
 use taxorec_telemetry::{flight, flight_event, trace, TraceContext};
 
-use crate::model::{ServeError, ServingModel};
+use crate::batch::{BatchJob, BatchOptions, Batcher};
+use crate::model::{Ranking, ServeError, ServingModel};
 
 const JSON_CONTENT_TYPE: &str = "application/json";
 
-/// Accept-loop poll interval while idle.
+/// Parser-worker condvar poll interval (shutdown-flag recheck bound).
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// Per-read deadline while draining a shed connection's request bytes.
+/// Bounds how long one rejection can occupy the thread that sheds it.
+const SHED_DRAIN_TIMEOUT: Duration = Duration::from_millis(5);
+/// Drain reads attempted per shed before the socket drops regardless.
+const SHED_DRAIN_READS: usize = 8;
 /// Default `k` when `/recommend` omits it.
 const DEFAULT_K: usize = 10;
 /// Upper bound on `k` per request (keeps a typo from ranking the world).
@@ -80,6 +106,7 @@ const MAX_K: usize = 1000;
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker threads handling requests (≥ 1 enforced).
+    /// Env: `TAXOREC_SERVE_WORKERS`.
     pub n_workers: usize,
     /// Per-connection read/write deadline. A client that stalls longer
     /// than this mid-request is disconnected.
@@ -92,6 +119,13 @@ pub struct ServeOptions {
     /// acceptor sheds load with `503 + Retry-After`.
     /// Env: `TAXOREC_SERVE_MAX_QUEUE`.
     pub max_queue: usize,
+    /// Micro-batching scheduler knobs (`TAXOREC_SERVE_BATCH_*`,
+    /// `TAXOREC_SERVE_SCORERS`).
+    pub batch: BatchOptions,
+    /// Responder threads writing completed batched responses back to
+    /// their sockets (≥ 1 enforced).
+    /// Env: `TAXOREC_SERVE_RESPONDERS`.
+    pub n_responders: usize,
 }
 
 impl Default for ServeOptions {
@@ -101,16 +135,23 @@ impl Default for ServeOptions {
             io_timeout: Duration::from_secs(5),
             max_request_bytes: 16 * 1024,
             max_queue: 64,
+            batch: BatchOptions::default(),
+            n_responders: 2,
         }
     }
 }
 
 impl ServeOptions {
-    /// Defaults overridden by `TAXOREC_SERVE_TIMEOUT_MS`,
-    /// `TAXOREC_SERVE_MAX_REQUEST_BYTES`, and `TAXOREC_SERVE_MAX_QUEUE`
-    /// where set and parseable.
+    /// Defaults overridden by `TAXOREC_SERVE_WORKERS`,
+    /// `TAXOREC_SERVE_TIMEOUT_MS`, `TAXOREC_SERVE_MAX_REQUEST_BYTES`,
+    /// `TAXOREC_SERVE_MAX_QUEUE`, `TAXOREC_SERVE_RESPONDERS`, and the
+    /// `TAXOREC_SERVE_BATCH_*` / `TAXOREC_SERVE_SCORERS` family where
+    /// set and parseable.
     pub fn from_env() -> Self {
         let mut o = Self::default();
+        if let Some(w) = env_usize("TAXOREC_SERVE_WORKERS") {
+            o.n_workers = w.clamp(1, 64);
+        }
         if let Some(ms) = env_usize("TAXOREC_SERVE_TIMEOUT_MS") {
             o.io_timeout = Duration::from_millis(ms.max(1) as u64);
         }
@@ -120,6 +161,10 @@ impl ServeOptions {
         if let Some(q) = env_usize("TAXOREC_SERVE_MAX_QUEUE") {
             o.max_queue = q.max(1);
         }
+        if let Some(r) = env_usize("TAXOREC_SERVE_RESPONDERS") {
+            o.n_responders = r.clamp(1, 64);
+        }
+        o.batch = BatchOptions::from_env();
         o
     }
 }
@@ -161,6 +206,82 @@ struct Queued {
     accepted: Instant,
 }
 
+/// A parsed `/recommend` cache miss travelling through the batching
+/// pipeline with its connection: handed from the parser worker to the
+/// [`Batcher`], scored in a block, and written by a responder.
+struct RecommendReq {
+    stream: TcpStream,
+    ctx: TraceContext,
+    /// Connection accept instant (root-span start).
+    accepted: Instant,
+    /// Head-read completion instant (endpoint-latency start, matching
+    /// the inline path's histogram semantics).
+    started: Instant,
+    user: u32,
+    k: usize,
+}
+
+/// Outcome of scoring one batched request, written by a responder.
+enum Scored {
+    /// 200 with the ranked items.
+    Ranked(Ranking),
+    /// 404 — unknown user (same mapping as the inline path).
+    NotFound(String),
+    /// 500 — this request's batch panicked; only its own batch fails.
+    Internal,
+}
+
+/// Work queue feeding the responder pool. Unbounded on purpose: every
+/// entry is a completed request whose admission was already bounded by
+/// the connection and batch queues, so refusing here could only drop a
+/// scored response.
+struct ResponderShared {
+    queue: Mutex<VecDeque<(RecommendReq, Scored)>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl ResponderShared {
+    fn push(&self, req: RecommendReq, scored: Scored) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back((req, scored));
+        drop(q);
+        self.ready.notify_one();
+    }
+}
+
+fn responder_loop(shared: &ResponderShared) {
+    loop {
+        let item = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(it) = q.pop_front() {
+                    break Some(it);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, POLL_INTERVAL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        match item {
+            Some((req, scored)) => write_recommend_response(req, scored),
+            None => return,
+        }
+    }
+}
+
+/// The batching stages behind the parser workers: scheduler + responder
+/// queue. Shared so `/healthz` can report batch-queue occupancy.
+struct Pipeline {
+    batcher: Batcher<RecommendReq>,
+    responders: Arc<ResponderShared>,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     shutdown: AtomicBool,
@@ -180,12 +301,14 @@ impl Shared {
     }
 }
 
-/// A running server: joinable acceptor + worker threads plus shared
-/// shutdown/health state.
+/// A running server: joinable acceptor, parser, scorer, and responder
+/// threads plus shared shutdown/health state.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    pipeline: Arc<Pipeline>,
+    responder_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -204,28 +327,49 @@ impl ServerHandle {
         self.shared.health()
     }
 
-    /// Signals the acceptor and workers to stop and waits for in-flight
-    /// requests (and already-queued connections) to drain.
+    /// Signals the pipeline to stop and waits for in-flight requests
+    /// (and already-queued connections) to drain.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.drain();
     }
 
     fn begin_shutdown(&self) {
         self.shared.health.store(HEALTH_DRAINING, Ordering::SeqCst);
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.ready.notify_all();
+        // The acceptor blocks in `accept`; a throwaway loopback
+        // connection wakes it so it can observe the shutdown flag.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+
+    /// Stage-ordered drain: acceptor + parser workers first (no new
+    /// submissions), then the batcher (scores every queued request),
+    /// then the responders (every scored response is written). Each
+    /// stage's queue is empty before the next stage stops.
+    fn drain(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.pipeline.batcher.shutdown();
+        self.pipeline
+            .responders
+            .shutdown
+            .store(true, Ordering::SeqCst);
+        self.pipeline.responders.ready.notify_all();
+        for t in self.responder_threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.begin_shutdown();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.drain();
     }
 }
 
@@ -257,10 +401,15 @@ pub fn serve_with(
     addr: &str,
     opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    // The acceptor blocks in `accept` — zero added latency per
+    // connection, no poll interval to overflow the kernel backlog at
+    // high arrival rates. Shutdown wakes it with a loopback connection
+    // to the listener itself (`begin_shutdown`).
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let n_requested = opts.n_workers.max(1);
+    let batch_opts = opts.batch.clone();
+    let n_responders = opts.n_responders.max(1);
     let shared = Arc::new(Shared {
         shutdown: AtomicBool::new(false),
         health: AtomicU8::new(HEALTH_READY),
@@ -268,15 +417,82 @@ pub fn serve_with(
         ready: Condvar::new(),
         opts,
     });
+    let mut degraded = false;
+
+    // Responder pool: owns all socket writes for batched responses.
+    let responders = Arc::new(ResponderShared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+    let mut responder_threads = Vec::with_capacity(n_responders);
+    let mut last_err: Option<std::io::Error> = None;
+    for i in 0..n_responders {
+        let responders = Arc::clone(&responders);
+        match std::thread::Builder::new()
+            .name(format!("taxorec-respond-{i}"))
+            .spawn(move || responder_loop(&responders))
+        {
+            Ok(h) => responder_threads.push(h),
+            Err(e) => {
+                taxorec_telemetry::counter("serve.responder.spawn_failed").inc(1);
+                taxorec_telemetry::sink::warn(&format!(
+                    "failed to spawn responder {i}: {e}; continuing with fewer"
+                ));
+                last_err = Some(e);
+            }
+        }
+    }
+    if responder_threads.is_empty() {
+        return Err(
+            last_err.unwrap_or_else(|| std::io::Error::other("no responders could be spawned"))
+        );
+    }
+    degraded |= responder_threads.len() < n_responders;
+
+    // Scorer pool behind the bounded batch queue. The handler scores one
+    // assembled block through the fused multi-anchor path and stamps the
+    // retroactive per-request `batch.wait` / `score` spans; a panicking
+    // batch falls back to 500s for only its own requests.
+    let scoring_model = Arc::clone(&model);
+    let complete_to = Arc::clone(&responders);
+    let (batcher, live_scorers) = Batcher::spawn(
+        batch_opts.clone(),
+        move |jobs: &[BatchJob<RecommendReq>]| {
+            let started = Instant::now();
+            let queries: Vec<(u32, usize)> = jobs.iter().map(|j| (j.req.user, j.req.k)).collect();
+            let results = scoring_model.recommend_many(&queries);
+            let finished = Instant::now();
+            for j in jobs {
+                trace::emit_span_at("batch.wait", j.req.ctx, j.enqueued, started);
+                trace::emit_span_at("score", j.req.ctx, started, finished);
+            }
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(items) => Scored::Ranked(items),
+                    Err(e) => Scored::NotFound(e.to_string()),
+                })
+                .collect()
+        },
+        |_job| Scored::Internal,
+        move |req, scored| complete_to.push(req, scored),
+    )?;
+    degraded |= live_scorers < batch_opts.n_scorers.max(1);
+    let pipeline = Arc::new(Pipeline {
+        batcher,
+        responders: Arc::clone(&responders),
+    });
+
     let mut threads = Vec::with_capacity(n_requested + 1);
     let mut spawned = 0usize;
-    let mut last_err: Option<std::io::Error> = None;
     for i in 0..n_requested {
         let shared = Arc::clone(&shared);
         let model = Arc::clone(&model);
+        let pipeline = Arc::clone(&pipeline);
         match std::thread::Builder::new()
             .name(format!("taxorec-serve-{i}"))
-            .spawn(move || worker_loop(&shared, &model))
+            .spawn(move || worker_loop(&shared, &model, &pipeline))
         {
             Ok(h) => {
                 threads.push(h);
@@ -296,10 +512,13 @@ pub fn serve_with(
             last_err.unwrap_or_else(|| std::io::Error::other("no server workers could be spawned"))
         );
     }
-    if spawned < n_requested {
+    degraded |= spawned < n_requested;
+    if degraded {
         shared.health.store(HEALTH_DEGRADED, Ordering::SeqCst);
         taxorec_telemetry::sink::warn(&format!(
-            "serving degraded: {spawned}/{n_requested} workers"
+            "serving degraded: {spawned}/{n_requested} workers, {live_scorers} scorers, \
+             {} responders",
+            responder_threads.len()
         ));
     }
     {
@@ -313,6 +532,8 @@ pub fn serve_with(
         addr,
         shared,
         threads,
+        pipeline,
+        responder_threads,
     })
 }
 
@@ -321,7 +542,12 @@ pub fn serve_with(
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
+                // The shutdown wake-up is itself a connection; re-check
+                // the flag before treating it as traffic.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
                 let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
@@ -333,7 +559,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 if q.len() >= shared.opts.max_queue {
                     let depth = q.len();
                     drop(q);
-                    shed(stream, ctx, depth, shared.opts.io_timeout);
+                    shed(&mut stream, ctx, depth, shared.opts.io_timeout);
                     continue;
                 }
                 q.push_back(Queued {
@@ -345,9 +571,6 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 drop(q);
                 shared.ready.notify_one();
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
@@ -355,23 +578,39 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 /// Rejects an over-capacity connection with `503 + Retry-After` without
-/// reading the request (the write deadline bounds even this). The
+/// parsing the request (the write deadline bounds even this). The
 /// incident is recorded in the flight ring and triggers a (throttled)
 /// dump — a shed storm is exactly the moment the recent-event history
 /// matters.
-fn shed(mut stream: TcpStream, ctx: TraceContext, queue_depth: usize, io_timeout: Duration) {
+///
+/// After the 503 is written the connection is *lingering-closed*: the
+/// unparsed request bytes are drained (briefly, bounded) before the
+/// socket drops. Closing with unread data in the receive buffer makes
+/// the kernel send `RST`, which destroys the in-flight 503 — under a
+/// shed storm every rejection would then surface client-side as a
+/// connection reset instead of the `Retry-After` it was sent.
+fn shed(stream: &mut TcpStream, ctx: TraceContext, queue_depth: usize, io_timeout: Duration) {
     taxorec_telemetry::counter("serve.http.shed").inc(1);
     flight_event!("serve.shed", ctx.trace_id, queue_depth as i64, 0.0);
     flight::dump("serve.shed");
     let retry_after = io_timeout.as_secs().max(1);
     let _ = respond_with(
-        &mut stream,
+        stream,
         503,
         ctx.trace_id,
         JSON_CONTENT_TYPE,
         &format!("Retry-After: {retry_after}\r\n"),
         &error_json("server overloaded; retry later"),
     );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
+    let mut scratch = [0u8; 1024];
+    for _ in 0..SHED_DRAIN_READS {
+        match stream.read(&mut scratch) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
 }
 
 /// Poison-tolerant queue lock: a worker that panicked while holding the
@@ -381,7 +620,7 @@ fn lock_queue(q: &Mutex<VecDeque<Queued>>) -> std::sync::MutexGuard<'_, VecDeque
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn worker_loop(shared: &Shared, model: &ServingModel) {
+fn worker_loop(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) {
     loop {
         let queued = {
             let mut q = lock_queue(&shared.queue);
@@ -401,13 +640,13 @@ fn worker_loop(shared: &Shared, model: &ServingModel) {
             }
         };
         match queued {
-            Some(s) => handle_connection(s, shared, model),
+            Some(s) => handle_connection(s, shared, model, pipeline),
             None => return,
         }
     }
 }
 
-fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel) {
+fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel, pipeline: &Pipeline) {
     let Queued {
         mut stream,
         ctx,
@@ -437,10 +676,38 @@ fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel) {
     // site makes this path deterministically testable.
     let routed = catch_unwind(AssertUnwindSafe(|| {
         taxorec_resilience::inject_panic("serve.request");
-        route(&head, shared, model)
+        route(&head, shared, model, pipeline)
     }));
     let (status, body, endpoint, content_type) = match routed {
-        Ok(r) => r,
+        Ok(Routed::Done(status, body, endpoint, content_type)) => {
+            (status, body, endpoint, content_type)
+        }
+        Ok(Routed::Batch { user, k }) => {
+            // A `/recommend` cache miss: hand the connection to the
+            // batching pipeline. The responder pool owns everything from
+            // here (response write, latency histogram, root span) — this
+            // worker is immediately free for the next connection.
+            let req = RecommendReq {
+                stream,
+                ctx,
+                accepted,
+                started: start,
+                user,
+                k,
+            };
+            if let Err(mut req) = pipeline.batcher.try_submit(req) {
+                // Batch queue full (or draining): shed exactly like the
+                // connection queue does, before any scoring work.
+                shed(
+                    &mut req.stream,
+                    ctx,
+                    pipeline.batcher.queue_depth(),
+                    shared.opts.io_timeout,
+                );
+                taxorec_telemetry::counter("serve.http.recommend.errors").inc(1);
+            }
+            return;
+        }
         Err(_) => {
             taxorec_telemetry::counter("serve.http.panics").inc(1);
             taxorec_telemetry::sink::warn("request handler panicked; worker continues");
@@ -474,6 +741,35 @@ fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel) {
     trace::emit_root_at("http", ctx, accepted, Instant::now());
 }
 
+/// Writes one batched `/recommend` response from a responder thread and
+/// closes out the request's telemetry: endpoint histogram/counters,
+/// flight event, retroactive `respond` span, and the `http` root span —
+/// the batched twin of the inline path's epilogue in
+/// [`handle_connection`].
+fn write_recommend_response(mut req: RecommendReq, scored: Scored) {
+    let (status, body) = match scored {
+        Scored::Ranked(items) => (200, recommend_body(req.user, req.k, &items)),
+        Scored::NotFound(msg) => (404, error_json(&msg)),
+        Scored::Internal => {
+            // Dump before responding, mirroring the inline panic path.
+            flight_event!("serve.panic", req.ctx.trace_id, 500, 0.0);
+            flight::dump("serve.batch.panic");
+            (500, error_json("internal error"))
+        }
+    };
+    let write_start = Instant::now();
+    let _ = respond(&mut req.stream, status, req.ctx.trace_id, &body);
+    trace::emit_span_at("respond", req.ctx, write_start, Instant::now());
+    let ms = req.started.elapsed().as_secs_f64() * 1e3;
+    taxorec_telemetry::histogram("serve.http.recommend.ms").observe(ms);
+    taxorec_telemetry::counter("serve.http.recommend.requests").inc(1);
+    if status >= 400 {
+        taxorec_telemetry::counter("serve.http.recommend.errors").inc(1);
+    }
+    flight_event!("serve.request", req.ctx.trace_id, status as i64, ms);
+    trace::emit_root_at("http", req.ctx, req.accepted, Instant::now());
+}
+
 /// Reads bytes until the end of the request head (`\r\n\r\n`) and returns
 /// the head as text. `None` on malformed, oversized, or timed-out input.
 fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
@@ -495,19 +791,29 @@ fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
     String::from_utf8(buf).ok()
 }
 
-/// Dispatches one parsed request; returns (status, body, endpoint label
-/// for telemetry, content type).
-fn route(
-    head: &str,
-    shared: &Shared,
-    model: &ServingModel,
-) -> (u16, String, &'static str, &'static str) {
+/// What the router decided about one parsed request.
+enum Routed {
+    /// Answer now from the parser worker: (status, body, endpoint label
+    /// for telemetry, content type).
+    Done(u16, String, &'static str, &'static str),
+    /// A `/recommend` cache miss bound for the batching pipeline.
+    Batch {
+        /// Validated `user` query parameter.
+        user: u32,
+        /// Validated `k` (defaulted and bounds-checked).
+        k: usize,
+    },
+}
+
+/// Dispatches one parsed request. Everything except a `/recommend`
+/// cache miss resolves inline.
+fn route(head: &str, shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> Routed {
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
     if method != "GET" {
-        return (
+        return Routed::Done(
             405,
             error_json(&format!("method {method:?} not allowed; use GET")),
             "other",
@@ -519,34 +825,31 @@ fn route(
         None => (target, ""),
     };
     match path {
-        "/healthz" => (
+        "/healthz" => Routed::Done(
             200,
-            healthz_json(shared, model),
+            healthz_json(shared, model, pipeline),
             "healthz",
             JSON_CONTENT_TYPE,
         ),
-        "/metrics" => (
+        "/metrics" => Routed::Done(
             200,
             taxorec_telemetry::prometheus::render(),
             "metrics",
             taxorec_telemetry::prometheus::CONTENT_TYPE,
         ),
-        "/metrics.json" => (
+        "/metrics.json" => Routed::Done(
             200,
             taxorec_telemetry::snapshot(),
             "metrics",
             JSON_CONTENT_TYPE,
         ),
-        "/debug/flight" => (200, flight::snapshot_json(), "flight", JSON_CONTENT_TYPE),
-        "/recommend" => {
-            let (status, body, ep) = handle_recommend(query, model);
-            (status, body, ep, JSON_CONTENT_TYPE)
-        }
+        "/debug/flight" => Routed::Done(200, flight::snapshot_json(), "flight", JSON_CONTENT_TYPE),
+        "/recommend" => handle_recommend(query, model),
         "/explain" => {
             let (status, body, ep) = handle_explain(query, model);
-            (status, body, ep, JSON_CONTENT_TYPE)
+            Routed::Done(status, body, ep, JSON_CONTENT_TYPE)
         }
-        _ => (
+        _ => Routed::Done(
             404,
             error_json(&format!("no route for {path:?}")),
             "other",
@@ -555,54 +858,70 @@ fn route(
     }
 }
 
-fn handle_recommend(query: &str, model: &ServingModel) -> (u16, String, &'static str) {
+/// Validates a `/recommend` query and probes the response cache. Hits
+/// (and rejects) resolve inline on the parser worker — a cached answer
+/// never pays batching latency; misses go to the scheduler. Unknown
+/// users also take the batched path and come back as per-request `404`s
+/// from [`ServingModel::recommend_many`]'s independent error entries.
+fn handle_recommend(query: &str, model: &ServingModel) -> Routed {
     let user = match require_param(query, "user") {
         Ok(u) => u,
-        Err(msg) => return (400, error_json(&msg), "recommend"),
+        Err(msg) => return Routed::Done(400, error_json(&msg), "recommend", JSON_CONTENT_TYPE),
     };
     let k = match param(query, "k") {
         None => DEFAULT_K,
         Some(raw) => match raw.parse::<usize>() {
             Ok(k) if k <= MAX_K => k,
             Ok(k) => {
-                return (
+                return Routed::Done(
                     400,
                     error_json(&format!("k = {k} exceeds the maximum of {MAX_K}")),
                     "recommend",
+                    JSON_CONTENT_TYPE,
                 )
             }
             Err(_) => {
-                return (
+                return Routed::Done(
                     400,
                     error_json(&format!("query parameter 'k' = {raw:?} is not an integer")),
                     "recommend",
+                    JSON_CONTENT_TYPE,
                 )
             }
         },
     };
-    match model.recommend(user, k) {
-        Ok(items) => {
-            let mut body = String::with_capacity(32 + items.len() * 32);
-            body.push_str("{\"user\":");
-            body.push_str(&user.to_string());
-            body.push_str(",\"k\":");
-            body.push_str(&k.to_string());
-            body.push_str(",\"items\":[");
-            for (i, &(item, score)) in items.iter().enumerate() {
-                if i > 0 {
-                    body.push(',');
-                }
-                body.push_str("{\"item\":");
-                body.push_str(&item.to_string());
-                body.push_str(",\"score\":");
-                push_f64(&mut body, score);
-                body.push('}');
-            }
-            body.push_str("]}");
-            (200, body, "recommend")
-        }
-        Err(e) => (404, error_json(&e.to_string()), "recommend"),
+    match model.cached(user, k) {
+        Some(items) => Routed::Done(
+            200,
+            recommend_body(user, k, &items),
+            "recommend",
+            JSON_CONTENT_TYPE,
+        ),
+        None => Routed::Batch { user, k },
     }
+}
+
+/// The `/recommend` success body — one builder for the inline (cache
+/// hit) and batched paths, so both emit byte-identical JSON.
+fn recommend_body(user: u32, k: usize, items: &[(u32, f64)]) -> String {
+    let mut body = String::with_capacity(32 + items.len() * 32);
+    body.push_str("{\"user\":");
+    body.push_str(&user.to_string());
+    body.push_str(",\"k\":");
+    body.push_str(&k.to_string());
+    body.push_str(",\"items\":[");
+    for (i, &(item, score)) in items.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"item\":");
+        body.push_str(&item.to_string());
+        body.push_str(",\"score\":");
+        push_f64(&mut body, score);
+        body.push('}');
+    }
+    body.push_str("]}");
+    body
 }
 
 fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static str) {
@@ -659,10 +978,10 @@ fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static s
     }
 }
 
-fn healthz_json(shared: &Shared, model: &ServingModel) -> String {
+fn healthz_json(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> String {
     let (cache_len, cache_cap) = model.cache_usage();
     let queued = lock_queue(&shared.queue).len();
-    let mut body = String::with_capacity(160);
+    let mut body = String::with_capacity(224);
     body.push_str("{\"status\":\"");
     body.push_str(shared.health().as_str());
     body.push_str("\",\"model\":");
@@ -677,6 +996,12 @@ fn healthz_json(shared: &Shared, model: &ServingModel) -> String {
     body.push_str(&queued.to_string());
     body.push_str(",\"capacity\":");
     body.push_str(&shared.opts.max_queue.to_string());
+    body.push_str("},\"batch\":{\"depth\":");
+    body.push_str(&pipeline.batcher.queue_depth().to_string());
+    body.push_str(",\"capacity\":");
+    body.push_str(&pipeline.batcher.capacity().to_string());
+    body.push_str(",\"max_batch\":");
+    body.push_str(&pipeline.batcher.options().max_batch.to_string());
     body.push_str("},\"cache\":{\"entries\":");
     body.push_str(&cache_len.to_string());
     body.push_str(",\"capacity\":");

@@ -48,17 +48,19 @@
 //! println!("{top:?}");
 //! ```
 
+pub mod batch;
 pub mod checkpoint;
 pub mod http;
 pub mod lru;
 pub mod model;
 mod wire;
 
+pub use batch::{BatchJob, BatchOptions, Batcher};
 pub use checkpoint::{
     load, save, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_TRAIN_STATE, FORMAT_VERSION,
     MAGIC,
 };
 pub use http::{serve, serve_with, Health, ServeOptions, ServerHandle};
 pub use lru::LruCache;
-pub use model::{Explanation, Ranking, ServeError, ServingModel, TagAffinity};
+pub use model::{Explanation, Ranking, ServeError, ServingModel, TagAffinity, SERVE_BLOCK};
 pub use wire::crc32;

@@ -19,9 +19,12 @@
 use std::sync::{Arc, Mutex};
 
 use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig};
-use taxorec_data::{Dataset, Split};
+use taxorec_data::{Dataset, Split, TopKAccumulator};
 use taxorec_eval::top_k;
-use taxorec_geometry::batch::{fused_scores_block, BlockCache, TagChannel};
+use taxorec_geometry::batch::{
+    fused_scores_block, fused_scores_multi, BlockCache, TagChannel, TagChannelMulti,
+    FUSED_ITEM_CHUNK,
+};
 use taxorec_geometry::{convert, lorentz};
 use taxorec_taxonomy::Taxonomy;
 
@@ -30,6 +33,11 @@ use crate::lru::LruCache;
 
 /// Default bound on the response cache (distinct `(user, k)` entries).
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Users per fused scoring block in [`ServingModel::recommend_many`] —
+/// the block size the multi-anchor kernels are tuned for (DESIGN.md
+/// §12) and the default `max_batch` of the serving-tier scheduler.
+pub const SERVE_BLOCK: usize = 32;
 
 /// A query against an entity the model does not know.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,6 +113,12 @@ pub struct Explanation {
 
 /// A shared, immutable recommendation list: `(item, score)` best first.
 pub type Ranking = Arc<Vec<(u32, f64)>>;
+
+/// Response-cache key for a `(user, k)` query. `k` saturates into `u32`
+/// — any request that large returns the full catalogue anyway.
+fn cache_key(user: u32, k: usize) -> (u32, u32) {
+    (user, k.min(u32::MAX as usize) as u32)
+}
 
 /// An immutable, thread-safe top-K query engine over a trained model.
 pub struct ServingModel {
@@ -262,14 +276,8 @@ impl ServingModel {
                 n_users: self.n_users(),
             });
         }
-        let key = (user, k.min(u32::MAX as usize) as u32);
-        {
-            let _cache_span = taxorec_telemetry::trace::child_span("cache");
-            if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-                taxorec_telemetry::counter("serve.cache.hit").inc(1);
-                return Ok(Arc::clone(hit));
-            }
-            taxorec_telemetry::counter("serve.cache.miss").inc(1);
+        if let Some(hit) = self.cached(user, k) {
+            return Ok(hit);
         }
         let seen: &[u32] = self.seen.get(u).map(Vec::as_slice).unwrap_or(&[]);
         // Score into a per-worker scratch buffer: a cache miss allocates
@@ -285,16 +293,175 @@ impl ServingModel {
             top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
         });
         let result = Arc::new(top);
-        self.cache.lock().unwrap().put(key, Arc::clone(&result));
+        self.cache
+            .lock()
+            .unwrap()
+            .put(cache_key(user, k), Arc::clone(&result));
         Ok(result)
     }
 
-    /// Answers many users in one call, fanning the per-user work out over
-    /// the `taxorec-parallel` pool. Result order matches `users`; each
-    /// entry fails independently (an unknown user does not poison the
-    /// batch).
+    /// Probes the response cache for `(user, k)` without scoring,
+    /// counting the outcome in `serve.cache.hit` / `serve.cache.miss`.
+    /// The serving tier uses this to answer hot keys straight from the
+    /// worker thread instead of routing them through the batch
+    /// scheduler.
+    pub fn cached(&self, user: u32, k: usize) -> Option<Ranking> {
+        let _cache_span = taxorec_telemetry::trace::child_span("cache");
+        match self.probe(cache_key(user, k)) {
+            Some(hit) => {
+                taxorec_telemetry::counter("serve.cache.hit").inc(1);
+                Some(hit)
+            }
+            None => {
+                taxorec_telemetry::counter("serve.cache.miss").inc(1);
+                None
+            }
+        }
+    }
+
+    /// Silent cache probe (no counters, no span): the batched path
+    /// re-probes right before scoring — a concurrent identical request
+    /// may have filled the entry while this one waited in the queue —
+    /// and that second look must not double-count the miss the HTTP
+    /// layer already recorded.
+    fn probe(&self, key: (u32, u32)) -> Option<Ranking> {
+        self.cache.lock().unwrap().get(&key).map(Arc::clone)
+    }
+
+    /// Answers a heterogeneous batch of `(user, k)` queries in one call
+    /// through the fused multi-anchor kernels: cache misses are grouped
+    /// into user-blocks of [`SERVE_BLOCK`], each block streams the item
+    /// panels **once** for all its users ([`fused_scores_multi`]), and
+    /// every user is ranked through a per-query [`TopKAccumulator`]
+    /// while the scores are cache-hot.
+    ///
+    /// Result order matches `queries`; each entry fails independently
+    /// (an unknown user does not poison the batch), and duplicates and
+    /// mixed `k` are fine — every query gets its own accumulator.
+    ///
+    /// **Bit-identical to the single-request path**: the multi-anchor
+    /// kernels preserve [`fused_scores_block`]'s per-pair arithmetic
+    /// (DESIGN.md §12) and the accumulator offered ascending item ids
+    /// replays [`top_k`]'s exact heap sequence, so each entry equals
+    /// [`ServingModel::recommend`] for that `(user, k)` — not merely
+    /// close. The batching integration tests assert exact equality.
+    pub fn recommend_many(&self, queries: &[(u32, usize)]) -> Vec<Result<Ranking, ServeError>> {
+        let mut out: Vec<Option<Result<Ranking, ServeError>>> = Vec::new();
+        out.resize_with(queries.len(), || None);
+        let mut misses: Vec<usize> = Vec::new();
+        for (qi, &(user, k)) in queries.iter().enumerate() {
+            if user as usize >= self.n_users() {
+                out[qi] = Some(Err(ServeError::UnknownUser {
+                    user,
+                    n_users: self.n_users(),
+                }));
+            } else if let Some(hit) = self.probe(cache_key(user, k)) {
+                out[qi] = Some(Ok(hit));
+            } else {
+                misses.push(qi);
+            }
+        }
+        for block in misses.chunks(SERVE_BLOCK) {
+            for (&qi, ranking) in block.iter().zip(self.score_block(queries, block)) {
+                let (user, k) = queries[qi];
+                let result = Arc::new(ranking);
+                self.cache
+                    .lock()
+                    .unwrap()
+                    .put(cache_key(user, k), Arc::clone(&result));
+                out[qi] = Some(Ok(result));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every query answered"))
+            .collect()
+    }
+
+    /// Scores one block of known-user cache misses (`block` indexes into
+    /// `queries`) with one multi-anchor fused pass per catalogue chunk,
+    /// ranking each query through its own accumulator with its own `k`
+    /// and seen-item exclusion.
+    fn score_block(&self, queries: &[(u32, usize)], block: &[usize]) -> Vec<Vec<(u32, f64)>> {
+        let s = &self.state;
+        let n_items = s.v_ir.rows();
+        let b = block.len();
+        if b == 0 || n_items == 0 {
+            return vec![Vec::new(); b];
+        }
+        let users: Vec<usize> = block.iter().map(|&qi| queries[qi].0 as usize).collect();
+        let anchors_ir: Vec<&[f64]> = users.iter().map(|&u| s.u_ir.row(u)).collect();
+        let tg = self.tg_cache.as_ref().map(|tg_cache| {
+            let anchors_tg: Vec<&[f64]> = users.iter().map(|&u| s.u_tg.row(u)).collect();
+            let alphas: Vec<f64> = users
+                .iter()
+                .map(|&u| s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0))
+                .collect();
+            (tg_cache, anchors_tg, alphas)
+        });
+        let chunk = FUSED_ITEM_CHUNK;
+        let buf_len = b * n_items.min(chunk);
+        let mut accs: Vec<TopKAccumulator> = block
+            .iter()
+            .map(|&qi| TopKAccumulator::new(queries[qi].1))
+            .collect();
+        taxorec_core::scratch::with_buf(buf_len, |buf| {
+            taxorec_core::scratch::with_buf(if tg.is_some() { buf_len } else { 0 }, |scr| {
+                let mut lo = 0;
+                while lo < n_items {
+                    let hi = (lo + chunk).min(n_items);
+                    let m = hi - lo;
+                    let channel = tg.as_ref().map(|(cache, anchors, alphas)| TagChannelMulti {
+                        cache,
+                        anchors: anchors.as_slice(),
+                        alphas: alphas.as_slice(),
+                    });
+                    let scr_len = if tg.is_some() { b * m } else { 0 };
+                    fused_scores_multi(
+                        &self.ir_cache,
+                        &anchors_ir,
+                        channel,
+                        lo,
+                        hi,
+                        &mut scr[..scr_len],
+                        &mut buf[..b * m],
+                    );
+                    for (pos, acc) in accs.iter_mut().enumerate() {
+                        let seen: &[u32] =
+                            self.seen.get(users[pos]).map(Vec::as_slice).unwrap_or(&[]);
+                        let row = &buf[pos * m..(pos + 1) * m];
+                        for (i, &score) in row.iter().enumerate() {
+                            let item = (lo + i) as u32;
+                            if seen.binary_search(&item).is_err() {
+                                acc.push(item, score);
+                            }
+                        }
+                    }
+                    lo = hi;
+                }
+            });
+        });
+        accs.into_iter().map(|a| a.into_sorted()).collect()
+    }
+
+    /// Answers many users in one call: blocks of [`SERVE_BLOCK`] users
+    /// run through the fused multi-anchor path
+    /// ([`ServingModel::recommend_many`]), and multiple blocks fan out
+    /// over the `taxorec-parallel` pool. Result order matches `users`;
+    /// each entry fails independently — an unknown user yields its own
+    /// `Err(`[`ServeError::UnknownUser`]`)` (the error the HTTP layer
+    /// maps to `404`) without poisoning the rest of the batch.
     pub fn recommend_batch(&self, users: &[u32], k: usize) -> Vec<Result<Ranking, ServeError>> {
-        taxorec_parallel::par_map("serve.batch", users.len(), |i| self.recommend(users[i], k))
+        let queries: Vec<(u32, usize)> = users.iter().map(|&u| (u, k)).collect();
+        if queries.len() <= SERVE_BLOCK {
+            return self.recommend_many(&queries);
+        }
+        let blocks: Vec<&[(u32, usize)]> = queries.chunks(SERVE_BLOCK).collect();
+        taxorec_parallel::par_map("serve.batch", blocks.len(), |bi| {
+            self.recommend_many(blocks[bi])
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Explains why `item` scores the way it does for `user`: the score,
@@ -439,6 +606,70 @@ mod tests {
         assert_eq!(batch.len(), users.len());
         for (u, res) in users.iter().zip(&batch) {
             assert_eq!(**res.as_ref().unwrap(), *serving.recommend(*u, 7).unwrap());
+        }
+    }
+
+    #[test]
+    fn recommend_many_is_bit_identical_to_recommend() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        // Heterogeneous batch: mixed k, duplicate users (same and
+        // different k), k=0, k larger than the catalogue — wider than one
+        // SERVE_BLOCK so chunking is exercised too.
+        let mut queries: Vec<(u32, usize)> = (0..d.n_users as u32)
+            .map(|u| (u, 1 + (u as usize % 13)))
+            .collect();
+        queries.push((3, 7));
+        queries.push((3, 7));
+        queries.push((3, 2));
+        queries.push((0, 0));
+        queries.push((1, d.n_items + 50));
+        let got = serving.recommend_many(&queries);
+        // Reference answers from a fresh engine so every query runs the
+        // single-request scoring path (no cross-talk via the shared
+        // cache).
+        let reference = ServingModel::from_model(&m, &d, &s).unwrap();
+        assert_eq!(got.len(), queries.len());
+        for (&(u, k), res) in queries.iter().zip(&got) {
+            let want = reference.recommend(u, k).unwrap();
+            let have = res.as_ref().unwrap();
+            assert_eq!(have.len(), want.len(), "user {u} k {k}");
+            for (a, b) in have.iter().zip(want.iter()) {
+                assert_eq!(a.0, b.0, "user {u} k {k}: item mismatch");
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "user {u} k {k}: score not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_batch_isolates_unknown_users() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        let n = d.n_users as u32;
+        // Valid and unknown users interleaved, with a duplicate unknown.
+        let users = [0, n + 1, 2, n + 9, n + 1, 1];
+        let batch = serving.recommend_batch(&users, 5);
+        assert_eq!(batch.len(), users.len());
+        for (i, (&u, res)) in users.iter().zip(&batch).enumerate() {
+            if u < n {
+                let want = serving.recommend(u, 5).unwrap();
+                assert_eq!(**res.as_ref().unwrap(), *want, "entry {i}");
+            } else {
+                // The exact error the HTTP layer maps to 404 — same
+                // variant and fields as the single-request path.
+                assert_eq!(
+                    *res.as_ref().unwrap_err(),
+                    ServeError::UnknownUser {
+                        user: u,
+                        n_users: d.n_users
+                    },
+                    "entry {i}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,111 @@
+//! Property-based tests of the batch assembler: across arbitrary
+//! arrival interleavings — request ordering, duplicate user ids, mixed
+//! `k`, submitter pauses racing the deadline, and every combination of
+//! batch size / deadline / scorer count — the scheduler never drops,
+//! duplicates, or cross-wires a response, and the batching deadline
+//! bounds how long any request waits in the queue.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use taxorec_serve::{BatchJob, BatchOptions, Batcher};
+
+/// One synthetic request: a unique submission index (the identity the
+/// cross-wiring check keys on — user ids deliberately collide) plus the
+/// user/k payload a real `/recommend` would carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Req {
+    idx: u32,
+    user: u32,
+    k: u32,
+}
+
+/// The only correct response to `r` — any mismatch is a cross-wire.
+fn expected_response(r: Req) -> String {
+    format!("i{}-u{}-k{}", r.idx, r.user, r.k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_interleavings_never_drop_duplicate_or_cross_wire(
+        // Duplicate users and mixed k on purpose: only `idx` is unique.
+        payloads in proptest::collection::vec((0u32..6, 0u32..12), 1..48),
+        max_batch in 1usize..9,
+        deadline_us in 0u64..3000,
+        n_scorers in 1usize..4,
+        // Pauses between submissions (µs), racing the deadline so some
+        // runs coalesce and others cut batches mid-stream.
+        pauses in proptest::collection::vec(0u64..800, 1..48),
+    ) {
+        let deadline = Duration::from_micros(deadline_us);
+        let completed: Arc<Mutex<Vec<(Req, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let waits: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&completed);
+        let wait_sink = Arc::clone(&waits);
+        let (batcher, _) = Batcher::spawn(
+            BatchOptions {
+                max_batch,
+                deadline,
+                // Admission control is deliberately out of scope here
+                // (covered by the capacity unit test): every submission
+                // must be admitted so "never drops" is meaningful.
+                queue_capacity: 4096,
+                n_scorers,
+            },
+            move |jobs: &[BatchJob<Req>]| {
+                let start = Instant::now();
+                let mut w = wait_sink.lock().unwrap();
+                for j in jobs {
+                    w.push(start.saturating_duration_since(j.enqueued));
+                }
+                drop(w);
+                jobs.iter().map(|j| expected_response(j.req)).collect()
+            },
+            |job| format!("fallback-{}", job.req.idx),
+            move |req, resp: String| sink.lock().unwrap().push((req, resp)),
+        )
+        .expect("spawn");
+
+        let submitted: Vec<Req> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, k))| Req { idx: i as u32, user, k })
+            .collect();
+        for (i, r) in submitted.iter().enumerate() {
+            batcher.try_submit(*r).expect("queue sized for every submission");
+            let pause = pauses[i % pauses.len()];
+            if pause > 0 {
+                std::thread::sleep(Duration::from_micros(pause));
+            }
+        }
+        // Drains every queued request before joining the scorers.
+        batcher.shutdown();
+
+        let got = completed.lock().unwrap();
+        // Exactly once: every submission completed, none twice.
+        prop_assert_eq!(got.len(), submitted.len());
+        let mut seen: Vec<u32> = got.iter().map(|(r, _)| r.idx).collect();
+        seen.sort_unstable();
+        let all: Vec<u32> = (0..submitted.len() as u32).collect();
+        prop_assert_eq!(seen, all);
+        // No cross-wiring: each response is the one for its own request,
+        // even between requests with identical (user, k) payloads.
+        for (req, resp) in got.iter() {
+            prop_assert_eq!(resp, &expected_response(*req));
+        }
+        // Bounded queue wait: with an instant handler, a request starts
+        // scoring within the deadline of its batch's first member plus
+        // scheduling noise — far below this CI-safe ceiling, and nothing
+        // like the unbounded wait a count-only batch cutter would allow.
+        let slack = Duration::from_secs(2);
+        for w in waits.lock().unwrap().iter() {
+            prop_assert!(
+                *w <= deadline + slack,
+                "request waited {w:?} with deadline {deadline:?}"
+            );
+        }
+    }
+}

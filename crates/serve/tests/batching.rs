@@ -1,0 +1,196 @@
+//! End-to-end micro-batching over a live server: concurrent raw-socket
+//! clients hit `/recommend`, the scheduler coalesces them into fused
+//! scoring blocks, and every response is **bit-identical** — down to the
+//! serialized JSON bytes — to what a sequential
+//! [`ServingModel::recommend`] produces for the same `(user, k)`.
+//!
+//! The telemetry registry is process-global, so the histogram assertions
+//! live in their own integration-test binary and the tests serialize on
+//! one lock.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use taxorec_core::{TaxoRec, TaxoRecConfig};
+use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec_serve::{serve_with, BatchOptions, ServeOptions, ServingModel};
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One trained model, snapshotted twice: one engine for the server and
+/// one untouched reference — both bit-identical by construction, so the
+/// reference's sequential answers are the ground truth for the batched
+/// responses.
+fn two_engines() -> (ServingModel, ServingModel, usize) {
+    let dataset = generate_preset(Preset::Ciao, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut cfg = TaxoRecConfig::fast_test();
+    cfg.epochs = 2;
+    let mut model = TaxoRec::new(cfg);
+    model.fit(&dataset, &split);
+    let served = ServingModel::from_model(&model, &dataset, &split).expect("snapshot");
+    let reference = ServingModel::from_model(&model, &dataset, &split).expect("snapshot");
+    (served, reference, dataset.n_users)
+}
+
+/// One GET over a raw socket; returns (status, full raw response).
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let _ = write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// The exact `/recommend` wire body for a ranking — the same shape and
+/// float formatting ([`push_f64`]) the server uses, rebuilt
+/// independently so the comparison is byte-level.
+///
+/// [`push_f64`]: taxorec_telemetry::json::push_f64
+fn expected_body(user: u32, k: usize, items: &[(u32, f64)]) -> String {
+    let mut body = String::new();
+    body.push_str("{\"user\":");
+    body.push_str(&user.to_string());
+    body.push_str(",\"k\":");
+    body.push_str(&k.to_string());
+    body.push_str(",\"items\":[");
+    for (i, &(item, score)) in items.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"item\":");
+        body.push_str(&item.to_string());
+        body.push_str(",\"score\":");
+        taxorec_telemetry::json::push_f64(&mut body, score);
+        body.push('}');
+    }
+    body.push_str("]}");
+    body
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses_and_batches_form() {
+    let _g = lock();
+    let (served, reference, n_users) = two_engines();
+    // One scorer and a wide deadline so the concurrent burst below is
+    // forced through shared batches rather than 24 singleton ones.
+    let handle = serve_with(
+        Arc::new(served),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 8,
+            io_timeout: Duration::from_secs(5),
+            batch: BatchOptions {
+                max_batch: 32,
+                deadline: Duration::from_millis(100),
+                queue_capacity: 1024,
+                n_scorers: 1,
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let batches_before = taxorec_telemetry::counter("serve.batch.batches").get();
+    let n_clients = 24.min(n_users);
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let mut clients = Vec::new();
+    for c in 0..n_clients {
+        let barrier = Arc::clone(&barrier);
+        clients.push(std::thread::spawn(move || {
+            let user = c as u32;
+            let k = 3 + c % 9; // mixed k across the burst
+            barrier.wait();
+            let (status, response) = http_get(addr, &format!("/recommend?user={user}&k={k}"));
+            (user, k, status, response)
+        }));
+    }
+    let responses: Vec<(u32, usize, u16, String)> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client"))
+        .collect();
+
+    for (user, k, status, response) in &responses {
+        assert_eq!(*status, 200, "user {user}: {response}");
+        let want = reference.recommend(*user, *k).expect("reference");
+        assert_eq!(
+            body_of(response),
+            expected_body(*user, *k, &want),
+            "user {user} k {k}: batched response not bit-identical to sequential recommend"
+        );
+    }
+
+    // The burst really was coalesced: fewer batches than requests, and
+    // the size histogram saw a multi-request batch.
+    let sizes = taxorec_telemetry::histogram("serve.batch.size");
+    assert!(
+        sizes.max() > 1.0,
+        "no multi-request batch formed (max size {})",
+        sizes.max()
+    );
+    let batches = taxorec_telemetry::counter("serve.batch.batches").get() - batches_before;
+    assert!(
+        batches < n_clients as u64,
+        "{n_clients} requests took {batches} batches — no coalescing"
+    );
+
+    // A repeat of any request is a cache hit answered inline — and still
+    // byte-identical to the batched first answer.
+    let (user, k, _, first) = &responses[0];
+    let (status, again) = http_get(addr, &format!("/recommend?user={user}&k={k}"));
+    assert_eq!(status, 200);
+    assert_eq!(body_of(&again), body_of(first), "cache hit diverged");
+
+    handle.shutdown();
+}
+
+#[test]
+fn batched_unknown_user_still_maps_to_404() {
+    let _g = lock();
+    let (served, _reference, n_users) = two_engines();
+    let handle = serve_with(
+        Arc::new(served),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            io_timeout: Duration::from_secs(5),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // Unknown users ride the batched path (they miss the cache) and must
+    // come back as their own 404s without disturbing valid neighbors.
+    let bad = n_users as u32 + 7;
+    let (status, response) = http_get(addr, &format!("/recommend?user={bad}&k=5"));
+    assert_eq!(status, 404, "{response}");
+    assert!(response.contains("unknown user"), "{response}");
+
+    let (status, response) = http_get(addr, "/recommend?user=0&k=5");
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"items\":["), "{response}");
+
+    handle.shutdown();
+}

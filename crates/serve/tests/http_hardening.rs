@@ -14,7 +14,7 @@ use std::time::Duration;
 use taxorec_core::{TaxoRec, TaxoRecConfig};
 use taxorec_data::{generate_preset, Preset, Recommender, Scale, Split};
 use taxorec_resilience::{disable, install, FaultSpec};
-use taxorec_serve::{serve_with, ServeOptions, ServingModel};
+use taxorec_serve::{serve_with, BatchOptions, ServeOptions, ServingModel};
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
@@ -176,6 +176,166 @@ fn full_queue_sheds_load_with_503_and_retry_after() {
 
     drop(blocker);
     drop(queued);
+    handle.shutdown();
+}
+
+#[test]
+fn full_batch_queue_sheds_with_503_and_retry_after() {
+    let _g = lock();
+    // Wedge the (sole) scorer on every batch: each formed batch sleeps
+    // 1.5 s before scoring, so the one-slot batch queue fills behind it.
+    std::env::set_var("TAXOREC_FAULT_STALL_MS", "1500");
+    install(FaultSpec::parse("stall@serve.batch:1+").expect("spec"));
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 4,
+            io_timeout: Duration::from_secs(5),
+            batch: BatchOptions {
+                max_batch: 1,
+                deadline: Duration::ZERO,
+                queue_capacity: 1,
+                n_scorers: 1,
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let send = |user: u32| {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(
+            s,
+            "GET /recommend?user={user}&k=3 HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        .expect("send");
+        s
+    };
+    // R1 is taken by the scorer (which stalls); R2 fills the one queue
+    // slot; R3 must be shed at submission with 503 + Retry-After,
+    // *before* any scoring work.
+    let mut r1 = send(0);
+    std::thread::sleep(Duration::from_millis(300));
+    let mut r2 = send(1);
+    std::thread::sleep(Duration::from_millis(200));
+    let mut r3 = send(2);
+    let mut shed_response = String::new();
+    r3.read_to_string(&mut shed_response).expect("read shed");
+    assert!(shed_response.starts_with("HTTP/1.1 503"), "{shed_response}");
+    assert!(shed_response.contains("Retry-After:"), "{shed_response}");
+    assert!(shed_response.contains("overloaded"), "{shed_response}");
+
+    // The admitted requests still complete once the stalls elapse —
+    // shedding refused new work, it did not break queued work.
+    for (user, s) in [(0u32, &mut r1), (1, &mut r2)] {
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read admitted");
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "user {user}: {response}"
+        );
+    }
+    disable();
+    std::env::remove_var("TAXOREC_FAULT_STALL_MS");
+    handle.shutdown();
+}
+
+#[test]
+fn panicking_batch_fails_only_its_own_requests() {
+    let _g = lock();
+    // Singleton batches make the blast radius exact: batch #1 (the first
+    // request) panics; batches #2 and #3 must be untouched.
+    install(FaultSpec::parse("panic@serve.batch:1").expect("spec"));
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            io_timeout: Duration::from_secs(5),
+            batch: BatchOptions {
+                max_batch: 1,
+                deadline: Duration::ZERO,
+                queue_capacity: 16,
+                n_scorers: 1,
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let panics_before = taxorec_telemetry::counter("serve.batch.panics").get();
+    let (status, response) = http_get(addr, "/recommend?user=0&k=3");
+    assert_eq!(status, 500, "{response}");
+    assert!(response.contains("internal error"), "{response}");
+    disable();
+
+    // The scorer survived; the next batches score normally.
+    for user in [1u32, 2] {
+        let (status, body) = http_get(addr, &format!("/recommend?user={user}&k=3"));
+        assert_eq!(status, 200, "user {user}: {body}");
+        assert!(body.contains("\"items\":["), "{body}");
+    }
+    // And the doomed request's user is not poisoned either — a retry
+    // (now a cache miss again, since the panic cached nothing) succeeds.
+    let (status, body) = http_get(addr, "/recommend?user=0&k=3");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        taxorec_telemetry::counter("serve.batch.panics").get(),
+        panics_before + 1,
+        "exactly one batch failed"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_clients_cannot_stall_batched_scoring() {
+    let _g = lock();
+    let handle = serve_with(
+        Arc::new(serving_model()),
+        "127.0.0.1:0",
+        ServeOptions {
+            n_workers: 2,
+            io_timeout: Duration::from_secs(5),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // A trickling client occupies one parser worker (bounded by the io
+    // deadline)…
+    let mut trickler = TcpStream::connect(addr).expect("connect");
+    write!(trickler, "GET /recomm").expect("partial send");
+    // …and a client that submits a full batched request but never reads
+    // its response occupies, at worst, a responder.
+    let mut deaf = TcpStream::connect(addr).expect("connect");
+    write!(
+        deaf,
+        "GET /recommend?user=1&k=3 HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    .expect("send");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A well-behaved cache-miss request still flows through the whole
+    // pipeline — parse, batch, score, respond — far inside the io
+    // deadline the slow clients are burning.
+    let begin = std::time::Instant::now();
+    let (status, body) = http_get(addr, "/recommend?user=2&k=3");
+    let elapsed = begin.elapsed();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"items\":["), "{body}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "batched request stalled {elapsed:?} behind slow clients"
+    );
+
+    drop(trickler);
+    drop(deaf);
     handle.shutdown();
 }
 
