@@ -8,6 +8,7 @@ pub mod negative;
 pub mod recommender;
 pub mod split;
 pub mod synth;
+pub mod synth_embed;
 pub mod truth;
 pub mod tsv;
 
@@ -16,4 +17,5 @@ pub use negative::NegativeSampler;
 pub use recommender::{select_top_k, Recommender, TopKAccumulator};
 pub use split::Split;
 pub use synth::{generate, generate_preset, Preset, Scale, SynthConfig};
+pub use synth_embed::{generate_embeddings, EmbedConfig, SynthEmbeddings, EMBED_CHUNK};
 pub use truth::TagTree;

@@ -67,12 +67,22 @@ pub fn select_top_k(
 
 /// Incremental form of [`select_top_k`]: candidates are offered one at a
 /// time via [`TopKAccumulator::push`] instead of scanned from a full
-/// score slice. Offering every `(idx, score)` pair in ascending `idx`
-/// order — in any chunking — performs the exact heap-operation sequence
-/// of a single `select_top_k` pass, so the result is identical, bit for
-/// bit and tie for tie. This is what lets block-scoring paths rank each
-/// catalogue chunk while its scores are still cache-hot instead of
-/// re-scanning a full `O(n_items)` row afterwards.
+/// score slice.
+///
+/// **Order independence.** Candidates are ranked by a *total* order —
+/// descending score under `total_cmp`, ties broken by ascending item id;
+/// item ids are unique, so no two candidates compare equal. The
+/// accumulator maintains the invariant "heap = the `k` least entries of
+/// everything offered so far" (a push either displaces the current worst
+/// or changes nothing), and the `k` least of a set under a total order do
+/// not depend on the order the set was enumerated in. Offering every
+/// `(idx, score)` pair exactly once — in any order, any chunking,
+/// interleaved across catalogue ranges — therefore yields the same
+/// `into_sorted()` result as one [`select_top_k`] pass, bit for bit and
+/// tie for tie. This is what lets block-scoring paths rank each catalogue
+/// chunk while its scores are still cache-hot, and lets the retrieval
+/// index push candidates cluster by cluster in routing order, while both
+/// stay exactly comparable against the exhaustive scan.
 pub struct TopKAccumulator {
     heap: BinaryHeap<RankEntry>,
     k: usize,
@@ -87,9 +97,10 @@ impl TopKAccumulator {
         }
     }
 
-    /// Offers one candidate. Candidates must arrive in ascending `idx`
-    /// order for the tie-breaking contract (lower index wins) to match
-    /// [`select_top_k`].
+    /// Offers one candidate. Each `idx` must be offered at most once;
+    /// arrival order is otherwise free — the retained set (and the
+    /// tie-breaking contract: equal scores rank lower index first) is
+    /// insertion-order independent. See the type-level docs.
     #[inline]
     pub fn push(&mut self, idx: u32, score: f64) {
         if self.k == 0 {
@@ -311,6 +322,55 @@ mod tests {
         let mut acc = TopKAccumulator::new(0);
         acc.push(3, 1.0);
         assert!(acc.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn accumulator_is_insertion_order_independent() {
+        // Heavy score ties (only 7 distinct values over 400 candidates)
+        // pushed in ascending, descending, strided, and pseudo-shuffled
+        // orders must all reproduce the ascending-order select_top_k
+        // ranking exactly — this is the contract the approximate
+        // retrieval path relies on when it pushes candidates cluster by
+        // cluster in routing order.
+        let scores: Vec<f64> = (0..400).map(|i| ((i * 31) % 7) as f64).collect();
+        let expect = select_top_k(&scores, 20, |_| false);
+
+        let n = scores.len();
+        let ascending: Vec<usize> = (0..n).collect();
+        let descending: Vec<usize> = (0..n).rev().collect();
+        // Stride by a unit mod n to visit every index exactly once.
+        let strided: Vec<usize> = (0..n).map(|i| (i * 129) % n).collect();
+        // Deterministic Fisher-Yates with a tiny LCG.
+        let mut shuffled = ascending.clone();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+
+        for order in [&ascending, &descending, &strided, &shuffled] {
+            let mut acc = TopKAccumulator::new(20);
+            for &i in order.iter() {
+                acc.push(i as u32, scores[i]);
+            }
+            assert_eq!(acc.into_sorted(), expect);
+        }
+    }
+
+    #[test]
+    fn accumulator_ties_rank_lower_index_first_in_any_order() {
+        // All-equal scores: the retained set must be the k lowest ids,
+        // regardless of push order.
+        for order in [[4u32, 2, 0, 3, 1], [0, 1, 2, 3, 4], [3, 4, 1, 0, 2]] {
+            let mut acc = TopKAccumulator::new(3);
+            for idx in order {
+                acc.push(idx, 1.5);
+            }
+            assert_eq!(acc.into_sorted(), vec![(0, 1.5), (1, 1.5), (2, 1.5)]);
+        }
     }
 
     #[test]

@@ -203,13 +203,17 @@ pub fn generate(config: &SynthConfig) -> Dataset {
         let u2: f64 = rng.random::<f64>();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     };
-    let latent = |rng: &mut StdRng, n: usize, d: usize| -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|_| (0..d).map(|_| gauss(rng) * 0.7).collect())
-            .collect()
+    // Flat row-major factor matrices: one allocation per side instead of
+    // one `Vec` per user/item — at the 1M-item scale the nested form's
+    // per-row headers and heap fragmentation dominated the actual data.
+    // The draw order (row-major) is unchanged, so seeded datasets are
+    // byte-identical to the nested-layout era.
+    let latent = |rng: &mut StdRng, n: usize, d: usize| -> Vec<f64> {
+        (0..n * d).map(|_| gauss(rng) * 0.7).collect()
     };
-    let user_latent = latent(&mut rng, config.n_users, config.latent_dim);
-    let item_latent = latent(&mut rng, config.n_items, config.latent_dim);
+    let d = config.latent_dim;
+    let user_latent = latent(&mut rng, config.n_users, d);
+    let item_latent = latent(&mut rng, config.n_items, d);
 
     // --- Users: one or two "home" subtrees + interaction sampling ----------
     //
@@ -223,24 +227,40 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     // would let the thousandfold-larger background pool drown the signal.
     let mut interactions = Vec::new();
     let all_items: Vec<u32> = (0..config.n_items as u32).collect();
+    // Subtree item pools, memoized per home tag: users share a small tag
+    // vocabulary, so computing each pool once turns the former
+    // O(n_users · n_items) scan into O(n_tags · n_items) worst case (and
+    // in practice only the homes actually drawn are materialized). Pool
+    // contents don't depend on evaluation order, and building them makes
+    // no RNG draws, so the generated dataset is unchanged.
+    let mut pool_cache: Vec<Option<std::rc::Rc<Vec<u32>>>> = vec![None; n_tags];
+    let mut pool_of = |home: u32| -> std::rc::Rc<Vec<u32>> {
+        let slot = &mut pool_cache[home as usize];
+        if let Some(pool) = slot {
+            return pool.clone();
+        }
+        let pool = std::rc::Rc::new(
+            (0..config.n_items as u32)
+                .filter(|&v| {
+                    let leaf = item_leaf[v as usize];
+                    leaf == home || tree.is_ancestor(home, leaf)
+                })
+                .collect::<Vec<u32>>(),
+        );
+        *slot = Some(pool.clone());
+        pool
+    };
     #[allow(clippy::needless_range_loop)] // `u` is also the interaction's user id
     for u in 0..config.n_users {
         let tag_driven = rng.random::<f64>() >= config.tag_indifferent_frac;
         let affinity = if tag_driven { config.tag_affinity } else { 0.0 };
         let home1 = rng.random_range(0..n_tags) as u32;
         let home2 = rng.random_range(0..n_tags) as u32;
-        let pool_of = |home: u32| -> Vec<u32> {
-            (0..config.n_items as u32)
-                .filter(|&v| {
-                    let leaf = item_leaf[v as usize];
-                    leaf == home || tree.is_ancestor(home, leaf)
-                })
-                .collect()
-        };
         let pool1 = pool_of(home1);
         let pool2 = pool_of(home2);
         let n_u = sample_interaction_count(config.mean_interactions, &mut rng).min(config.n_items);
         let mut chosen: Vec<u32> = Vec::with_capacity(n_u);
+        let mut chosen_set: std::collections::HashSet<u32> = std::collections::HashSet::new();
         let mut tries = 0usize;
         while chosen.len() < n_u && tries < 200 * n_u {
             tries += 1;
@@ -254,9 +274,12 @@ pub fn generate(config: &SynthConfig) -> Dataset {
             };
             let v = pool[rng.random_range(0..pool.len())];
             // Rejection step: accept ∝ collaborative fit × popularity.
-            let collab = sigmoid(dot(&user_latent[u], &item_latent[v as usize]));
+            let collab = sigmoid(dot(
+                &user_latent[u * d..(u + 1) * d],
+                &item_latent[v as usize * d..(v as usize + 1) * d],
+            ));
             let w = (0.3 + 0.7 * collab) * (0.3 + 0.7 * popularity[v as usize]);
-            if rng.random::<f64>() < w && !chosen.contains(&v) {
+            if rng.random::<f64>() < w && chosen_set.insert(v) {
                 chosen.push(v);
             }
         }
@@ -360,7 +383,8 @@ const LEAF_NAMES: [&str; 16] = [
 ];
 
 /// Builds the planted tree level by level and assigns readable names.
-fn build_tree(branching: &[usize]) -> (TagTree, Vec<String>) {
+/// Shared with the embedding-level generator (`synth_embed`).
+pub(crate) fn build_tree(branching: &[usize]) -> (TagTree, Vec<String>) {
     assert!(!branching.is_empty(), "taxonomy needs at least one level");
     let mut parent: Vec<Option<u32>> = Vec::new();
     let mut names: Vec<String> = Vec::new();

@@ -1,14 +1,17 @@
 //! Evaluation harness for TaxoRec and its baselines: unsampled Recall@K /
 //! NDCG@K (paper §V-A.2), the Wilcoxon signed-rank significance test
-//! behind Table II's stars, a multi-seed experiment runner, and plain-text
-//! table rendering.
+//! behind Table II's stars, a multi-seed experiment runner, plain-text
+//! table rendering, and the retrieval-index recall/latency harness
+//! (routed vs. exhaustive candidate generation).
 
 pub mod metrics;
+pub mod retrieval;
 pub mod runner;
 pub mod table;
 pub mod wilcoxon;
 
 pub use metrics::{evaluate, evaluate_valid, top_k, top_k_indices, Evaluation};
+pub use retrieval::{evaluate_retrieval, RetrievalEval};
 pub use runner::{run_cell, CellStats};
 pub use table::{mark_best, TextTable};
 pub use wilcoxon::{std_normal_cdf, wilcoxon_signed_rank, WilcoxonResult};

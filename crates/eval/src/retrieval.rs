@@ -1,0 +1,247 @@
+//! Recall/latency harness for the hierarchical retrieval index: runs the
+//! same query set through [`TaxoIndex::search`] (beam-routed, sub-linear)
+//! and [`TaxoIndex::search_exact`] (exhaustive over the same permuted
+//! caches) and reports recall@K, per-query latency percentiles, and the
+//! exhaustive-to-routed speedup.
+//!
+//! Both paths score candidates with identical per-item arithmetic, so
+//! recall here is purely a *routing* property: a missed item means the
+//! beam never visited its cluster, never that it was scored differently.
+//! With `beam >= n_leaves` the router visits every leaf and the harness
+//! must report recall 1.0 and bit-identical rankings — the equivalence
+//! tests pin that invariant.
+
+use std::time::Instant;
+
+use taxorec_retrieval::{RetrievalMode, TaxoIndex};
+
+/// What one [`evaluate_retrieval`] run measured.
+#[derive(Clone, Debug)]
+pub struct RetrievalEval {
+    /// The candidate-generation mode measured against the exact path.
+    pub mode: RetrievalMode,
+    /// Number of queries run through both paths.
+    pub queries: usize,
+    /// `(K, recall@K)` for each requested cutoff: the fraction of each
+    /// exact top-K list the routed path recovered, averaged over queries.
+    pub recall_at: Vec<(usize, f64)>,
+    /// Median exhaustive per-query latency, milliseconds.
+    pub exact_p50_ms: f64,
+    /// 99th-percentile exhaustive per-query latency, milliseconds.
+    pub exact_p99_ms: f64,
+    /// Median routed per-query latency, milliseconds.
+    pub routed_p50_ms: f64,
+    /// 99th-percentile routed per-query latency, milliseconds.
+    pub routed_p99_ms: f64,
+    /// Mean exhaustive latency over mean routed latency.
+    pub speedup: f64,
+    /// Mean items fused-scored per routed query (the exact path always
+    /// scores the whole catalogue).
+    pub mean_candidates: f64,
+    /// Whether every routed ranking equalled its exact counterpart bit
+    /// for bit (guaranteed when the beam covers all leaves).
+    pub bit_identical: bool,
+}
+
+/// Sorted-latency percentile (nearest-rank on the sorted sample).
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[pos] * 1e3
+}
+
+/// Runs `n_queries` user anchors through the routed and exhaustive paths
+/// and scores the routed results against the exhaustive ground truth.
+///
+/// `u_ir` holds one Lorentz anchor row per query (`ambient_ir` wide);
+/// `tag` carries the tag-channel anchors and per-query weights
+/// `(u_tg, ambient_tg, alphas)` and must be `Some` iff the index has a
+/// tag channel. `ks` are the recall cutoffs; rankings are compared at
+/// the largest cutoff. [`RetrievalMode::Exact`] measures the exhaustive
+/// path against itself (recall 1.0 by construction) — the baseline row
+/// for latency tables.
+pub fn evaluate_retrieval(
+    index: &TaxoIndex,
+    u_ir: &[f64],
+    ambient_ir: usize,
+    tag: Option<(&[f64], usize, &[f64])>,
+    mode: RetrievalMode,
+    ks: &[usize],
+) -> RetrievalEval {
+    assert!(ambient_ir > 1, "Lorentz anchors need >= 2 coordinates");
+    assert_eq!(u_ir.len() % ambient_ir, 0, "ragged anchor matrix");
+    let n_queries = u_ir.len() / ambient_ir;
+    if let Some((u_tg, ambient_tg, alphas)) = tag {
+        assert_eq!(u_tg.len(), n_queries * ambient_tg, "ragged tag anchors");
+        assert_eq!(alphas.len(), n_queries, "alphas/queries mismatch");
+    }
+    let k_eval = ks.iter().copied().max().unwrap_or(10).max(1);
+    let beam = match mode {
+        RetrievalMode::Exact => 0,
+        RetrievalMode::Beam(b) => b,
+    };
+
+    let mut exact_secs = Vec::with_capacity(n_queries);
+    let mut routed_secs = Vec::with_capacity(n_queries);
+    let mut hits = vec![0usize; ks.len()];
+    let mut candidates = 0usize;
+    let mut bit_identical = true;
+    for q in 0..n_queries {
+        let anchor = &u_ir[q * ambient_ir..(q + 1) * ambient_ir];
+        let q_tag = tag.map(|(u_tg, ambient_tg, alphas)| {
+            (&u_tg[q * ambient_tg..(q + 1) * ambient_tg], alphas[q])
+        });
+
+        let t0 = Instant::now();
+        let truth = index.search_exact(anchor, q_tag, k_eval, &|_| false);
+        exact_secs.push(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let routed = match mode {
+            RetrievalMode::Exact => index.search_exact(anchor, q_tag, k_eval, &|_| false),
+            RetrievalMode::Beam(_) => {
+                let (top, stats) = index.search(anchor, q_tag, beam, k_eval, &|_| false);
+                candidates += stats.candidates;
+                top
+            }
+        };
+        routed_secs.push(t1.elapsed().as_secs_f64());
+        if matches!(mode, RetrievalMode::Exact) {
+            candidates += index.n_items();
+        }
+
+        bit_identical &= routed.len() == truth.len()
+            && routed
+                .iter()
+                .zip(truth.iter())
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        for (ki, &k) in ks.iter().enumerate() {
+            let want = &truth[..k.min(truth.len())];
+            let got = &routed[..k.min(routed.len())];
+            hits[ki] += want
+                .iter()
+                .filter(|(v, _)| got.iter().any(|(g, _)| g == v))
+                .count();
+        }
+    }
+
+    let recall_at = ks
+        .iter()
+        .zip(&hits)
+        .map(|(&k, &h)| {
+            // Denominator: the attainable list size per query.
+            let denom: usize = (0..n_queries).map(|_| k.min(index.n_items())).sum();
+            (
+                k,
+                if denom == 0 {
+                    1.0
+                } else {
+                    h as f64 / denom as f64
+                },
+            )
+        })
+        .collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let speedup = mean(&exact_secs) / mean(&routed_secs).max(1e-12);
+    exact_secs.sort_by(f64::total_cmp);
+    routed_secs.sort_by(f64::total_cmp);
+    RetrievalEval {
+        mode,
+        queries: n_queries,
+        recall_at,
+        exact_p50_ms: percentile_ms(&exact_secs, 0.50),
+        exact_p99_ms: percentile_ms(&exact_secs, 0.99),
+        routed_p50_ms: percentile_ms(&routed_secs, 0.50),
+        routed_p99_ms: percentile_ms(&routed_secs, 0.99),
+        speedup,
+        mean_candidates: candidates as f64 / n_queries.max(1) as f64,
+        bit_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxorec_data::{generate_embeddings, EmbedConfig};
+    use taxorec_retrieval::{IndexConfig, ItemEmbeddings, TaxoIndex};
+
+    fn fixture() -> (TaxoIndex, taxorec_data::SynthEmbeddings) {
+        let emb = generate_embeddings(&EmbedConfig {
+            n_items: 2000,
+            n_users: 64,
+            ..EmbedConfig::default()
+        });
+        let items = ItemEmbeddings {
+            v_ir: &emb.v_ir,
+            ambient_ir: emb.ambient_ir,
+            v_tg: Some(&emb.v_tg),
+            ambient_tg: emb.ambient_tg,
+        };
+        let config = IndexConfig {
+            max_leaf: 64,
+            ..IndexConfig::default()
+        };
+        let index = TaxoIndex::build(&items, None, &emb.item_tags, &config).expect("build");
+        (index, emb)
+    }
+
+    #[test]
+    fn full_beam_reports_perfect_recall_and_bit_identity() {
+        let (index, emb) = fixture();
+        let eval = evaluate_retrieval(
+            &index,
+            &emb.u_ir,
+            emb.ambient_ir,
+            Some((&emb.u_tg, emb.ambient_tg, &emb.alphas)),
+            RetrievalMode::Beam(index.n_leaves()),
+            &[10, 50],
+        );
+        assert!(eval.bit_identical, "full beam must replay the exact path");
+        for &(k, r) in &eval.recall_at {
+            assert_eq!(r, 1.0, "recall@{k}");
+        }
+        assert_eq!(eval.queries, 64);
+        assert_eq!(eval.mean_candidates, index.n_items() as f64);
+    }
+
+    #[test]
+    fn narrow_beam_scores_fewer_candidates_with_high_recall() {
+        let (index, emb) = fixture();
+        let eval = evaluate_retrieval(
+            &index,
+            &emb.u_ir,
+            emb.ambient_ir,
+            Some((&emb.u_tg, emb.ambient_tg, &emb.alphas)),
+            RetrievalMode::Beam(0),
+            &[10],
+        );
+        assert!(
+            eval.mean_candidates < index.n_items() as f64 / 2.0,
+            "beam scored {} of {} items",
+            eval.mean_candidates,
+            index.n_items()
+        );
+        let (_, recall10) = eval.recall_at[0];
+        assert!(
+            recall10 >= 0.9,
+            "planted clusters should route well, got {recall10}"
+        );
+    }
+
+    #[test]
+    fn exact_mode_is_its_own_baseline() {
+        let (index, emb) = fixture();
+        let eval = evaluate_retrieval(
+            &index,
+            &emb.u_ir,
+            emb.ambient_ir,
+            Some((&emb.u_tg, emb.ambient_tg, &emb.alphas)),
+            RetrievalMode::Exact,
+            &[10],
+        );
+        assert!(eval.bit_identical);
+        assert_eq!(eval.recall_at, vec![(10, 1.0)]);
+    }
+}

@@ -19,7 +19,7 @@ use std::time::Duration;
 use taxorec_core::{FitControl, TaxoRec, TaxoRecConfig};
 use taxorec_data::{generate_preset, Preset, Scale, Split};
 use taxorec_resilience::RetryPolicy;
-use taxorec_serve::{Checkpoint, TrainCheckpoint};
+use taxorec_serve::{Checkpoint, IndexConfig, RetrievalMode, TrainCheckpoint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,10 +48,13 @@ taxorec-serve — train, inspect, and serve .taxo model artifacts
 USAGE:
   taxorec-serve train-demo <out.taxo> [--preset P] [--scale S] [--epochs N]
                            [--checkpoint CK] [--checkpoint-every N] [--resume CK]
-                           [--follow]
+                           [--follow] [--index]
       Train TaxoRec on a synthetic dataset and save a serving artifact.
       P: ciao | amazon-cd | amazon-book | yelp   (default ciao)
       S: tiny | bench | full                     (default tiny)
+      --index                build a hierarchical retrieval index over the
+                             item embeddings and embed it in the artifact
+                             (enables `serve --retrieval beam[:B]`)
       --checkpoint CK        write a resumable training checkpoint to CK
       --checkpoint-every N   every N completed epochs (default 1)
       --resume CK            continue bit-identically from CK (missing file
@@ -63,7 +66,12 @@ USAGE:
       Print the artifact's model card (dims, users, items, tags, taxonomy).
 
   taxorec-serve serve <model.taxo> [--addr HOST:PORT] [--workers N]
+                      [--retrieval exact|beam|beam:B]
       Serve the model over HTTP (default 127.0.0.1:7878, 4 workers).
+      --retrieval            candidate generation: `exact` (default) scores
+                             the whole catalogue; `beam[:B]` routes through
+                             the artifact's retrieval index (`beam` alone
+                             takes the index's default width)
       Endpoints: /recommend?user=U&k=K  /explain?user=U&item=V
                  /healthz  /metrics (Prometheus)  /metrics.json  /debug/flight
       Runs until stdin is closed (Ctrl-D / EOF), then drains and exits.
@@ -73,7 +81,7 @@ USAGE:
 
 /// Boolean `--flag`s (no value); `positional` must not skip an argument
 /// after these.
-const BOOL_FLAGS: &[&str] = &["--follow"];
+const BOOL_FLAGS: &[&str] = &["--follow", "--index"];
 
 /// `--flag value` lookup over the raw argument list.
 fn flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
@@ -228,9 +236,22 @@ fn train_demo(args: &[String]) -> Result<(), String> {
     if report.gave_up {
         return Err("training diverged beyond the rollback budget; artifact not saved".into());
     }
-    let ckpt = Checkpoint::from_model(&model)
+    let mut ckpt = Checkpoint::from_model(&model)
         .with_dataset(&dataset)
         .with_seen_items(&split.train);
+    if args.iter().any(|a| a == "--index") {
+        ckpt = ckpt
+            .with_retrieval_index(&IndexConfig::default())
+            .map_err(|e| format!("--index: {e}"))?;
+        let parts = ckpt.index.as_ref().expect("just built");
+        println!(
+            "retrieval index: {} nodes, {} leaves, depth {}, default beam {}",
+            parts.n_nodes(),
+            parts.n_leaves(),
+            parts.depth(),
+            parts.config.beam
+        );
+    }
     ckpt.save(out).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("saved {out} ({bytes} bytes)");
@@ -267,6 +288,16 @@ fn inspect(args: &[String]) -> Result<(), String> {
         ckpt.item_tags.len(),
         ckpt.seen_items.len()
     );
+    match &ckpt.index {
+        Some(parts) => println!(
+            "retrieval     index: {} nodes, {} leaves, depth {}, default beam {}",
+            parts.n_nodes(),
+            parts.n_leaves(),
+            parts.depth(),
+            parts.config.beam
+        ),
+        None => println!("retrieval     (no index — exhaustive scoring only)"),
+    }
     Ok(())
 }
 
@@ -279,12 +310,19 @@ fn run_server(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--workers {w:?} is not an integer"))?,
     };
-    let model = taxorec_serve::load(path).map_err(|e| e.to_string())?;
+    let retrieval = match flag(args, "--retrieval")? {
+        None => RetrievalMode::Exact,
+        Some(raw) => RetrievalMode::parse(raw).map_err(|e| format!("--retrieval: {e}"))?,
+    };
+    let model = taxorec_serve::load(path)
+        .and_then(|m| m.with_retrieval(retrieval))
+        .map_err(|e| e.to_string())?;
     println!(
-        "loaded {path}: model {:?}, {} users, {} items",
+        "loaded {path}: model {:?}, {} users, {} items, retrieval {}",
         model.name(),
         model.n_users(),
-        model.n_items()
+        model.n_items(),
+        model.retrieval_mode().label()
     );
     let handle = taxorec_serve::serve(Arc::new(model), addr, workers)
         .map_err(|e| format!("bind {addr}: {e}"))?;

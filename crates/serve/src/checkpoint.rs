@@ -18,7 +18,11 @@
 //! flag · five embedding matrices (`u_ir`, `v_ir`, `u_tg`, `v_tg`, `T^P`;
 //! each `rows, cols, f64×rows·cols`) · personalized tag weights `α_u` ·
 //! optional taxonomy tree (node list) · tag names · per-item tag lists ·
-//! per-user seen-item lists (train-set exclusion for serving).
+//! per-user seen-item lists (train-set exclusion for serving) · optional
+//! retrieval index structure (present iff [`FLAG_RETRIEVAL_INDEX`] is set
+//! in the header flags — artifacts written without an index are
+//! byte-identical to the pre-index format, and old artifacts load with
+//! `index = None` and serve through the exhaustive path).
 //!
 //! Floats are stored bit-exactly (`to_le_bytes`), so a reloaded model
 //! scores **bit-identically** to the live one. [`Checkpoint::from_bytes`]
@@ -31,6 +35,7 @@ use std::path::Path;
 use taxorec_autodiff::Matrix;
 use taxorec_core::{ModelState, TaxoRec, TaxoRecConfig, TrainState};
 use taxorec_data::Dataset;
+use taxorec_retrieval::{IndexConfig, IndexParts, ItemEmbeddings, TaxoIndex};
 use taxorec_taxonomy::{Seeding, TaxoNode, Taxonomy};
 
 use crate::model::ServingModel;
@@ -46,6 +51,13 @@ pub const FORMAT_VERSION: u16 = 1;
 /// layout, so the flag keeps either loader from misparsing the other's
 /// file with a confusing section-level error.
 pub const FLAG_TRAIN_STATE: u16 = 0x1;
+/// Header flag bit marking that the payload carries a serialized
+/// retrieval index ([`IndexParts`]) after the seen-item section. The
+/// index stores tree **structure** only (ranges, centroids, radii); the
+/// permuted kernel caches are rebuilt from the model embeddings at load
+/// time, so the section stays small and can never disagree with the
+/// matrices it routes over.
+pub const FLAG_RETRIEVAL_INDEX: u16 = 0x2;
 /// Fixed header size: magic + version + flags + payload length.
 const HEADER_LEN: usize = 16;
 /// CRC-32 trailer size.
@@ -151,6 +163,10 @@ pub struct Checkpoint {
     /// sorted; the query engine excludes them from recommendations.
     /// Empty = no exclusion information.
     pub seen_items: Vec<Vec<u32>>,
+    /// Serialized retrieval-index structure for sub-linear candidate
+    /// generation ([`FLAG_RETRIEVAL_INDEX`] in the header). `None` =
+    /// the artifact serves through the exhaustive path only.
+    pub index: Option<IndexParts>,
 }
 
 impl Checkpoint {
@@ -161,6 +177,7 @@ impl Checkpoint {
             tag_names: Vec::new(),
             item_tags: Vec::new(),
             seen_items: Vec::new(),
+            index: None,
         }
     }
 
@@ -185,6 +202,27 @@ impl Checkpoint {
             })
             .collect();
         self
+    }
+
+    /// Builds a hierarchical retrieval index over the item embeddings
+    /// (taxonomy-guided when the model carries one) and embeds its
+    /// structure in the artifact, enabling the beam-search `recommend()`
+    /// path after reload. Fails on an empty catalogue or degenerate
+    /// embeddings; the checkpoint is unchanged on error.
+    pub fn with_retrieval_index(mut self, config: &IndexConfig) -> Result<Self, CheckpointError> {
+        let parts = {
+            let items = item_embeddings(&self.state);
+            let index = TaxoIndex::build(
+                &items,
+                self.state.taxonomy.as_ref(),
+                &self.item_tags,
+                config,
+            )
+            .map_err(|e| CheckpointError::Invalid(format!("retrieval index: {e}")))?;
+            index.parts().clone()
+        };
+        self.index = Some(parts);
+        Ok(self)
     }
 
     /// Serializes to the `.taxo` wire format (header + payload + CRC).
@@ -222,7 +260,12 @@ impl Checkpoint {
         for items in &self.seen_items {
             p.put_u32s(items);
         }
-        seal_container(0, p.into_bytes())
+        let mut flags = 0;
+        if let Some(parts) = &self.index {
+            flags |= FLAG_RETRIEVAL_INDEX;
+            write_index(&mut p, parts);
+        }
+        seal_container(flags, p.into_bytes())
     }
 
     /// Parses and fully validates an artifact.
@@ -238,7 +281,7 @@ impl Checkpoint {
                     .to_string(),
             ));
         }
-        if flags != 0 {
+        if flags & !FLAG_RETRIEVAL_INDEX != 0 {
             return Err(CheckpointError::Corrupt(format!(
                 "reserved header flags are nonzero ({flags:#06x})"
             )));
@@ -274,6 +317,11 @@ impl Checkpoint {
         for u in 0..n_seen_rows {
             seen_items.push(r.get_u32s(&format!("seen items of user {u}"))?);
         }
+        let index = if flags & FLAG_RETRIEVAL_INDEX != 0 {
+            Some(read_index(&mut r)?)
+        } else {
+            None
+        };
         r.expect_end()?;
 
         let ckpt = Self {
@@ -292,6 +340,7 @@ impl Checkpoint {
             tag_names,
             item_tags,
             seen_items,
+            index,
         };
         ckpt.validate()?;
         Ok(ckpt)
@@ -339,6 +388,24 @@ impl Checkpoint {
                         "user {u} has seen item {v}, but only {n_items} items exist"
                     )));
                 }
+            }
+        }
+        if let Some(parts) = &self.index {
+            parts
+                .validate()
+                .map_err(|e| CheckpointError::Invalid(format!("retrieval index: {e}")))?;
+            let items = item_embeddings(&self.state);
+            if parts.n_items != n_items {
+                return Err(CheckpointError::Invalid(format!(
+                    "retrieval index covers {} items, model has {n_items}",
+                    parts.n_items
+                )));
+            }
+            if parts.ambient_ir != items.ambient_ir || parts.ambient_tg != items.ambient_tg {
+                return Err(CheckpointError::Invalid(format!(
+                    "retrieval index dimensions ({}, {}) disagree with the model ({}, {})",
+                    parts.ambient_ir, parts.ambient_tg, items.ambient_ir, items.ambient_tg
+                )));
             }
         }
         Ok(())
@@ -691,6 +758,67 @@ fn read_config(r: &mut Reader) -> Result<TaxoRecConfig, CheckpointError> {
         hard_negative_pool: r.get_usize("config.hard_negative_pool")?,
         batch_size: r.get_usize("config.batch_size")?,
         seed: r.get_u64("config.seed")?,
+    })
+}
+
+/// The model's item embeddings viewed as the retrieval crate's input:
+/// Lorentz-row matrices with the tag channel present iff it is active.
+/// Both index construction and cache rebuilds at load time go through
+/// this one view, so they can never disagree about dimensions.
+pub(crate) fn item_embeddings(state: &ModelState) -> ItemEmbeddings<'_> {
+    let tags = state.tags_active && state.v_tg.rows() > 0;
+    ItemEmbeddings {
+        v_ir: state.v_ir.data(),
+        ambient_ir: state.v_ir.cols(),
+        v_tg: if tags { Some(state.v_tg.data()) } else { None },
+        ambient_tg: if tags { state.v_tg.cols() } else { 0 },
+    }
+}
+
+fn write_index(w: &mut Writer, p: &IndexParts) {
+    w.put_usize(p.config.max_leaf);
+    w.put_usize(p.config.branch);
+    w.put_usize(p.config.beam);
+    w.put_usize(p.config.kmeans_iters);
+    w.put_u64(p.config.seed);
+    w.put_usize(p.n_items);
+    w.put_usize(p.ambient_ir);
+    w.put_usize(p.ambient_tg);
+    w.put_u32s(&p.child_lo);
+    w.put_u32s(&p.child_hi);
+    w.put_u32s(&p.start);
+    w.put_u32s(&p.end);
+    w.put_u32s(&p.level);
+    w.put_u32s(&p.item_ids);
+    w.put_f64s(&p.cent_ir);
+    w.put_f64s(&p.cent_tg);
+    w.put_f64s(&p.radius_ir);
+    w.put_f64s(&p.radius_tg);
+}
+
+fn read_index(r: &mut Reader) -> Result<IndexParts, CheckpointError> {
+    let config = IndexConfig {
+        max_leaf: r.get_usize("index config.max_leaf")?,
+        branch: r.get_usize("index config.branch")?,
+        beam: r.get_usize("index config.beam")?,
+        kmeans_iters: r.get_usize("index config.kmeans_iters")?,
+        seed: r.get_u64("index config.seed")?,
+    };
+    Ok(IndexParts {
+        config,
+        n_items: r.get_usize("index item count")?,
+        ambient_ir: r.get_usize("index ir dimension")?,
+        ambient_tg: r.get_usize("index tag dimension")?,
+        child_lo: r.get_u32s("index child_lo")?,
+        child_hi: r.get_u32s("index child_hi")?,
+        start: r.get_u32s("index start")?,
+        end: r.get_u32s("index end")?,
+        level: r.get_u32s("index level")?,
+        item_ids: r.get_u32s("index item permutation")?,
+        cent_ir: r.get_f64s("index ir centroids")?,
+        cent_tg: r.get_f64s("index tag centroids")?,
+        radius_ir: r.get_f64s("index ir radii")?,
+        radius_tg: r.get_f64s("index tag radii")?,
     })
 }
 

@@ -1006,6 +1006,23 @@ fn healthz_json(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> S
     body.push_str(&cache_len.to_string());
     body.push_str(",\"capacity\":");
     body.push_str(&cache_cap.to_string());
+    body.push_str("},\"retrieval\":{\"mode\":\"");
+    body.push_str(&model.retrieval_mode().label());
+    body.push_str("\",\"index\":");
+    match model.retrieval_index() {
+        None => body.push_str("null"),
+        Some(index) => {
+            body.push_str("{\"nodes\":");
+            body.push_str(&index.n_nodes().to_string());
+            body.push_str(",\"leaves\":");
+            body.push_str(&index.n_leaves().to_string());
+            body.push_str(",\"depth\":");
+            body.push_str(&index.depth().to_string());
+            body.push_str(",\"default_beam\":");
+            body.push_str(&index.default_beam().to_string());
+            body.push('}');
+        }
+    }
     body.push_str("}}");
     body
 }

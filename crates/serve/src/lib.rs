@@ -57,10 +57,11 @@ mod wire;
 
 pub use batch::{BatchJob, BatchOptions, Batcher};
 pub use checkpoint::{
-    load, save, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_TRAIN_STATE, FORMAT_VERSION,
-    MAGIC,
+    load, save, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_RETRIEVAL_INDEX,
+    FLAG_TRAIN_STATE, FORMAT_VERSION, MAGIC,
 };
 pub use http::{serve, serve_with, Health, ServeOptions, ServerHandle};
 pub use lru::LruCache;
 pub use model::{Explanation, Ranking, ServeError, ServingModel, TagAffinity, SERVE_BLOCK};
+pub use taxorec_retrieval::{IndexConfig, RetrievalMode};
 pub use wire::crc32;

@@ -15,6 +15,17 @@
 //! A bounded LRU cache keyed on `(user, k)` absorbs repeated queries
 //! (hit/miss counters land in `taxorec-telemetry` as `serve.cache.*`),
 //! and batched multi-user queries fan out over `taxorec-parallel`.
+//!
+//! When the artifact carries a retrieval index
+//! ([`Checkpoint::with_retrieval_index`]) the engine can serve
+//! [`RetrievalMode::Beam`] queries: a beam search over the index routes
+//! each anchor to a handful of clusters and fused-scores only their
+//! items — sub-linear in the catalogue, with recall governed by the beam
+//! width (beam = all leaves reproduces the exhaustive ranking bit for
+//! bit). The mode is fixed at construction ([`ServingModel::with_retrieval`])
+//! because the response cache is keyed on `(user, k)` only; the default
+//! is [`RetrievalMode::Exact`], which preserves the pre-index behavior
+//! exactly.
 
 use std::sync::{Arc, Mutex};
 
@@ -26,9 +37,10 @@ use taxorec_geometry::batch::{
     FUSED_ITEM_CHUNK,
 };
 use taxorec_geometry::{convert, lorentz};
+use taxorec_retrieval::{RetrievalMode, TaxoIndex};
 use taxorec_taxonomy::Taxonomy;
 
-use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::checkpoint::{item_embeddings, Checkpoint, CheckpointError};
 use crate::lru::LruCache;
 
 /// Default bound on the response cache (distinct `(user, k)` entries).
@@ -134,6 +146,13 @@ pub struct ServingModel {
     /// Tag-relevant counterpart of `ir_cache` (`None` when the tag
     /// channel is inactive).
     tg_cache: Option<BlockCache>,
+    /// Retrieval index rebuilt from the artifact's [`IndexParts`]
+    /// section (`None` when the artifact carries none).
+    ///
+    /// [`IndexParts`]: taxorec_retrieval::IndexParts
+    index: Option<TaxoIndex>,
+    /// How `recommend` generates candidates; fixed at construction.
+    retrieval: RetrievalMode,
     cache: Mutex<LruCache<(u32, u32), Ranking>>,
 }
 
@@ -156,6 +175,7 @@ impl ServingModel {
             tag_names,
             item_tags,
             mut seen_items,
+            index,
         } = ckpt;
         for items in &mut seen_items {
             items.sort_unstable();
@@ -168,6 +188,19 @@ impl ServingModel {
         };
         let tg_cache = (state.tags_active && state.v_tg.rows() > 0)
             .then(|| BlockCache::build(state.v_tg.data(), state.v_tg.cols()));
+        // Rebuild the index's permuted kernel caches from the model
+        // embeddings (the artifact stores structure only).
+        let index = index
+            .map(|parts| {
+                TaxoIndex::from_parts(parts, &item_embeddings(&state))
+                    .map_err(|e| CheckpointError::Invalid(format!("retrieval index: {e}")))
+            })
+            .transpose()?;
+        // Register the retrieval series up front so `/metrics` shows
+        // them (at zero) even before the first beam query.
+        taxorec_telemetry::gauge("serve.retrieval.recall_mode").set(0.0);
+        taxorec_telemetry::counter("serve.retrieval.candidates");
+        taxorec_telemetry::histogram("serve.retrieval.routed_ms");
         Ok(Self {
             state,
             tag_names,
@@ -175,8 +208,40 @@ impl ServingModel {
             seen: seen_items,
             ir_cache,
             tg_cache,
+            index,
+            retrieval: RetrievalMode::Exact,
             cache: Mutex::new(LruCache::new(cache_capacity)),
         })
+    }
+
+    /// Selects how `recommend` / `recommend_many` generate candidates.
+    /// [`RetrievalMode::Beam`] requires the artifact to carry a
+    /// retrieval index; `Beam(0)` takes the index's build-time default
+    /// beam width. The choice is fixed for the engine's lifetime — the
+    /// response cache is keyed on `(user, k)` only, so entries must all
+    /// come from one mode.
+    pub fn with_retrieval(mut self, mode: RetrievalMode) -> Result<Self, CheckpointError> {
+        if matches!(mode, RetrievalMode::Beam(_)) && self.index.is_none() {
+            return Err(CheckpointError::Invalid(
+                "beam retrieval requested, but the artifact carries no retrieval index — \
+                 rebuild the checkpoint with one (train-demo --index) or serve with \
+                 --retrieval exact"
+                    .to_string(),
+            ));
+        }
+        // Resolve `Beam(0)` to the index's default width up front so
+        // every downstream surface (banner, /healthz, telemetry) shows
+        // the width actually in effect, not the `0` sentinel.
+        self.retrieval = match (mode, &self.index) {
+            (RetrievalMode::Beam(0), Some(index)) => RetrievalMode::Beam(index.default_beam()),
+            (m, _) => m,
+        };
+        // `recall_mode` gauge: 0 = exact, otherwise the effective beam
+        // width — so dashboards can tell at a glance whether ranking is
+        // exhaustive or approximate.
+        taxorec_telemetry::gauge("serve.retrieval.recall_mode")
+            .set(self.beam_width().unwrap_or(0) as f64);
+        Ok(self)
     }
 
     /// Convenience for tests and in-process serving: snapshot a trained
@@ -222,6 +287,54 @@ impl ServingModel {
     /// The taxonomy constructed at train time, if any.
     pub fn taxonomy(&self) -> Option<&Taxonomy> {
         self.state.taxonomy.as_ref()
+    }
+
+    /// The active candidate-generation mode.
+    pub fn retrieval_mode(&self) -> RetrievalMode {
+        self.retrieval
+    }
+
+    /// The retrieval index rebuilt from the artifact, if it carried one.
+    pub fn retrieval_index(&self) -> Option<&TaxoIndex> {
+        self.index.as_ref()
+    }
+
+    /// Effective beam width: `None` in exact mode, the resolved width
+    /// (request or index default) in beam mode.
+    fn beam_width(&self) -> Option<usize> {
+        match (self.retrieval, &self.index) {
+            (RetrievalMode::Beam(b), Some(index)) => {
+                Some(if b == 0 { index.default_beam() } else { b })
+            }
+            _ => None,
+        }
+    }
+
+    /// The user-side inputs every retrieval query needs: the Lorentz
+    /// anchor and, when the tag channel is active, the tag anchor with
+    /// its weight `gain·α_u` — the same pair the exhaustive kernels use,
+    /// so beam scoring stays bit-compatible per item.
+    fn anchor(&self, u: usize) -> (&[f64], Option<(&[f64], f64)>) {
+        let s = &self.state;
+        let tag = self.tg_cache.as_ref().map(|_| {
+            let alpha = s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0);
+            (s.u_tg.row(u), alpha)
+        });
+        (s.u_ir.row(u), tag)
+    }
+
+    /// Index-backed candidate generation for one user: route, score the
+    /// selected clusters, count candidates and routing latency.
+    fn beam_search_one(&self, u: usize, beam: usize, k: usize, seen: &[u32]) -> Vec<(u32, f64)> {
+        let index = self.index.as_ref().expect("beam mode requires an index");
+        let (anchor_ir, tag) = self.anchor(u);
+        let t0 = std::time::Instant::now();
+        let (top, stats) =
+            index.search(anchor_ir, tag, beam, k, &|v| seen.binary_search(&v).is_ok());
+        taxorec_telemetry::counter("serve.retrieval.candidates").inc(stats.candidates as u64);
+        taxorec_telemetry::histogram("serve.retrieval.routed_ms")
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        top
     }
 
     /// Preference score of `user` for every item — identical arithmetic
@@ -285,13 +398,19 @@ impl ServingModel {
         // the fused block scoring under `kernel`) is inert unless the
         // ambient request is sampled.
         let _score_span = taxorec_telemetry::trace::child_span("score");
-        let top = taxorec_core::scratch::with_vec(|scores| {
-            {
+        let top = match self.beam_width() {
+            Some(beam) => {
                 let _kernel_span = taxorec_telemetry::trace::child_span("kernel");
-                self.scores_into(u, scores);
+                self.beam_search_one(u, beam, k, seen)
             }
-            top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
-        });
+            None => taxorec_core::scratch::with_vec(|scores| {
+                {
+                    let _kernel_span = taxorec_telemetry::trace::child_span("kernel");
+                    self.scores_into(u, scores);
+                }
+                top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
+            }),
+        };
         let result = Arc::new(top);
         self.cache
             .lock()
@@ -388,6 +507,9 @@ impl ServingModel {
         if b == 0 || n_items == 0 {
             return vec![Vec::new(); b];
         }
+        if let Some(beam) = self.beam_width() {
+            return self.beam_score_block(queries, block, beam);
+        }
         let users: Vec<usize> = block.iter().map(|&qi| queries[qi].0 as usize).collect();
         let anchors_ir: Vec<&[f64]> = users.iter().map(|&u| s.u_ir.row(u)).collect();
         let tg = self.tg_cache.as_ref().map(|tg_cache| {
@@ -441,6 +563,53 @@ impl ServingModel {
             });
         });
         accs.into_iter().map(|a| a.into_sorted()).collect()
+    }
+
+    /// Beam-mode counterpart of [`ServingModel::score_block`]: batched
+    /// routing through [`TaxoIndex::search_block`] (each selected leaf
+    /// streams once for all queries that chose it). The index is queried
+    /// at the block's largest `k` and each result truncated to its own —
+    /// a top-`k` list is a prefix of the top-`k_max` list under the same
+    /// total order, so every entry stays bit-identical to a lone
+    /// [`ServingModel::recommend`] call.
+    fn beam_score_block(
+        &self,
+        queries: &[(u32, usize)],
+        block: &[usize],
+        beam: usize,
+    ) -> Vec<Vec<(u32, f64)>> {
+        let index = self.index.as_ref().expect("beam mode requires an index");
+        let s = &self.state;
+        let users: Vec<usize> = block.iter().map(|&qi| queries[qi].0 as usize).collect();
+        let k_max = block.iter().map(|&qi| queries[qi].1).max().unwrap_or(0);
+        let anchors_ir: Vec<&[f64]> = users.iter().map(|&u| s.u_ir.row(u)).collect();
+        let tg = self.tg_cache.as_ref().map(|_| {
+            let anchors_tg: Vec<&[f64]> = users.iter().map(|&u| s.u_tg.row(u)).collect();
+            let alphas: Vec<f64> = users
+                .iter()
+                .map(|&u| s.config.tag_channel_gain * s.alphas.get(u).copied().unwrap_or(0.0))
+                .collect();
+            (anchors_tg, alphas)
+        });
+        let t0 = std::time::Instant::now();
+        let (mut results, stats) = index.search_block(
+            &anchors_ir,
+            tg.as_ref().map(|(a, al)| (a.as_slice(), al.as_slice())),
+            beam,
+            k_max,
+            &|pos, v| {
+                let seen: &[u32] = self.seen.get(users[pos]).map(Vec::as_slice).unwrap_or(&[]);
+                seen.binary_search(&v).is_ok()
+            },
+        );
+        let candidates: usize = stats.iter().map(|st| st.candidates).sum();
+        taxorec_telemetry::counter("serve.retrieval.candidates").inc(candidates as u64);
+        taxorec_telemetry::histogram("serve.retrieval.routed_ms")
+            .observe(t0.elapsed().as_secs_f64() * 1e3);
+        for (pos, &qi) in block.iter().enumerate() {
+            results[pos].truncate(queries[qi].1);
+        }
+        results
     }
 
     /// Answers many users in one call: blocks of [`SERVE_BLOCK`] users

@@ -69,6 +69,62 @@ impl Taxonomy {
         &self.nodes
     }
 
+    /// Converts a planted [`taxorec_data::TagTree`] (a tree over
+    /// individual tags) into the constructed-taxonomy shape: one node
+    /// per tag whose scope is the tag's whole subtree, under a root
+    /// scoping every tag. `residence(t)` on the result is exactly `t`'s
+    /// node, so consumers written against trained taxonomies (the
+    /// retrieval index's taxonomy-guided top level, the Fig. 6 harness)
+    /// work unchanged on synthetic ground truth.
+    pub fn from_tag_tree(tree: &taxorec_data::TagTree) -> Self {
+        let n_tags = tree.n_tags();
+        let children = tree.children();
+        // Subtree tag sets, computable in one reverse pass because
+        // parents always precede children in planted-tree id order.
+        let mut subtree: Vec<Vec<u32>> = (0..n_tags as u32).map(|t| vec![t]).collect();
+        for t in (0..n_tags as u32).rev() {
+            for &c in &children[t as usize] {
+                let sub = subtree[c as usize].clone();
+                subtree[t as usize].extend_from_slice(&sub);
+            }
+            subtree[t as usize].sort_unstable();
+        }
+        let mut taxo = Self::new_root((0..n_tags as u32).collect());
+        let mut node_of = vec![0usize; n_tags];
+        // Tag ids are assigned level by level, so ascending id order
+        // visits parents before children.
+        for t in 0..n_tags as u32 {
+            let parent_node = match tree.parent(t) {
+                Some(p) => node_of[p as usize],
+                None => 0,
+            };
+            let tags = std::mem::take(&mut subtree[t as usize]);
+            let n = tags.len();
+            node_of[t as usize] = taxo.add_child(parent_node, tags, vec![1.0; n]);
+        }
+        // Split-node invariant: retained = scope minus children's scopes
+        // (the root keeps nothing; each tag node keeps exactly its own
+        // tag; leaves keep their whole singleton scope).
+        for idx in 0..taxo.len() {
+            if taxo.nodes[idx].children.is_empty() {
+                continue;
+            }
+            let in_children: std::collections::HashSet<u32> = taxo.nodes[idx]
+                .children
+                .clone()
+                .into_iter()
+                .flat_map(|c| taxo.nodes[c].tags.to_vec())
+                .collect();
+            taxo.nodes[idx].retained = taxo.nodes[idx]
+                .tags
+                .iter()
+                .copied()
+                .filter(|t| !in_children.contains(t))
+                .collect();
+        }
+        taxo
+    }
+
     /// Reconstructs a taxonomy from an explicit node list (index 0 must be
     /// the root). This is the deserialization entry point for checkpoint
     /// formats: the node list round-trips through [`Taxonomy::nodes`].
@@ -325,5 +381,35 @@ mod tests {
         t.add_child(0, vec![0], vec![1.0]);
         t.node_mut(0).retained = vec![1];
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn from_tag_tree_preserves_structure() {
+        // Planted shape [2, 2]: tags 0,1 top-level; 2,3 under 0; 4,5
+        // under 1 (level-by-level id assignment).
+        let tree = taxorec_data::TagTree::from_parents(vec![
+            None,
+            None,
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+        ]);
+        let taxo = Taxonomy::from_tag_tree(&tree);
+        assert_eq!(taxo.len(), 7, "root + one node per tag");
+        assert_eq!(taxo.nodes()[0].children.len(), 2);
+        // Each tag resides at its own node, whose scope is its subtree.
+        for t in 0..6u32 {
+            let node = taxo.residence(t);
+            assert!(taxo.nodes()[node].tags.contains(&t));
+        }
+        let top0 = taxo.nodes()[0].children[0];
+        assert_eq!(taxo.nodes()[top0].tags, vec![0, 2, 3]);
+        assert_eq!(taxo.nodes()[top0].level, 1);
+        let leaf = taxo.residence(3);
+        assert_eq!(taxo.nodes()[leaf].tags, vec![3]);
+        assert_eq!(taxo.nodes()[leaf].level, 2);
+        assert!(taxo.node_is_ancestor(top0, leaf));
+        taxo.validate().expect("converted taxonomy is valid");
     }
 }

@@ -7,6 +7,7 @@ pub use taxorec_eval as eval;
 pub use taxorec_geometry as geometry;
 pub use taxorec_parallel as parallel;
 pub use taxorec_resilience as resilience;
+pub use taxorec_retrieval as retrieval;
 pub use taxorec_serve as serve;
 pub use taxorec_taxonomy as taxonomy;
 pub use taxorec_telemetry as telemetry;

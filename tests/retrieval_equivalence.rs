@@ -1,0 +1,111 @@
+//! Property-based equivalence of the retrieval index and the exhaustive
+//! scorer: for ANY catalogue, a beam wide enough to visit every leaf
+//! must reproduce the exhaustive ranking bit for bit — same item ids in
+//! the same order with `f64::to_bits`-identical scores. This is the
+//! contract that lets `--retrieval beam:B` trade recall for latency
+//! with a known-safe upper bound, and it holds because routing only
+//! *selects* leaves; per-item scoring arithmetic is position-
+//! independent in the fused kernels.
+
+use proptest::prelude::*;
+use taxorec::geometry::lorentz;
+use taxorec::retrieval::{IndexConfig, ItemEmbeddings, TaxoIndex};
+
+/// Flattens proptest-generated spatial points onto the hyperboloid.
+fn lift(points: &[Vec<f64>]) -> Vec<f64> {
+    points
+        .iter()
+        .flat_map(|p| lorentz::from_spatial(p))
+        .collect()
+}
+
+/// Strategy: a catalogue of `size` spatial points of dimension `dim`,
+/// each coordinate small enough that the lift stays well-conditioned.
+fn catalogue(size: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-0.9f64..0.9, dim), size)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_beam_reproduces_exhaustive_ranking_bit_for_bit(
+        items in catalogue(24..96, 3),
+        anchor in proptest::collection::vec(-0.9f64..0.9, 3),
+        max_leaf in 4usize..12,
+        branch in 2usize..5,
+        k in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let v_ir = lift(&items);
+        let emb = ItemEmbeddings { v_ir: &v_ir, ambient_ir: 4, v_tg: None, ambient_tg: 0 };
+        let config = IndexConfig { max_leaf, branch, kmeans_iters: 4, seed, ..IndexConfig::default() };
+        let item_tags: Vec<Vec<u32>> = vec![Vec::new(); items.len()];
+        let index = TaxoIndex::build(&emb, None, &item_tags, &config).unwrap();
+        let a = lorentz::from_spatial(&anchor);
+
+        let exact = index.search_exact(&a, None, k, &|_| false);
+        let (routed, stats) = index.search(&a, None, index.n_leaves(), k, &|_| false);
+        prop_assert_eq!(stats.candidates, items.len());
+        prop_assert_eq!(exact.len(), routed.len());
+        for (e, r) in exact.iter().zip(&routed) {
+            prop_assert_eq!(e.0, r.0);
+            prop_assert_eq!(e.1.to_bits(), r.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn full_beam_with_tag_channel_and_exclusions_matches_exhaustive(
+        items in catalogue(24..72, 3),
+        tags in catalogue(24..72, 2),
+        anchor in proptest::collection::vec(-0.9f64..0.9, 3),
+        tag_anchor in proptest::collection::vec(-0.9f64..0.9, 2),
+        alpha in 0.0f64..2.0,
+        stride in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let n = items.len().min(tags.len());
+        let v_ir = lift(&items[..n]);
+        let v_tg = lift(&tags[..n]);
+        let emb = ItemEmbeddings { v_ir: &v_ir, ambient_ir: 4, v_tg: Some(&v_tg), ambient_tg: 3 };
+        let config = IndexConfig { max_leaf: 8, branch: 3, kmeans_iters: 4, seed, ..IndexConfig::default() };
+        let item_tags: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let index = TaxoIndex::build(&emb, None, &item_tags, &config).unwrap();
+        let a = lorentz::from_spatial(&anchor);
+        let t = lorentz::from_spatial(&tag_anchor);
+        let tag = Some((t.as_slice(), alpha));
+        let exclude = |i: u32| (i as usize).is_multiple_of(stride);
+
+        let exact = index.search_exact(&a, tag, 10, &exclude);
+        let (routed, _) = index.search(&a, tag, index.n_leaves(), 10, &exclude);
+        prop_assert_eq!(exact.len(), routed.len());
+        for (e, r) in exact.iter().zip(&routed) {
+            prop_assert_eq!(e.0, r.0);
+            prop_assert_eq!(e.1.to_bits(), r.1.to_bits());
+            prop_assert!(!(e.0 as usize).is_multiple_of(stride));
+        }
+    }
+
+    #[test]
+    fn serialized_parts_rebuild_to_an_identical_searcher(
+        items in catalogue(24..64, 3),
+        anchor in proptest::collection::vec(-0.9f64..0.9, 3),
+        seed in 0u64..1_000,
+    ) {
+        let v_ir = lift(&items);
+        let emb = ItemEmbeddings { v_ir: &v_ir, ambient_ir: 4, v_tg: None, ambient_tg: 0 };
+        let config = IndexConfig { max_leaf: 8, branch: 3, kmeans_iters: 4, seed, ..IndexConfig::default() };
+        let item_tags: Vec<Vec<u32>> = vec![Vec::new(); items.len()];
+        let index = TaxoIndex::build(&emb, None, &item_tags, &config).unwrap();
+        let rebuilt = TaxoIndex::from_parts(index.parts().clone(), &emb).unwrap();
+        let a = lorentz::from_spatial(&anchor);
+
+        let (orig, _) = index.search(&a, None, 0, 10, &|_| false);
+        let (re, _) = rebuilt.search(&a, None, 0, 10, &|_| false);
+        prop_assert_eq!(orig.len(), re.len());
+        for (o, r) in orig.iter().zip(&re) {
+            prop_assert_eq!(o.0, r.0);
+            prop_assert_eq!(o.1.to_bits(), r.1.to_bits());
+        }
+    }
+}
