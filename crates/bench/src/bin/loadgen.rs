@@ -53,6 +53,9 @@ REPORT:
   --out FILE         write the JSON report here (default: stdout only;
                      --sweep defaults to BENCH_serve.json)
   --assert-floor R   exit non-zero if achieved rps < R or any non-2xx
+  --allow-refused    connection-refused errors are counted (reported in
+                     the `refused` field) but do not fail the floor —
+                     for failover drills where a shard restarts mid-run
 ";
 
 fn main() -> ExitCode {
@@ -114,7 +117,12 @@ struct RunReport {
     scheduled: usize,
     completed: usize,
     non_2xx: usize,
+    /// Non-2xx responses by status code, e.g. `[(503, 4), (404, 1)]`.
+    status_breakdown: Vec<(u16, usize)>,
     transport_errors: usize,
+    /// Connection-refused subset of `transport_errors` (the target was
+    /// restarting) — exempted from the floor under `--allow-refused`.
+    refused: usize,
     achieved_rps: f64,
     p50_ms: f64,
     p90_ms: f64,
@@ -148,7 +156,16 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 /// open-loop arrival instant) to the full response being read.
 fn one_request(addr: SocketAddr, user: u32, k: usize, scheduled: Instant) -> Sample {
     let result = (|| -> Result<u16, &'static str> {
-        let mut stream = TcpStream::connect(addr).map_err(|_| "connect")?;
+        // Refused is its own phase: it is the signature of a target
+        // restarting (failover drills), distinct from timeouts or
+        // resets, and `--allow-refused` exempts exactly this bucket.
+        let mut stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                "refused"
+            } else {
+                "connect"
+            }
+        })?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
         write!(
@@ -273,10 +290,31 @@ fn run_load(addr: SocketAddr, spec: LoadSpec<'_>) -> RunReport {
         let detail: Vec<String> = by_phase.iter().map(|(p, n)| format!("{p}: {n}")).collect();
         eprintln!("  transport errors by phase: {}", detail.join(", "));
     }
+    let refused = samples
+        .iter()
+        .filter(|s| s.error == Some("refused"))
+        .count();
     let non_2xx = samples
         .iter()
         .filter(|s| s.status != 0 && !(200..300).contains(&s.status))
         .count();
+    let mut status_breakdown: Vec<(u16, usize)> = Vec::new();
+    for s in &samples {
+        if s.status != 0 && !(200..300).contains(&s.status) {
+            match status_breakdown.iter_mut().find(|(c, _)| *c == s.status) {
+                Some((_, n)) => *n += 1,
+                None => status_breakdown.push((s.status, 1)),
+            }
+        }
+    }
+    status_breakdown.sort_unstable();
+    if !status_breakdown.is_empty() {
+        let detail: Vec<String> = status_breakdown
+            .iter()
+            .map(|(c, n)| format!("{c}: {n}"))
+            .collect();
+        eprintln!("  non-2xx by status: {}", detail.join(", "));
+    }
     let mut ms: Vec<f64> = samples
         .iter()
         .map(|s| s.latency.as_secs_f64() * 1e3)
@@ -296,7 +334,9 @@ fn run_load(addr: SocketAddr, spec: LoadSpec<'_>) -> RunReport {
         scheduled,
         completed,
         non_2xx,
+        status_breakdown,
         transport_errors,
+        refused,
         achieved_rps: completed as f64 / wall,
         p50_ms: percentile(&ms, 0.50),
         p90_ms: percentile(&ms, 0.90),
@@ -351,7 +391,8 @@ fn push_run_json(out: &mut String, r: &RunReport) {
     out.push_str(&format!(
         "{{\"label\":\"{}\",\"simulated_users\":{},\"target_rps\":{:.1},\
          \"duration_secs\":{:.1},\"clients\":{},\"scheduled\":{},\"completed\":{},\
-         \"non_2xx\":{},\"transport_errors\":{},\"achieved_rps\":{:.1},\
+         \"non_2xx\":{},\"status_breakdown\":{{{}}},\"transport_errors\":{},\
+         \"refused\":{},\"achieved_rps\":{:.1},\
          \"latency_ms\":{{\"p50\":{:.3},\
          \"p90\":{:.3},\"p99\":{:.3},\"max\":{:.3},\"mean\":{:.3}}}",
         r.label,
@@ -362,7 +403,13 @@ fn push_run_json(out: &mut String, r: &RunReport) {
         r.scheduled,
         r.completed,
         r.non_2xx,
+        r.status_breakdown
+            .iter()
+            .map(|(c, n)| format!("\"{c}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(","),
         r.transport_errors,
+        r.refused,
         r.achieved_rps,
         r.p50_ms,
         r.p90_ms,
@@ -400,6 +447,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let clients: usize = flag_parse::<usize>(args, "--clients", 16)?.max(1);
     let k_max: usize = flag_parse::<usize>(args, "--k-max", 10)?.max(1);
     let sweep = args.iter().any(|a| a == "--sweep");
+    let allow_refused = args.iter().any(|a| a == "--allow-refused");
     let floor: Option<f64> = match flag(args, "--assert-floor")? {
         None => None,
         Some(raw) => Some(
@@ -539,12 +587,32 @@ fn run(args: &[String]) -> Result<bool, String> {
                 );
                 return Ok(false);
             }
-            if r.non_2xx > 0 || r.transport_errors > 0 {
+            // Under --allow-refused, connection-refused errors are
+            // expected collateral of a failover drill (the target was
+            // restarting) — reported, but not a floor failure. Every
+            // other error class still fails.
+            let fatal_transport = if allow_refused {
+                r.transport_errors - r.refused
+            } else {
+                r.transport_errors
+            };
+            if r.non_2xx > 0 || fatal_transport > 0 {
                 eprintln!(
-                    "FLOOR VIOLATION: run {} had {} non-2xx responses and {} transport errors",
-                    r.label, r.non_2xx, r.transport_errors
+                    "FLOOR VIOLATION: run {} had {} non-2xx responses and {} transport errors \
+                     ({} refused{})",
+                    r.label,
+                    r.non_2xx,
+                    r.transport_errors,
+                    r.refused,
+                    if allow_refused { ", exempted" } else { "" }
                 );
                 return Ok(false);
+            }
+            if allow_refused && r.refused > 0 {
+                eprintln!(
+                    "  run {}: {} connection-refused during failover (allowed)",
+                    r.label, r.refused
+                );
             }
         }
         eprintln!("floor ok: every run ≥ {floor} rps with zero non-2xx");

@@ -27,6 +27,7 @@
 //! | `checkpoint.save` | `io`             | checkpoint write fails               |
 //! | `serve.request`   | `panic`          | HTTP worker panics mid-request       |
 //! | `serve.batch`     | `panic`, `stall` | scorer batch panics / stalls         |
+//! | `serve.spawn`     | `io`             | one server worker fails to spawn     |
 //!
 //! `stall` puts the probing thread to sleep for
 //! `TAXOREC_FAULT_STALL_MS` milliseconds (default 100) — the

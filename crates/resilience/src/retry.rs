@@ -1,10 +1,18 @@
-//! Bounded retry with exponential backoff.
+//! Bounded retry with exponential backoff and decorrelated jitter.
 //!
 //! The policy is deliberately tiny: a fixed attempt budget, a geometric
 //! backoff schedule, and telemetry. It is shared by the worker pool
-//! (re-running a panicked job) and checkpoint IO (re-trying a failed
-//! save), so both report retries under the same `resilience.retry.*`
-//! names.
+//! (re-running a panicked job), checkpoint IO (re-trying a failed
+//! save), and the shard router (re-trying an idempotent read against a
+//! recovering shard), so all report retries under the same
+//! `resilience.retry.*` names.
+//!
+//! [`DecorrelatedJitter`] implements the AWS-architecture-blog
+//! "decorrelated jitter" schedule: each sleep is drawn uniformly from
+//! `[base, 3 × previous_sleep]`, clamped to the policy's cap. Many
+//! clients retrying against one recovering server therefore spread out
+//! instead of synchronizing into a thundering herd the way a plain
+//! geometric schedule does.
 
 use std::time::Duration;
 
@@ -83,6 +91,96 @@ impl RetryPolicy {
         taxorec_telemetry::counter("resilience.retry.exhausted").inc(1);
         Err(last_err.expect("at least one attempt ran"))
     }
+
+    /// [`RetryPolicy::run`] with a [`DecorrelatedJitter`] schedule seeded
+    /// by `seed`: the sleep before each retry is randomized so
+    /// concurrent callers retrying against the same recovering resource
+    /// fan out instead of arriving in lockstep. Bounds are unchanged —
+    /// every sleep stays within `[initial_backoff, max_backoff]`.
+    pub fn run_jittered<T, E, F>(&self, label: &str, seed: u64, mut op: F) -> Result<T, E>
+    where
+        E: std::fmt::Display,
+        F: FnMut(usize) -> Result<T, E>,
+    {
+        let attempts = self.max_attempts.max(1);
+        let mut jitter = DecorrelatedJitter::new(*self, seed);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                taxorec_telemetry::counter("resilience.retry.attempts").inc(1);
+                std::thread::sleep(jitter.next_backoff());
+            }
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    taxorec_telemetry::sink::warn(&format!(
+                        "{label}: attempt {}/{attempts} failed: {e}",
+                        attempt + 1
+                    ));
+                    last_err = Some(e);
+                }
+            }
+        }
+        taxorec_telemetry::counter("resilience.retry.exhausted").inc(1);
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+/// The decorrelated-jitter backoff schedule: sleep `n+1` is drawn
+/// uniformly from `[base, 3 × sleep_n]` and clamped to the policy cap.
+///
+/// Deterministic given its seed (a splitmix64 generator drives the
+/// draws), so tests can assert the exact envelope; production callers
+/// seed from a per-request or per-thread value so concurrent schedules
+/// decorrelate.
+#[derive(Clone, Debug)]
+pub struct DecorrelatedJitter {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl DecorrelatedJitter {
+    /// A schedule bounded by `policy.initial_backoff` (floor) and
+    /// `policy.max_backoff` (cap), seeded with `seed`.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        let base = policy.initial_backoff;
+        Self {
+            base,
+            cap: policy.max_backoff.max(base),
+            prev: base,
+            rng: seed,
+        }
+    }
+
+    /// splitmix64: tiny, seedable, and plenty uniform for spreading
+    /// sleeps — this is jitter, not cryptography.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next sleep: uniform in `[base, 3 × previous]`, clamped to the
+    /// cap. Always at least `base`, never above the cap.
+    pub fn next_backoff(&mut self) -> Duration {
+        let base_ns = self.base.as_nanos() as u64;
+        let hi_ns = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .min(self.cap.as_nanos() as u64)
+            .max(base_ns);
+        let span = hi_ns - base_ns;
+        let ns = if span == 0 {
+            base_ns
+        } else {
+            base_ns + self.next_u64() % (span + 1)
+        };
+        self.prev = Duration::from_nanos(ns);
+        self.prev
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +227,83 @@ mod tests {
         };
         let r: Result<(), String> = p.run("test", |attempt| Err(format!("err {attempt}")));
         assert_eq!(r, Err("err 1".to_string()));
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_envelope() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(2),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(50),
+        };
+        for seed in 0..64u64 {
+            let mut j = DecorrelatedJitter::new(p, seed);
+            let mut prev = p.initial_backoff;
+            for step in 0..32 {
+                let s = j.next_backoff();
+                assert!(
+                    s >= p.initial_backoff,
+                    "seed {seed} step {step}: {s:?} under the base floor"
+                );
+                assert!(
+                    s <= p.max_backoff,
+                    "seed {seed} step {step}: {s:?} over the cap"
+                );
+                assert!(
+                    s <= (prev * 3).min(p.max_backoff).max(p.initial_backoff),
+                    "seed {seed} step {step}: {s:?} exceeds 3× the previous sleep {prev:?}"
+                );
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_across_seeds_and_is_deterministic_per_seed() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_micros(100),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(100),
+        };
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut j = DecorrelatedJitter::new(p, seed);
+            (0..8).map(|_| j.next_backoff()).collect()
+        };
+        // Same seed → same schedule (tests can rely on it).
+        assert_eq!(draw(7), draw(7));
+        // Different seeds must not produce identical schedules — that is
+        // the thundering-herd failure mode this exists to break.
+        let distinct: std::collections::HashSet<Vec<Duration>> = (0..16).map(draw).collect();
+        assert!(
+            distinct.len() > 12,
+            "only {} distinct schedules across 16 seeds",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn run_jittered_retries_and_exhausts_like_run() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::ZERO,
+            multiplier: 2,
+            max_backoff: Duration::ZERO,
+        };
+        let mut calls = 0;
+        let r: Result<i32, String> = p.run_jittered("test", 1, |attempt| {
+            calls += 1;
+            if attempt < 1 {
+                Err("boom".to_string())
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!(r, Ok(9));
+        assert_eq!(calls, 2);
+        let r: Result<(), String> = p.run_jittered("test", 2, |a| Err(format!("err {a}")));
+        assert_eq!(r, Err("err 2".to_string()));
     }
 
     #[test]

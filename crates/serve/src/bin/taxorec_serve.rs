@@ -66,15 +66,21 @@ USAGE:
       Print the artifact's model card (dims, users, items, tags, taxonomy).
 
   taxorec-serve serve <model.taxo> [--addr HOST:PORT] [--workers N]
-                      [--retrieval exact|beam|beam:B]
+                      [--retrieval exact|beam|beam:B] [--shard-id ID]
       Serve the model over HTTP (default 127.0.0.1:7878, 4 workers).
       --retrieval            candidate generation: `exact` (default) scores
                              the whole catalogue; `beam[:B]` routes through
                              the artifact's retrieval index (`beam` alone
                              takes the index's default width)
+      --shard-id ID          identity reported in /healthz (\"shard\":{…}),
+                             used by taxorec-router fleet aggregation
       Endpoints: /recommend?user=U&k=K  /explain?user=U&item=V
                  /healthz  /metrics (Prometheus)  /metrics.json  /debug/flight
-      Runs until stdin is closed (Ctrl-D / EOF), then drains and exits.
+                 /admin/drain  /admin/reload?path=P (TAXOREC_SERVE_ADMIN=0
+                 disables the admin pair)
+      Runs until stdin is closed (Ctrl-D / EOF) or SIGTERM/SIGINT arrives;
+      a signal drains gracefully (TAXOREC_SERVE_DRAIN_MS grace, default
+      300 ms) so a fronting router can route around this shard first.
       Set TAXOREC_TRACE=<file> to export sampled request traces as Chrome
       trace-event JSON on shutdown.
 ";
@@ -302,6 +308,10 @@ fn inspect(args: &[String]) -> Result<(), String> {
 }
 
 fn run_server(args: &[String]) -> Result<(), String> {
+    // Arm the SIGTERM/SIGINT latch before the address is announced: an
+    // orchestrator may signal the instant it sees the listening line,
+    // and the default disposition would be sudden death, not a drain.
+    taxorec_serve::signal::install();
     let path = positional(args, 0, "model.taxo")?;
     let addr = flag(args, "--addr")?.unwrap_or("127.0.0.1:7878");
     let workers: usize = match flag(args, "--workers")? {
@@ -314,6 +324,11 @@ fn run_server(args: &[String]) -> Result<(), String> {
         None => RetrievalMode::Exact,
         Some(raw) => RetrievalMode::parse(raw).map_err(|e| format!("--retrieval: {e}"))?,
     };
+    let mut opts = taxorec_serve::ServeOptions::from_env();
+    opts.n_workers = workers;
+    if let Some(id) = flag(args, "--shard-id")? {
+        opts.shard_id = Some(id.to_string());
+    }
     let model = taxorec_serve::load(path)
         .and_then(|m| m.with_retrieval(retrieval))
         .map_err(|e| e.to_string())?;
@@ -324,7 +339,7 @@ fn run_server(args: &[String]) -> Result<(), String> {
         model.n_items(),
         model.retrieval_mode().label()
     );
-    let handle = taxorec_serve::serve(Arc::new(model), addr, workers)
+    let handle = taxorec_serve::serve_with(Arc::new(model), addr, opts)
         .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "listening on http://{} ({} workers)",
@@ -335,17 +350,18 @@ fn run_server(args: &[String]) -> Result<(), String> {
         "try: curl 'http://{}/recommend?user=0&k=10'",
         handle.local_addr()
     );
-    println!("close stdin (Ctrl-D) to shut down");
-    // Block until stdin is exhausted, then drain in-flight requests.
-    let mut sink = String::new();
-    while std::io::stdin()
-        .read_line(&mut sink)
-        .map(|n| n > 0)
-        .unwrap_or(false)
-    {
-        sink.clear();
+    println!("close stdin (Ctrl-D) or send SIGTERM to shut down");
+    wait_for_exit();
+    if taxorec_serve::signal::triggered() {
+        // Signal-driven stop is a *graceful drain*: advertise
+        // `draining` on /healthz first, give a fronting router one
+        // probe interval to route around this shard, then stop.
+        println!("signal received; draining…");
+        handle.set_draining();
+        std::thread::sleep(drain_grace());
+    } else {
+        println!("stdin closed; shutting down…");
     }
-    println!("stdin closed; shutting down…");
     handle.shutdown();
     // Drain buffered observability before exiting: the trace export and
     // any file-backed JSONL sink only hit disk here on a short run.
@@ -355,4 +371,44 @@ fn run_server(args: &[String]) -> Result<(), String> {
     taxorec_telemetry::sink::flush();
     println!("bye");
     Ok(())
+}
+
+/// Blocks until stdin reaches EOF *or* a SIGTERM/SIGINT arrives.
+///
+/// stdin is read on a helper thread — `read_line` on Linux restarts
+/// after a handled signal, so the main thread polls the signal latch
+/// instead of waiting inside the blocked read.
+fn wait_for_exit() {
+    taxorec_serve::signal::install();
+    let stdin_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let stdin_done = Arc::clone(&stdin_done);
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while std::io::stdin()
+                .read_line(&mut sink)
+                .map(|n| n > 0)
+                .unwrap_or(false)
+            {
+                sink.clear();
+            }
+            stdin_done.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+    }
+    while !taxorec_serve::signal::triggered()
+        && !stdin_done.load(std::sync::atomic::Ordering::SeqCst)
+    {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// How long a signal-stopped shard advertises `draining` before it
+/// actually shuts down (`TAXOREC_SERVE_DRAIN_MS`, default 300 ms —
+/// comfortably above the router's default 200 ms probe interval).
+fn drain_grace() -> Duration {
+    let ms = std::env::var("TAXOREC_SERVE_DRAIN_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
 }

@@ -1,0 +1,198 @@
+//! Per-shard circuit breaker for the router (DESIGN.md §16).
+//!
+//! Classic three-state breaker, time injected by the caller so every
+//! transition is deterministic under test:
+//!
+//! ```text
+//!            failures ≥ threshold                cooldown elapsed
+//!  Closed ───────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!    ▲                              ▲                               │
+//!    │ success                      │ failure (any probe fails)     │
+//!    └──────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! * **Closed** — traffic flows; consecutive failures are counted and
+//!   any success resets the count.
+//! * **Open** — the shard is presumed down; [`Breaker::allow`] refuses
+//!   until the cooldown elapses, so a dead shard costs the router one
+//!   connect timeout per cooldown instead of one per request.
+//! * **HalfOpen** — one trial request is let through; success closes
+//!   the breaker, failure reopens it for another cooldown.
+//!
+//! The router holds one breaker per shard behind a mutex; operations
+//! are a few branches, so contention is irrelevant next to the network
+//! work they gate.
+
+use std::time::{Duration, Instant};
+
+/// Consecutive failures that trip a closed breaker.
+pub const DEFAULT_FAILURE_THRESHOLD: u32 = 3;
+/// How long an open breaker refuses before probing (half-open).
+pub const DEFAULT_COOLDOWN: Duration = Duration::from_millis(500);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// One shard's circuit breaker. Not internally synchronized — the
+/// router wraps it in a `Mutex` alongside the rest of the shard state.
+#[derive(Clone, Debug)]
+pub struct Breaker {
+    state: State,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Self::new(DEFAULT_FAILURE_THRESHOLD, DEFAULT_COOLDOWN)
+    }
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures and cooling down for `cooldown` once open.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            state: State::Closed { failures: 0 },
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// May a request be sent now? Open breakers whose cooldown has
+    /// elapsed transition to half-open and admit exactly this caller
+    /// as the trial probe.
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed { .. } => true,
+            State::HalfOpen => true,
+            State::Open { until } => {
+                if now >= until {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful request: closes the breaker from any state.
+    pub fn on_success(&mut self) {
+        self.state = State::Closed { failures: 0 };
+    }
+
+    /// Record a failed request. Returns `true` if this failure tripped
+    /// the breaker open (callers use it for one-shot telemetry).
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    self.state = State::Open {
+                        until: now + self.cooldown,
+                    };
+                    true
+                } else {
+                    self.state = State::Closed { failures };
+                    false
+                }
+            }
+            // A failed half-open probe reopens for a fresh cooldown.
+            State::HalfOpen => {
+                self.state = State::Open {
+                    until: now + self.cooldown,
+                };
+                true
+            }
+            State::Open { .. } => {
+                self.state = State::Open {
+                    until: now + self.cooldown,
+                };
+                false
+            }
+        }
+    }
+
+    /// `true` while the breaker refuses traffic (open, cooldown not
+    /// yet elapsed *as of the last `allow` call*).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// State label for telemetry and `/healthz`.
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new(3, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert!(b.allow(t0), "still closed below threshold");
+        assert!(b.on_failure(t0), "third failure trips");
+        assert!(b.is_open());
+        assert!(!b.allow(t0), "open refuses immediately");
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = Breaker::new(3, Duration::from_millis(100));
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert!(!b.is_open(), "count restarted after success");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = Breaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure(t0));
+        assert!(!b.allow(t0 + Duration::from_millis(50)), "mid-cooldown");
+        assert!(
+            b.allow(t0 + Duration::from_millis(100)),
+            "cooldown elapsed: half-open admits the probe"
+        );
+        assert_eq!(b.state_label(), "half-open");
+        b.on_success();
+        assert_eq!(b.state_label(), "closed");
+        assert!(b.allow(t0 + Duration::from_millis(101)));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_for_a_fresh_cooldown() {
+        let mut b = Breaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        let probe_at = t0 + Duration::from_millis(100);
+        assert!(b.allow(probe_at));
+        assert!(b.on_failure(probe_at), "failed probe re-trips");
+        assert!(!b.allow(probe_at + Duration::from_millis(99)));
+        assert!(b.allow(probe_at + Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn threshold_is_clamped_to_at_least_one() {
+        let mut b = Breaker::new(0, Duration::from_millis(10));
+        assert!(b.on_failure(Instant::now()), "0 behaves like 1");
+    }
+}

@@ -143,6 +143,24 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Wire-level identity of a parsed `.taxo` artifact: the container
+/// version, the CRC-32 the loader verified, and the artifact size.
+///
+/// Surfaced through `/healthz` (`"shard":{"checkpoint":{…}}`) so a
+/// fleet operator — or the shard router — can tell *which bytes* every
+/// shard is serving: a warm reload is observable as the CRC changing
+/// while the shard stays up, and a version/CRC mismatch across shards
+/// is a deploy bug caught by a dashboard instead of a ranking diff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Container format version from the header.
+    pub version: u16,
+    /// CRC-32 of the payload, as verified at load time.
+    pub crc: u32,
+    /// Total artifact size in bytes (header + payload + trailer).
+    pub bytes: u64,
+}
+
 /// A trained model plus the serving-side context (tag names, item tags,
 /// seen items) that lives in the dataset rather than the model itself.
 ///
@@ -167,6 +185,10 @@ pub struct Checkpoint {
     /// generation ([`FLAG_RETRIEVAL_INDEX`] in the header). `None` =
     /// the artifact serves through the exhaustive path only.
     pub index: Option<IndexParts>,
+    /// Wire identity of the artifact this checkpoint was parsed from
+    /// (`None` for an in-memory checkpoint that never hit the wire).
+    /// Not serialized — recomputed on every load.
+    pub artifact: Option<ArtifactInfo>,
 }
 
 impl Checkpoint {
@@ -178,6 +200,7 @@ impl Checkpoint {
             item_tags: Vec::new(),
             seen_items: Vec::new(),
             index: None,
+            artifact: None,
         }
     }
 
@@ -273,7 +296,12 @@ impl Checkpoint {
     /// # Errors
     /// See [`CheckpointError`] — each failure mode is distinguished.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        let (flags, payload) = parse_container(bytes)?;
+        let Container {
+            version,
+            flags,
+            crc,
+            payload,
+        } = parse_container(bytes)?;
         if flags & FLAG_TRAIN_STATE != 0 {
             return Err(CheckpointError::Corrupt(
                 "this is a training checkpoint (resume state), not a serving artifact — \
@@ -341,6 +369,11 @@ impl Checkpoint {
             item_tags,
             seen_items,
             index,
+            artifact: Some(ArtifactInfo {
+                version,
+                crc,
+                bytes: bytes.len() as u64,
+            }),
         };
         ckpt.validate()?;
         Ok(ckpt)
@@ -498,7 +531,7 @@ impl TrainCheckpoint {
     /// See [`CheckpointError`]; a serving artifact (flags without
     /// [`FLAG_TRAIN_STATE`]) is rejected with a pointed message.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        let (flags, payload) = parse_container(bytes)?;
+        let Container { flags, payload, .. } = parse_container(bytes)?;
         if flags & FLAG_TRAIN_STATE == 0 {
             return Err(CheckpointError::Corrupt(
                 "this is a serving artifact, not a training checkpoint — \
@@ -583,9 +616,17 @@ fn seal_container(flags: u16, payload: Vec<u8>) -> Vec<u8> {
     out
 }
 
+/// A validated container: header fields plus the checksummed payload.
+struct Container<'a> {
+    version: u16,
+    flags: u16,
+    crc: u32,
+    payload: &'a [u8],
+}
+
 /// Validates the container framing (magic, version, length, checksum)
-/// and returns the header flags plus the checksummed payload slice.
-fn parse_container(bytes: &[u8]) -> Result<(u16, &[u8]), CheckpointError> {
+/// and returns the header fields plus the checksummed payload slice.
+fn parse_container(bytes: &[u8]) -> Result<Container<'_>, CheckpointError> {
     let minimum = HEADER_LEN + TRAILER_LEN;
     if bytes.len() < minimum {
         return Err(CheckpointError::TooShort {
@@ -632,7 +673,12 @@ fn parse_container(bytes: &[u8]) -> Result<(u16, &[u8]), CheckpointError> {
     if stored != computed {
         return Err(CheckpointError::ChecksumMismatch { stored, computed });
     }
-    Ok((flags, payload))
+    Ok(Container {
+        version,
+        flags,
+        crc: computed,
+        payload,
+    })
 }
 
 /// Atomic write shared by both checkpoint kinds: serialize to

@@ -85,7 +85,8 @@ use taxorec_telemetry::json::{push_f64, push_str_escaped};
 use taxorec_telemetry::{flight, flight_event, trace, TraceContext};
 
 use crate::batch::{BatchJob, BatchOptions, Batcher};
-use crate::model::{Ranking, ServeError, ServingModel};
+use crate::checkpoint::Checkpoint;
+use crate::model::{ModelSlot, Ranking, ServeError, ServingModel};
 
 const JSON_CONTENT_TYPE: &str = "application/json";
 
@@ -126,6 +127,15 @@ pub struct ServeOptions {
     /// their sockets (≥ 1 enforced).
     /// Env: `TAXOREC_SERVE_RESPONDERS`.
     pub n_responders: usize,
+    /// Shard identity reported by `/healthz` (`"shard":{"id":…}`), so a
+    /// router aggregating a fleet can tell which process answered.
+    /// Env: `TAXOREC_SHARD_ID`.
+    pub shard_id: Option<String>,
+    /// Enables the `/admin/drain` and `/admin/reload` endpoints (warm
+    /// checkpoint reload and router-observable draining). On by
+    /// default; set `TAXOREC_SERVE_ADMIN=0` to disable on an exposed
+    /// listener.
+    pub admin: bool,
 }
 
 impl Default for ServeOptions {
@@ -137,6 +147,8 @@ impl Default for ServeOptions {
             max_queue: 64,
             batch: BatchOptions::default(),
             n_responders: 2,
+            shard_id: None,
+            admin: true,
         }
     }
 }
@@ -163,6 +175,15 @@ impl ServeOptions {
         }
         if let Some(r) = env_usize("TAXOREC_SERVE_RESPONDERS") {
             o.n_responders = r.clamp(1, 64);
+        }
+        if let Ok(id) = std::env::var("TAXOREC_SHARD_ID") {
+            let id = id.trim().to_string();
+            if !id.is_empty() {
+                o.shard_id = Some(id);
+            }
+        }
+        if let Ok(v) = std::env::var("TAXOREC_SERVE_ADMIN") {
+            o.admin = v.trim() != "0";
         }
         o.batch = BatchOptions::from_env();
         o
@@ -289,6 +310,8 @@ struct Shared {
     queue: Mutex<VecDeque<Queued>>,
     ready: Condvar,
     opts: ServeOptions,
+    /// Serializes `/admin/reload`: one checkpoint handover at a time.
+    reload: Mutex<()>,
 }
 
 impl Shared {
@@ -309,6 +332,7 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
     pipeline: Arc<Pipeline>,
     responder_threads: Vec<JoinHandle<()>>,
+    slot: Arc<ModelSlot>,
 }
 
 impl ServerHandle {
@@ -325,6 +349,21 @@ impl ServerHandle {
     /// Current readiness as reported by `/healthz`.
     pub fn health(&self) -> Health {
         self.shared.health()
+    }
+
+    /// The hot-swappable model slot behind this server (warm reload).
+    pub fn model_slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// Marks the server `draining` on `/healthz` **without** stopping
+    /// it: every endpoint keeps answering, but a health-aware router
+    /// stops routing new traffic here. This is the first phase of a
+    /// graceful (SIGTERM-driven) restart — advertise the drain, give
+    /// the router a probe interval to route around this shard, then
+    /// call [`ServerHandle::shutdown`] to finish in-flight work.
+    pub fn set_draining(&self) {
+        self.shared.health.store(HEALTH_DRAINING, Ordering::SeqCst);
     }
 
     /// Signals the pipeline to stop and waits for in-flight requests
@@ -416,7 +455,9 @@ pub fn serve_with(
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         opts,
+        reload: Mutex::new(()),
     });
+    let slot = Arc::new(ModelSlot::new(model));
     let mut degraded = false;
 
     // Responder pool: owns all socket writes for batched responses.
@@ -453,15 +494,17 @@ pub fn serve_with(
     // Scorer pool behind the bounded batch queue. The handler scores one
     // assembled block through the fused multi-anchor path and stamps the
     // retroactive per-request `batch.wait` / `score` spans; a panicking
-    // batch falls back to 500s for only its own requests.
-    let scoring_model = Arc::clone(&model);
+    // batch falls back to 500s for only its own requests. The model is
+    // resolved through the slot per batch, so a warm reload takes
+    // effect from the next assembled block on.
+    let scoring_slot = Arc::clone(&slot);
     let complete_to = Arc::clone(&responders);
     let (batcher, live_scorers) = Batcher::spawn(
         batch_opts.clone(),
         move |jobs: &[BatchJob<RecommendReq>]| {
             let started = Instant::now();
             let queries: Vec<(u32, usize)> = jobs.iter().map(|j| (j.req.user, j.req.k)).collect();
-            let results = scoring_model.recommend_many(&queries);
+            let results = scoring_slot.load().recommend_many(&queries);
             let finished = Instant::now();
             for j in jobs {
                 trace::emit_span_at("batch.wait", j.req.ctx, j.enqueued, started);
@@ -488,11 +531,22 @@ pub fn serve_with(
     let mut spawned = 0usize;
     for i in 0..n_requested {
         let shared = Arc::clone(&shared);
-        let model = Arc::clone(&model);
+        let slot = Arc::clone(&slot);
         let pipeline = Arc::clone(&pipeline);
+        // Deterministic worker loss for the health-transition tests:
+        // `TAXOREC_FAULT=io@serve.spawn:2` makes exactly the second
+        // worker fail to spawn, driving `/healthz` to `degraded`.
+        if let Some(msg) = taxorec_resilience::inject_io("serve.spawn") {
+            taxorec_telemetry::counter("serve.worker.spawn_failed").inc(1);
+            taxorec_telemetry::sink::warn(&format!(
+                "failed to spawn server worker {i}: {msg}; continuing with fewer workers"
+            ));
+            last_err = Some(std::io::Error::other(msg));
+            continue;
+        }
         match std::thread::Builder::new()
             .name(format!("taxorec-serve-{i}"))
-            .spawn(move || worker_loop(&shared, &model, &pipeline))
+            .spawn(move || worker_loop(&shared, &slot, &pipeline))
         {
             Ok(h) => {
                 threads.push(h);
@@ -534,6 +588,7 @@ pub fn serve_with(
         threads,
         pipeline,
         responder_threads,
+        slot,
     })
 }
 
@@ -620,7 +675,7 @@ fn lock_queue(q: &Mutex<VecDeque<Queued>>) -> std::sync::MutexGuard<'_, VecDeque
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn worker_loop(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) {
+fn worker_loop(shared: &Shared, slot: &Arc<ModelSlot>, pipeline: &Pipeline) {
     loop {
         let queued = {
             let mut q = lock_queue(&shared.queue);
@@ -640,26 +695,48 @@ fn worker_loop(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) {
             }
         };
         match queued {
-            Some(s) => handle_connection(s, shared, model, pipeline),
+            Some(s) => handle_connection(s, shared, slot, pipeline),
             None => return,
         }
     }
 }
 
-fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel, pipeline: &Pipeline) {
+/// Adopts an inbound `x-taxorec-trace` header (the router hop): the
+/// request joins the caller's trace instead of starting a fresh one, so
+/// one user query traces as one tree across router and shard. Span ids
+/// and the local sampling decision are kept — only the trace identity
+/// is inherited.
+fn adopt_trace(head: &str, ctx: TraceContext) -> TraceContext {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("x-taxorec-trace") {
+                if let Ok(id) = u64::from_str_radix(value.trim(), 16) {
+                    if id != 0 {
+                        return TraceContext {
+                            trace_id: id,
+                            ..ctx
+                        };
+                    }
+                }
+            }
+        }
+    }
+    ctx
+}
+
+fn handle_connection(queued: Queued, shared: &Shared, slot: &Arc<ModelSlot>, pipeline: &Pipeline) {
     let Queued {
         mut stream,
         ctx,
         accepted,
     } = queued;
-    // The wait between accept and dequeue, as a retroactive child span.
-    trace::emit_span_at("queue", ctx, accepted, Instant::now());
-    // Everything below runs with `ctx` ambient, so `child_span` calls in
-    // the serving model (cache, score, kernel) parent into this request.
-    let _trace_scope = trace::scope(ctx);
+    let model = slot.load();
+    let model = model.as_ref();
+    let dequeued = Instant::now();
     let head = match read_head(&mut stream, shared.opts.max_request_bytes) {
         Some(h) => h,
         None => {
+            trace::emit_span_at("queue", ctx, accepted, dequeued);
             let _ = respond(
                 &mut stream,
                 400,
@@ -669,14 +746,25 @@ fn handle_connection(queued: Queued, shared: &Shared, model: &ServingModel, pipe
             return;
         }
     };
+    // Join the caller's trace when the request came through the router
+    // (`x-taxorec-trace` header), then emit the accept→dequeue wait as a
+    // retroactive child span under the adopted identity.
+    let ctx = adopt_trace(&head, ctx);
+    trace::emit_span_at("queue", ctx, accepted, dequeued);
+    // Everything below runs with `ctx` ambient, so `child_span` calls in
+    // the serving model (cache, score, kernel) parent into this request.
+    let _trace_scope = trace::scope(ctx);
     taxorec_telemetry::counter("serve.http.requests").inc(1);
     let start = Instant::now();
     // Panic isolation: one poisonous request must not take the worker
     // (let alone the process) down with it. The `serve.request` fault
     // site makes this path deterministically testable.
     let routed = catch_unwind(AssertUnwindSafe(|| {
-        taxorec_resilience::inject_panic("serve.request");
-        route(&head, shared, model, pipeline)
+        // `panic@serve.request` exercises panic isolation;
+        // `stall@serve.request` wedges the worker mid-request, which is
+        // how the router's hedging is driven deterministically.
+        taxorec_resilience::inject_panic_or_stall("serve.request");
+        route(&head, shared, model, slot, pipeline)
     }));
     let (status, body, endpoint, content_type) = match routed {
         Ok(Routed::Done(status, body, endpoint, content_type)) => {
@@ -772,7 +860,7 @@ fn write_recommend_response(mut req: RecommendReq, scored: Scored) {
 
 /// Reads bytes until the end of the request head (`\r\n\r\n`) and returns
 /// the head as text. `None` on malformed, oversized, or timed-out input.
-fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
+pub(crate) fn read_head(stream: &mut TcpStream, max_bytes: usize) -> Option<String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -807,7 +895,13 @@ enum Routed {
 
 /// Dispatches one parsed request. Everything except a `/recommend`
 /// cache miss resolves inline.
-fn route(head: &str, shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> Routed {
+fn route(
+    head: &str,
+    shared: &Shared,
+    model: &ServingModel,
+    slot: &Arc<ModelSlot>,
+    pipeline: &Pipeline,
+) -> Routed {
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
@@ -844,6 +938,20 @@ fn route(head: &str, shared: &Shared, model: &ServingModel, pipeline: &Pipeline)
             JSON_CONTENT_TYPE,
         ),
         "/debug/flight" => Routed::Done(200, flight::snapshot_json(), "flight", JSON_CONTENT_TYPE),
+        "/admin/drain" if shared.opts.admin => {
+            shared.health.store(HEALTH_DRAINING, Ordering::SeqCst);
+            taxorec_telemetry::counter("serve.admin.drain").inc(1);
+            Routed::Done(
+                200,
+                "{\"status\":\"draining\"}".to_string(),
+                "admin",
+                JSON_CONTENT_TYPE,
+            )
+        }
+        "/admin/reload" if shared.opts.admin => {
+            let (status, body) = handle_reload(query, shared, slot);
+            Routed::Done(status, body, "admin", JSON_CONTENT_TYPE)
+        }
         "/recommend" => handle_recommend(query, model),
         "/explain" => {
             let (status, body, ep) = handle_explain(query, model);
@@ -978,13 +1086,90 @@ fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static s
     }
 }
 
+/// `{"version":…,"crc":…,"bytes":…}` for a loaded artifact, `null` for
+/// an in-process model that never touched disk.
+fn artifact_json(info: Option<crate::checkpoint::ArtifactInfo>) -> String {
+    match info {
+        None => "null".to_string(),
+        Some(info) => format!(
+            "{{\"version\":{},\"crc\":{},\"bytes\":{}}}",
+            info.version, info.crc, info.bytes
+        ),
+    }
+}
+
+/// `GET /admin/reload?path=P` — warm checkpoint handover. The new
+/// `.taxo` is read, validated, and built into a fresh [`ServingModel`]
+/// (inheriting the live model's retrieval mode and cache capacity)
+/// **before** the slot swap, so requests keep being answered by the old
+/// model for the whole load; the swap itself is one `Arc` exchange.
+/// While the handover is in progress `/healthz` reports `draining` so a
+/// fronting router prefers replicas; the prior health state is restored
+/// on completion — including on failure, which keeps the old model and
+/// answers `500`.
+fn handle_reload(query: &str, shared: &Shared, slot: &Arc<ModelSlot>) -> (u16, String) {
+    let path = match require_param_str(query, "path") {
+        Ok(p) => p,
+        Err(msg) => return (400, error_json(&msg)),
+    };
+    // One handover at a time: concurrent reloads would race the
+    // health save/restore and could swap models out of order.
+    let _serialized = shared.reload.lock().unwrap_or_else(|e| e.into_inner());
+    let old = slot.load();
+    let prior_health = shared.health.load(Ordering::SeqCst);
+    shared.health.store(HEALTH_DRAINING, Ordering::SeqCst);
+    let started = Instant::now();
+    let built = Checkpoint::load_file(path)
+        .and_then(|ckpt| ServingModel::with_cache_capacity(ckpt, old.cache_usage().1))
+        .and_then(|m| m.with_retrieval(old.retrieval_mode()));
+    let (status, body) = match built {
+        Ok(new_model) => {
+            let new_info = artifact_json(new_model.artifact_info());
+            let replaced = slot.swap(Arc::new(new_model));
+            taxorec_telemetry::counter("serve.admin.reload").inc(1);
+            taxorec_telemetry::histogram("serve.admin.reload.ms")
+                .observe(started.elapsed().as_secs_f64() * 1e3);
+            taxorec_telemetry::sink::info(&format!("checkpoint reloaded from {path:?}"));
+            (
+                200,
+                format!(
+                    "{{\"status\":\"reloaded\",\"path\":{},\"old\":{},\"new\":{}}}",
+                    {
+                        let mut s = String::new();
+                        push_str_escaped(&mut s, path);
+                        s
+                    },
+                    artifact_json(replaced.artifact_info()),
+                    new_info,
+                ),
+            )
+        }
+        Err(e) => {
+            taxorec_telemetry::counter("serve.admin.reload.errors").inc(1);
+            taxorec_telemetry::sink::warn(&format!(
+                "checkpoint reload from {path:?} failed: {e}; keeping current model"
+            ));
+            (500, error_json(&format!("reload failed: {e}")))
+        }
+    };
+    shared.health.store(prior_health, Ordering::SeqCst);
+    (status, body)
+}
+
 fn healthz_json(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> String {
     let (cache_len, cache_cap) = model.cache_usage();
     let queued = lock_queue(&shared.queue).len();
     let mut body = String::with_capacity(224);
     body.push_str("{\"status\":\"");
     body.push_str(shared.health().as_str());
-    body.push_str("\",\"model\":");
+    body.push_str("\",\"shard\":{\"id\":");
+    match &shared.opts.shard_id {
+        Some(id) => push_str_escaped(&mut body, id),
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"checkpoint\":");
+    body.push_str(&artifact_json(model.artifact_info()));
+    body.push_str("},\"model\":");
     push_str_escaped(&mut body, model.name());
     body.push_str(",\"users\":");
     body.push_str(&model.n_users().to_string());
@@ -1027,7 +1212,7 @@ fn healthz_json(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> S
     body
 }
 
-fn error_json(message: &str) -> String {
+pub(crate) fn error_json(message: &str) -> String {
     let mut body = String::with_capacity(message.len() + 12);
     body.push_str("{\"error\":");
     push_str_escaped(&mut body, message);
@@ -1036,7 +1221,7 @@ fn error_json(message: &str) -> String {
 }
 
 /// Value of `name` in an `a=1&b=2` query string, if present.
-fn param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+pub(crate) fn param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
     query
         .split('&')
         .filter_map(|pair| pair.split_once('='))
@@ -1044,7 +1229,13 @@ fn param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
         .map(|(_, v)| v)
 }
 
-fn require_param(query: &str, name: &str) -> Result<u32, String> {
+/// Like [`require_param`] but returns the raw string value (for
+/// `/admin/reload?path=…`, which takes a filesystem path).
+fn require_param_str<'q>(query: &'q str, name: &str) -> Result<&'q str, String> {
+    param(query, name).ok_or_else(|| format!("missing required query parameter '{name}'"))
+}
+
+pub(crate) fn require_param(query: &str, name: &str) -> Result<u32, String> {
     match param(query, name) {
         None => Err(format!("missing required query parameter '{name}'")),
         Some(raw) => raw.parse::<u32>().map_err(|_| {
@@ -1053,11 +1244,16 @@ fn require_param(query: &str, name: &str) -> Result<u32, String> {
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, trace_id: u64, body: &str) -> std::io::Result<()> {
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    trace_id: u64,
+    body: &str,
+) -> std::io::Result<()> {
     respond_with(stream, status, trace_id, JSON_CONTENT_TYPE, "", body)
 }
 
-fn respond_with(
+pub(crate) fn respond_with(
     stream: &mut TcpStream,
     status: u16,
     trace_id: u64,

@@ -17,7 +17,15 @@
 //!   with train-item exclusion, an LRU response cache, batched queries
 //!   over `taxorec-parallel`, and taxonomy-grounded explanations.
 //! * [`http`] — `taxorec-serve`, the `TcpListener`-based front end
-//!   (`/recommend`, `/explain`, `/healthz`, `/metrics`).
+//!   (`/recommend`, `/explain`, `/healthz`, `/metrics`), with warm
+//!   checkpoint reload through [`ModelSlot`] (`/admin/reload`).
+//!
+//! On top of the single-process server sits the sharded tier
+//! (DESIGN.md §16): [`ring`] partitions users across shard workers by
+//! consistent hashing, [`router`] is the `taxorec-router` front end
+//! (health-aware failover, per-shard circuit [`breaker`]s, hedged
+//! requests, aggregated health/metrics), and [`signal`] latches
+//! SIGTERM/SIGINT so shards drain gracefully under an orchestrator.
 //!
 //! The guarantee: scoring replays [`TaxoRec::scores_for_user`]
 //! bit-for-bit, and the artifact stores every float via `to_le_bytes`,
@@ -49,19 +57,28 @@
 //! ```
 
 pub mod batch;
+pub mod breaker;
 pub mod checkpoint;
 pub mod http;
 pub mod lru;
 pub mod model;
+pub mod ring;
+pub mod router;
+pub mod signal;
 mod wire;
 
 pub use batch::{BatchJob, BatchOptions, Batcher};
+pub use breaker::Breaker;
 pub use checkpoint::{
-    load, save, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_RETRIEVAL_INDEX,
+    load, save, ArtifactInfo, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_RETRIEVAL_INDEX,
     FLAG_TRAIN_STATE, FORMAT_VERSION, MAGIC,
 };
 pub use http::{serve, serve_with, Health, ServeOptions, ServerHandle};
 pub use lru::LruCache;
-pub use model::{Explanation, Ranking, ServeError, ServingModel, TagAffinity, SERVE_BLOCK};
+pub use model::{
+    Explanation, ModelSlot, Ranking, ServeError, ServingModel, TagAffinity, SERVE_BLOCK,
+};
+pub use ring::Ring;
+pub use router::{route, route_with, RouterHandle, RouterOptions};
 pub use taxorec_retrieval::{IndexConfig, RetrievalMode};
 pub use wire::crc32;

@@ -40,7 +40,7 @@ use taxorec_geometry::{convert, lorentz};
 use taxorec_retrieval::{RetrievalMode, TaxoIndex};
 use taxorec_taxonomy::Taxonomy;
 
-use crate::checkpoint::{item_embeddings, Checkpoint, CheckpointError};
+use crate::checkpoint::{item_embeddings, ArtifactInfo, Checkpoint, CheckpointError};
 use crate::lru::LruCache;
 
 /// Default bound on the response cache (distinct `(user, k)` entries).
@@ -153,6 +153,9 @@ pub struct ServingModel {
     index: Option<TaxoIndex>,
     /// How `recommend` generates candidates; fixed at construction.
     retrieval: RetrievalMode,
+    /// Wire identity of the artifact this engine was loaded from
+    /// (`None` when built straight from an in-process model).
+    artifact: Option<ArtifactInfo>,
     cache: Mutex<LruCache<(u32, u32), Ranking>>,
 }
 
@@ -176,6 +179,7 @@ impl ServingModel {
             item_tags,
             mut seen_items,
             index,
+            artifact,
         } = ckpt;
         for items in &mut seen_items {
             items.sort_unstable();
@@ -210,6 +214,7 @@ impl ServingModel {
             tg_cache,
             index,
             retrieval: RetrievalMode::Exact,
+            artifact,
             cache: Mutex::new(LruCache::new(cache_capacity)),
         })
     }
@@ -297,6 +302,13 @@ impl ServingModel {
     /// The retrieval index rebuilt from the artifact, if it carried one.
     pub fn retrieval_index(&self) -> Option<&TaxoIndex> {
         self.index.as_ref()
+    }
+
+    /// Wire identity (format version, CRC-32, size) of the `.taxo`
+    /// artifact this engine was loaded from; `None` for an engine built
+    /// from an in-process model that never crossed the wire.
+    pub fn artifact_info(&self) -> Option<ArtifactInfo> {
+        self.artifact
     }
 
     /// Effective beam width: `None` in exact mode, the resolved width
@@ -720,6 +732,42 @@ impl ServingModel {
     }
 }
 
+/// A hot-swappable handle to the serving engine — the warm-reload seam.
+///
+/// Every pipeline stage (parser workers, the batch scorer, responders)
+/// resolves the model through its slot at the moment it needs one, so
+/// an [`ModelSlot::swap`] takes effect for the *next* request while
+/// every in-flight request keeps the `Arc` it already cloned. No lock
+/// is held while scoring: `load` clones the `Arc` under a mutex held
+/// for a pointer copy, and the old engine is dropped when its last
+/// in-flight request finishes. That is what makes a shard checkpoint
+/// reload zero-downtime: old and new model serve side by side for the
+/// handover instant, and no request ever observes a half-loaded model.
+pub struct ModelSlot {
+    inner: Mutex<Arc<ServingModel>>,
+}
+
+impl ModelSlot {
+    /// Wraps the initial engine.
+    pub fn new(model: Arc<ServingModel>) -> Self {
+        Self {
+            inner: Mutex::new(model),
+        }
+    }
+
+    /// The current engine (cheap: one mutex'd `Arc` clone).
+    pub fn load(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically replaces the engine, returning the previous one.
+    /// In-flight requests holding the old `Arc` finish on it.
+    pub fn swap(&self, model: Arc<ServingModel>) -> Arc<ServingModel> {
+        let mut slot = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *slot, model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,6 +888,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn model_slot_swap_is_atomic_and_old_arcs_survive() {
+        let (m, d, s) = trained();
+        let slot = ModelSlot::new(Arc::new(ServingModel::from_model(&m, &d, &s).unwrap()));
+        let before = slot.load();
+        let replacement = Arc::new(ServingModel::from_model(&m, &d, &s).unwrap());
+        let old = slot.swap(Arc::clone(&replacement));
+        assert!(Arc::ptr_eq(&old, &before), "swap returns the prior engine");
+        assert!(Arc::ptr_eq(&slot.load(), &replacement));
+        // The old engine still answers — in-flight requests that cloned
+        // it before the swap are unaffected by the handover.
+        assert_eq!(
+            *before.recommend(0, 5).unwrap(),
+            *replacement.recommend(0, 5).unwrap()
+        );
     }
 
     #[test]

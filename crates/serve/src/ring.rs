@@ -1,0 +1,199 @@
+//! Consistent-hash ring for the sharded serving tier (DESIGN.md §16).
+//!
+//! The router partitions the user keyspace across shard workers with a
+//! classic consistent-hash ring: every shard contributes
+//! [`VNODES_PER_SHARD`] virtual nodes at deterministic positions on a
+//! `u64` circle, and a user belongs to the first vnode clockwise from
+//! the user's own hash. Virtual nodes smooth the partition (each shard
+//! owns many small arcs instead of one big one), and consistency means
+//! adding or removing one shard only remaps the arcs adjacent to its
+//! vnodes — every other user keeps its owner, so per-shard caches stay
+//! warm across topology changes.
+//!
+//! **Determinism is load-bearing.** `std`'s default hasher is randomly
+//! seeded per process, so the ring hashes with FNV-1a instead: the
+//! router, the chaos tests, and any out-of-process tooling all compute
+//! the same owner for the same user. Vnode positions are hashes of
+//! `"{shard}/vn{j}"`, so a shard's arcs depend only on its index and
+//! the vnode count — never on insertion order or process state.
+//!
+//! Ownership is a *routing preference*, not a correctness boundary:
+//! every shard loads the same full `.taxo` artifact, so when an owner
+//! is down the router walks the ring to the next distinct shard
+//! ([`Ring::candidates`]) and gets a bit-identical answer — failover
+//! costs cache warmth, not correctness.
+
+/// Virtual nodes per shard. 64 keeps the max/mean load ratio under
+/// ~1.25 for small fleets (see the `balance` test) while the whole
+/// ring for 16 shards is still ~1k entries — binary-searched, cheap.
+pub const VNODES_PER_SHARD: usize = 64;
+
+/// FNV-1a 64-bit: deterministic across processes and platforms, good
+/// enough dispersion for ring placement, and dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over shard indices `0..n_shards`.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(position, shard)` sorted by position — the circle, unrolled.
+    points: Vec<(u64, u32)>,
+    n_shards: usize,
+}
+
+impl Ring {
+    /// Builds the ring for `n_shards` shards (at least one) with
+    /// [`VNODES_PER_SHARD`] virtual nodes each.
+    pub fn new(n_shards: usize) -> Self {
+        Self::with_vnodes(n_shards, VNODES_PER_SHARD)
+    }
+
+    /// Builds the ring with an explicit vnode count (tests use small
+    /// counts to exercise skew).
+    pub fn with_vnodes(n_shards: usize, vnodes: usize) -> Self {
+        assert!(n_shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(n_shards * vnodes);
+        for shard in 0..n_shards {
+            for vn in 0..vnodes {
+                let key = format!("shard-{shard}/vn{vn}");
+                points.push((fnv1a(key.as_bytes()), shard as u32));
+            }
+        }
+        // Position ties (astronomically unlikely with 64-bit hashes)
+        // resolve by shard index, keeping the sort fully deterministic.
+        points.sort_unstable();
+        Self { points, n_shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning `user`: the first vnode clockwise from the
+    /// user's hash position (wrapping past the top of the circle).
+    pub fn owner(&self, user: u32) -> u32 {
+        self.points[self.successor_index(Self::user_position(user))].1
+    }
+
+    /// All shards in failover order for `user`: the owner first, then
+    /// each *distinct* shard encountered walking the ring clockwise.
+    /// Always yields every shard exactly once, so a caller that walks
+    /// the whole list has tried the full fleet.
+    pub fn candidates(&self, user: u32) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.n_shards);
+        let start = self.successor_index(Self::user_position(user));
+        for i in 0..self.points.len() {
+            let shard = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.n_shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    fn user_position(user: u32) -> u64 {
+        fnv1a(&user.to_le_bytes())
+    }
+
+    /// Index of the first ring point at or after `pos`, wrapping.
+    fn successor_index(&self, pos: u64) -> usize {
+        match self.points.binary_search(&(pos, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic() {
+        let a = Ring::new(4);
+        let b = Ring::new(4);
+        for user in 0..10_000u32 {
+            assert_eq!(a.owner(user), b.owner(user));
+        }
+    }
+
+    #[test]
+    fn owner_is_head_of_candidates_and_candidates_cover_all_shards() {
+        let ring = Ring::new(5);
+        for user in 0..2_000u32 {
+            let cands = ring.candidates(user);
+            assert_eq!(cands[0], ring.owner(user));
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "user {user}: {cands:?}");
+        }
+    }
+
+    #[test]
+    fn balance_is_reasonable_with_default_vnodes() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for user in 0..40_000u32 {
+            counts[ring.owner(user) as usize] += 1;
+        }
+        let mean = 10_000.0;
+        for (shard, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / mean;
+            assert!(
+                (0.5..=1.5).contains(&ratio),
+                "shard {shard} owns {c} of 40000 (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_keys() {
+        // Consistency property: users NOT owned by the removed shard
+        // keep their owner when the fleet shrinks 5 → 4. (Shard
+        // indices are stable here because vnode keys are index-based
+        // and shard 4 is the one dropped.)
+        let five = Ring::new(5);
+        let four = Ring::new(4);
+        let mut moved = 0usize;
+        for user in 0..20_000u32 {
+            let before = five.owner(user);
+            let after = four.owner(user);
+            if before == 4 {
+                moved += 1; // must move somewhere — its owner is gone
+                assert!(after < 4);
+            } else {
+                assert_eq!(before, after, "user {user} remapped needlessly");
+            }
+        }
+        // Roughly 1/5 of keys lived on the removed shard.
+        assert!((2_000..=6_000).contains(&moved), "moved {moved}");
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = Ring::new(1);
+        for user in (0..100_000u32).step_by(997) {
+            assert_eq!(ring.owner(user), 0);
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

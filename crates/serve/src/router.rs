@@ -1,0 +1,1155 @@
+//! The sharded serving front end: `taxorec-router` (DESIGN.md §16).
+//!
+//! A std-only HTTP proxy that fronts a fleet of `taxorec-serve` shard
+//! workers. Users are partitioned across shards by the consistent-hash
+//! [`Ring`](crate::ring::Ring) — a *locality* optimization: every shard
+//! loads the same full `.taxo` artifact, so any shard answers any user
+//! bit-identically and the ring only decides whose response cache gets
+//! warm for whom. That asymmetry is what makes failover trivial to
+//! reason about: routing around a dead owner changes latency, never
+//! results.
+//!
+//! ## Request path (`/recommend`, `/explain`)
+//!
+//! 1. Hash the `user` parameter; walk the ring's candidate order
+//!    (owner first, then each remaining shard exactly once).
+//! 2. Skip candidates the router believes are unavailable: health
+//!    `down`/`draining` (from the background prober) or an open
+//!    circuit [`Breaker`](crate::breaker::Breaker).
+//! 3. Forward upstream with the client's trace id in an
+//!    `x-taxorec-trace` header, so shard-side spans join the router's
+//!    trace tree. Connection-refused upstreams are retried on a
+//!    decorrelated-jitter schedule (reads are idempotent); any other
+//!    transport error fails the candidate over to the next shard.
+//! 4. **Hedging**: if the in-flight attempt has produced nothing after
+//!    [`RouterOptions::hedge_after`], a second attempt is launched at
+//!    the next candidate; first complete response wins. A shard wedged
+//!    in a stall (`TAXOREC_FAULT=stall@…`) costs one hedge interval,
+//!    not a client timeout.
+//! 5. Every attempt is bounded by the remaining request deadline
+//!    ([`RouterOptions::deadline`]). When no candidate is admissible
+//!    or the deadline expires, the client gets `503` with a
+//!    `Retry-After` header — the router never hangs a caller on a
+//!    dead fleet.
+//!
+//! Transport failures and successes feed each shard's circuit breaker;
+//! a tripped breaker short-circuits a dead shard to zero connect
+//! attempts until its cooldown elapses (half-open probe).
+//!
+//! ## Control plane
+//!
+//! A background prober polls every shard's `/healthz` each
+//! [`RouterOptions::probe_interval`], caching readiness
+//! (`ready`/`degraded`/`draining`/`down`) plus the shard's advertised
+//! identity and loaded-checkpoint fingerprint (version/CRC). Routing
+//! reads that cache — probe latency is never on the request path.
+//!
+//! | Path              | Answered by                                         |
+//! |-------------------|-----------------------------------------------------|
+//! | `/recommend`      | proxied to the owning shard (failover + hedging)    |
+//! | `/explain`        | proxied likewise                                    |
+//! | `/healthz`        | aggregate fleet view (per-shard state + checkpoint) |
+//! | `/metrics`        | the router's own registry (RED per shard)           |
+//! | `/metrics.json`   | the router's own registry snapshot                  |
+//! | `/shards/metrics` | all shard expositions merged, `shard="i"` label     |
+//!
+//! Proxied responses carry `x-taxorec-shard: <i>` naming the shard that
+//! actually answered — the observable failover signal the chaos test
+//! asserts on.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use taxorec_resilience::{DecorrelatedJitter, RetryPolicy};
+use taxorec_telemetry::json::push_str_escaped;
+use taxorec_telemetry::{trace, TraceContext};
+
+use crate::breaker::Breaker;
+use crate::http::{error_json, read_head, require_param, respond_with};
+use crate::ring::Ring;
+
+const JSON_CONTENT_TYPE: &str = "application/json";
+/// Worker condvar poll interval (shutdown-flag recheck bound).
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Tuning knobs for [`route_with`]. [`RouterOptions::from_env`] reads
+/// the `TAXOREC_ROUTER_*` variables; [`Default`] ignores the
+/// environment.
+#[derive(Clone, Debug)]
+pub struct RouterOptions {
+    /// Front-end worker threads (≥ 1 enforced).
+    /// Env: `TAXOREC_ROUTER_WORKERS`.
+    pub n_workers: usize,
+    /// Client-side read/write deadline.
+    /// Env: `TAXOREC_ROUTER_TIMEOUT_MS`.
+    pub io_timeout: Duration,
+    /// Accepted client connections allowed to wait for a worker.
+    /// Env: `TAXOREC_ROUTER_MAX_QUEUE`.
+    pub max_queue: usize,
+    /// Largest client request head accepted.
+    pub max_request_bytes: usize,
+    /// How often the background prober polls each shard's `/healthz`.
+    /// Env: `TAXOREC_ROUTER_PROBE_MS`.
+    pub probe_interval: Duration,
+    /// Upstream connect deadline per attempt.
+    /// Env: `TAXOREC_ROUTER_CONNECT_MS`.
+    pub connect_timeout: Duration,
+    /// Silence threshold before a hedged second attempt is launched at
+    /// the next candidate shard.
+    /// Env: `TAXOREC_ROUTER_HEDGE_MS`.
+    pub hedge_after: Duration,
+    /// Total per-request budget across all candidates, retries, and
+    /// hedges. Env: `TAXOREC_ROUTER_DEADLINE_MS`.
+    pub deadline: Duration,
+    /// Retry schedule for connection-refused upstreams (a shard
+    /// restarting mid-reload). Only idempotent reads flow through the
+    /// router, so re-sending is always safe.
+    pub retry: RetryPolicy,
+    /// Consecutive transport failures that open a shard's breaker.
+    /// Env: `TAXOREC_ROUTER_BREAKER_FAILURES`.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses before a half-open probe.
+    /// Env: `TAXOREC_ROUTER_BREAKER_COOLDOWN_MS`.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            n_workers: 4,
+            io_timeout: Duration::from_secs(5),
+            max_queue: 128,
+            max_request_bytes: 16 * 1024,
+            probe_interval: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(250),
+            hedge_after: Duration::from_millis(50),
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_millis(5),
+                multiplier: 2,
+                max_backoff: Duration::from_millis(50),
+            },
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RouterOptions {
+    /// Defaults overridden by the `TAXOREC_ROUTER_*` variables where
+    /// set and parseable.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Some(w) = env_usize("TAXOREC_ROUTER_WORKERS") {
+            o.n_workers = w.clamp(1, 64);
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_TIMEOUT_MS") {
+            o.io_timeout = Duration::from_millis(ms.max(1) as u64);
+        }
+        if let Some(q) = env_usize("TAXOREC_ROUTER_MAX_QUEUE") {
+            o.max_queue = q.max(1);
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_PROBE_MS") {
+            o.probe_interval = Duration::from_millis(ms.max(10) as u64);
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_CONNECT_MS") {
+            o.connect_timeout = Duration::from_millis(ms.max(1) as u64);
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_HEDGE_MS") {
+            o.hedge_after = Duration::from_millis(ms.max(1) as u64);
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_DEADLINE_MS") {
+            o.deadline = Duration::from_millis(ms.max(10) as u64);
+        }
+        if let Some(n) = env_usize("TAXOREC_ROUTER_BREAKER_FAILURES") {
+            o.breaker_threshold = n.clamp(1, 1000) as u32;
+        }
+        if let Some(ms) = env_usize("TAXOREC_ROUTER_BREAKER_COOLDOWN_MS") {
+            o.breaker_cooldown = Duration::from_millis(ms.max(1) as u64);
+        }
+        o
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+// Router's view of one shard, refreshed by the prober.
+const SHARD_UNKNOWN: u8 = 0; // not yet probed — routable (cold start)
+const SHARD_READY: u8 = 1;
+const SHARD_DEGRADED: u8 = 2;
+const SHARD_DRAINING: u8 = 3;
+const SHARD_DOWN: u8 = 4;
+
+fn shard_state_label(state: u8) -> &'static str {
+    match state {
+        SHARD_READY => "ready",
+        SHARD_DEGRADED => "degraded",
+        SHARD_DRAINING => "draining",
+        SHARD_DOWN => "down",
+        _ => "unknown",
+    }
+}
+
+/// Shard identity + checkpoint fingerprint scraped from its `/healthz`.
+#[derive(Clone, Debug, Default)]
+struct ShardMeta {
+    id: Option<String>,
+    /// `(version, crc, bytes)` of the shard's loaded artifact.
+    checkpoint: Option<(u64, u64, u64)>,
+}
+
+/// One shard's routing state: address, last probed health, breaker,
+/// and scraped identity.
+struct ShardState {
+    addr: SocketAddr,
+    health: AtomicU8,
+    breaker: Mutex<Breaker>,
+    meta: Mutex<ShardMeta>,
+}
+
+impl ShardState {
+    /// Is this shard worth attempting right now? Health says the
+    /// process looked alive at the last probe (or has not been probed
+    /// yet) and is not advertising a drain; the breaker admits the
+    /// attempt (possibly as a half-open trial).
+    fn admissible(&self, now: Instant) -> bool {
+        let h = self.health.load(Ordering::SeqCst);
+        if h == SHARD_DOWN || h == SHARD_DRAINING {
+            return false;
+        }
+        self.breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .allow(now)
+    }
+}
+
+/// State shared by the acceptor, workers, prober, and the handle.
+struct RouterShared {
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    queue: Mutex<VecDeque<(TcpStream, TraceContext, Instant)>>,
+    ready: Condvar,
+    ring: Ring,
+    shards: Vec<ShardState>,
+    opts: RouterOptions,
+}
+
+/// A running router: joinable acceptor, worker, and prober threads.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address actually bound (resolves ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Marks the router `draining` on `/healthz` without stopping it.
+    pub fn set_draining(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops accepting, finishes queued requests, joins all threads.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Binds `addr` and routes across `shards` with environment-tuned
+/// options.
+pub fn route(shards: Vec<SocketAddr>, addr: &str) -> std::io::Result<RouterHandle> {
+    route_with(shards, addr, RouterOptions::from_env())
+}
+
+/// [`route`] with explicit [`RouterOptions`].
+pub fn route_with(
+    shards: Vec<SocketAddr>,
+    addr: &str,
+    opts: RouterOptions,
+) -> std::io::Result<RouterHandle> {
+    if shards.is_empty() {
+        return Err(std::io::Error::other("a router needs at least one shard"));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let ring = Ring::new(shards.len());
+    let shard_states = shards
+        .iter()
+        .map(|&a| ShardState {
+            addr: a,
+            health: AtomicU8::new(SHARD_UNKNOWN),
+            breaker: Mutex::new(Breaker::new(opts.breaker_threshold, opts.breaker_cooldown)),
+            meta: Mutex::new(ShardMeta::default()),
+        })
+        .collect();
+    let n_workers = opts.n_workers.max(1);
+    let shared = Arc::new(RouterShared {
+        shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        ring,
+        shards: shard_states,
+        opts,
+    });
+    // Gauges registered up front so `/metrics` shows the fleet at zero.
+    for i in 0..shards.len() {
+        taxorec_telemetry::gauge(&format!("router.shard.{i}.up")).set(0.0);
+    }
+    let mut threads = Vec::with_capacity(n_workers + 2);
+    for i in 0..n_workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("taxorec-router-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("taxorec-router-probe".into())
+                .spawn(move || prober_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("taxorec-router-accept".into())
+                .spawn(move || acceptor_loop(listener, &shared))?,
+        );
+    }
+    Ok(RouterHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &RouterShared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(mut stream) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = stream.set_read_timeout(Some(shared.opts.io_timeout));
+                let _ = stream.set_write_timeout(Some(shared.opts.io_timeout));
+                let ctx = trace::mint();
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= shared.opts.max_queue {
+                    drop(q);
+                    taxorec_telemetry::counter("router.shed").inc(1);
+                    let _ = respond_with(
+                        &mut stream,
+                        503,
+                        ctx.trace_id,
+                        JSON_CONTENT_TYPE,
+                        "Retry-After: 1\r\n",
+                        &error_json("router overloaded; retry later"),
+                    );
+                    continue;
+                }
+                q.push_back((stream, ctx, Instant::now()));
+                taxorec_telemetry::gauge("router.queue.depth").set(q.len() as f64);
+                drop(q);
+                shared.ready.notify_one();
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    shared.ready.notify_all();
+}
+
+fn worker_loop(shared: &RouterShared) {
+    loop {
+        let next = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = q.pop_front() {
+                    taxorec_telemetry::gauge("router.queue.depth").set(q.len() as f64);
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, POLL_INTERVAL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        match next {
+            Some((stream, ctx, accepted)) => handle_client(stream, ctx, accepted, shared),
+            None => return,
+        }
+    }
+}
+
+fn handle_client(
+    mut stream: TcpStream,
+    ctx: TraceContext,
+    accepted: Instant,
+    shared: &RouterShared,
+) {
+    let _scope = trace::scope(ctx);
+    let head = match read_head(&mut stream, shared.opts.max_request_bytes) {
+        Some(h) => h,
+        None => {
+            let _ = respond_with(
+                &mut stream,
+                400,
+                ctx.trace_id,
+                JSON_CONTENT_TYPE,
+                "",
+                &error_json("malformed, oversized, or timed-out request"),
+            );
+            return;
+        }
+    };
+    taxorec_telemetry::counter("router.requests").inc(1);
+    let start = Instant::now();
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        let _ = respond_with(
+            &mut stream,
+            405,
+            ctx.trace_id,
+            JSON_CONTENT_TYPE,
+            "",
+            &error_json(&format!("method {method:?} not allowed; use GET")),
+        );
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let (status, body, content_type, extra_headers, endpoint) = match path {
+        "/healthz" => (
+            200,
+            fleet_healthz_json(shared),
+            JSON_CONTENT_TYPE,
+            String::new(),
+            "healthz",
+        ),
+        "/metrics" => (
+            200,
+            taxorec_telemetry::prometheus::render(),
+            taxorec_telemetry::prometheus::CONTENT_TYPE,
+            String::new(),
+            "metrics",
+        ),
+        "/metrics.json" => (
+            200,
+            taxorec_telemetry::snapshot(),
+            JSON_CONTENT_TYPE,
+            String::new(),
+            "metrics",
+        ),
+        "/shards/metrics" => (
+            200,
+            scrape_shard_metrics(shared),
+            taxorec_telemetry::prometheus::CONTENT_TYPE,
+            String::new(),
+            "metrics",
+        ),
+        "/recommend" | "/explain" => {
+            let endpoint = if path == "/recommend" {
+                "recommend"
+            } else {
+                "explain"
+            };
+            match require_param(query, "user") {
+                Err(msg) => (
+                    400,
+                    error_json(&msg),
+                    JSON_CONTENT_TYPE,
+                    String::new(),
+                    endpoint,
+                ),
+                Ok(user) => match proxy(shared, ctx, target, user) {
+                    Ok(resp) => (
+                        resp.status,
+                        resp.body,
+                        // Leak-free &'static impossible for a passthrough
+                        // type; shards only ever answer JSON here.
+                        JSON_CONTENT_TYPE,
+                        format!("x-taxorec-shard: {}\r\n", resp.shard),
+                        endpoint,
+                    ),
+                    Err(unavailable) => {
+                        taxorec_telemetry::counter("router.unavailable").inc(1);
+                        (
+                            503,
+                            error_json(&unavailable),
+                            JSON_CONTENT_TYPE,
+                            "Retry-After: 1\r\n".to_string(),
+                            endpoint,
+                        )
+                    }
+                },
+            }
+        }
+        _ => (
+            404,
+            error_json(&format!("no route for {path:?}")),
+            JSON_CONTENT_TYPE,
+            String::new(),
+            "other",
+        ),
+    };
+    let _ = respond_with(
+        &mut stream,
+        status,
+        ctx.trace_id,
+        content_type,
+        &extra_headers,
+        &body,
+    );
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    taxorec_telemetry::histogram(&format!("router.{endpoint}.ms")).observe(ms);
+    taxorec_telemetry::counter(&format!("router.{endpoint}.requests")).inc(1);
+    if status >= 400 {
+        taxorec_telemetry::counter(&format!("router.{endpoint}.errors")).inc(1);
+    }
+    trace::emit_root_at("router", ctx, accepted, Instant::now());
+}
+
+/// A parsed upstream response headed back to the client.
+struct Proxied {
+    status: u16,
+    body: String,
+    /// Index of the shard that actually answered.
+    shard: u32,
+}
+
+/// Forwards `target` to the candidate shards for `user`: owner first,
+/// bounded jittered retries on connection-refused, failover on any
+/// other transport error, and a hedged second attempt when the
+/// in-flight one has been silent for `hedge_after`. Returns the first
+/// complete upstream response, or `Err(reason)` when every admissible
+/// candidate failed or the deadline expired (the caller answers `503 +
+/// Retry-After`).
+fn proxy(
+    shared: &RouterShared,
+    ctx: TraceContext,
+    target: &str,
+    user: u32,
+) -> Result<Proxied, String> {
+    let opts = &shared.opts;
+    let deadline = Instant::now() + opts.deadline;
+    let candidates = shared.ring.candidates(user);
+    let (tx, rx) = mpsc::channel::<(u32, std::io::Result<Proxied>)>();
+    let mut next = 0usize; // next candidate position to consider
+    let mut in_flight = 0usize;
+    let mut hedged = false;
+    let mut skipped = 0usize;
+    let mut last_err: Option<String> = None;
+
+    // Launches the next admissible candidate, if any.
+    let launch = |next: &mut usize, in_flight: &mut usize, skipped: &mut usize| -> bool {
+        while *next < candidates.len() {
+            let shard_idx = candidates[*next];
+            *next += 1;
+            let shard = &shared.shards[shard_idx as usize];
+            if !shard.admissible(Instant::now()) {
+                *skipped += 1;
+                taxorec_telemetry::counter("router.skipped").inc(1);
+                continue;
+            }
+            let addr = shard.addr;
+            let tx = tx.clone();
+            let request = upstream_request(target, ctx.trace_id);
+            let retry = opts.retry;
+            let connect_timeout = opts.connect_timeout;
+            let seed = ctx.trace_id ^ shard_idx as u64;
+            let spawned = std::thread::Builder::new()
+                .name(format!("taxorec-router-try-{shard_idx}"))
+                .spawn(move || {
+                    let result = attempt(addr, &request, connect_timeout, deadline, retry, seed)
+                        .map(|(status, body)| Proxied {
+                            status,
+                            body,
+                            shard: shard_idx,
+                        });
+                    let _ = tx.send((shard_idx, result));
+                });
+            if spawned.is_ok() {
+                *in_flight += 1;
+                return true;
+            }
+        }
+        false
+    };
+
+    launch(&mut next, &mut in_flight, &mut skipped);
+    if in_flight == 0 {
+        return Err(format!(
+            "no shard available for user {user} ({skipped} skipped: down, draining, or breaker open)"
+        ));
+    }
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(format!("deadline exceeded routing user {user}"));
+        }
+        // Wait for the in-flight attempt(s); wake early at the hedge
+        // threshold if a second attempt hasn't been fired yet.
+        let wait = if !hedged {
+            opts.hedge_after.min(deadline - now)
+        } else {
+            deadline - now
+        };
+        match rx.recv_timeout(wait) {
+            Ok((shard_idx, Ok(resp))) => {
+                shard_success(shared, shard_idx);
+                if hedged {
+                    taxorec_telemetry::counter("router.hedge.won").inc(1);
+                }
+                return Ok(resp);
+            }
+            Ok((shard_idx, Err(e))) => {
+                in_flight -= 1;
+                shard_failure(shared, shard_idx);
+                taxorec_telemetry::counter("router.failover").inc(1);
+                last_err = Some(format!("shard {shard_idx}: {e}"));
+                // Replace the failed attempt with the next candidate.
+                if !launch(&mut next, &mut in_flight, &mut skipped) && in_flight == 0 {
+                    return Err(format!(
+                        "all shards failed for user {user}; last error: {}",
+                        last_err.as_deref().unwrap_or("none")
+                    ));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("deadline exceeded routing user {user}"));
+                }
+                if !hedged {
+                    hedged = true;
+                    if launch(&mut next, &mut in_flight, &mut skipped) {
+                        taxorec_telemetry::counter("router.hedge.fired").inc(1);
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All attempt threads gone without a success.
+                return Err(format!(
+                    "all shards failed for user {user}; last error: {}",
+                    last_err.as_deref().unwrap_or("none")
+                ));
+            }
+        }
+    }
+}
+
+fn shard_success(shared: &RouterShared, shard_idx: u32) {
+    let shard = &shared.shards[shard_idx as usize];
+    shard
+        .breaker
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .on_success();
+    taxorec_telemetry::counter(&format!("router.shard.{shard_idx}.requests")).inc(1);
+}
+
+fn shard_failure(shared: &RouterShared, shard_idx: u32) {
+    let shard = &shared.shards[shard_idx as usize];
+    let tripped = shard
+        .breaker
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .on_failure(Instant::now());
+    taxorec_telemetry::counter(&format!("router.shard.{shard_idx}.requests")).inc(1);
+    taxorec_telemetry::counter(&format!("router.shard.{shard_idx}.errors")).inc(1);
+    if tripped {
+        taxorec_telemetry::counter("router.breaker.opened").inc(1);
+        taxorec_telemetry::sink::warn(&format!(
+            "shard {shard_idx} breaker opened after repeated transport failures"
+        ));
+    }
+}
+
+/// The upstream request bytes for one proxied call: the original
+/// target, the router's trace id (so shard spans join this trace), and
+/// `Connection: close` framing.
+fn upstream_request(target: &str, trace_id: u64) -> String {
+    format!(
+        "GET {target} HTTP/1.1\r\nHost: shard\r\nx-taxorec-trace: {trace_id:016x}\r\nConnection: close\r\n\r\n"
+    )
+}
+
+/// One upstream attempt: connect (with bounded decorrelated-jitter
+/// retries on connection-refused — the signature of a shard restarting
+/// mid-reload), send, read to EOF, parse. Any other transport error
+/// returns immediately so the caller can fail over.
+fn attempt(
+    addr: SocketAddr,
+    request: &str,
+    connect_timeout: Duration,
+    deadline: Instant,
+    retry: RetryPolicy,
+    seed: u64,
+) -> std::io::Result<(u16, String)> {
+    let mut jitter = DecorrelatedJitter::new(retry, seed);
+    let mut attempts = 0usize;
+    let mut stream = loop {
+        attempts += 1;
+        match TcpStream::connect_timeout(&addr, connect_timeout) {
+            Ok(s) => break s,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && attempts < retry.max_attempts.max(1)
+                    && Instant::now() < deadline =>
+            {
+                // Refused means no listener *right now* — a shard
+                // restarting. These reads are idempotent, so retry on
+                // the jittered schedule instead of failing over and
+                // abandoning the owner's warm cache.
+                taxorec_telemetry::counter("router.connect.refused_retry").inc(1);
+                std::thread::sleep(jitter.next_backoff());
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let now = Instant::now();
+    let budget = deadline
+        .checked_duration_since(now)
+        .unwrap_or(Duration::from_millis(1))
+        .max(Duration::from_millis(1));
+    stream.set_read_timeout(Some(budget))?;
+    stream.set_write_timeout(Some(budget))?;
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::with_capacity(1024);
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Parses a `Connection: close` HTTP/1.1 response into (status, body).
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| std::io::Error::other("upstream response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("upstream response missing header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::other(format!("malformed upstream status line {status_line:?}"))
+        })?;
+    Ok((status, body.to_string()))
+}
+
+/// Background prober: polls each shard's `/healthz` every
+/// `probe_interval`, refreshing the routing cache (health state, shard
+/// identity, checkpoint fingerprint) and the `router.shard.<i>.up`
+/// gauges. Routing decisions read this cache, so probe latency never
+/// lands on the request path.
+fn prober_loop(shared: &RouterShared) {
+    loop {
+        for (i, shard) in shared.shards.iter().enumerate() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let state = match probe_shard(shard.addr, shared.opts.connect_timeout) {
+                Ok((state, meta)) => {
+                    *shard.meta.lock().unwrap_or_else(|e| e.into_inner()) = meta;
+                    state
+                }
+                Err(_) => SHARD_DOWN,
+            };
+            let prev = shard.health.swap(state, Ordering::SeqCst);
+            let up = (state == SHARD_READY || state == SHARD_DEGRADED) as u8;
+            taxorec_telemetry::gauge(&format!("router.shard.{i}.up")).set(up as f64);
+            if prev != state && prev != SHARD_UNKNOWN {
+                taxorec_telemetry::sink::info(&format!(
+                    "shard {i} {} -> {}",
+                    shard_state_label(prev),
+                    shard_state_label(state)
+                ));
+            }
+        }
+        // Sleep in short slices so shutdown is prompt.
+        let mut remaining = shared.opts.probe_interval;
+        while remaining > Duration::ZERO {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = remaining.min(POLL_INTERVAL * 2);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// One `/healthz` probe: fetch, parse `"status"`, scrape the shard
+/// section ([`ShardMeta`]).
+fn probe_shard(addr: SocketAddr, connect_timeout: Duration) -> std::io::Result<(u8, ShardMeta)> {
+    let deadline = Instant::now() + connect_timeout * 4;
+    let (status, body) = attempt(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: shard\r\nConnection: close\r\n\r\n",
+        connect_timeout,
+        deadline,
+        RetryPolicy::none(),
+        0,
+    )?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!("healthz answered {status}")));
+    }
+    let state = match json_str_field(&body, "status").as_deref() {
+        Some("ready") => SHARD_READY,
+        Some("degraded") => SHARD_DEGRADED,
+        Some("draining") => SHARD_DRAINING,
+        _ => SHARD_DOWN,
+    };
+    let meta = ShardMeta {
+        id: json_str_field(&body, "id"),
+        checkpoint: match (
+            json_u64_field(&body, "version"),
+            json_u64_field(&body, "crc"),
+            json_u64_field(&body, "bytes"),
+        ) {
+            (Some(v), Some(c), Some(b)) => Some((v, c, b)),
+            _ => None,
+        },
+    };
+    Ok((state, meta))
+}
+
+/// First `"name":"value"` string field in a flat JSON scan. Good
+/// enough for the `/healthz` documents this router itself defines.
+fn json_str_field(body: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":\"");
+    let start = body.find(&key)? + key.len();
+    let rest = &body[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// First `"name":123` numeric field in a flat JSON scan.
+fn json_u64_field(body: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = body.find(&key)? + key.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The router's aggregate `/healthz`: its own status (`ready` when the
+/// full fleet is routable, `degraded` when only part of it is,
+/// `draining` on shutdown) plus each shard's probed state, breaker,
+/// identity, and checkpoint fingerprint.
+fn fleet_healthz_json(shared: &RouterShared) -> String {
+    let mut up = 0usize;
+    let mut body = String::with_capacity(256);
+    let mut shards_json = String::with_capacity(128 * shared.shards.len());
+    shards_json.push('[');
+    for (i, shard) in shared.shards.iter().enumerate() {
+        if i > 0 {
+            shards_json.push(',');
+        }
+        let state = shard.health.load(Ordering::SeqCst);
+        if state != SHARD_DOWN && state != SHARD_DRAINING {
+            up += 1;
+        }
+        let meta = shard.meta.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let breaker = shard
+            .breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .state_label();
+        shards_json.push_str("{\"shard\":");
+        shards_json.push_str(&i.to_string());
+        shards_json.push_str(",\"addr\":");
+        push_str_escaped(&mut shards_json, &shard.addr.to_string());
+        shards_json.push_str(",\"state\":\"");
+        shards_json.push_str(shard_state_label(state));
+        shards_json.push_str("\",\"breaker\":\"");
+        shards_json.push_str(breaker);
+        shards_json.push_str("\",\"id\":");
+        match &meta.id {
+            Some(id) => push_str_escaped(&mut shards_json, id),
+            None => shards_json.push_str("null"),
+        }
+        shards_json.push_str(",\"checkpoint\":");
+        match meta.checkpoint {
+            Some((v, c, b)) => {
+                shards_json.push_str(&format!("{{\"version\":{v},\"crc\":{c},\"bytes\":{b}}}"))
+            }
+            None => shards_json.push_str("null"),
+        }
+        shards_json.push('}');
+    }
+    shards_json.push(']');
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else if up == shared.shards.len() {
+        "ready"
+    } else {
+        "degraded"
+    };
+    body.push_str("{\"status\":\"");
+    body.push_str(status);
+    body.push_str("\",\"role\":\"router\",\"up\":");
+    body.push_str(&up.to_string());
+    body.push_str(",\"total\":");
+    body.push_str(&shared.shards.len().to_string());
+    body.push_str(",\"shards\":");
+    body.push_str(&shards_json);
+    body.push('}');
+    body
+}
+
+/// Fetches every reachable shard's `/metrics` and merges them into one
+/// exposition via [`merge_expositions`]. Unreachable shards contribute
+/// a comment line instead of failing the scrape.
+fn scrape_shard_metrics(shared: &RouterShared) -> String {
+    let mut scraped = Vec::with_capacity(shared.shards.len());
+    let mut unreachable = Vec::new();
+    for (i, shard) in shared.shards.iter().enumerate() {
+        let deadline = Instant::now() + shared.opts.connect_timeout * 4;
+        match attempt(
+            shard.addr,
+            "GET /metrics HTTP/1.1\r\nHost: shard\r\nConnection: close\r\n\r\n",
+            shared.opts.connect_timeout,
+            deadline,
+            RetryPolicy::none(),
+            0,
+        ) {
+            Ok((200, text)) => scraped.push((i.to_string(), text)),
+            _ => unreachable.push(i),
+        }
+    }
+    let mut out = String::new();
+    for i in unreachable {
+        out.push_str(&format!("# shard {i} unreachable\n"));
+    }
+    out.push_str(&merge_expositions(&scraped));
+    out
+}
+
+/// Merges Prometheus text expositions from several shards into one:
+/// every sample line gains a `shard="<label>"` label, and `# HELP` /
+/// `# TYPE` comments are emitted once per metric family with all
+/// shards' samples grouped beneath them (scrape-order of first
+/// appearance). Pure, so the grouping and label-injection invariants
+/// are unit-testable without sockets.
+pub fn merge_expositions(shards: &[(String, String)]) -> String {
+    // family name -> (comment lines, sample lines), in first-seen order.
+    let mut order: Vec<String> = Vec::new();
+    let mut comments: Vec<Vec<String>> = Vec::new();
+    let mut samples: Vec<Vec<String>> = Vec::new();
+    let mut index = std::collections::HashMap::new();
+    let mut family_names = std::collections::HashSet::new();
+
+    // First pass: learn family names from TYPE/HELP comments, so
+    // histogram series (`_bucket`/`_sum`/`_count`) can be grouped under
+    // their family.
+    for (_, text) in shards {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.split_whitespace();
+                let kw = parts.next().unwrap_or("");
+                if kw == "TYPE" || kw == "HELP" {
+                    if let Some(name) = parts.next() {
+                        family_names.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let family_of = |sample_name: &str| -> String {
+        if family_names.contains(sample_name) {
+            return sample_name.to_string();
+        }
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = sample_name.strip_suffix(suffix) {
+                if family_names.contains(stem) {
+                    return stem.to_string();
+                }
+            }
+        }
+        sample_name.to_string()
+    };
+    let mut slot_for = |fam: String,
+                        order: &mut Vec<String>,
+                        comments: &mut Vec<Vec<String>>,
+                        samples: &mut Vec<Vec<String>>|
+     -> usize {
+        *index.entry(fam.clone()).or_insert_with(|| {
+            order.push(fam);
+            comments.push(Vec::new());
+            samples.push(Vec::new());
+            order.len() - 1
+        })
+    };
+
+    for (label, text) in shards {
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.split_whitespace();
+                let kw = parts.next().unwrap_or("");
+                let name = parts.next().unwrap_or("");
+                if kw != "TYPE" && kw != "HELP" {
+                    continue;
+                }
+                let slot = slot_for(name.to_string(), &mut order, &mut comments, &mut samples);
+                if !comments[slot].iter().any(|c| c == line) {
+                    comments[slot].push(line.to_string());
+                }
+            } else {
+                let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+                let name = &line[..name_end];
+                let injected = if line.as_bytes().get(name_end) == Some(&b'{') {
+                    format!("{name}{{shard=\"{label}\",{}", &line[name_end + 1..])
+                } else {
+                    format!("{name}{{shard=\"{label}\"}}{}", &line[name_end..])
+                };
+                let slot = slot_for(family_of(name), &mut order, &mut comments, &mut samples);
+                samples[slot].push(injected);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (slot, _fam) in order.iter().enumerate() {
+        for c in &comments[slot] {
+            out.push_str(c);
+            out.push('\n');
+        }
+        for s in &samples[slot] {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_injects_shard_labels_and_groups_families() {
+        let a = "# HELP reqs Requests.\n# TYPE reqs counter\nreqs 3\n".to_string();
+        let b = "# HELP reqs Requests.\n# TYPE reqs counter\nreqs 5\n".to_string();
+        let merged = merge_expositions(&[("0".to_string(), a), ("1".to_string(), b)]);
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# HELP reqs Requests.",
+                "# TYPE reqs counter",
+                "reqs{shard=\"0\"} 3",
+                "reqs{shard=\"1\"} 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_prepends_shard_to_existing_labels() {
+        let a =
+            "# TYPE lat histogram\nlat_bucket{le=\"1\"} 2\nlat_sum 4\nlat_count 2\n".to_string();
+        let merged = merge_expositions(&[("3".to_string(), a)]);
+        assert!(
+            merged.contains("lat_bucket{shard=\"3\",le=\"1\"} 2"),
+            "{merged}"
+        );
+        assert!(merged.contains("lat_sum{shard=\"3\"} 4"), "{merged}");
+        // All three series grouped under the single TYPE comment.
+        let type_pos = merged.find("# TYPE lat").unwrap();
+        let bucket_pos = merged.find("lat_bucket").unwrap();
+        assert!(type_pos < bucket_pos);
+        assert_eq!(merged.matches("# TYPE lat").count(), 1);
+    }
+
+    #[test]
+    fn merge_groups_interleaved_families_from_many_shards() {
+        let a = "# TYPE x counter\nx 1\n# TYPE y counter\ny 2\n".to_string();
+        let b = "# TYPE y counter\ny 7\n# TYPE x counter\nx 9\n".to_string();
+        let merged = merge_expositions(&[("0".to_string(), a), ("1".to_string(), b)]);
+        // Families stay contiguous: every x sample before any y sample
+        // (x was seen first).
+        let x1 = merged.find("x{shard=\"1\"} 9").unwrap();
+        let y0 = merged.find("y{shard=\"0\"} 2").unwrap();
+        assert!(x1 < y0, "{merged}");
+        assert_eq!(merged.matches("# TYPE x counter").count(), 1);
+        assert_eq!(merged.matches("# TYPE y counter").count(), 1);
+    }
+
+    #[test]
+    fn parse_response_extracts_status_and_body() {
+        let raw =
+            b"HTTP/1.1 404 Not Found\r\ncontent-type: application/json\r\n\r\n{\"error\":\"x\"}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "{\"error\":\"x\"}");
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn json_field_scans() {
+        let body = "{\"status\":\"ready\",\"shard\":{\"id\":\"s0\",\"checkpoint\":{\"version\":1,\"crc\":42,\"bytes\":512}}}";
+        assert_eq!(json_str_field(body, "status").as_deref(), Some("ready"));
+        assert_eq!(json_str_field(body, "id").as_deref(), Some("s0"));
+        assert_eq!(json_u64_field(body, "crc"), Some(42));
+        assert_eq!(json_u64_field(body, "bytes"), Some(512));
+        assert_eq!(json_str_field(body, "missing"), None);
+    }
+}
