@@ -48,6 +48,14 @@ LOAD SHAPE:
   --clients C        client threads executing the schedule (default 16)
   --k-max K          k varies per user in 1..=K (default 10)
   --sweep            run the standard 1k/10k/100k-user populations
+  --ingest           every 4th arrival POSTs an /ingest interaction batch
+                     (mixed with /recommend traffic) — target must run
+                     with ingestion on (taxorec-serve serve --ingest);
+                     batches reuse a small tag pool plus occasional
+                     never-seen \"live-fresh-*\" names to exercise the
+                     streaming taxonomy graft path
+  --ingest-every N   override the /ingest arrival stride (default 4)
+  --ingest-batch B   interactions per /ingest POST (default 8)
 
 REPORT:
   --out FILE         write the JSON report here (default: stdout only;
@@ -188,6 +196,61 @@ fn one_request(addr: SocketAddr, user: u32, k: usize, scheduled: Instant) -> Sam
     }
 }
 
+/// Issues one `POST /ingest` batch: `batch` interactions from `user`
+/// over a small item window, tagged from a bounded pool with an
+/// occasional never-seen `live-fresh-*` name so the streaming graft
+/// path (and a later drift rebuild) is actually exercised.
+fn one_ingest(addr: SocketAddr, user: u32, seq: usize, batch: usize, scheduled: Instant) -> Sample {
+    let mut body = String::with_capacity(64 * batch);
+    body.push_str("{\"interactions\":[");
+    for j in 0..batch {
+        if j > 0 {
+            body.push(',');
+        }
+        let item = (user as usize + j * 7) % 64;
+        if (seq + j).is_multiple_of(64) {
+            body.push_str(&format!(
+                "{{\"user\":{user},\"item\":{item},\"tags\":[\"live-fresh-{seq}-{j}\"]}}"
+            ));
+        } else {
+            let tag = (seq + j) % 24;
+            body.push_str(&format!(
+                "{{\"user\":{user},\"item\":{item},\"tags\":[\"live-{tag}\"]}}"
+            ));
+        }
+    }
+    body.push_str("]}");
+    let result = (|| -> Result<u16, &'static str> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                "refused"
+            } else {
+                "connect"
+            }
+        })?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        write!(
+            stream,
+            "POST /ingest HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(|_| "send")?;
+        let mut response = Vec::with_capacity(256);
+        stream.read_to_end(&mut response).map_err(|_| "read")?;
+        let head = std::str::from_utf8(&response).map_err(|_| "parse")?;
+        head.split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or("parse")
+    })();
+    Sample {
+        latency: scheduled.elapsed(),
+        status: *result.as_ref().unwrap_or(&0),
+        error: result.err(),
+    }
+}
+
 /// Reads `"users":N` off the target's `/healthz` so virtual users map
 /// onto real model ids in both target modes.
 fn model_users(addr: SocketAddr) -> Result<usize, String> {
@@ -229,6 +292,11 @@ struct LoadSpec<'a> {
     duration: Duration,
     clients: usize,
     k_max: usize,
+    /// When > 0, every `ingest_every`-th arrival POSTs an `/ingest`
+    /// batch instead of a `/recommend` query (0 = pure read traffic).
+    ingest_every: usize,
+    /// Interactions per `/ingest` POST.
+    ingest_batch: usize,
 }
 
 /// Executes one open-loop run: `clients` threads share the arrival
@@ -243,6 +311,8 @@ fn run_load(addr: SocketAddr, spec: LoadSpec<'_>) -> RunReport {
         duration,
         clients,
         k_max,
+        ingest_every,
+        ingest_batch,
     } = spec;
     let scheduled = (rate * duration.as_secs_f64()).round().max(1.0) as usize;
     let interval = Duration::from_secs_f64(1.0 / rate);
@@ -264,7 +334,11 @@ fn run_load(addr: SocketAddr, spec: LoadSpec<'_>) -> RunReport {
                 let v = i % users;
                 let user = (v % n_model_users) as u32;
                 let k = 1 + v % k_max;
-                samples.push(one_request(addr, user, k, arrive_at));
+                if ingest_every > 0 && i % ingest_every == 0 {
+                    samples.push(one_ingest(addr, user, i, ingest_batch, arrive_at));
+                } else {
+                    samples.push(one_request(addr, user, k, arrive_at));
+                }
                 i += clients;
             }
             samples
@@ -448,6 +522,13 @@ fn run(args: &[String]) -> Result<bool, String> {
     let k_max: usize = flag_parse::<usize>(args, "--k-max", 10)?.max(1);
     let sweep = args.iter().any(|a| a == "--sweep");
     let allow_refused = args.iter().any(|a| a == "--allow-refused");
+    let ingest = args.iter().any(|a| a == "--ingest");
+    let ingest_every: usize = if ingest {
+        flag_parse::<usize>(args, "--ingest-every", 4)?.max(1)
+    } else {
+        0
+    };
+    let ingest_batch: usize = flag_parse::<usize>(args, "--ingest-batch", 8)?.max(1);
     let floor: Option<f64> = match flag(args, "--assert-floor")? {
         None => None,
         Some(raw) => Some(
@@ -533,6 +614,8 @@ fn run(args: &[String]) -> Result<bool, String> {
                 duration,
                 clients,
                 k_max,
+                ingest_every,
+                ingest_batch,
             },
         );
         if let Some(h) = server {

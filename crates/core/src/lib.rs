@@ -11,6 +11,7 @@ pub mod config;
 pub mod export;
 pub mod fit_control;
 pub mod graph;
+pub mod incremental;
 pub mod init;
 pub mod model;
 pub mod optim;
@@ -19,4 +20,5 @@ pub use config::TaxoRecConfig;
 pub use export::ModelState;
 pub use fit_control::{FitControl, FitReport, TrainState};
 pub use graph::GraphMatrices;
+pub use incremental::{apply_interactions, IncrementalConfig, IncrementalReport, Interaction};
 pub use model::{scratch, TaxoRec};

@@ -7,11 +7,13 @@
 pub mod metrics;
 pub mod retrieval;
 pub mod runner;
+pub mod staleness;
 pub mod table;
 pub mod wilcoxon;
 
 pub use metrics::{evaluate, evaluate_valid, top_k, top_k_indices, Evaluation};
 pub use retrieval::{evaluate_retrieval, RetrievalEval};
 pub use runner::{run_cell, CellStats};
+pub use staleness::{quality_vs_staleness, StalenessPoint, StalenessReport};
 pub use table::{mark_best, TextTable};
 pub use wilcoxon::{std_normal_cdf, wilcoxon_signed_rank, WilcoxonResult};

@@ -283,6 +283,74 @@ impl IndexParts {
         }
         Ok(())
     }
+
+    /// Patches newly appended catalogue items into the tree without a
+    /// rebuild (the streaming-ingestion fast path).
+    ///
+    /// `items` must be the *full* post-growth embedding table; rows
+    /// `self.n_items..` are the new items. They are assigned the tail
+    /// slots of the **rightmost spine** (root → last child → … → leaf):
+    /// every spine node's slot range already ends at the old catalogue
+    /// size, so extending those ranges — and only those — preserves the
+    /// children-partition invariant exactly. Spine radii are enlarged to
+    /// keep the optimistic routing bound valid; centroids are left
+    /// untouched (they are summaries, not invariants — the periodic
+    /// full rebuild re-tightens them). Beam routing therefore stays
+    /// *correct* after a patch, merely less selective along one spine.
+    ///
+    /// Returns the number of items appended. Pre-flight errors leave
+    /// the parts unchanged; the trailing [`IndexParts::validate`] is a
+    /// self-check and cannot fail for parts that validated beforehand.
+    pub fn append_items(&mut self, items: &ItemEmbeddings<'_>) -> Result<usize, String> {
+        items.check()?;
+        let total = items.v_ir.len() / items.ambient_ir;
+        if total < self.n_items {
+            return Err(format!(
+                "embedding table has {total} rows, fewer than the {} already indexed",
+                self.n_items
+            ));
+        }
+        if items.ambient_ir != self.ambient_ir {
+            return Err("ambient_ir differs from the index".into());
+        }
+        if self.ambient_tg != 0 && items.v_tg.is_none() {
+            return Err("index has a tag channel but the embeddings do not".into());
+        }
+        if self.ambient_tg != 0 && items.ambient_tg != self.ambient_tg {
+            return Err("ambient_tg differs from the index".into());
+        }
+        let n_new = total - self.n_items;
+        if n_new == 0 {
+            return Ok(0);
+        }
+        // Rightmost spine: the unique root→leaf path whose slot ranges
+        // all end at the old catalogue size.
+        let mut spine = vec![0usize];
+        while !self.is_leaf(*spine.last().unwrap()) {
+            spine.push(self.child_hi[*spine.last().unwrap()] as usize - 1);
+        }
+        debug_assert!(spine.iter().all(|&s| self.end[s] as usize == self.n_items));
+        for &s in &spine {
+            self.end[s] += n_new as u32;
+            let cent = &self.cent_ir[s * self.ambient_ir..(s + 1) * self.ambient_ir];
+            for i in self.n_items..total {
+                let row = &items.v_ir[i * self.ambient_ir..(i + 1) * self.ambient_ir];
+                self.radius_ir[s] = self.radius_ir[s].max(lorentz::distance(cent, row));
+            }
+            if self.ambient_tg != 0 {
+                let cent = &self.cent_tg[s * self.ambient_tg..(s + 1) * self.ambient_tg];
+                let v_tg = items.v_tg.unwrap();
+                for i in self.n_items..total {
+                    let row = &v_tg[i * self.ambient_tg..(i + 1) * self.ambient_tg];
+                    self.radius_tg[s] = self.radius_tg[s].max(lorentz::distance(cent, row));
+                }
+            }
+        }
+        self.item_ids.extend(self.n_items as u32..total as u32);
+        self.n_items = total;
+        self.validate()?;
+        Ok(n_new)
+    }
 }
 
 /// Per-query routing statistics (also surfaced by serve telemetry).
@@ -1092,6 +1160,72 @@ mod tests {
             assert_eq!(got, &want, "query {q} diverged from solo search");
             assert_eq!(stats[q], solo_stats);
         }
+    }
+
+    #[test]
+    fn append_items_patches_the_rightmost_spine() {
+        let (idx, mut flat) = build_planted(50, 20);
+        let mut parts = idx.parts().clone();
+        let (n0, nodes0) = (parts.n_items, parts.n_nodes());
+        // Three new items near cluster 1.
+        for i in 0..3 {
+            let p = lorentz::from_spatial(&[-1.8 + 0.05 * i as f64, 0.1]);
+            flat.extend_from_slice(&p);
+        }
+        let items = ItemEmbeddings {
+            v_ir: &flat,
+            ambient_ir: 3,
+            v_tg: None,
+            ambient_tg: 0,
+        };
+        assert_eq!(parts.append_items(&items).unwrap(), 3);
+        assert_eq!(parts.n_items, n0 + 3);
+        assert_eq!(parts.n_nodes(), nodes0, "patch-in adds no nodes");
+        parts.validate().expect("patched parts stay valid");
+        assert_eq!(&parts.item_ids[n0..], &[200, 201, 202]);
+        // The patched parts rebuild into a working index that can
+        // return the new items, and a full beam stays exact.
+        let patched = TaxoIndex::from_parts(parts.clone(), &items).expect("rebuild");
+        let anchor = lorentz::from_spatial(&[-1.8, 0.1]);
+        let (got, _) = idx_search_full(&patched, &anchor, 5);
+        assert!(
+            got.iter().any(|&(v, _)| v >= 200),
+            "new items must be retrievable, got {got:?}"
+        );
+        let exact = patched.search_exact(&anchor, None, 5, &|_| false);
+        assert_eq!(got, exact);
+        // Appending zero items is a no-op.
+        assert_eq!(parts.append_items(&items).unwrap(), 0);
+    }
+
+    fn idx_search_full(
+        idx: &TaxoIndex,
+        anchor: &[f64],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, SearchStats) {
+        idx.search(anchor, None, idx.n_leaves(), k, &|_| false)
+    }
+
+    #[test]
+    fn append_items_rejects_mismatched_tables() {
+        let (idx, flat) = build_planted(30, 12);
+        let mut parts = idx.parts().clone();
+        let snapshot = parts.clone();
+        let short = ItemEmbeddings {
+            v_ir: &flat[..30 * 3],
+            ambient_ir: 3,
+            v_tg: None,
+            ambient_tg: 0,
+        };
+        assert!(parts.append_items(&short).unwrap_err().contains("fewer"));
+        let wrong_dim = ItemEmbeddings {
+            v_ir: &flat,
+            ambient_ir: 4,
+            v_tg: None,
+            ambient_tg: 0,
+        };
+        assert!(parts.append_items(&wrong_dim).is_err());
+        assert_eq!(parts, snapshot);
     }
 
     #[test]

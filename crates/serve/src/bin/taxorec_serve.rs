@@ -66,7 +66,7 @@ USAGE:
       Print the artifact's model card (dims, users, items, tags, taxonomy).
 
   taxorec-serve serve <model.taxo> [--addr HOST:PORT] [--workers N]
-                      [--retrieval exact|beam|beam:B] [--shard-id ID]
+                      [--retrieval exact|beam|beam:B] [--shard-id ID] [--ingest]
       Serve the model over HTTP (default 127.0.0.1:7878, 4 workers).
       --retrieval            candidate generation: `exact` (default) scores
                              the whole catalogue; `beam[:B]` routes through
@@ -74,10 +74,14 @@ USAGE:
                              takes the index's default width)
       --shard-id ID          identity reported in /healthz (\"shard\":{…}),
                              used by taxorec-router fleet aggregation
+      --ingest               accept POST /ingest interaction batches and fold
+                             them into the model between serving ticks
+                             (TAXOREC_INGEST_* tunes tick/journal/drift;
+                             TAXOREC_INGEST_CHECKPOINT persists each tick)
       Endpoints: /recommend?user=U&k=K  /explain?user=U&item=V
-                 /healthz  /metrics (Prometheus)  /metrics.json  /debug/flight
-                 /admin/drain  /admin/reload?path=P (TAXOREC_SERVE_ADMIN=0
-                 disables the admin pair)
+                 POST /ingest  /healthz  /metrics (Prometheus)  /metrics.json
+                 /debug/flight  /admin/drain  /admin/reload?path=P
+                 (TAXOREC_SERVE_ADMIN=0 disables the admin pair)
       Runs until stdin is closed (Ctrl-D / EOF) or SIGTERM/SIGINT arrives;
       a signal drains gracefully (TAXOREC_SERVE_DRAIN_MS grace, default
       300 ms) so a fronting router can route around this shard first.
@@ -87,7 +91,7 @@ USAGE:
 
 /// Boolean `--flag`s (no value); `positional` must not skip an argument
 /// after these.
-const BOOL_FLAGS: &[&str] = &["--follow", "--index"];
+const BOOL_FLAGS: &[&str] = &["--follow", "--index", "--ingest"];
 
 /// `--flag value` lookup over the raw argument list.
 fn flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
@@ -304,6 +308,10 @@ fn inspect(args: &[String]) -> Result<(), String> {
         ),
         None => println!("retrieval     (no index — exhaustive scoring only)"),
     }
+    match ckpt.journal_cursor {
+        Some(cursor) => println!("journal       cursor {cursor} (streamed generation)"),
+        None => println!("journal       (batch artifact — no streamed interactions)"),
+    }
     Ok(())
 }
 
@@ -329,18 +337,31 @@ fn run_server(args: &[String]) -> Result<(), String> {
     if let Some(id) = flag(args, "--shard-id")? {
         opts.shard_id = Some(id.to_string());
     }
-    let model = taxorec_serve::load(path)
-        .and_then(|m| m.with_retrieval(retrieval))
-        .map_err(|e| e.to_string())?;
+    let ingest = args.iter().any(|a| a == "--ingest");
+    let base = if ingest {
+        Some(taxorec_serve::Checkpoint::load_file(path).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let model = match &base {
+        Some(ckpt) => taxorec_serve::ServingModel::new(ckpt.clone()),
+        None => taxorec_serve::load(path),
+    }
+    .and_then(|m| m.with_retrieval(retrieval))
+    .map_err(|e| e.to_string())?;
     println!(
-        "loaded {path}: model {:?}, {} users, {} items, retrieval {}",
+        "loaded {path}: model {:?}, {} users, {} items, retrieval {}{}",
         model.name(),
         model.n_users(),
         model.n_items(),
-        model.retrieval_mode().label()
+        model.retrieval_mode().label(),
+        if ingest { ", ingestion on" } else { "" }
     );
-    let handle = taxorec_serve::serve_with(Arc::new(model), addr, opts)
-        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let handle = match base {
+        Some(ckpt) => taxorec_serve::serve_online(Arc::new(model), ckpt, addr, opts),
+        None => taxorec_serve::serve_with(Arc::new(model), addr, opts),
+    }
+    .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "listening on http://{} ({} workers)",
         handle.local_addr(),

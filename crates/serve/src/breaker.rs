@@ -124,6 +124,18 @@ impl Breaker {
         matches!(self.state, State::Open { .. })
     }
 
+    /// How much of the open cooldown is still left as of `now`:
+    /// `Some(remaining)` while the breaker is open and refusing,
+    /// `None` once the cooldown has elapsed or in any other state.
+    /// The router derives `Retry-After` from this, so a 503 tells the
+    /// client when a retry can actually succeed instead of a constant.
+    pub fn remaining_open(&self, now: Instant) -> Option<Duration> {
+        match self.state {
+            State::Open { until } => until.checked_duration_since(now).filter(|d| !d.is_zero()),
+            _ => None,
+        }
+    }
+
     /// State label for telemetry and `/healthz`.
     pub fn state_label(&self) -> &'static str {
         match self.state {
@@ -188,6 +200,31 @@ mod tests {
         assert!(b.on_failure(probe_at), "failed probe re-trips");
         assert!(!b.allow(probe_at + Duration::from_millis(99)));
         assert!(b.allow(probe_at + Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn remaining_open_counts_down_the_injected_clock() {
+        let mut b = Breaker::new(1, Duration::from_millis(400));
+        let t0 = Instant::now();
+        assert_eq!(b.remaining_open(t0), None, "closed: nothing remaining");
+        assert!(b.on_failure(t0), "tripped open");
+        assert_eq!(b.remaining_open(t0), Some(Duration::from_millis(400)));
+        assert_eq!(
+            b.remaining_open(t0 + Duration::from_millis(150)),
+            Some(Duration::from_millis(250)),
+            "remaining interval tracks the injected clock"
+        );
+        assert_eq!(
+            b.remaining_open(t0 + Duration::from_millis(400)),
+            None,
+            "cooldown elapsed: a probe may go through"
+        );
+        assert!(b.allow(t0 + Duration::from_millis(400)));
+        assert_eq!(
+            b.remaining_open(t0 + Duration::from_millis(400)),
+            None,
+            "half-open has no refusal interval"
+        );
     }
 
     #[test]

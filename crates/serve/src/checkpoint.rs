@@ -58,6 +58,13 @@ pub const FLAG_TRAIN_STATE: u16 = 0x1;
 /// time, so the section stays small and can never disagree with the
 /// matrices it routes over.
 pub const FLAG_RETRIEVAL_INDEX: u16 = 0x2;
+/// Header flag bit marking that the payload ends with a **journal
+/// cursor**: the number of streamed interactions already folded into
+/// the embeddings by the online-update loop. A restarted ingester
+/// resumes replay from this cursor instead of re-applying (or losing)
+/// interactions, keeping the incremental path's bit-identical-replay
+/// guarantee across restarts. Absent on offline-trained artifacts.
+pub const FLAG_JOURNAL_CURSOR: u16 = 0x4;
 /// Fixed header size: magic + version + flags + payload length.
 const HEADER_LEN: usize = 16;
 /// CRC-32 trailer size.
@@ -189,6 +196,11 @@ pub struct Checkpoint {
     /// (`None` for an in-memory checkpoint that never hit the wire).
     /// Not serialized — recomputed on every load.
     pub artifact: Option<ArtifactInfo>,
+    /// Journal position (count of streamed interactions folded in) when
+    /// this artifact was produced by the online-update loop
+    /// ([`FLAG_JOURNAL_CURSOR`] in the header). `None` = offline
+    /// artifact, no streaming history.
+    pub journal_cursor: Option<u64>,
 }
 
 impl Checkpoint {
@@ -201,7 +213,15 @@ impl Checkpoint {
             seen_items: Vec::new(),
             index: None,
             artifact: None,
+            journal_cursor: None,
         }
+    }
+
+    /// Records the journal position this artifact reflects (set by the
+    /// online-update loop on every fold-and-swap tick).
+    pub fn with_journal_cursor(mut self, cursor: u64) -> Self {
+        self.journal_cursor = Some(cursor);
+        self
     }
 
     /// Attaches tag names and per-item tag lists from the dataset so the
@@ -288,6 +308,10 @@ impl Checkpoint {
             flags |= FLAG_RETRIEVAL_INDEX;
             write_index(&mut p, parts);
         }
+        if let Some(cursor) = self.journal_cursor {
+            flags |= FLAG_JOURNAL_CURSOR;
+            p.put_u64(cursor);
+        }
         seal_container(flags, p.into_bytes())
     }
 
@@ -309,7 +333,7 @@ impl Checkpoint {
                     .to_string(),
             ));
         }
-        if flags & !FLAG_RETRIEVAL_INDEX != 0 {
+        if flags & !(FLAG_RETRIEVAL_INDEX | FLAG_JOURNAL_CURSOR) != 0 {
             return Err(CheckpointError::Corrupt(format!(
                 "reserved header flags are nonzero ({flags:#06x})"
             )));
@@ -350,6 +374,11 @@ impl Checkpoint {
         } else {
             None
         };
+        let journal_cursor = if flags & FLAG_JOURNAL_CURSOR != 0 {
+            Some(r.get_u64("journal cursor")?)
+        } else {
+            None
+        };
         r.expect_end()?;
 
         let ckpt = Self {
@@ -374,6 +403,7 @@ impl Checkpoint {
                 crc,
                 bytes: bytes.len() as u64,
             }),
+            journal_cursor,
         };
         ckpt.validate()?;
         Ok(ckpt)
@@ -686,7 +716,7 @@ fn parse_container(bytes: &[u8]) -> Result<Container<'_>, CheckpointError> {
 /// leaves a truncated artifact under the final name. Probes the
 /// `checkpoint.save` fault site first, so `TAXOREC_FAULT=io@checkpoint.save:2`
 /// deterministically fails the second save.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     if let Some(msg) = taxorec_resilience::inject_io("checkpoint.save") {
         return Err(CheckpointError::Io(msg));
     }

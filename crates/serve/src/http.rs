@@ -26,12 +26,13 @@
 //! pool that owns the socket writes, so a slow-reading client can only
 //! ever occupy a parser worker or a responder — never a scorer.
 //!
-//! Endpoints (all `GET`):
+//! Endpoints (`GET` unless noted):
 //!
 //! | Path            | Query                | Response                                   |
 //! |-----------------|----------------------|--------------------------------------------|
 //! | `/recommend`    | `user=<id>&k=<n>`    | top-K items with scores (JSON)             |
 //! | `/explain`      | `user=<id>&item=<id>`| score + tag/taxonomy rationale (JSON)      |
+//! | `POST /ingest`  | JSON body            | `202` + journal position ([`serve_online`])|
 //! | `/healthz`      | —                    | readiness + model card (JSON)              |
 //! | `/metrics`      | —                    | Prometheus text exposition 0.0.4           |
 //! | `/metrics.json` | —                    | `taxorec-telemetry` registry snapshot      |
@@ -85,8 +86,9 @@ use taxorec_telemetry::json::{push_f64, push_str_escaped};
 use taxorec_telemetry::{flight, flight_event, trace, TraceContext};
 
 use crate::batch::{BatchJob, BatchOptions, Batcher};
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{write_atomic, ArtifactInfo, Checkpoint, FORMAT_VERSION};
 use crate::model::{ModelSlot, Ranking, ServeError, ServingModel};
+use crate::online::{self, IngestOptions, Journal};
 
 const JSON_CONTENT_TYPE: &str = "application/json";
 
@@ -136,6 +138,10 @@ pub struct ServeOptions {
     /// default; set `TAXOREC_SERVE_ADMIN=0` to disable on an exposed
     /// listener.
     pub admin: bool,
+    /// Streaming-ingestion tuning (`TAXOREC_INGEST_*`). Only honored by
+    /// [`serve_online`]; plain [`serve_with`] answers `POST /ingest`
+    /// with `503`.
+    pub ingest: IngestOptions,
 }
 
 impl Default for ServeOptions {
@@ -149,6 +155,7 @@ impl Default for ServeOptions {
             n_responders: 2,
             shard_id: None,
             admin: true,
+            ingest: IngestOptions::default(),
         }
     }
 }
@@ -186,6 +193,7 @@ impl ServeOptions {
             o.admin = v.trim() != "0";
         }
         o.batch = BatchOptions::from_env();
+        o.ingest = IngestOptions::from_env();
         o
     }
 }
@@ -312,6 +320,9 @@ struct Shared {
     opts: ServeOptions,
     /// Serializes `/admin/reload`: one checkpoint handover at a time.
     reload: Mutex<()>,
+    /// The streaming-interaction journal behind `POST /ingest`; `None`
+    /// on servers started without [`serve_online`].
+    journal: Option<Arc<Journal>>,
 }
 
 impl Shared {
@@ -440,6 +451,34 @@ pub fn serve_with(
     addr: &str,
     opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    serve_impl(model, addr, opts, None)
+}
+
+/// [`serve_with`] plus streaming ingestion (DESIGN.md §17): accepts
+/// `POST /ingest` into a bounded journal and runs the incremental-update
+/// loop, which folds journaled interactions into `base` between ticks
+/// and swaps the refreshed model into the slot — the same handover path
+/// as `/admin/reload`.
+///
+/// `base` must be the checkpoint `model` was built from: it becomes the
+/// updater's master copy, and its `journal_cursor` seeds the journal so
+/// a restart from a persisted streaming artifact resumes its cursor.
+pub fn serve_online(
+    model: Arc<ServingModel>,
+    base: Checkpoint,
+    addr: &str,
+    mut opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    opts.ingest.enabled = true;
+    serve_impl(model, addr, opts, Some(base))
+}
+
+fn serve_impl(
+    model: Arc<ServingModel>,
+    addr: &str,
+    opts: ServeOptions,
+    online_base: Option<Checkpoint>,
+) -> std::io::Result<ServerHandle> {
     // The acceptor blocks in `accept` — zero added latency per
     // connection, no poll interval to overflow the kernel backlog at
     // high arrival rates. Shutdown wakes it with a loopback connection
@@ -449,6 +488,12 @@ pub fn serve_with(
     let n_requested = opts.n_workers.max(1);
     let batch_opts = opts.batch.clone();
     let n_responders = opts.n_responders.max(1);
+    let journal = online_base.as_ref().map(|base| {
+        Arc::new(Journal::new(
+            opts.ingest.journal_cap,
+            base.journal_cursor.unwrap_or(0),
+        ))
+    });
     let shared = Arc::new(Shared {
         shutdown: AtomicBool::new(false),
         health: AtomicU8::new(HEALTH_READY),
@@ -456,6 +501,7 @@ pub fn serve_with(
         ready: Condvar::new(),
         opts,
         reload: Mutex::new(()),
+        journal,
     });
     let slot = Arc::new(ModelSlot::new(model));
     let mut degraded = false;
@@ -582,6 +628,14 @@ pub fn serve_with(
             .spawn(move || accept_loop(&listener, &shared))?;
         threads.push(acceptor);
     }
+    if let Some(base) = online_base {
+        let shared = Arc::clone(&shared);
+        let slot = Arc::clone(&slot);
+        let updater = std::thread::Builder::new()
+            .name("taxorec-ingest".to_string())
+            .spawn(move || updater_loop(base, &shared, &slot))?;
+        threads.push(updater);
+    }
     Ok(ServerHandle {
         addr,
         shared,
@@ -675,6 +729,109 @@ fn lock_queue(q: &Mutex<VecDeque<Queued>>) -> std::sync::MutexGuard<'_, VecDeque
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The incremental-update loop ([`serve_online`]): every tick, drain up
+/// to a batch of journaled interactions, fold them into the master
+/// checkpoint ([`online::fold_batch`]), reseal the artifact identity,
+/// optionally persist it, and swap a freshly built [`ServingModel`]
+/// into the slot. The swap is the `/admin/reload` handover — one `Arc`
+/// exchange, response cache starting cold.
+fn updater_loop(mut ckpt: Checkpoint, shared: &Shared, slot: &Arc<ModelSlot>) {
+    let Some(journal) = shared.journal.as_ref() else {
+        return;
+    };
+    let opts = shared.opts.ingest.clone();
+    // Graft-drift counter, threaded through every fold so chunked
+    // ticking stays bit-identical to one whole-journal replay.
+    let mut drift = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let tick_start = Instant::now();
+        while tick_start.elapsed() < opts.tick {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(POLL_INTERVAL.min(opts.tick));
+        }
+        let batch = journal.drain(opts.batch);
+        taxorec_telemetry::gauge("serve.ingest.staleness").set(journal.staleness() as f64);
+        if batch.is_empty() {
+            continue;
+        }
+        update_tick(&mut ckpt, &batch, &opts, &mut drift, slot, journal);
+    }
+}
+
+/// One updater tick: fold, reseal, persist, rebuild, swap.
+fn update_tick(
+    ckpt: &mut Checkpoint,
+    batch: &[online::IngestInteraction],
+    opts: &IngestOptions,
+    drift: &mut u64,
+    slot: &Arc<ModelSlot>,
+    journal: &Journal,
+) {
+    let started = Instant::now();
+    let report = match online::fold_batch(ckpt, batch, opts, drift) {
+        Ok(r) => r,
+        Err(e) => {
+            // The fold mutates nothing beyond the interaction it failed
+            // on; keep serving the last good model and drop the batch
+            // (accounting stays honest through the dropped counter).
+            taxorec_telemetry::counter("serve.ingest.fold_errors").inc(1);
+            taxorec_telemetry::sink::warn(&format!(
+                "ingest: folding {} interactions failed: {e}; batch dropped",
+                batch.len()
+            ));
+            journal.mark_applied(batch.len() as u64);
+            return;
+        }
+    };
+    // Reseal the artifact identity so `/healthz` (and a persisted copy)
+    // advertise the streamed generation, not the boot-time artifact.
+    let bytes = ckpt.to_bytes();
+    let crc_at = bytes.len() - 4;
+    let crc = u32::from_le_bytes([
+        bytes[crc_at],
+        bytes[crc_at + 1],
+        bytes[crc_at + 2],
+        bytes[crc_at + 3],
+    ]);
+    ckpt.artifact = Some(ArtifactInfo {
+        version: FORMAT_VERSION,
+        crc,
+        bytes: bytes.len() as u64,
+    });
+    if let Some(path) = &opts.checkpoint_path {
+        if let Err(e) = write_atomic(path, &bytes) {
+            taxorec_telemetry::counter("serve.ingest.persist_errors").inc(1);
+            taxorec_telemetry::sink::warn(&format!(
+                "ingest: persisting {} failed: {e}; serving continues unpersisted",
+                path.display()
+            ));
+        }
+    }
+    let old = slot.load();
+    let built = ServingModel::with_cache_capacity(ckpt.clone(), old.cache_usage().1)
+        .and_then(|m| m.with_retrieval(old.retrieval_mode()));
+    match built {
+        Ok(model) => {
+            slot.swap(Arc::new(model));
+            taxorec_telemetry::counter("serve.ingest.swaps").inc(1);
+        }
+        Err(e) => {
+            taxorec_telemetry::counter("serve.ingest.swap_failed").inc(1);
+            taxorec_telemetry::sink::warn(&format!(
+                "ingest: building the refreshed model failed: {e}; keeping current model"
+            ));
+        }
+    }
+    journal.mark_applied(batch.len() as u64);
+    taxorec_telemetry::gauge("serve.ingest.cursor").set(report.cursor as f64);
+    taxorec_telemetry::gauge("serve.ingest.drift").set(*drift as f64);
+    taxorec_telemetry::gauge("serve.ingest.staleness").set(journal.staleness() as f64);
+    taxorec_telemetry::histogram("serve.ingest.tick.ms")
+        .observe(started.elapsed().as_secs_f64() * 1e3);
+}
+
 fn worker_loop(shared: &Shared, slot: &Arc<ModelSlot>, pipeline: &Pipeline) {
     loop {
         let queued = {
@@ -730,8 +887,6 @@ fn handle_connection(queued: Queued, shared: &Shared, slot: &Arc<ModelSlot>, pip
         ctx,
         accepted,
     } = queued;
-    let model = slot.load();
-    let model = model.as_ref();
     let dequeued = Instant::now();
     let head = match read_head(&mut stream, shared.opts.max_request_bytes) {
         Some(h) => h,
@@ -756,6 +911,13 @@ fn handle_connection(queued: Queued, shared: &Shared, slot: &Arc<ModelSlot>, pip
     let _trace_scope = trace::scope(ctx);
     taxorec_telemetry::counter("serve.http.requests").inc(1);
     let start = Instant::now();
+    // The model is resolved from the slot *per request*, after the head
+    // is read — a connection that was accepted (or kept open) before an
+    // `/admin/reload` or ingest swap must still be answered by the
+    // model that is current when its request actually arrives, never by
+    // the generation that happened to be live at accept time.
+    let model = slot.load();
+    let model = model.as_ref();
     // Panic isolation: one poisonous request must not take the worker
     // (let alone the process) down with it. The `serve.request` fault
     // site makes this path deterministically testable.
@@ -764,11 +926,25 @@ fn handle_connection(queued: Queued, shared: &Shared, slot: &Arc<ModelSlot>, pip
         // `stall@serve.request` wedges the worker mid-request, which is
         // how the router's hedging is driven deterministically.
         taxorec_resilience::inject_panic_or_stall("serve.request");
+        if let Some(rest) = head.strip_prefix("POST ") {
+            if rest
+                .split_whitespace()
+                .next()
+                .map(|t| t.split('?').next().unwrap_or(t))
+                == Some("/ingest")
+            {
+                let (status, body, extra) = handle_ingest(&head, &mut stream, shared);
+                return Routed::Ingest(status, body, extra);
+            }
+        }
         route(&head, shared, model, slot, pipeline)
     }));
-    let (status, body, endpoint, content_type) = match routed {
+    let (status, body, endpoint, content_type, extra_headers) = match routed {
         Ok(Routed::Done(status, body, endpoint, content_type)) => {
-            (status, body, endpoint, content_type)
+            (status, body, endpoint, content_type, String::new())
+        }
+        Ok(Routed::Ingest(status, body, extra)) => {
+            (status, body, "ingest", JSON_CONTENT_TYPE, extra)
         }
         Ok(Routed::Batch { user, k }) => {
             // A `/recommend` cache miss: hand the connection to the
@@ -808,12 +984,20 @@ fn handle_connection(queued: Queued, shared: &Shared, slot: &Arc<ModelSlot>, pip
                 error_json("internal error"),
                 "other",
                 JSON_CONTENT_TYPE,
+                String::new(),
             )
         }
     };
     {
         let _respond_span = trace::child_span("respond");
-        let _ = respond_with(&mut stream, status, ctx.trace_id, content_type, "", &body);
+        let _ = respond_with(
+            &mut stream,
+            status,
+            ctx.trace_id,
+            content_type,
+            &extra_headers,
+            &body,
+        );
     }
     // Covers routing (the model work) plus the response write, so the
     // histogram reflects what a client observes.
@@ -884,6 +1068,10 @@ enum Routed {
     /// Answer now from the parser worker: (status, body, endpoint label
     /// for telemetry, content type).
     Done(u16, String, &'static str, &'static str),
+    /// A `POST /ingest` already handled (body consumed from the
+    /// stream): (status, body, extra response headers — `Retry-After`
+    /// on journal backpressure).
+    Ingest(u16, String, String),
     /// A `/recommend` cache miss bound for the batching pipeline.
     Batch {
         /// Validated `user` query parameter.
@@ -952,6 +1140,12 @@ fn route(
             let (status, body) = handle_reload(query, shared, slot);
             Routed::Done(status, body, "admin", JSON_CONTENT_TYPE)
         }
+        "/ingest" => Routed::Done(
+            405,
+            error_json("use POST /ingest with a JSON interaction batch"),
+            "ingest",
+            JSON_CONTENT_TYPE,
+        ),
         "/recommend" => handle_recommend(query, model),
         "/explain" => {
             let (status, body, ep) = handle_explain(query, model);
@@ -1086,6 +1280,110 @@ fn handle_explain(query: &str, model: &ServingModel) -> (u16, String, &'static s
     }
 }
 
+/// `POST /ingest` — reads the JSON interaction batch off the stream and
+/// appends it to the journal. Returns `(status, body, extra headers)`:
+/// `202` with the journal position on acceptance, `503 + Retry-After`
+/// (one tick) when the journal is full, `503` when ingestion is off.
+/// The body is *accepted*, not folded — the updater applies it on the
+/// next tick, and `/healthz`'s `ingest.staleness` tracks the gap.
+fn handle_ingest(head: &str, stream: &mut TcpStream, shared: &Shared) -> (u16, String, String) {
+    let none = String::new;
+    let Some(journal) = shared.journal.as_ref() else {
+        return (
+            503,
+            error_json("ingestion is not enabled; start with serve --ingest"),
+            none(),
+        );
+    };
+    let opts = &shared.opts.ingest;
+    let mut content_length: Option<usize> = None;
+    for line in head.lines().skip(1) {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let Some(expected) = content_length else {
+        return (
+            400,
+            error_json("POST /ingest requires a Content-Length header"),
+            none(),
+        );
+    };
+    if expected > opts.max_body {
+        return (
+            413,
+            error_json(&format!(
+                "body of {expected} bytes exceeds the {} byte ingest limit",
+                opts.max_body
+            )),
+            none(),
+        );
+    }
+    // `read_head` may have over-read into the body; start from whatever
+    // followed the blank line and pull the rest off the socket.
+    let prefix = head.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let mut raw = prefix.as_bytes().to_vec();
+    let mut chunk = [0u8; 4096];
+    while raw.len() < expected {
+        let want = (expected - raw.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => {
+                return (
+                    400,
+                    error_json("timed out reading the request body"),
+                    none(),
+                )
+            }
+        }
+    }
+    if raw.len() < expected {
+        return (
+            400,
+            error_json("request body ended before Content-Length bytes"),
+            none(),
+        );
+    }
+    raw.truncate(expected);
+    let Ok(body) = String::from_utf8(raw) else {
+        return (400, error_json("request body is not valid UTF-8"), none());
+    };
+    let batch = match online::parse_ingest_body(&body) {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e), none()),
+    };
+    let n = batch.len();
+    match journal.push_batch(batch) {
+        Ok(_) => (
+            202,
+            format!(
+                "{{\"accepted\":{n},\"queued\":{},\"staleness\":{}}}",
+                journal.len(),
+                journal.staleness()
+            ),
+            none(),
+        ),
+        Err(depth) => {
+            taxorec_telemetry::counter("serve.ingest.rejected").inc(1);
+            let retry_after = opts.tick.as_secs().max(1);
+            (
+                503,
+                error_json(&format!(
+                    "ingest journal full ({depth}/{} queued); retry after the next tick",
+                    journal.capacity()
+                )),
+                format!("Retry-After: {retry_after}\r\n"),
+            )
+        }
+    }
+}
+
 /// `{"version":…,"crc":…,"bytes":…}` for a loaded artifact, `null` for
 /// an in-process model that never touched disk.
 fn artifact_json(info: Option<crate::checkpoint::ArtifactInfo>) -> String {
@@ -1208,7 +1506,29 @@ fn healthz_json(shared: &Shared, model: &ServingModel, pipeline: &Pipeline) -> S
             body.push('}');
         }
     }
-    body.push_str("}}");
+    body.push_str("},\"ingest\":");
+    match shared.journal.as_ref() {
+        None => body.push_str("null"),
+        Some(j) => {
+            body.push_str("{\"accepted\":");
+            body.push_str(&j.accepted().to_string());
+            body.push_str(",\"applied\":");
+            body.push_str(&j.applied().to_string());
+            body.push_str(",\"staleness\":");
+            body.push_str(&j.staleness().to_string());
+            body.push_str(",\"queued\":");
+            body.push_str(&j.len().to_string());
+            body.push_str(",\"capacity\":");
+            body.push_str(&j.capacity().to_string());
+            body.push_str(",\"cursor\":");
+            match model.journal_cursor() {
+                Some(c) => body.push_str(&c.to_string()),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+        }
+    }
+    body.push('}');
     body
 }
 
@@ -1263,9 +1583,11 @@ pub(crate) fn respond_with(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };

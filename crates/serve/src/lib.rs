@@ -62,6 +62,7 @@ pub mod checkpoint;
 pub mod http;
 pub mod lru;
 pub mod model;
+pub mod online;
 pub mod ring;
 pub mod router;
 pub mod signal;
@@ -70,13 +71,16 @@ mod wire;
 pub use batch::{BatchJob, BatchOptions, Batcher};
 pub use breaker::Breaker;
 pub use checkpoint::{
-    load, save, ArtifactInfo, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_RETRIEVAL_INDEX,
-    FLAG_TRAIN_STATE, FORMAT_VERSION, MAGIC,
+    load, save, ArtifactInfo, Checkpoint, CheckpointError, TrainCheckpoint, FLAG_JOURNAL_CURSOR,
+    FLAG_RETRIEVAL_INDEX, FLAG_TRAIN_STATE, FORMAT_VERSION, MAGIC,
 };
-pub use http::{serve, serve_with, Health, ServeOptions, ServerHandle};
+pub use http::{serve, serve_online, serve_with, Health, ServeOptions, ServerHandle};
 pub use lru::LruCache;
 pub use model::{
     Explanation, ModelSlot, Ranking, ServeError, ServingModel, TagAffinity, SERVE_BLOCK,
+};
+pub use online::{
+    fold_batch, parse_ingest_body, FoldReport, IngestInteraction, IngestOptions, Journal,
 };
 pub use ring::Ring;
 pub use router::{route, route_with, RouterHandle, RouterOptions};

@@ -126,10 +126,13 @@ pub struct Explanation {
 /// A shared, immutable recommendation list: `(item, score)` best first.
 pub type Ranking = Arc<Vec<(u32, f64)>>;
 
-/// Response-cache key for a `(user, k)` query. `k` saturates into `u32`
-/// — any request that large returns the full catalogue anyway.
-fn cache_key(user: u32, k: usize) -> (u32, u32) {
-    (user, k.min(u32::MAX as usize) as u32)
+/// Response-cache key for a `(user, k)` query. Total: every distinct
+/// `k` maps to a distinct key (`usize` embeds losslessly in `u64`), so
+/// two different huge `k` values can never alias one cached `Ranking`.
+/// The HTTP layer additionally rejects absurd `k` at parse time; this
+/// keeps direct API callers safe too.
+fn cache_key(user: u32, k: usize) -> (u32, u64) {
+    (user, k as u64)
 }
 
 /// An immutable, thread-safe top-K query engine over a trained model.
@@ -156,7 +159,10 @@ pub struct ServingModel {
     /// Wire identity of the artifact this engine was loaded from
     /// (`None` when built straight from an in-process model).
     artifact: Option<ArtifactInfo>,
-    cache: Mutex<LruCache<(u32, u32), Ranking>>,
+    /// Journal position folded into this engine's embeddings (`None`
+    /// for offline artifacts; surfaced in `/healthz`).
+    journal_cursor: Option<u64>,
+    cache: Mutex<LruCache<(u32, u64), Ranking>>,
 }
 
 impl ServingModel {
@@ -180,6 +186,7 @@ impl ServingModel {
             mut seen_items,
             index,
             artifact,
+            journal_cursor,
         } = ckpt;
         for items in &mut seen_items {
             items.sort_unstable();
@@ -215,6 +222,7 @@ impl ServingModel {
             index,
             retrieval: RetrievalMode::Exact,
             artifact,
+            journal_cursor,
             cache: Mutex::new(LruCache::new(cache_capacity)),
         })
     }
@@ -311,6 +319,12 @@ impl ServingModel {
         self.artifact
     }
 
+    /// Journal position folded into this engine (`None` = offline
+    /// artifact, no streaming history).
+    pub fn journal_cursor(&self) -> Option<u64> {
+        self.journal_cursor
+    }
+
     /// Effective beam width: `None` in exact mode, the resolved width
     /// (request or index default) in beam mode.
     fn beam_width(&self) -> Option<usize> {
@@ -405,6 +419,10 @@ impl ServingModel {
             return Ok(hit);
         }
         let seen: &[u32] = self.seen.get(u).map(Vec::as_slice).unwrap_or(&[]);
+        // Any k beyond the catalogue returns the full unseen list, so
+        // clamp before sizing accumulators (a u32::MAX-sized heap would
+        // abort the allocator). The cache key keeps the requested k.
+        let k_eff = k.min(self.n_items());
         // Score into a per-worker scratch buffer: a cache miss allocates
         // only its `k`-entry result after warm-up. The `score` span (with
         // the fused block scoring under `kernel`) is inert unless the
@@ -413,14 +431,14 @@ impl ServingModel {
         let top = match self.beam_width() {
             Some(beam) => {
                 let _kernel_span = taxorec_telemetry::trace::child_span("kernel");
-                self.beam_search_one(u, beam, k, seen)
+                self.beam_search_one(u, beam, k_eff, seen)
             }
             None => taxorec_core::scratch::with_vec(|scores| {
                 {
                     let _kernel_span = taxorec_telemetry::trace::child_span("kernel");
                     self.scores_into(u, scores);
                 }
-                top_k(scores, k, |v| seen.binary_search(&(v as u32)).is_ok())
+                top_k(scores, k_eff, |v| seen.binary_search(&(v as u32)).is_ok())
             }),
         };
         let result = Arc::new(top);
@@ -455,7 +473,7 @@ impl ServingModel {
     /// may have filled the entry while this one waited in the queue —
     /// and that second look must not double-count the miss the HTTP
     /// layer already recorded.
-    fn probe(&self, key: (u32, u32)) -> Option<Ranking> {
+    fn probe(&self, key: (u32, u64)) -> Option<Ranking> {
         self.cache.lock().unwrap().get(&key).map(Arc::clone)
     }
 
@@ -536,7 +554,7 @@ impl ServingModel {
         let buf_len = b * n_items.min(chunk);
         let mut accs: Vec<TopKAccumulator> = block
             .iter()
-            .map(|&qi| TopKAccumulator::new(queries[qi].1))
+            .map(|&qi| TopKAccumulator::new(queries[qi].1.min(n_items)))
             .collect();
         taxorec_core::scratch::with_buf(buf_len, |buf| {
             taxorec_core::scratch::with_buf(if tg.is_some() { buf_len } else { 0 }, |scr| {
@@ -593,7 +611,12 @@ impl ServingModel {
         let index = self.index.as_ref().expect("beam mode requires an index");
         let s = &self.state;
         let users: Vec<usize> = block.iter().map(|&qi| queries[qi].0 as usize).collect();
-        let k_max = block.iter().map(|&qi| queries[qi].1).max().unwrap_or(0);
+        let k_max = block
+            .iter()
+            .map(|&qi| queries[qi].1)
+            .max()
+            .unwrap_or(0)
+            .min(self.n_items());
         let anchors_ir: Vec<&[f64]> = users.iter().map(|&u| s.u_ir.row(u)).collect();
         let tg = self.tg_cache.as_ref().map(|_| {
             let anchors_tg: Vec<&[f64]> = users.iter().map(|&u| s.u_tg.row(u)).collect();
@@ -888,6 +911,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cache_key_is_total_at_the_u32_boundary() {
+        // Regression: the key used to saturate `k` into u32, so every
+        // k ≥ u32::MAX collided on one cached Ranking. Distinct k must
+        // always produce distinct keys — including across the boundary.
+        let boundary = u32::MAX as usize;
+        assert_ne!(cache_key(7, boundary), cache_key(7, boundary + 1));
+        assert_ne!(cache_key(7, boundary + 1), cache_key(7, boundary + 2));
+        assert_eq!(cache_key(7, boundary), cache_key(7, boundary));
+        // And the user still participates in the key.
+        assert_ne!(cache_key(7, boundary), cache_key(8, boundary));
+    }
+
+    #[test]
+    fn huge_k_queries_get_distinct_cache_entries() {
+        let (m, d, s) = trained();
+        let serving = ServingModel::from_model(&m, &d, &s).unwrap();
+        // Both k values exceed the catalogue, so both return the full
+        // unseen list — but they must occupy separate cache entries
+        // (the old saturating key aliased them).
+        let k_a = u32::MAX as usize;
+        let k_b = k_a + 1;
+        let a = serving.recommend(0, k_a).unwrap();
+        let b = serving.recommend(0, k_b).unwrap();
+        assert_eq!(*a, *b, "same full ranking either way");
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "distinct k must not alias one cache entry"
+        );
+        assert!(serving.cache_usage().0 >= 2);
     }
 
     #[test]

@@ -1,0 +1,863 @@
+//! Streaming ingestion: the bounded interaction journal, the `/ingest`
+//! body format, and the incremental-update loop that folds journaled
+//! interactions into the serving model between ticks (DESIGN.md §17).
+//!
+//! ```text
+//! POST /ingest ──▶ Journal (bounded) ──▶ updater thread, every tick:
+//!                                          drain ≤ batch
+//!                                          fold (incremental RSGD,
+//!                                                tag attach, index patch)
+//!                                          serialize → ArtifactInfo
+//!                                          ModelSlot::swap  ─▶ serving
+//! ```
+//!
+//! The updater owns the *master* [`Checkpoint`] and is the only thread
+//! that mutates it; serving threads only ever see immutable
+//! [`ServingModel`]s swapped in through the same [`ModelSlot`] path as
+//! `/admin/reload`, so failover/chaos guarantees carry over unchanged
+//! and every swap starts with a cold response cache (the old model's
+//! cached rankings can never leak across model generations).
+//!
+//! Determinism: the fold is strictly per-interaction (see
+//! `taxorec_core::incremental`), tag-name→id allocation is sequential
+//! in journal order, taxonomy grafts and drift-triggered rebuilds fire
+//! at fixed journal positions, and the retrieval index is patched
+//! per-interaction — so replaying the same journal from the same base
+//! checkpoint reproduces the artifact byte-for-byte, at any thread
+//! count and any tick batching.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use taxorec_core::incremental::{apply_interactions, IncrementalConfig, Interaction};
+use taxorec_retrieval::TaxoIndex;
+use taxorec_taxonomy::{attach_tag, construct_taxonomy, ConstructConfig};
+
+use crate::checkpoint::{item_embeddings, Checkpoint};
+
+/// Tuning of the ingestion path. [`IngestOptions::from_env`] reads the
+/// `TAXOREC_INGEST_*` family; [`Default`] ignores the environment and
+/// leaves ingestion **disabled**.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Accept `POST /ingest` and run the updater thread.
+    /// Env: `TAXOREC_INGEST=1` (set by `taxorec-serve serve --ingest`).
+    pub enabled: bool,
+    /// Update-tick interval: how often the journal is drained and the
+    /// model rebuilt + swapped. Env: `TAXOREC_INGEST_TICK_MS`.
+    pub tick: Duration,
+    /// Journal capacity; `POST /ingest` answers `503 + Retry-After`
+    /// when full (backpressure, same contract as the connection queue).
+    /// Env: `TAXOREC_INGEST_JOURNAL_CAP`.
+    pub journal_cap: usize,
+    /// Most interactions folded per tick; the rest stay journaled for
+    /// the next tick. Env: `TAXOREC_INGEST_BATCH`.
+    pub batch: usize,
+    /// Riemannian step size of the incremental fold.
+    /// Env: `TAXOREC_INGEST_LR`.
+    pub lr: f64,
+    /// Margin of the incremental triplet hinge.
+    /// Env: `TAXOREC_INGEST_MARGIN`.
+    pub margin: f64,
+    /// Grafted-tag count that triggers a full Algorithm-1 taxonomy
+    /// rebuild (and index rebuild) to reconcile accumulated drift.
+    /// Env: `TAXOREC_INGEST_DRIFT_LIMIT`.
+    pub drift_limit: u64,
+    /// Hard cap on rows a single interaction may grow the model by
+    /// (hostile/corrupt id guard). Env: `TAXOREC_INGEST_MAX_GROWTH`.
+    pub max_growth: usize,
+    /// Largest `POST /ingest` body accepted (bytes).
+    /// Env: `TAXOREC_INGEST_MAX_BODY_BYTES`.
+    pub max_body: usize,
+    /// When set, every tick's artifact is persisted here atomically, so
+    /// a restart resumes from the last folded state (journal cursor
+    /// included). Env: `TAXOREC_INGEST_CHECKPOINT`.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            tick: Duration::from_millis(1000),
+            journal_cap: 65_536,
+            batch: 4096,
+            lr: 0.05,
+            margin: 1.0,
+            drift_limit: 64,
+            max_growth: 100_000,
+            max_body: 1024 * 1024,
+            checkpoint_path: None,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Defaults overridden by the `TAXOREC_INGEST_*` environment
+    /// variables where set and parseable.
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Ok(v) = std::env::var("TAXOREC_INGEST") {
+            o.enabled = v.trim() == "1";
+        }
+        if let Some(ms) = env_usize("TAXOREC_INGEST_TICK_MS") {
+            o.tick = Duration::from_millis(ms.max(10) as u64);
+        }
+        if let Some(c) = env_usize("TAXOREC_INGEST_JOURNAL_CAP") {
+            o.journal_cap = c.max(1);
+        }
+        if let Some(b) = env_usize("TAXOREC_INGEST_BATCH") {
+            o.batch = b.max(1);
+        }
+        if let Some(lr) = env_f64("TAXOREC_INGEST_LR") {
+            if lr > 0.0 {
+                o.lr = lr;
+            }
+        }
+        if let Some(m) = env_f64("TAXOREC_INGEST_MARGIN") {
+            if m >= 0.0 {
+                o.margin = m;
+            }
+        }
+        if let Some(d) = env_usize("TAXOREC_INGEST_DRIFT_LIMIT") {
+            o.drift_limit = d.max(1) as u64;
+        }
+        if let Some(g) = env_usize("TAXOREC_INGEST_MAX_GROWTH") {
+            o.max_growth = g.max(1);
+        }
+        if let Some(b) = env_usize("TAXOREC_INGEST_MAX_BODY_BYTES") {
+            o.max_body = b.max(256);
+        }
+        if let Ok(p) = std::env::var("TAXOREC_INGEST_CHECKPOINT") {
+            let p = p.trim();
+            if !p.is_empty() {
+                o.checkpoint_path = Some(p.into());
+            }
+        }
+        o
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// One streamed interaction as posted to `/ingest`: ids for user and
+/// item (never-seen ids grow the model), tags by display name
+/// (never-seen names are allocated ids and grafted into the taxonomy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestInteraction {
+    /// User id.
+    pub user: u32,
+    /// Item id.
+    pub item: u32,
+    /// Tag names annotating the interaction.
+    pub tags: Vec<String>,
+}
+
+/// The bounded interaction journal between `/ingest` and the updater.
+///
+/// `accepted` / `applied` are *journal cursors*: monotone counts of
+/// interactions ever accepted / folded, both starting at the base
+/// checkpoint's cursor. `accepted − applied` is the staleness the
+/// `serve.ingest.staleness` gauge reports. A single updater thread is
+/// the only consumer, which makes `applied` safe to use as the fold's
+/// base cursor.
+pub struct Journal {
+    q: Mutex<VecDeque<IngestInteraction>>,
+    accepted: AtomicU64,
+    applied: AtomicU64,
+    cap: usize,
+}
+
+impl Journal {
+    /// An empty journal with both cursors at `base_cursor` (the cursor
+    /// stored in the checkpoint being served, or 0).
+    pub fn new(cap: usize, base_cursor: u64) -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            accepted: AtomicU64::new(base_cursor),
+            applied: AtomicU64::new(base_cursor),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends a batch, all-or-nothing. `Err(queued)` when the batch
+    /// does not fit (caller answers `503 + Retry-After`).
+    pub fn push_batch(&self, batch: Vec<IngestInteraction>) -> Result<usize, usize> {
+        let n = batch.len();
+        let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() + n > self.cap {
+            return Err(q.len());
+        }
+        q.extend(batch);
+        let depth = q.len();
+        drop(q);
+        self.accepted.fetch_add(n as u64, Ordering::SeqCst);
+        taxorec_telemetry::counter("serve.ingest.accepted").inc(n as u64);
+        taxorec_telemetry::gauge("serve.ingest.queue").set(depth as f64);
+        Ok(n)
+    }
+
+    /// Removes and returns up to `max` interactions, oldest first.
+    pub fn drain(&self, max: usize) -> Vec<IngestInteraction> {
+        let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+        let n = max.min(q.len());
+        let out: Vec<_> = q.drain(..n).collect();
+        taxorec_telemetry::gauge("serve.ingest.queue").set(q.len() as f64);
+        out
+    }
+
+    /// Records `n` more interactions as folded into the serving model.
+    pub fn mark_applied(&self, n: u64) {
+        self.applied.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Interactions currently queued.
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Always check [`Journal::len`]; a journal is routinely empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Journal capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total interactions ever accepted (cursor units).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Total interactions folded into the serving model (cursor units).
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Accepted-but-not-yet-served interaction count.
+    pub fn staleness(&self) -> u64 {
+        self.accepted().saturating_sub(self.applied())
+    }
+}
+
+// ---------------------------------------------------------------------
+// `POST /ingest` body parsing (std-only, minimal JSON)
+// ---------------------------------------------------------------------
+
+/// Parsed JSON value — just enough of the grammar for ingest bodies.
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("invalid JSON at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.s.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: expect the low half next.
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                if self.s[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let c = 0x10000
+                                        + ((cp - 0xd800) << 10)
+                                        + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("bad \\u escape"))?);
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 comes through unmodified; find
+                    // the char boundary via the str view.
+                    let rest = std::str::from_utf8(&self.s[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .s
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u32(v: &Json, what: &str) -> Result<u32, String> {
+    match v {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => Ok(*n as u32),
+        _ => Err(format!("{what} must be a non-negative integer id")),
+    }
+}
+
+/// Parses a `POST /ingest` body:
+/// `{"interactions":[{"user":N,"item":N,"tags":["name",…]},…]}`
+/// (`tags` optional per interaction; unknown keys ignored).
+pub fn parse_ingest_body(body: &str) -> Result<Vec<IngestInteraction>, String> {
+    let mut p = JsonParser::new(body);
+    let top = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing bytes after the JSON document"));
+    }
+    let Json::Obj(fields) = top else {
+        return Err("body must be a JSON object with an \"interactions\" array".into());
+    };
+    let Some(Json::Arr(raw)) = get(&fields, "interactions") else {
+        return Err("missing \"interactions\" array".into());
+    };
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, entry) in raw.iter().enumerate() {
+        let Json::Obj(e) = entry else {
+            return Err(format!("interactions[{i}] is not an object"));
+        };
+        let user = as_u32(
+            get(e, "user").ok_or_else(|| format!("interactions[{i}] missing \"user\""))?,
+            "user",
+        )?;
+        let item = as_u32(
+            get(e, "item").ok_or_else(|| format!("interactions[{i}] missing \"item\""))?,
+            "item",
+        )?;
+        let tags = match get(e, "tags") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(ts)) => {
+                let mut tags = Vec::with_capacity(ts.len());
+                for t in ts {
+                    match t {
+                        Json::Str(s) if !s.is_empty() => tags.push(s.clone()),
+                        _ => {
+                            return Err(format!("interactions[{i}].tags must be non-empty strings"))
+                        }
+                    }
+                }
+                tags
+            }
+            Some(_) => return Err(format!("interactions[{i}].tags must be an array")),
+        };
+        out.push(IngestInteraction { user, item, tags });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The fold: journal → checkpoint
+// ---------------------------------------------------------------------
+
+/// What one [`fold_batch`] call did to the checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FoldReport {
+    /// Interactions folded (including deterministically skipped ones).
+    pub applied: usize,
+    /// Interactions skipped by the hostile-id growth guard.
+    pub dropped: usize,
+    /// User/item/tag rows grown.
+    pub new_users: usize,
+    /// Item rows grown (also patched into the retrieval index).
+    pub new_items: usize,
+    /// Tag rows grown (each grafted into the taxonomy).
+    pub new_tags: usize,
+    /// Tags grafted by placement attachment.
+    pub attached: usize,
+    /// Full Algorithm-1 taxonomy (+ index) rebuilds triggered by drift.
+    pub rebuilds: usize,
+    /// Journal cursor after the fold.
+    pub cursor: u64,
+}
+
+/// Folds `batch` into `ckpt` strictly per-interaction, in journal
+/// order, starting at the checkpoint's journal cursor:
+///
+/// 1. tag names resolve to ids (never-seen names are allocated the next
+///    id, sequentially — so the id assignment is a function of the
+///    journal prefix);
+/// 2. one incremental RSGD step
+///    ([`taxorec_core::incremental::apply_interactions`]), growing
+///    matrices for never-seen ids;
+/// 3. serving context (`item_tags`, `seen_items`) is updated;
+/// 4. each never-seen tag is **grafted** into the taxonomy by
+///    hyperbolic placement ([`taxorec_taxonomy::attach_tag`]),
+///    incrementing `drift`;
+/// 5. when `drift` reaches [`IngestOptions::drift_limit`], the taxonomy
+///    is rebuilt from scratch with Algorithm 1 and the retrieval index
+///    with it (reconciliation), and `drift` resets;
+/// 6. never-seen items are patched into the retrieval index
+///    ([`taxorec_retrieval::IndexParts::append_items`]) without a
+///    rebuild.
+///
+/// An interaction rejected by the growth guard is *skipped
+/// deterministically* (the cursor still advances), so a hostile id
+/// cannot wedge the stream or desynchronize a replay.
+///
+/// `drift` is the caller-threaded graft counter (start at 0 for a fresh
+/// base checkpoint); threading it across calls is what makes chunked
+/// folding bit-identical to one whole-journal fold.
+pub fn fold_batch(
+    ckpt: &mut Checkpoint,
+    batch: &[IngestInteraction],
+    opts: &IngestOptions,
+    drift: &mut u64,
+) -> Result<FoldReport, String> {
+    let mut report = FoldReport {
+        cursor: ckpt.journal_cursor.unwrap_or(0),
+        ..FoldReport::default()
+    };
+    if batch.is_empty() {
+        return Ok(report);
+    }
+    let inc_cfg = IncrementalConfig {
+        lr: opts.lr,
+        margin: opts.margin,
+        seed: ckpt.state.config.seed,
+        max_growth: opts.max_growth,
+    };
+    // Serving context must stay length-consistent with the growing
+    // model (checkpoint validation requires all-or-nothing lists), so
+    // materialize placeholders once ingestion starts.
+    if ckpt.tag_names.is_empty() && ckpt.state.n_tags() > 0 {
+        ckpt.tag_names = (0..ckpt.state.n_tags())
+            .map(|t| format!("tag{t}"))
+            .collect();
+    }
+    if ckpt.item_tags.is_empty() {
+        ckpt.item_tags = vec![Vec::new(); ckpt.state.n_items()];
+    }
+    if ckpt.seen_items.is_empty() {
+        ckpt.seen_items = vec![Vec::new(); ckpt.state.n_users()];
+    }
+
+    for raw in batch {
+        let cursor = report.cursor;
+        report.cursor += 1;
+        report.applied += 1;
+
+        // 1. Resolve tag names sequentially; allocate ids for new ones.
+        let mut tag_ids = Vec::with_capacity(raw.tags.len());
+        let mut fresh_names = 0usize;
+        for name in &raw.tags {
+            match ckpt.tag_names.iter().position(|n| n == name) {
+                Some(id) => tag_ids.push(id as u32),
+                None => {
+                    let id = (ckpt.tag_names.len() + fresh_names) as u32;
+                    fresh_names += 1;
+                    tag_ids.push(id);
+                }
+            }
+        }
+
+        // 2. Incremental RSGD (grows matrices for never-seen ids).
+        let one = Interaction {
+            user: raw.user,
+            item: raw.item,
+            tags: tag_ids.clone(),
+        };
+        let r = match apply_interactions(&mut ckpt.state, cursor, &[one], &inc_cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                report.dropped += 1;
+                taxorec_telemetry::counter("serve.ingest.dropped").inc(1);
+                taxorec_telemetry::sink::warn(&format!(
+                    "ingest: interaction at cursor {cursor} dropped: {e}"
+                ));
+                continue;
+            }
+        };
+        report.new_users += r.new_users;
+        report.new_items += r.new_items;
+        report.new_tags += r.new_tags;
+
+        // 3. Serving context follows the growth. New tag names land at
+        // exactly the ids resolved above (both count up from the same
+        // lengths); gap rows get placeholders.
+        for name in &raw.tags {
+            if !ckpt.tag_names.iter().any(|n| n == name) {
+                ckpt.tag_names.push(name.clone());
+            }
+        }
+        while ckpt.tag_names.len() < ckpt.state.n_tags() {
+            ckpt.tag_names.push(format!("tag{}", ckpt.tag_names.len()));
+        }
+        ckpt.item_tags.resize(ckpt.state.n_items(), Vec::new());
+        ckpt.seen_items.resize(ckpt.state.n_users(), Vec::new());
+        let it = &mut ckpt.item_tags[raw.item as usize];
+        for &t in &tag_ids {
+            if let Err(at) = it.binary_search(&t) {
+                it.insert(at, t);
+            }
+        }
+        let seen = &mut ckpt.seen_items[raw.user as usize];
+        if let Err(at) = seen.binary_search(&raw.item) {
+            seen.insert(at, raw.item);
+        }
+
+        if !ckpt.state.tags_active {
+            continue;
+        }
+        let dim_tag = ckpt.state.config.dim_tag;
+
+        // 4. Graft never-seen tags; 5. rebuild on accumulated drift.
+        let first_new = ckpt.state.n_tags() - r.new_tags;
+        for &t in &tag_ids {
+            if (t as usize) < first_new {
+                continue;
+            }
+            if let Some(taxo) = ckpt.state.taxonomy.as_mut() {
+                match attach_tag(taxo, t, ckpt.state.t_p.data(), dim_tag) {
+                    Ok(_) => {
+                        report.attached += 1;
+                        *drift += 1;
+                        taxorec_telemetry::counter("serve.ingest.attached").inc(1);
+                    }
+                    Err(e) => {
+                        taxorec_telemetry::sink::warn(&format!("ingest: tag {t} not attached: {e}"))
+                    }
+                }
+            }
+        }
+        let mut rebuilt = false;
+        if *drift >= opts.drift_limit && ckpt.state.taxonomy.is_some() {
+            let cfg = &ckpt.state.config;
+            let taxo_cfg = ConstructConfig {
+                k: cfg.taxo_k,
+                delta: cfg.taxo_delta,
+                min_node_size: cfg.taxo_min_node,
+                max_depth: cfg.taxo_max_depth,
+                seeding: cfg.taxo_seeding,
+                seed: cfg.seed,
+                ..ConstructConfig::default()
+            };
+            let taxo = construct_taxonomy(
+                ckpt.state.t_p.data(),
+                dim_tag,
+                ckpt.state.n_tags(),
+                &ckpt.item_tags,
+                &taxo_cfg,
+            );
+            ckpt.state.taxonomy = Some(taxo);
+            *drift = 0;
+            rebuilt = true;
+            report.rebuilds += 1;
+            taxorec_telemetry::counter("serve.ingest.rebuilds").inc(1);
+        }
+
+        // 6. Retrieval index: patch new items in; rebuild with the
+        // taxonomy when reconciliation fired (node ids churned).
+        if let Some(parts) = ckpt.index.as_mut() {
+            if rebuilt {
+                let index_cfg = parts.config;
+                let items = item_embeddings(&ckpt.state);
+                match TaxoIndex::build(
+                    &items,
+                    ckpt.state.taxonomy.as_ref(),
+                    &ckpt.item_tags,
+                    &index_cfg,
+                ) {
+                    Ok(index) => *parts = index.parts().clone(),
+                    Err(e) => {
+                        // Keep the old (still-valid) tree rather than
+                        // dropping sub-linear retrieval entirely.
+                        taxorec_telemetry::sink::warn(&format!(
+                            "ingest: index rebuild failed, keeping the patched tree: {e}"
+                        ));
+                        let items = item_embeddings(&ckpt.state);
+                        parts.append_items(&items)?;
+                    }
+                }
+            } else if r.new_items > 0 {
+                let items = item_embeddings(&ckpt.state);
+                parts.append_items(&items)?;
+            }
+        }
+    }
+    // Index patch-in for runs without a tag channel (the loop above
+    // short-circuits before step 6 when tags are inactive).
+    if !ckpt.state.tags_active {
+        if let Some(parts) = ckpt.index.as_mut() {
+            let items = item_embeddings(&ckpt.state);
+            parts.append_items(&items)?;
+        }
+    }
+
+    ckpt.journal_cursor = Some(report.cursor);
+    taxorec_telemetry::counter("serve.ingest.applied")
+        .inc((report.applied - report.dropped) as u64);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_ingest_body() {
+        let body = r#"{"interactions":[
+            {"user":3,"item":7,"tags":["rock","jazz \"live\""]},
+            {"item":2,"user":0},
+            {"user":1,"item":4,"tags":[],"note":"ignored"}
+        ]}"#;
+        let got = parse_ingest_body(body).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].user, 3);
+        assert_eq!(
+            got[0].tags,
+            vec!["rock".to_string(), "jazz \"live\"".to_string()]
+        );
+        assert_eq!(
+            got[1],
+            IngestInteraction {
+                user: 0,
+                item: 2,
+                tags: vec![]
+            }
+        );
+        assert!(got[2].tags.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        for bad in [
+            "",
+            "[]",
+            "{\"interactions\":3}",
+            "{}",
+            "{\"interactions\":[{\"user\":1}]}",
+            "{\"interactions\":[{\"user\":-1,\"item\":0}]}",
+            "{\"interactions\":[{\"user\":1.5,\"item\":0}]}",
+            "{\"interactions\":[{\"user\":1,\"item\":0,\"tags\":[3]}]}",
+            "{\"interactions\":[]} trailing",
+            "{\"interactions\":[{\"user\":4294967296,\"item\":0}]}",
+        ] {
+            assert!(parse_ingest_body(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let body = "{\"interactions\":[{\"user\":1,\"item\":2,\"tags\":[\"a\\u00e9\\n\",\"emoji \\ud83d\\ude00\",\"naïve\"]}]}";
+        let got = parse_ingest_body(body).unwrap();
+        assert_eq!(got[0].tags[0], "aé\n");
+        assert_eq!(got[0].tags[1], "emoji 😀");
+        assert_eq!(got[0].tags[2], "naïve");
+    }
+
+    #[test]
+    fn journal_enforces_capacity_all_or_nothing() {
+        let j = Journal::new(3, 10);
+        let mk = |n: usize| {
+            (0..n)
+                .map(|i| IngestInteraction {
+                    user: i as u32,
+                    item: 0,
+                    tags: vec![],
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(j.push_batch(mk(2)), Ok(2));
+        assert_eq!(j.push_batch(mk(2)), Err(2), "over capacity: rejected whole");
+        assert_eq!(j.len(), 2, "rejected batch left no residue");
+        assert_eq!(j.push_batch(mk(1)), Ok(1));
+        assert_eq!(j.accepted(), 13);
+        assert_eq!(j.staleness(), 3);
+        let drained = j.drain(2);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(j.len(), 1);
+        j.mark_applied(2);
+        assert_eq!(j.applied(), 12);
+        assert_eq!(j.staleness(), 1);
+    }
+
+    #[test]
+    fn ingest_options_env_round_trip() {
+        // Only defaults here (env mutation belongs to integration
+        // tests); from_env on a clean env must equal Default except for
+        // whatever the ambient environment actually sets.
+        let d = IngestOptions::default();
+        assert!(!d.enabled);
+        assert!(d.journal_cap > 0 && d.batch > 0 && d.max_body > 0);
+        assert!(d.tick >= Duration::from_millis(10));
+    }
+}

@@ -521,11 +521,18 @@ fn handle_client(
                     ),
                     Err(unavailable) => {
                         taxorec_telemetry::counter("router.unavailable").inc(1);
+                        let now = Instant::now();
+                        let secs = retry_after_secs(shared.shards.iter().map(|s| {
+                            s.breaker
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remaining_open(now)
+                        }));
                         (
                             503,
                             error_json(&unavailable),
                             JSON_CONTENT_TYPE,
-                            "Retry-After: 1\r\n".to_string(),
+                            format!("Retry-After: {secs}\r\n"),
                             endpoint,
                         )
                     }
@@ -555,6 +562,25 @@ fn handle_client(
         taxorec_telemetry::counter(&format!("router.{endpoint}.errors")).inc(1);
     }
     trace::emit_root_at("router", ctx, accepted, Instant::now());
+}
+
+/// `Retry-After` seconds derived from the fleet's breaker state: the
+/// *minimum* remaining open interval across shards is the earliest
+/// instant a retry can reach a half-open probe, rounded up to whole
+/// seconds. A shard whose breaker is not refusing (closed, half-open,
+/// or cooldown elapsed) could admit a retry immediately, so any such
+/// shard floors the wait at the 1-second minimum the header resolves.
+/// Pure over the injected per-breaker remainders, so tests drive it
+/// with a synthetic clock.
+fn retry_after_secs<I: IntoIterator<Item = Option<Duration>>>(remaining: I) -> u64 {
+    let mut min: Option<Duration> = None;
+    for r in remaining {
+        match r {
+            None => return 1,
+            Some(d) => min = Some(min.map_or(d, |m| m.min(d))),
+        }
+    }
+    min.map_or(1, |d| (d.as_secs_f64().ceil() as u64).max(1))
 }
 
 /// A parsed upstream response headed back to the client.
@@ -1126,6 +1152,34 @@ mod tests {
         assert!(x1 < y0, "{merged}");
         assert_eq!(merged.matches("# TYPE x counter").count(), 1);
         assert_eq!(merged.matches("# TYPE y counter").count(), 1);
+    }
+
+    #[test]
+    fn retry_after_derives_from_breaker_remaining_open() {
+        // Deterministic injected clock: every breaker transition and
+        // every remaining-open read happens at an instant we choose.
+        let t0 = Instant::now();
+        let mut a = Breaker::new(1, Duration::from_millis(2300));
+        let mut b = Breaker::new(1, Duration::from_millis(4500));
+        assert!(a.on_failure(t0), "a trips open");
+        assert!(b.on_failure(t0), "b trips open");
+        let at = |now: Instant| retry_after_secs([a.remaining_open(now), b.remaining_open(now)]);
+        // Both open: the minimum remaining interval (2.3 s) rounds up.
+        assert_eq!(at(t0), 3);
+        // 1.3 s into the cooldown: 1.0 s left on the nearer breaker.
+        assert_eq!(at(t0 + Duration::from_millis(1300)), 1);
+        // 2.0 s in: 0.3 s left still advertises the 1-second floor.
+        assert_eq!(at(t0 + Duration::from_millis(2000)), 1);
+        // Nearer cooldown elapsed: a half-open probe can go through now.
+        assert_eq!(at(t0 + Duration::from_millis(2300)), 1);
+        // A closed breaker in the fleet floors the wait immediately.
+        let closed = Breaker::default();
+        assert_eq!(
+            retry_after_secs([b.remaining_open(t0), closed.remaining_open(t0)]),
+            1
+        );
+        // No breakers at all (degenerate) still answers something sane.
+        assert_eq!(retry_after_secs([]), 1);
     }
 
     #[test]

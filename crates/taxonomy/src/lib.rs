@@ -6,6 +6,7 @@
 //! by the training loop, and quality metrics against a planted ground
 //! truth.
 
+pub mod attach;
 pub mod construct;
 pub mod kmeans;
 pub mod metrics;
@@ -13,6 +14,7 @@ pub mod regularizer;
 pub mod scoring;
 pub mod tree;
 
+pub use attach::{attach_tag, AttachReport, ATTACH_SLACK};
 pub use construct::{adaptive_split, construct_taxonomy, ConstructConfig, SplitResult};
 pub use kmeans::{poincare_kmeans, KmeansResult, Seeding};
 pub use metrics::{

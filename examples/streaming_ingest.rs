@@ -1,0 +1,146 @@
+//! Streaming ingestion: train a tiny model, serve it with the online
+//! updater enabled, stream interaction batches — including never-seen
+//! users, items, and tags — into `POST /ingest`, and watch the served
+//! model generation advance without a restart.
+//!
+//! ```text
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxorec::core::{TaxoRec, TaxoRecConfig};
+use taxorec::data::{generate_preset, Preset, Recommender, Scale, Split};
+use taxorec::serve::{serve_online, Checkpoint, IngestOptions, ServeOptions, ServingModel};
+
+fn request(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    request(addr, &format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+fn post_ingest(addr: SocketAddr, body: &str) -> String {
+    request(
+        addr,
+        &format!(
+            "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn ingest_card(healthz: &str) -> &str {
+    let at = healthz.find("\"ingest\":").map(|i| i + 9).unwrap_or(0);
+    &healthz[at..healthz.len().saturating_sub(1)]
+}
+
+fn main() {
+    // 1. Train a small model and seal it into a checkpoint — the same
+    //    artifact `taxorec-serve train-demo` would write to disk.
+    let dataset = generate_preset(Preset::Ciao, Scale::Tiny);
+    let split = Split::standard(&dataset);
+    let mut model = TaxoRec::new(TaxoRecConfig {
+        epochs: 10,
+        ..TaxoRecConfig::fast_test()
+    });
+    model.fit(&dataset, &split);
+    let base = Checkpoint::from_model(&model)
+        .with_dataset(&dataset)
+        .with_seen_items(&split.train);
+    println!(
+        "trained: {} users, {} items, {} tags",
+        base.state.n_users(),
+        base.state.n_items(),
+        base.state.n_tags()
+    );
+
+    // 2. Serve with ingestion enabled: `serve_online` keeps the base
+    //    checkpoint for the updater thread, which folds journaled
+    //    interactions between ticks and swaps fresh generations into
+    //    the serving slot (same path as `/admin/reload`).
+    let serving = ServingModel::new(base.clone()).expect("serving model");
+    let handle = serve_online(
+        Arc::new(serving),
+        base,
+        "127.0.0.1:0",
+        ServeOptions {
+            ingest: IngestOptions {
+                tick: Duration::from_millis(100),
+                drift_limit: 8,
+                ..IngestOptions::default()
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+    println!("serving on http://{addr} (tick 100ms)");
+    println!("before ingest: {}", ingest_card(&get(addr, "/healthz")));
+
+    // 3. Stream batches. Tag names are resolved by name, so never-seen
+    //    tags ("flash-sale", …) are allocated fresh ids, placed via the
+    //    Einstein midpoint of their co-occurring items, and grafted
+    //    onto the live taxonomy as leaves.
+    let n_users = 64u32;
+    for batch in 0..6 {
+        let mut interactions = Vec::new();
+        for j in 0..8 {
+            let user = (batch * 17 + j * 5) % (n_users + 8); // some never-seen
+            let item = (batch * 13 + j * 3) % 48;
+            let tag = if j == 0 {
+                format!("\"flash-sale-{batch}\"")
+            } else {
+                format!("\"live-{}\"", (batch + j) % 4)
+            };
+            interactions.push(format!(
+                "{{\"user\":{user},\"item\":{item},\"tags\":[{tag}]}}"
+            ));
+        }
+        let body = format!("{{\"interactions\":[{}]}}", interactions.join(","));
+        let reply = post_ingest(addr, &body);
+        let status = reply.split_whitespace().nth(1).unwrap_or("?");
+        let payload = reply.rsplit("\r\n\r\n").next().unwrap_or("").trim();
+        println!("batch {batch}: {status} {payload}");
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    // 4. Wait for the updater to drain the journal, then inspect the
+    //    health card: `applied` catches `accepted`, `staleness` returns
+    //    to zero, and `cursor` records how far into the journal the
+    //    served generation has folded.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = get(addr, "/healthz");
+        let card = ingest_card(&health);
+        if card.contains("\"staleness\":0") && !card.contains("\"cursor\":null") {
+            println!("after ingest:  {card}");
+            break;
+        }
+        if Instant::now() > deadline {
+            println!("updater did not catch up in time: {card}");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // 5. The swapped generation serves immediately — recommendations
+    //    for a user that did not exist before the stream started.
+    let reply = get(addr, &format!("/recommend?user={}&k=5", n_users + 2));
+    let payload = reply.rsplit("\r\n\r\n").next().unwrap_or("").trim();
+    println!("never-seen user {}: {payload}", n_users + 2);
+
+    handle.shutdown();
+    println!("done");
+}
