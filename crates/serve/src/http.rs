@@ -770,12 +770,17 @@ fn update_tick(
     journal: &Journal,
 ) {
     let started = Instant::now();
+    // Fold against a restorable snapshot: a mid-batch error leaves the
+    // checkpoint holding a partially applied prefix whose journal
+    // cursor was never advanced, so rolling back state *and* drift
+    // together is the only way cursor and embeddings stay consistent —
+    // otherwise a restart would resume replay against desynced state,
+    // silently breaking the bit-identical replay guarantee.
+    let snapshot = (ckpt.clone(), *drift);
     let report = match online::fold_batch(ckpt, batch, opts, drift) {
         Ok(r) => r,
         Err(e) => {
-            // The fold mutates nothing beyond the interaction it failed
-            // on; keep serving the last good model and drop the batch
-            // (accounting stays honest through the dropped counter).
+            (*ckpt, *drift) = snapshot;
             taxorec_telemetry::counter("serve.ingest.fold_errors").inc(1);
             taxorec_telemetry::sink::warn(&format!(
                 "ingest: folding {} interactions failed: {e}; batch dropped",

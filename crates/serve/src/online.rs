@@ -26,7 +26,7 @@
 //! checkpoint reproduces the artifact byte-for-byte, at any thread
 //! count and any tick batching.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -264,9 +264,17 @@ enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Deepest array/object nesting accepted. Bounds parser recursion: a
+/// hostile body of repeated `[`/`{` (well under `max_body`) would
+/// otherwise overflow the worker stack, and stack overflow aborts the
+/// process — it is not an unwinding panic, so the `catch_unwind`
+/// isolation around request handling cannot contain it.
+const MAX_JSON_DEPTH: usize = 64;
+
 struct JsonParser<'a> {
     s: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> JsonParser<'a> {
@@ -274,6 +282,7 @@ impl<'a> JsonParser<'a> {
         Self {
             s: s.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -307,8 +316,19 @@ impl<'a> JsonParser<'a> {
     fn value(&mut self) -> Result<Json, String> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(open @ (b'{' | b'[')) => {
+                if self.depth >= MAX_JSON_DEPTH {
+                    return Err(self.err("nesting too deep"));
+                }
+                self.depth += 1;
+                let v = if open == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool),
             Some(b'f') => self.literal("false", Json::Bool),
@@ -576,6 +596,11 @@ pub struct FoldReport {
 /// `drift` is the caller-threaded graft counter (start at 0 for a fresh
 /// base checkpoint); threading it across calls is what makes chunked
 /// folding bit-identical to one whole-journal fold.
+///
+/// On `Err` the checkpoint (and `drift`) may hold a *partially applied*
+/// batch whose journal cursor has **not** been advanced — callers must
+/// restore both from a pre-call snapshot before folding anything else,
+/// or replay from the persisted cursor will desync.
 pub fn fold_batch(
     ckpt: &mut Checkpoint,
     batch: &[IngestInteraction],
@@ -609,6 +634,15 @@ pub fn fold_batch(
     if ckpt.seen_items.is_empty() {
         ckpt.seen_items = vec![Vec::new(); ckpt.state.n_users()];
     }
+    // Name→id index mirroring `ckpt.tag_names` positions (first
+    // occurrence wins, matching what a linear scan would resolve).
+    // Lookups only, so determinism is untouched — it just replaces the
+    // per-tag O(n_tags) scan that made tick latency grow with the
+    // catalogue.
+    let mut name_index: HashMap<String, u32> = HashMap::with_capacity(ckpt.tag_names.len());
+    for (id, name) in ckpt.tag_names.iter().enumerate() {
+        name_index.entry(name.clone()).or_insert(id as u32);
+    }
 
     for raw in batch {
         let cursor = report.cursor;
@@ -616,14 +650,18 @@ pub fn fold_batch(
         report.applied += 1;
 
         // 1. Resolve tag names sequentially; allocate ids for new ones.
+        // Fresh names enter the index immediately, so a name repeated
+        // within one interaction resolves to a single id instead of
+        // allocating a phantom placeholder row.
         let mut tag_ids = Vec::with_capacity(raw.tags.len());
-        let mut fresh_names = 0usize;
+        let mut fresh_names: Vec<&String> = Vec::new();
         for name in &raw.tags {
-            match ckpt.tag_names.iter().position(|n| n == name) {
-                Some(id) => tag_ids.push(id as u32),
+            match name_index.get(name.as_str()) {
+                Some(&id) => tag_ids.push(id),
                 None => {
-                    let id = (ckpt.tag_names.len() + fresh_names) as u32;
-                    fresh_names += 1;
+                    let id = (ckpt.tag_names.len() + fresh_names.len()) as u32;
+                    name_index.insert(name.clone(), id);
+                    fresh_names.push(name);
                     tag_ids.push(id);
                 }
             }
@@ -638,6 +676,11 @@ pub fn fold_batch(
         let r = match apply_interactions(&mut ckpt.state, cursor, &[one], &inc_cfg) {
             Ok(r) => r,
             Err(e) => {
+                // The model did not grow; the speculative id
+                // allocations must not survive the drop either.
+                for name in &fresh_names {
+                    name_index.remove(name.as_str());
+                }
                 report.dropped += 1;
                 taxorec_telemetry::counter("serve.ingest.dropped").inc(1);
                 taxorec_telemetry::sink::warn(&format!(
@@ -653,13 +696,15 @@ pub fn fold_batch(
         // 3. Serving context follows the growth. New tag names land at
         // exactly the ids resolved above (both count up from the same
         // lengths); gap rows get placeholders.
-        for name in &raw.tags {
-            if !ckpt.tag_names.iter().any(|n| n == name) {
-                ckpt.tag_names.push(name.clone());
-            }
+        for name in fresh_names {
+            ckpt.tag_names.push(name.clone());
         }
         while ckpt.tag_names.len() < ckpt.state.n_tags() {
-            ckpt.tag_names.push(format!("tag{}", ckpt.tag_names.len()));
+            let name = format!("tag{}", ckpt.tag_names.len());
+            name_index
+                .entry(name.clone())
+                .or_insert(ckpt.tag_names.len() as u32);
+            ckpt.tag_names.push(name);
         }
         ckpt.item_tags.resize(ckpt.state.n_items(), Vec::new());
         ckpt.seen_items.resize(ckpt.state.n_users(), Vec::new());
@@ -679,12 +724,11 @@ pub fn fold_batch(
         }
         let dim_tag = ckpt.state.config.dim_tag;
 
-        // 4. Graft never-seen tags; 5. rebuild on accumulated drift.
+        // 4. Graft never-seen tags (each exactly once, even when the
+        // interaction repeats a fresh name); 5. rebuild on accumulated
+        // drift. Fresh ids are exactly the rows the model grew by.
         let first_new = ckpt.state.n_tags() - r.new_tags;
-        for &t in &tag_ids {
-            if (t as usize) < first_new {
-                continue;
-            }
+        for t in first_new as u32..ckpt.state.n_tags() as u32 {
             if let Some(taxo) = ckpt.state.taxonomy.as_mut() {
                 match attach_tag(taxo, t, ckpt.state.t_p.data(), dim_tag) {
                     Ok(_) => {
@@ -813,6 +857,42 @@ mod tests {
         ] {
             assert!(parse_ingest_body(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    /// Regression: a body of repeated `[`/`{` must be rejected by the
+    /// depth bound, not recurse once per byte — unbounded recursion
+    /// overflows the worker stack and aborts the whole process (stack
+    /// overflow is not an unwindable panic).
+    #[test]
+    fn rejects_deeply_nested_bodies_without_recursing() {
+        let bombs = [
+            "[".repeat(200_000),
+            "{\"interactions\":".repeat(100_000),
+            format!("{{\"interactions\":[{}", "[".repeat(200_000)),
+        ];
+        for bomb in &bombs {
+            let err = parse_ingest_body(bomb).unwrap_err();
+            assert!(err.contains("nesting too deep"), "{err}");
+        }
+        // Ordinary bodies sit far below the bound.
+        let ok = r#"{"interactions":[{"user":1,"item":2,"tags":["a"]}]}"#;
+        assert!(parse_ingest_body(ok).is_ok());
+        // Exactly at the bound still parses (the limit is on nesting
+        // depth, not total size).
+        let at_limit = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        let mut p = JsonParser::new(&at_limit);
+        assert!(p.value().is_ok(), "depth {MAX_JSON_DEPTH} must parse");
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        let mut p = JsonParser::new(&over);
+        assert!(p.value().is_err(), "depth {} must not", MAX_JSON_DEPTH + 1);
     }
 
     #[test]

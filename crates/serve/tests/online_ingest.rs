@@ -327,6 +327,44 @@ fn ingest_while_serving_smoke() {
     handle.shutdown();
 }
 
+/// Regression: a never-seen tag name repeated within one interaction's
+/// tags list must resolve to a single id — previously the second
+/// occurrence was allocated its own id whose row stayed a permanent
+/// "tagN" placeholder, grafted into the taxonomy as a phantom leaf.
+#[test]
+fn repeated_new_tag_name_in_one_interaction_allocates_one_id() {
+    let _g = lock();
+    let mut ckpt = base_checkpoint().clone();
+    let n_tags = ckpt.state.n_tags();
+    let taxo_len = ckpt.state.taxonomy.as_ref().expect("taxonomy").len();
+    let batch = vec![IngestInteraction {
+        user: 0,
+        item: 1,
+        tags: vec!["dup-live".to_string(), "dup-live".to_string()],
+    }];
+    let opts = IngestOptions {
+        drift_limit: 1000,
+        ..ingest_opts()
+    };
+    let mut drift = 0;
+    let report = fold_batch(&mut ckpt, &batch, &opts, &mut drift).expect("fold");
+    assert_eq!(report.new_tags, 1, "{report:?}");
+    assert_eq!(report.attached, 1, "{report:?}");
+    assert_eq!(drift, 1, "one graft, one drift unit");
+    assert_eq!(ckpt.state.n_tags(), n_tags + 1);
+    assert_eq!(ckpt.tag_names.len(), n_tags + 1, "no placeholder row");
+    assert_eq!(ckpt.tag_names.last().map(String::as_str), Some("dup-live"));
+    let taxo = ckpt.state.taxonomy.as_ref().unwrap();
+    assert_eq!(taxo.len(), taxo_len + 1, "no phantom leaf");
+    // item_tags records the tag once, under the single allocated id.
+    let fresh: Vec<u32> = ckpt.item_tags[1]
+        .iter()
+        .copied()
+        .filter(|&t| t as usize >= n_tags)
+        .collect();
+    assert_eq!(fresh, vec![n_tags as u32]);
+}
+
 /// Regression (stale model on keep-alive): a connection accepted before
 /// an `/admin/reload` must be answered by the model that is current
 /// when its request arrives — the worker resolves the slot per request,
